@@ -1,0 +1,130 @@
+// Design ablations beyond the paper's headline figures:
+//  (1) MCAM bit width 1..4 vs few-shot accuracy (the paper argues 2-3 bits
+//      suffice; 1 bit loses the multi-level advantage, 4 bits exceeds what
+//      8 programmable Vth states support physically),
+//  (2) ideal-sum vs matchline-timing sensing, with sense-clock quantization,
+//  (3) storage policy: all K shots vs class prototypes.
+#include "bench_common.hpp"
+
+#include "experiments/harness.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace mcam;
+  using experiments::Method;
+
+  experiments::FewShotOptions options;
+  options.episodes = 150;
+  const data::TaskSpec task{5, 1, 5};
+  const data::TaskSpec task5shot{5, 5, 5};
+
+  // (1) Bit-width sweep via custom engine options over the two MCAM widths
+  // plus 1-bit and 4-bit variants constructed through the harness pieces.
+  TextTable bits_table{"Ablation: MCAM bit width vs 5-way 1-shot accuracy"};
+  bits_table.set_header({"bits", "states", "accuracy [%]"});
+  for (unsigned bits : {1u, 2u, 3u, 4u}) {
+    // Reuse the harness by temporarily constructing engines directly.
+    experiments::EngineOptions engine_options = experiments::paper_engine_options();
+    const Method method = bits == 2 ? Method::kMcam2 : Method::kMcam3;
+    double accuracy = 0.0;
+    if (bits == 2 || bits == 3) {
+      accuracy =
+          experiments::run_few_shot(task, method, options, engine_options).accuracy;
+    } else {
+      // 1-bit and 4-bit paths: run the same protocol with a custom config.
+      const ml::GaussianPrototypeEmbedding features{options.eval_classes + 32,
+                                                    options.feature_dim,
+                                                    options.intra_sigma, options.seed};
+      Rng calib_rng{options.seed ^ 0xca11b7a7eULL};
+      std::vector<std::vector<float>> calibration;
+      for (std::size_t i = 0; i < options.calibration_samples; ++i) {
+        calibration.push_back(
+            features.sample(options.eval_classes + calib_rng.index(32), calib_rng));
+      }
+      const auto quantizer = encoding::UniformQuantizer::fit(calibration, bits, 6.0);
+      const data::EpisodeSampler sampler{options.eval_classes,
+                                         [&features](std::size_t cls, Rng& rng) {
+                                           return features.sample(cls, rng);
+                                         }};
+      const mann::EngineFactory factory = [bits, &quantizer]() {
+        cam::McamArrayConfig config;
+        config.level_map = fefet::LevelMap{bits};
+        auto engine = std::make_unique<search::McamNnEngine>(config);
+        engine->set_fixed_quantizer(quantizer);
+        return engine;
+      };
+      accuracy = mann::evaluate_few_shot(sampler, task, options.episodes, factory,
+                                         options.seed)
+                     .accuracy;
+    }
+    bits_table.add_row({std::to_string(bits), std::to_string(1u << bits),
+                        format_double(accuracy * 100.0, 2)});
+  }
+  bench::emit(bits_table, "ablation_bits");
+
+  // (2) Sensing fidelity.
+  TextTable sensing_table{"Ablation: sensing model vs accuracy (3-bit MCAM, 5-way 1-shot)"};
+  sensing_table.set_header({"sensing", "sense clock", "accuracy [%]"});
+  struct SensingCase {
+    const char* name;
+    cam::SensingMode mode;
+    double clock;
+  };
+  const SensingCase cases[] = {
+      {"ideal conductance sum", cam::SensingMode::kIdealSum, 0.0},
+      {"matchline timing, continuous", cam::SensingMode::kMatchlineTiming, 0.0},
+      {"matchline timing, 100 ps clock", cam::SensingMode::kMatchlineTiming, 100e-12},
+      {"matchline timing, 1 ns clock", cam::SensingMode::kMatchlineTiming, 1e-9},
+  };
+  for (const SensingCase& c : cases) {
+    experiments::EngineOptions engine_options = experiments::paper_engine_options();
+    engine_options.sensing = c.mode;
+    engine_options.sense_clock_period = c.clock;
+    const auto result =
+        experiments::run_few_shot(task, Method::kMcam3, options, engine_options);
+    sensing_table.add_row({c.name,
+                           c.clock == 0.0 ? "-" : format_si(c.clock, "s"),
+                           format_double(result.accuracy * 100.0, 2)});
+  }
+  bench::emit(sensing_table, "ablation_sensing");
+
+  // (3) Storage policy on the 5-shot task.
+  TextTable storage_table{"Ablation: K-shot storage policy (3-bit MCAM, 5-way 5-shot)"};
+  storage_table.set_header({"policy", "memory rows", "accuracy [%]"});
+  {
+    const ml::GaussianPrototypeEmbedding features{options.eval_classes + 32,
+                                                  options.feature_dim, options.intra_sigma,
+                                                  options.seed};
+    Rng calib_rng{options.seed ^ 0xca11b7a7eULL};
+    std::vector<std::vector<float>> calibration;
+    for (std::size_t i = 0; i < options.calibration_samples; ++i) {
+      calibration.push_back(
+          features.sample(options.eval_classes + calib_rng.index(32), calib_rng));
+    }
+    const auto quantizer = encoding::UniformQuantizer::fit(calibration, 3, 6.0);
+    const data::EpisodeSampler sampler{options.eval_classes,
+                                       [&features](std::size_t cls, Rng& rng) {
+                                         return features.sample(cls, rng);
+                                       }};
+    const mann::EngineFactory factory = [&quantizer]() {
+      auto engine = std::make_unique<search::McamNnEngine>(cam::McamArrayConfig{});
+      engine->set_fixed_quantizer(quantizer);
+      return engine;
+    };
+    for (auto policy : {mann::StoragePolicy::kAllShots, mann::StoragePolicy::kPrototype}) {
+      const auto result = mann::evaluate_few_shot(sampler, task5shot, options.episodes,
+                                                  factory, options.seed, policy);
+      storage_table.add_row(
+          {policy == mann::StoragePolicy::kAllShots ? "all shots (paper)" : "class prototype",
+           policy == mann::StoragePolicy::kAllShots ? "25" : "5",
+           format_double(result.accuracy * 100.0, 2)});
+    }
+  }
+  bench::emit(storage_table, "ablation_storage");
+
+  std::cout << "Check: accuracy saturates by 3 bits (the paper's design point), matchline\n"
+               "timing matches ideal summation (the RC model is order-preserving), and\n"
+               "coarse sense clocks cost accuracy through ties.\n";
+  return 0;
+}

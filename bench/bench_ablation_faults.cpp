@@ -1,0 +1,67 @@
+// Fault-tolerance ablation: few-shot accuracy of the 3-bit MCAM under
+// stuck-short / stuck-open cell defects - the manufacturing-yield
+// counterpart of the Fig. 8 variation study. Stuck-short cells leak their
+// matchline permanently (the row looks far), stuck-open cells match every
+// input (the row looks near); the exponential distance function is far
+// more sensitive to shorts, which single-handedly dominate a row's
+// conductance (the G_1^d concentration property of Sec. III-B).
+#include "bench_common.hpp"
+
+#include "experiments/harness.hpp"
+#include "mann/fewshot.hpp"
+#include "ml/embedding.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace mcam;
+
+  experiments::FewShotOptions options;
+  options.episodes = 100;
+  const data::TaskSpec task{5, 1, 5};
+
+  const ml::GaussianPrototypeEmbedding features{options.eval_classes + 32,
+                                                options.feature_dim, options.intra_sigma,
+                                                options.seed};
+  Rng calib_rng{options.seed ^ 0xca11b7a7eULL};
+  std::vector<std::vector<float>> calibration;
+  for (std::size_t i = 0; i < options.calibration_samples; ++i) {
+    calibration.push_back(
+        features.sample(options.eval_classes + calib_rng.index(32), calib_rng));
+  }
+  const auto quantizer = encoding::UniformQuantizer::fit(calibration, 3, 6.0);
+  const data::EpisodeSampler sampler{options.eval_classes,
+                                     [&features](std::size_t cls, Rng& rng) {
+                                       return features.sample(cls, rng);
+                                     }};
+
+  const auto accuracy_with = [&](double short_rate, double open_rate) {
+    std::uint64_t instance = 0;
+    const mann::EngineFactory factory = [&, instance]() mutable {
+      cam::McamArrayConfig config;
+      config.stuck_short_rate = short_rate;
+      config.stuck_open_rate = open_rate;
+      config.seed = 1 + 1000003 * (++instance);
+      auto engine = std::make_unique<search::McamNnEngine>(config);
+      engine->set_fixed_quantizer(quantizer);
+      return engine;
+    };
+    return mann::evaluate_few_shot(sampler, task, options.episodes, factory, options.seed)
+        .accuracy;
+  };
+
+  TextTable table{"Fault-tolerance: 3-bit MCAM 5-way 1-shot accuracy [%] vs defect rate"};
+  table.set_header({"defect rate/cell", "stuck-short only", "stuck-open only", "both"});
+  for (double rate : {0.0, 0.001, 0.005, 0.01, 0.02, 0.05}) {
+    table.add_row({format_double(rate * 100.0, 1) + " %",
+                   format_double(accuracy_with(rate, 0.0) * 100.0, 2),
+                   format_double(accuracy_with(0.0, rate) * 100.0, 2),
+                   format_double(accuracy_with(rate, rate) * 100.0, 2)});
+  }
+  bench::emit(table, "ablation_faults");
+
+  std::cout << "Check: sub-0.5% defect rates cost little accuracy; stuck-short defects\n"
+               "dominate the loss (one leaking cell outweighs a whole row, exactly the\n"
+               "exponential concentration the G_n^d analysis predicts).\n";
+  return 0;
+}

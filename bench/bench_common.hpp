@@ -1,0 +1,34 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench prints the rows/series of the paper artifact it reproduces
+// and mirrors the table to results/<name>.csv for EXPERIMENTS.md.
+#pragma once
+
+#include "util/table.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+namespace mcam::bench {
+
+/// Ensures ./results exists and returns the CSV path for `name`.
+inline std::string csv_path(const std::string& name) {
+  const std::filesystem::path dir{"results"};
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return (dir / (name + ".csv")).string();
+}
+
+/// Prints the table and writes its CSV; never throws out of a bench main.
+inline void emit(const TextTable& table, const std::string& name) {
+  table.print(std::cout);
+  try {
+    const std::string path = table.write_csv(csv_path(name));
+    std::cout << "[csv] " << path << "\n\n";
+  } catch (const std::exception& e) {
+    std::cout << "[csv] skipped (" << e.what() << ")\n\n";
+  }
+}
+
+}  // namespace mcam::bench

@@ -1,0 +1,115 @@
+// google-benchmark microbenchmarks of the hot paths: array search, LUT
+// construction, quantization, LSH encoding and full few-shot episodes.
+#include "cam/array.hpp"
+#include "cam/lut.hpp"
+#include "encoding/lsh.hpp"
+#include "encoding/quantizer.hpp"
+#include "experiments/harness.hpp"
+#include "search/engine.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace mcam;
+
+std::vector<std::vector<std::uint16_t>> random_rows(std::size_t rows, std::size_t cols,
+                                                    std::uint16_t levels, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::vector<std::uint16_t>> out(rows, std::vector<std::uint16_t>(cols));
+  for (auto& row : out) {
+    for (auto& level : row) level = static_cast<std::uint16_t>(rng.index(levels));
+  }
+  return out;
+}
+
+void BM_McamArraySearch(benchmark::State& state) {
+  const auto rows = static_cast<std::size_t>(state.range(0));
+  cam::McamArray array{cam::McamArrayConfig{}};
+  const auto data = random_rows(rows, 64, 8, 1);
+  array.program(data);
+  const auto query = random_rows(1, 64, 8, 2)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.nearest(query));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(rows * 64));
+}
+BENCHMARK(BM_McamArraySearch)->Arg(25)->Arg(128)->Arg(1024);
+
+void BM_McamArraySearchWithVariation(benchmark::State& state) {
+  cam::McamArrayConfig config;
+  config.vth_sigma = 0.05;
+  cam::McamArray array{config};
+  array.program(random_rows(128, 64, 8, 3));
+  const auto query = random_rows(1, 64, 8, 4)[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(array.nearest(query));
+  }
+}
+BENCHMARK(BM_McamArraySearchWithVariation);
+
+void BM_LutBuildNominal(benchmark::State& state) {
+  const fefet::LevelMap map{static_cast<unsigned>(state.range(0))};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cam::ConductanceLut::nominal(map));
+  }
+}
+BENCHMARK(BM_LutBuildNominal)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_Quantize64d(benchmark::State& state) {
+  Rng rng{5};
+  std::vector<std::vector<float>> rows(256, std::vector<float>(64));
+  for (auto& row : rows) {
+    for (auto& v : row) v = static_cast<float>(rng.normal());
+  }
+  const auto quantizer = encoding::UniformQuantizer::fit(rows, 3);
+  const auto& query = rows[0];
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(quantizer.quantize(query));
+  }
+}
+BENCHMARK(BM_Quantize64d);
+
+void BM_LshEncode(benchmark::State& state) {
+  const auto bits = static_cast<std::size_t>(state.range(0));
+  encoding::RandomHyperplaneLsh lsh{64, bits, 7};
+  Rng rng{9};
+  std::vector<float> v(64);
+  for (auto& x : v) x = static_cast<float>(rng.normal());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lsh.encode(v));
+  }
+}
+BENCHMARK(BM_LshEncode)->Arg(64)->Arg(512);
+
+void BM_TcamSearch(benchmark::State& state) {
+  cam::TcamArray tcam{cam::TcamArrayConfig{}};
+  Rng rng{11};
+  for (int r = 0; r < 128; ++r) {
+    std::vector<std::uint8_t> word(64);
+    for (auto& b : word) b = rng.bernoulli(0.5) ? 1 : 0;
+    tcam.add_row_bits(word);
+  }
+  std::vector<std::uint8_t> query(64);
+  for (auto& b : query) b = rng.bernoulli(0.5) ? 1 : 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tcam.nearest(query));
+  }
+}
+BENCHMARK(BM_TcamSearch);
+
+void BM_FewShotEpisode(benchmark::State& state) {
+  experiments::FewShotOptions options;
+  options.episodes = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(experiments::run_few_shot(
+        data::TaskSpec{5, 1, 5}, experiments::Method::kMcam3, options,
+        experiments::paper_engine_options()));
+  }
+}
+BENCHMARK(BM_FewShotEpisode);
+
+}  // namespace
+
+BENCHMARK_MAIN();

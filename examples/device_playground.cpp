@@ -1,0 +1,68 @@
+// Device-level playground: walk one FeFET through erase, calibrated
+// multi-level programming, variation sampling and write-and-verify - the
+// physics underneath every MCAM cell (paper Secs. II-B, III-A, III-C).
+#include "experiments/stack.hpp"
+#include "fefet/device.hpp"
+#include "fefet/variation.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+int main() {
+  using namespace mcam;
+  const experiments::Stack stack;
+  const auto& programmer = stack.programmer(3);
+
+  // 1. Single-pulse multi-level programming on the nominal device.
+  std::cout << "=== Single-pulse programming (erase -5 V/500 ns, program 200 ns) ===\n";
+  TextTable levels{"8 programmable Vth levels"};
+  levels.set_header({"level", "pulse [V]", "achieved Vth [V]", "G at Vg=0.9 V [S]"});
+  for (std::size_t level = 0; level < programmer.num_levels(); ++level) {
+    fefet::FefetDevice device;
+    programmer.program(device, level);
+    char g_buf[32];
+    std::snprintf(g_buf, sizeof(g_buf), "%.2e", device.conductance(0.9));
+    const double amp = programmer.amplitude(level);
+    levels.add_row({std::to_string(level),
+                    amp == fefet::PulseProgrammer::kNoPulse ? "none" : format_double(amp, 2),
+                    format_double(device.vth(), 3), g_buf});
+  }
+  levels.print(std::cout);
+
+  // 2. The hysteresis behind it: partial polarization switching.
+  std::cout << "\n=== Polarization state machine ===\n";
+  fefet::FefetDevice device;
+  std::printf("erased:           P/Ps = %+.3f, Vth = %.3f V\n",
+              device.ensemble().polarization(), device.vth());
+  device.program_pulse(2.8, 200e-9);
+  std::printf("after 2.8 V pulse: P/Ps = %+.3f, Vth = %.3f V\n",
+              device.ensemble().polarization(), device.vth());
+  device.program_pulse(2.8, 200e-9);
+  std::printf("same pulse again:  P/Ps = %+.3f, Vth = %.3f V  (hysteresis: no change)\n",
+              device.ensemble().polarization(), device.vth());
+  device.program_pulse(3.4, 200e-9);
+  std::printf("stronger 3.4 V:    P/Ps = %+.3f, Vth = %.3f V  (more domains switch)\n",
+              device.ensemble().polarization(), device.vth());
+
+  // 3. Device-to-device variation and the write-and-verify remedy.
+  std::cout << "\n=== Monte-Carlo variation at level 3 (target "
+            << format_double(programmer.target(3), 3) << " V) ===\n";
+  Rng rng{13};
+  RunningStats single;
+  RunningStats verified;
+  for (int d = 0; d < 100; ++d) {
+    fefet::FefetDevice mc{stack.preisach(), stack.channel(), stack.vth_map(),
+                          fefet::SamplingMode::kMonteCarlo, rng.fork(d)};
+    programmer.program(mc, 3);
+    single.add(mc.vth());
+    if (programmer.program_with_verify(mc, 3, 0.02, 32)) verified.add(mc.vth());
+  }
+  std::printf("single pulse:      mean %.3f V, sigma %.1f mV over 100 devices\n",
+              single.mean(), single.stddev() * 1e3);
+  std::printf("write-and-verify:  mean %.3f V, sigma %.1f mV (tolerance 20 mV)\n",
+              verified.mean(), verified.stddev() * 1e3);
+  std::cout << "\nThe ~70-80 mV single-pulse sigma is exactly the regime Fig. 8 shows the\n"
+               "MCAM distance function tolerates without accuracy loss.\n";
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Few-shot learning with a MANN whose memory is a FeFET MCAM - the paper's
+// flagship application (Sec. IV-C).
+//
+// Pipeline: procedural Omniglot-like characters -> embedding network
+// trained on *background* classes (SimpleShot-style classifier) -> 64-d
+// features -> 5-way 1-shot episodes on held-out classes, comparing the
+// 3-bit MCAM against FP32 software search and TCAM+LSH.
+#include "data/episode.hpp"
+#include "data/omniglot_synth.hpp"
+#include "mann/fewshot.hpp"
+#include "ml/embedding.hpp"
+#include "ml/trainer.hpp"
+#include "search/engine.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+int main() {
+  using namespace mcam;
+  constexpr std::size_t kBackgroundClasses = 30;
+  constexpr std::size_t kHeldOutClasses = 20;
+  constexpr std::size_t kEpisodes = 60;
+
+  // --- Stage 1: train the feature extractor on background characters.
+  const data::OmniglotGenerator background{kBackgroundClasses, data::OmniglotConfig{}, 7};
+  const data::OmniglotGenerator held_out{kHeldOutClasses, data::OmniglotConfig{}, 7700};
+
+  Rng init_rng{1};
+  ml::Sequential net =
+      ml::make_mlp_classifier(background.feature_dim(), kBackgroundClasses, init_rng);
+  std::printf("Training embedding network (%s, %zu params) on %zu background classes...\n",
+              net.summary().c_str(), net.num_parameters(), kBackgroundClasses);
+  const ml::SampleSource source = [&background](Rng& rng) {
+    ml::TrainingSample sample;
+    sample.label = rng.index(kBackgroundClasses);
+    sample.input = background.render(sample.label, rng).flatten();
+    return sample;
+  };
+  ml::TrainerConfig train_config;
+  train_config.steps = 4000;
+  Rng train_rng{2};
+  const ml::TrainStats stats = ml::train_classifier(net, source, train_config, train_rng);
+  std::printf("  training accuracy (EMA): %.1f %%, loss %.3f\n\n",
+              stats.final_accuracy_ema * 100.0, stats.final_loss_ema);
+
+  // --- Stage 2: SimpleShot feature transforms (L2-normalized embedding).
+  ml::TrainedEmbedding embedding{net, ml::kDefaultEmbeddingCut, 64};
+  embedding.set_l2_normalize(true);
+
+  // Calibrate the MCAM quantizer on background features (deployment-style).
+  Rng calib_rng{3};
+  std::vector<std::vector<float>> calibration;
+  for (int i = 0; i < 256; ++i) {
+    calibration.push_back(
+        embedding.embed(background.render(calib_rng.index(kBackgroundClasses), calib_rng)
+                            .flatten()));
+  }
+  const auto quantizer = encoding::UniformQuantizer::fit(calibration, 3, 2.0);
+  const auto lsh_scaler = encoding::FeatureScaler::fit_z_score(calibration);
+
+  // --- Stage 3: episodes over held-out classes, engines compared on the
+  //     exact same episode stream (same seed).
+  const data::EpisodeSampler sampler{kHeldOutClasses,
+                                     [&](std::size_t cls, Rng& rng) {
+                                       return embedding.embed(
+                                           held_out.render(cls, rng).flatten());
+                                     }};
+  const data::TaskSpec task{5, 1, 5};
+
+  struct Candidate {
+    const char* name;
+    mann::EngineFactory factory;
+  };
+  const Candidate candidates[] = {
+      {"FP32 cosine (software)",
+       [] { return std::make_unique<search::SoftwareNnEngine>("cosine"); }},
+      {"3-bit FeFET MCAM",
+       [&quantizer] {
+         auto engine = std::make_unique<search::McamNnEngine>(cam::McamArrayConfig{});
+         engine->set_fixed_quantizer(quantizer);
+         return engine;
+       }},
+      {"TCAM+LSH (64-bit)",
+       [&lsh_scaler] {
+         auto engine = std::make_unique<search::TcamLshEngine>(64, 11);
+         engine->set_fixed_scaler(lsh_scaler);
+         return engine;
+       }},
+  };
+
+  TextTable table{"5-way 1-shot accuracy on held-out characters (" +
+                  std::to_string(kEpisodes) + " episodes)"};
+  table.set_header({"engine", "accuracy [%]", "95% CI [%]"});
+  for (const Candidate& candidate : candidates) {
+    const mann::FewShotResult result =
+        mann::evaluate_few_shot(sampler, task, kEpisodes, candidate.factory, 99);
+    table.add_row({candidate.name, format_double(result.accuracy * 100.0, 1),
+                   "+/- " + format_double(result.ci95 * 100.0, 1)});
+  }
+  table.print(std::cout);
+  std::cout << "\nThe MCAM performs the NN search in a single in-memory step; the\n"
+               "software engine scans every entry, and TCAM+LSH loses accuracy to its\n"
+               "binary Hamming approximation (paper Fig. 7).\n";
+  return 0;
+}

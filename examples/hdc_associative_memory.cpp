@@ -1,0 +1,73 @@
+// Hyperdimensional computing with a CAM-based associative memory - the
+// first application the paper's introduction motivates (ref [1], SearcHD).
+//
+// Classic HDC text-language identification in miniature: each class is a
+// random bipolar hypervector prototype; a query is the prototype corrupted
+// by bit flips; recall = nearest-neighbor search over the class memory.
+// The binary hypervectors map 1:1 onto a 1-bit MCAM (= TCAM storing the
+// prototype bits), whose matchline conductance measures Hamming distance
+// in a single in-memory step - no LSH needed, because HDC vectors are
+// already binary.
+#include "cam/tcam.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+#include <cstdio>
+#include <iostream>
+
+int main() {
+  using namespace mcam;
+  constexpr std::size_t kDimensions = 512;  // Hypervector width.
+  constexpr std::size_t kClasses = 16;
+  constexpr std::size_t kQueriesPerClass = 40;
+
+  // 1. Item memory: one random hypervector prototype per class.
+  Rng rng{2021};
+  std::vector<std::vector<std::uint8_t>> prototypes(kClasses,
+                                                    std::vector<std::uint8_t>(kDimensions));
+  for (auto& hv : prototypes) {
+    for (auto& bit : hv) bit = rng.bernoulli(0.5) ? 1 : 0;
+  }
+
+  // 2. Program the associative memory (TCAM = 1-bit MCAM array).
+  cam::TcamArrayConfig config;
+  config.sensing = cam::SensingMode::kMatchlineTiming;
+  cam::TcamArray memory{config};
+  for (const auto& hv : prototypes) memory.add_row_bits(hv);
+  std::printf("Associative memory: %zu classes x %zu-bit hypervectors\n\n", kClasses,
+              kDimensions);
+
+  // 3. Recall accuracy vs corruption level.
+  TextTable table{"HDC recall accuracy vs hypervector corruption"};
+  table.set_header({"bit-flip rate", "recall accuracy [%]", "mean Hamming to winner"});
+  for (double flip_rate : {0.05, 0.15, 0.25, 0.35, 0.45}) {
+    std::size_t correct = 0;
+    double hamming_total = 0.0;
+    for (std::size_t cls = 0; cls < kClasses; ++cls) {
+      for (std::size_t q = 0; q < kQueriesPerClass; ++q) {
+        std::vector<std::uint8_t> query = prototypes[cls];
+        for (auto& bit : query) {
+          if (rng.bernoulli(flip_rate)) bit ^= 1;
+        }
+        const cam::SearchOutcome outcome = memory.nearest(query);
+        if (outcome.row == cls) ++correct;
+        hamming_total +=
+            static_cast<double>(memory.hamming_distances(query)[outcome.row]);
+      }
+    }
+    const double accuracy =
+        static_cast<double>(correct) / static_cast<double>(kClasses * kQueriesPerClass);
+    table.add_row({format_double(flip_rate * 100.0, 0) + " %",
+                   format_double(accuracy * 100.0, 1),
+                   format_double(hamming_total /
+                                     static_cast<double>(kClasses * kQueriesPerClass),
+                                 1)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nEven at 35% corruption the 512-bit hypervectors recall almost\n"
+               "perfectly - the concentration property HDC relies on - and every recall\n"
+               "is one matchline-discharge cycle in the CAM instead of 16 x 512 XOR+popcount\n"
+               "operations on a CPU.\n";
+  return 0;
+}

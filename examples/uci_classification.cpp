@@ -1,0 +1,33 @@
+// NN classification on UCI-style datasets with all five engines the paper
+// compares (Sec. IV-B) - the "Fig. 6 in miniature" example.
+#include "data/uci_synth.hpp"
+#include "experiments/harness.hpp"
+#include "util/table.hpp"
+
+#include <iostream>
+
+int main() {
+  using namespace mcam;
+
+  TextTable table{"1-NN accuracy [%], 80/20 stratified split"};
+  std::vector<std::string> header{"dataset"};
+  for (experiments::Method m : experiments::paper_methods()) {
+    header.push_back(experiments::method_name(m));
+  }
+  table.set_header(header);
+
+  for (const data::Dataset& dataset : data::make_uci_suite(2024)) {
+    std::vector<std::string> row{dataset.name};
+    for (experiments::Method method : experiments::paper_methods()) {
+      row.push_back(
+          format_double(experiments::run_classification(dataset, method, 7) * 100.0, 1));
+    }
+    table.add_row(row);
+  }
+  table.print(std::cout);
+
+  std::cout << "\nNote the shape: both MCAM precisions track the FP32 baselines, while\n"
+               "TCAM+LSH - whose signature is capped at one bit per CAM cell - trails by\n"
+               "a double-digit margin on the low-dimensional datasets.\n";
+  return 0;
+}

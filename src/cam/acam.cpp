@@ -1,0 +1,69 @@
+#include "cam/acam.hpp"
+
+#include <stdexcept>
+
+namespace mcam::cam {
+
+AcamCell::AcamCell(AnalogRange range, double center, const fefet::ChannelParams& channel)
+    : range_(range), center_(center), channel_(channel), vth_right_(range.hi),
+      vth_left_(2.0 * center - range.lo) {
+  if (!(range.hi > range.lo)) throw std::invalid_argument{"AcamCell: hi must exceed lo"};
+}
+
+double AcamCell::conductance_at(double v_in) const noexcept {
+  const double v_inverse = 2.0 * center_ - v_in;
+  return fefet::channel_conductance(channel_, v_in - vth_right_) +
+         fefet::channel_conductance(channel_, v_inverse - vth_left_);
+}
+
+bool AcamCell::matches(double v_in, double g_match_limit) const noexcept {
+  return conductance_at(v_in) <= g_match_limit;
+}
+
+AcamArray::AcamArray(double center, const fefet::ChannelParams& channel)
+    : center_(center), channel_(channel) {}
+
+std::size_t AcamArray::add_row(std::span<const AnalogRange> ranges) {
+  if (ranges.empty()) throw std::invalid_argument{"AcamArray::add_row: empty row"};
+  if (word_length_ == 0) {
+    word_length_ = ranges.size();
+  } else if (ranges.size() != word_length_) {
+    throw std::invalid_argument{"AcamArray::add_row: word length mismatch"};
+  }
+  std::vector<AcamCell> row;
+  row.reserve(ranges.size());
+  for (const AnalogRange& r : ranges) row.emplace_back(r, center_, channel_);
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+std::vector<double> AcamArray::search_conductances(std::span<const double> query) const {
+  if (query.size() != word_length_) {
+    throw std::invalid_argument{"AcamArray::search: query length mismatch"};
+  }
+  std::vector<double> totals;
+  totals.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    double g_total = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) g_total += row[i].conductance_at(query[i]);
+    totals.push_back(g_total);
+  }
+  return totals;
+}
+
+std::vector<std::size_t> AcamArray::matching_rows(std::span<const double> query,
+                                                  double g_match_limit_per_cell) const {
+  const std::vector<double> totals = search_conductances(query);
+  const double limit = g_match_limit_per_cell * static_cast<double>(word_length_);
+  std::vector<std::size_t> matches;
+  for (std::size_t r = 0; r < totals.size(); ++r) {
+    if (totals[r] <= limit) matches.push_back(r);
+  }
+  return matches;
+}
+
+AnalogRange mcam_state_range(const fefet::LevelMap& map, std::size_t s) {
+  return AnalogRange{map.lower_boundary(s), map.upper_boundary(s)};
+}
+
+}  // namespace mcam::cam

@@ -1,0 +1,86 @@
+// Analog CAM generalization (paper Sec. II-A, refs [9], [10]).
+//
+// An ACAM cell stores a continuous voltage range [lo, hi] and matches any
+// analog input inside it. The MCAM is the special case where ranges are the
+// narrow, non-overlapping windows of a LevelMap and inputs are restricted
+// to the window centers; tests assert that equivalence. The ACAM search
+// path also exposes the cost the paper highlights in Sec. II-C: searching
+// with arbitrary analog inputs requires an on-the-fly analog inversion of
+// each input for the DL' rail, which costs ~100x the energy of an array
+// search (modeled in src/energy).
+#pragma once
+
+#include "fefet/device.hpp"
+#include "fefet/levels.hpp"
+
+#include <span>
+#include <vector>
+
+namespace mcam::cam {
+
+/// Continuous stored range of one ACAM cell.
+struct AnalogRange {
+  double lo = 0.0;  ///< Lower match bound [V].
+  double hi = 0.0;  ///< Upper match bound [V].
+};
+
+/// One analog CAM cell: two FeFETs bounding a continuous range.
+class AcamCell {
+ public:
+  /// Builds a cell storing [range.lo, range.hi]; inversion center `center`
+  /// defines the DL' drive (2*center - v_in).
+  AcamCell(AnalogRange range, double center,
+           const fefet::ChannelParams& channel = fefet::ChannelParams{});
+
+  /// Cell conductance at analog input `v_in` [S].
+  [[nodiscard]] double conductance_at(double v_in) const noexcept;
+
+  /// True when `v_in` lies within the stored range (conductance at leakage
+  /// level, below `g_match_limit`).
+  [[nodiscard]] bool matches(double v_in, double g_match_limit) const noexcept;
+
+  /// Stored range.
+  [[nodiscard]] const AnalogRange& range() const noexcept { return range_; }
+
+ private:
+  AnalogRange range_;
+  double center_;
+  fefet::ChannelParams channel_;
+  double vth_right_;  ///< Bounds inputs from above (Vth = range.hi).
+  double vth_left_;   ///< Bounds inputs from below (Vth = 2*center - range.lo).
+};
+
+/// A small analog CAM array: rows of continuous ranges.
+class AcamArray {
+ public:
+  /// `center` is the shared analog-inversion center for all DL' rails.
+  explicit AcamArray(double center,
+                     const fefet::ChannelParams& channel = fefet::ChannelParams{});
+
+  /// Writes one row of ranges; returns its index.
+  std::size_t add_row(std::span<const AnalogRange> ranges);
+
+  /// Total conductance per row for the analog `query` voltages [S].
+  [[nodiscard]] std::vector<double> search_conductances(std::span<const double> query) const;
+
+  /// Rows whose every cell matches the query (all conductances at leakage).
+  [[nodiscard]] std::vector<std::size_t> matching_rows(std::span<const double> query,
+                                                       double g_match_limit_per_cell) const;
+
+  /// Number of rows.
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  /// Cells per row.
+  [[nodiscard]] std::size_t word_length() const noexcept { return word_length_; }
+
+ private:
+  double center_;
+  fefet::ChannelParams channel_;
+  std::vector<std::vector<AcamCell>> rows_;
+  std::size_t word_length_ = 0;
+};
+
+/// Builds the ACAM range that realizes MCAM state `s` of `map`; used to
+/// demonstrate that an MCAM is an ACAM with narrow non-overlapping ranges.
+[[nodiscard]] AnalogRange mcam_state_range(const fefet::LevelMap& map, std::size_t s);
+
+}  // namespace mcam::cam

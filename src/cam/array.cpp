@@ -1,0 +1,137 @@
+#include "cam/array.hpp"
+
+#include "util/linalg.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mcam::cam {
+
+McamArray::McamArray(const McamArrayConfig& config)
+    : config_(config), lut_(ConductanceLut::nominal(config.level_map, config.channel)),
+      rng_(config.seed) {}
+
+std::size_t McamArray::add_row(std::span<const std::uint16_t> levels) {
+  if (levels.empty()) throw std::invalid_argument{"McamArray::add_row: empty row"};
+  if (word_length_ == 0) {
+    word_length_ = levels.size();
+  } else if (levels.size() != word_length_) {
+    throw std::invalid_argument{"McamArray::add_row: word length mismatch"};
+  }
+  std::vector<CellState> row;
+  row.reserve(levels.size());
+  for (std::uint16_t level : levels) {
+    if (level >= config_.level_map.num_states()) {
+      throw std::out_of_range{"McamArray::add_row: level exceeds map"};
+    }
+    CellState cell;
+    cell.level = level;
+    if (config_.vth_sigma > 0.0) {
+      cell.dvth_left = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
+      cell.dvth_right = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
+    }
+    if (config_.stuck_short_rate > 0.0 && rng_.bernoulli(config_.stuck_short_rate)) {
+      cell.fault = CellFault::kStuckShort;
+      ++faulty_cells_;
+    } else if (config_.stuck_open_rate > 0.0 && rng_.bernoulli(config_.stuck_open_rate)) {
+      cell.fault = CellFault::kStuckOpen;
+      ++faulty_cells_;
+    }
+    row.push_back(cell);
+  }
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+void McamArray::program(std::span<const std::vector<std::uint16_t>> rows) {
+  for (const auto& row : rows) add_row(row);
+}
+
+void McamArray::clear() noexcept {
+  rows_.clear();
+  word_length_ = 0;
+  faulty_cells_ = 0;
+}
+
+double McamArray::cell_conductance(const CellState& cell, std::size_t input) const {
+  if (cell.fault == CellFault::kStuckShort) {
+    // Shorted cell: conducts at the series-resistance cap regardless of the
+    // stored state or input - it permanently leaks its matchline.
+    return config_.channel.g_leak + 1.0 / config_.channel.r_on;
+  }
+  if (cell.fault == CellFault::kStuckOpen) {
+    // Open cell: only leakage, i.e. it matches everything.
+    return 2.0 * config_.channel.g_leak;
+  }
+  if (cell.dvth_left == 0.0f && cell.dvth_right == 0.0f) {
+    return lut_.g(input, cell.level);
+  }
+  const auto& map = config_.level_map;
+  const double v_in = map.input_voltage(input);
+  const double od_right = v_in - (map.right_fefet_vth(cell.level) + cell.dvth_right);
+  const double od_left = map.invert(v_in) - (map.left_fefet_vth(cell.level) + cell.dvth_left);
+  return fefet::channel_conductance(config_.channel, od_right) +
+         fefet::channel_conductance(config_.channel, od_left);
+}
+
+std::vector<double> McamArray::search_conductances(
+    std::span<const std::uint16_t> query) const {
+  if (query.size() != word_length_) {
+    throw std::invalid_argument{"McamArray::search: query length mismatch"};
+  }
+  std::vector<double> totals;
+  totals.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    double g_total = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      g_total += cell_conductance(row[i], query[i]);
+    }
+    totals.push_back(g_total);
+  }
+  return totals;
+}
+
+SearchOutcome McamArray::nearest(std::span<const std::uint16_t> query) const {
+  if (rows_.empty()) throw std::logic_error{"McamArray::nearest: array is empty"};
+  SearchOutcome outcome;
+  outcome.row_conductance = search_conductances(query);
+  if (config_.sensing == SensingMode::kMatchlineTiming) {
+    const circuit::Matchline ml{config_.matchline, word_length_};
+    const circuit::WinnerTakeAllSense sense{ml, config_.sense_clock_period};
+    outcome.sense = sense.sense(outcome.row_conductance);
+    outcome.row = outcome.sense.winner;
+  } else {
+    outcome.row = argmin(outcome.row_conductance);
+  }
+  outcome.conductance = outcome.row_conductance[outcome.row];
+  return outcome;
+}
+
+std::vector<std::size_t> McamArray::k_nearest(std::span<const std::uint16_t> query,
+                                              std::size_t k) const {
+  if (rows_.empty()) throw std::logic_error{"McamArray::k_nearest: array is empty"};
+  const std::vector<double> totals = search_conductances(query);
+  std::vector<std::size_t> order(totals.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [&totals](std::size_t a, std::size_t b) {
+                      if (totals[a] != totals[b]) return totals[a] < totals[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
+}
+
+std::vector<std::size_t> McamArray::exact_matches(std::span<const std::uint16_t> query,
+                                                  double g_match_limit_per_cell) const {
+  const std::vector<double> totals = search_conductances(query);
+  const double limit = g_match_limit_per_cell * static_cast<double>(word_length_);
+  std::vector<std::size_t> matches;
+  for (std::size_t r = 0; r < totals.size(); ++r) {
+    if (totals[r] <= limit) matches.push_back(r);
+  }
+  return matches;
+}
+
+}  // namespace mcam::cam

@@ -1,0 +1,133 @@
+// MCAM array: rows of multi-bit cells searched in a single in-memory step.
+//
+// Each row stores one quantized data vector (one cell per feature). A
+// search drives every data line with the query's input voltages; each
+// row's matchline conductance is the sum of its cells' conductances, which
+// realizes the paper's distance function at the row level (Sec. III-B).
+// The nearest neighbor is the row whose matchline discharges slowest,
+// detected by the winner-take-all sense amplifier.
+//
+// Two fidelity modes:
+//  - kIdealSum: rows are ranked by exact total conductance (the Python-LUT
+//    methodology of Sec. IV-A),
+//  - kMatchlineTiming: rows are ranked through the RC discharge + clocked
+//    sense-amp model, which adds realistic sensing granularity.
+#pragma once
+
+#include "cam/cell.hpp"
+#include "cam/lut.hpp"
+#include "circuit/senseamp.hpp"
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcam::cam {
+
+/// How the array turns row conductances into a winner.
+enum class SensingMode : std::uint8_t {
+  kIdealSum,         ///< Exact argmin over summed conductances.
+  kMatchlineTiming,  ///< RC discharge + (optionally clocked) WTA sense amp.
+};
+
+/// Construction parameters for an MCAM array.
+struct McamArrayConfig {
+  fefet::LevelMap level_map{3};                     ///< Bit precision / voltage plan.
+  fefet::ChannelParams channel{};                   ///< FeFET channel model.
+  circuit::MatchlineParams matchline{};             ///< ML electrical budget.
+  SensingMode sensing = SensingMode::kIdealSum;     ///< Ranking fidelity.
+  double sense_clock_period = 0.0;                  ///< Sense clock [s]; 0 = ideal.
+  double vth_sigma = 0.0;                           ///< Per-FeFET programming noise [V].
+  double stuck_short_rate = 0.0;  ///< Fraction of cells stuck conducting (ML leaker).
+  double stuck_open_rate = 0.0;   ///< Fraction of cells stuck open (never conduct).
+  std::uint64_t seed = 1;                           ///< Seed for noise/fault sampling.
+};
+
+/// Result of a nearest-neighbor search in the array.
+struct SearchOutcome {
+  std::size_t row = 0;                 ///< Winning row index.
+  double conductance = 0.0;            ///< Winner's total conductance [S].
+  std::vector<double> row_conductance; ///< Total conductance per row [S].
+  circuit::SenseResult sense;          ///< Populated in kMatchlineTiming mode.
+};
+
+/// A programmed MCAM array.
+///
+/// Programming-time Vth noise (config.vth_sigma) is sampled once per cell
+/// FeFET when the row is written - subsequent searches see the same
+/// hardware instance, as in a real chip.
+class McamArray {
+ public:
+  explicit McamArray(const McamArrayConfig& config);
+
+  /// Writes one row; `levels` must have one state per cell and every state
+  /// must be < 2^bits. Returns the row index.
+  std::size_t add_row(std::span<const std::uint16_t> levels);
+
+  /// Writes many rows (each inner vector is one data point).
+  void program(std::span<const std::vector<std::uint16_t>> rows);
+
+  /// Removes all rows (array-level erase).
+  void clear() noexcept;
+
+  /// Total conductance of every row for `query` [S].
+  [[nodiscard]] std::vector<double> search_conductances(
+      std::span<const std::uint16_t> query) const;
+
+  /// Single-step nearest-neighbor search (smallest distance = smallest
+  /// total conductance = slowest matchline).
+  [[nodiscard]] SearchOutcome nearest(std::span<const std::uint16_t> query) const;
+
+  /// Top-k search: row indices in increasing-distance order (the order in
+  /// which a repeated winner-take-all sense would latch matchlines from
+  /// slowest to fastest). k is clamped to the row count.
+  [[nodiscard]] std::vector<std::size_t> k_nearest(std::span<const std::uint16_t> query,
+                                                   std::size_t k) const;
+
+  /// Number of faulty cells injected so far (stuck-short + stuck-open);
+  /// useful for reporting in the fault-tolerance studies.
+  [[nodiscard]] std::size_t num_faulty_cells() const noexcept { return faulty_cells_; }
+
+  /// Exact-match search: indices of rows whose every cell matches `query`
+  /// (total conductance below rows*g_match_limit). Classic CAM behavior.
+  [[nodiscard]] std::vector<std::size_t> exact_matches(std::span<const std::uint16_t> query,
+                                                       double g_match_limit_per_cell) const;
+
+  /// Number of programmed rows.
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  /// Cells per row (0 until the first row is written).
+  [[nodiscard]] std::size_t word_length() const noexcept { return word_length_; }
+  /// Configuration the array was built with.
+  [[nodiscard]] const McamArrayConfig& config() const noexcept { return config_; }
+  /// Nominal conductance table used for cell evaluation.
+  [[nodiscard]] const ConductanceLut& lut() const noexcept { return lut_; }
+
+ private:
+  /// Manufacturing fault of one cell.
+  enum class CellFault : std::uint8_t {
+    kNone = 0,
+    kStuckShort,  ///< Cell always conducts at the on-state cap.
+    kStuckOpen,   ///< Cell never conducts beyond leakage.
+  };
+
+  /// Per-cell programmed state plus its sampled Vth offsets and fault.
+  struct CellState {
+    std::uint16_t level = 0;
+    CellFault fault = CellFault::kNone;
+    float dvth_left = 0.0f;
+    float dvth_right = 0.0f;
+  };
+
+  /// Conductance of one programmed cell for a given input state.
+  [[nodiscard]] double cell_conductance(const CellState& cell, std::size_t input) const;
+
+  McamArrayConfig config_;
+  ConductanceLut lut_;
+  std::vector<std::vector<CellState>> rows_;
+  std::size_t word_length_ = 0;
+  std::size_t faulty_cells_ = 0;
+  Rng rng_;
+};
+
+}  // namespace mcam::cam

@@ -1,0 +1,65 @@
+#include "cam/cell.hpp"
+
+#include <stdexcept>
+
+namespace mcam::cam {
+
+namespace {
+
+/// Up-switched hysteron fraction that puts the nominal Vth map at `vth`.
+double fraction_for_vth(const fefet::VthMap& map, double vth) {
+  // Vth(P) = center - (P/Ps) * half_range with P/Ps = 2f - 1.
+  const double p_norm = (map.vth_center - vth) / map.vth_half_range;
+  return 0.5 * (p_norm + 1.0);
+}
+
+}  // namespace
+
+McamCell::McamCell(const fefet::LevelMap& map, std::size_t state,
+                   const fefet::ChannelParams& channel)
+    : map_(map), state_(state),
+      left_(fefet::PreisachParams{}, channel, fefet::VthMap{}, fefet::SamplingMode::kQuantile,
+            Rng{0}),
+      right_(fefet::PreisachParams{}, channel, fefet::VthMap{}, fefet::SamplingMode::kQuantile,
+             Rng{0}) {
+  if (state >= map.num_states()) throw std::out_of_range{"McamCell: state out of range"};
+  right_.ensemble().force_up_fraction(fraction_for_vth(right_.vth_map(),
+                                                       map.right_fefet_vth(state)));
+  left_.ensemble().force_up_fraction(fraction_for_vth(left_.vth_map(),
+                                                      map.left_fefet_vth(state)));
+}
+
+McamCell::McamCell(const fefet::LevelMap& map, std::size_t state,
+                   const fefet::PulseProgrammer& programmer,
+                   const fefet::PreisachParams& preisach,
+                   const fefet::ChannelParams& channel, fefet::SamplingMode mode, Rng rng)
+    : map_(map), state_(state),
+      left_(preisach, channel, fefet::VthMap{}, mode, rng.fork(0)),
+      right_(preisach, channel, fefet::VthMap{}, mode, rng.fork(1)) {
+  if (state >= map.num_states()) throw std::out_of_range{"McamCell: state out of range"};
+  // Right FeFET: level index == stored state (targets the upper boundary).
+  // Left FeFET: the inverse of the lower boundary equals the programmable
+  // level at index (n - 1 - state); see LevelMap::programmable_vth_levels().
+  programmer.program(right_, state);
+  programmer.program(left_, map.num_states() - 1 - state);
+}
+
+double McamCell::conductance_at_voltage(double v_in) const noexcept {
+  const double v_inverse = map_.invert(v_in);
+  return right_.conductance(v_in) + left_.conductance(v_inverse);
+}
+
+double McamCell::conductance_for_input(std::size_t input) const {
+  return conductance_at_voltage(map_.input_voltage(input));
+}
+
+void McamCell::inject_vth_noise(double sigma_v, Rng& rng) noexcept {
+  left_.set_vth_offset(left_.vth_offset() + rng.normal(0.0, sigma_v));
+  right_.set_vth_offset(right_.vth_offset() + rng.normal(0.0, sigma_v));
+}
+
+bool McamCell::matches(std::size_t input, double g_match_limit) const {
+  return conductance_for_input(input) <= g_match_limit;
+}
+
+}  // namespace mcam::cam

@@ -1,0 +1,71 @@
+// The 2-FeFET MCAM cell (paper Fig. 3(a), refs [3], [10]).
+//
+// Two FeFETs sit in parallel between the matchline and ground. The right
+// FeFET's gate is driven by the data line DL (the input voltage), the left
+// FeFET's gate by DL' (the analog inverse of the input about the level-map
+// center). Storing state `s` programs the right FeFET to the upper Vth
+// boundary of window `s` and the left FeFET to the inverse of the lower
+// boundary. An in-window input leaves both FeFETs sub-threshold (match,
+// leakage-level conductance); an input `d` windows away drives exactly one
+// FeFET (d - 1/2) windows above threshold, so the cell conductance grows
+// with the level distance |I - S|: this *is* the paper's distance function.
+#pragma once
+
+#include "fefet/device.hpp"
+#include "fefet/levels.hpp"
+#include "fefet/programming.hpp"
+
+#include <cstddef>
+
+namespace mcam::cam {
+
+/// One multi-bit CAM cell built from two FeFET devices.
+class McamCell {
+ public:
+  /// Ideal cell: both FeFETs' polarization is forced exactly onto the
+  /// level-map targets (what perfect write-and-verify would achieve).
+  McamCell(const fefet::LevelMap& map, std::size_t state,
+           const fefet::ChannelParams& channel = fefet::ChannelParams{});
+
+  /// Physically programmed cell: both FeFETs are erased and programmed with
+  /// the calibrated single-pulse scheme. With SamplingMode::kMonteCarlo and
+  /// a per-cell RNG this realizes device-to-device variation; with
+  /// kQuantile it reproduces the nominal compact model.
+  McamCell(const fefet::LevelMap& map, std::size_t state,
+           const fefet::PulseProgrammer& programmer, const fefet::PreisachParams& preisach,
+           const fefet::ChannelParams& channel, fefet::SamplingMode mode, Rng rng);
+
+  /// Cell conductance [S] when DL is driven to `v_in` (DL' gets the analog
+  /// inverse automatically).
+  [[nodiscard]] double conductance_at_voltage(double v_in) const noexcept;
+
+  /// Cell conductance [S] for the discrete input state `input` (DL driven
+  /// to the level map's input voltage for that state).
+  [[nodiscard]] double conductance_for_input(std::size_t input) const;
+
+  /// Stored state index.
+  [[nodiscard]] std::size_t stored_state() const noexcept { return state_; }
+
+  /// Adds independent N(0, sigma) Vth shifts to both FeFETs (used by the
+  /// Fig. 8 variation-injection sweeps).
+  void inject_vth_noise(double sigma_v, Rng& rng) noexcept;
+
+  /// Exact-match predicate: conductance at `input` stays below
+  /// `g_match_limit` (cells at distance >= 1 exceed it by decades).
+  [[nodiscard]] bool matches(std::size_t input, double g_match_limit) const;
+
+  /// The left (DL') FeFET.
+  [[nodiscard]] const fefet::FefetDevice& left() const noexcept { return left_; }
+  /// The right (DL) FeFET.
+  [[nodiscard]] const fefet::FefetDevice& right() const noexcept { return right_; }
+  /// Level map the cell was built against.
+  [[nodiscard]] const fefet::LevelMap& level_map() const noexcept { return map_; }
+
+ private:
+  fefet::LevelMap map_;
+  std::size_t state_;
+  fefet::FefetDevice left_;
+  fefet::FefetDevice right_;
+};
+
+}  // namespace mcam::cam

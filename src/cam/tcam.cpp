@@ -1,0 +1,126 @@
+#include "cam/tcam.hpp"
+
+#include "util/linalg.hpp"
+
+#include <stdexcept>
+
+namespace mcam::cam {
+
+TcamArray::TcamArray(const TcamArrayConfig& config)
+    : config_(config), map_(1), rng_(config.seed) {}
+
+std::size_t TcamArray::add_row(std::span<const Trit> word) {
+  if (word.empty()) throw std::invalid_argument{"TcamArray::add_row: empty word"};
+  if (word_length_ == 0) {
+    word_length_ = word.size();
+  } else if (word.size() != word_length_) {
+    throw std::invalid_argument{"TcamArray::add_row: word length mismatch"};
+  }
+  std::vector<CellState> row;
+  row.reserve(word.size());
+  for (Trit t : word) {
+    CellState cell;
+    cell.trit = t;
+    if (config_.vth_sigma > 0.0) {
+      cell.dvth_left = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
+      cell.dvth_right = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
+    }
+    row.push_back(cell);
+  }
+  rows_.push_back(std::move(row));
+  return rows_.size() - 1;
+}
+
+std::size_t TcamArray::add_row_bits(std::span<const std::uint8_t> bits) {
+  std::vector<Trit> word;
+  word.reserve(bits.size());
+  for (std::uint8_t b : bits) word.push_back(b ? Trit::kOne : Trit::kZero);
+  return add_row(word);
+}
+
+void TcamArray::clear() noexcept {
+  rows_.clear();
+  word_length_ = 0;
+}
+
+double TcamArray::cell_conductance(const CellState& cell, std::uint8_t input) const {
+  const double v_in = map_.input_voltage(input ? 1 : 0);
+  if (cell.trit == Trit::kDontCare) {
+    // Both FeFETs erased to the top of the Vth range: neither input level
+    // can turn them on; only leakage remains.
+    const double od_right = v_in - (map_.v_max() + cell.dvth_right);
+    const double od_left = map_.invert(v_in) - (map_.v_max() + cell.dvth_left);
+    return fefet::channel_conductance(config_.channel, od_right) +
+           fefet::channel_conductance(config_.channel, od_left);
+  }
+  const auto stored = static_cast<std::size_t>(cell.trit);
+  const double od_right = v_in - (map_.right_fefet_vth(stored) + cell.dvth_right);
+  const double od_left = map_.invert(v_in) - (map_.left_fefet_vth(stored) + cell.dvth_left);
+  return fefet::channel_conductance(config_.channel, od_right) +
+         fefet::channel_conductance(config_.channel, od_left);
+}
+
+std::vector<double> TcamArray::search_conductances(
+    std::span<const std::uint8_t> query) const {
+  if (query.size() != word_length_) {
+    throw std::invalid_argument{"TcamArray::search: query length mismatch"};
+  }
+  std::vector<double> totals;
+  totals.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    double g_total = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      g_total += cell_conductance(row[i], query[i]);
+    }
+    totals.push_back(g_total);
+  }
+  return totals;
+}
+
+std::vector<std::size_t> TcamArray::hamming_distances(
+    std::span<const std::uint8_t> query) const {
+  if (query.size() != word_length_) {
+    throw std::invalid_argument{"TcamArray::hamming_distances: query length mismatch"};
+  }
+  std::vector<std::size_t> distances;
+  distances.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::size_t d = 0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (row[i].trit == Trit::kDontCare) continue;
+      const bool stored = row[i].trit == Trit::kOne;
+      if (stored != (query[i] != 0)) ++d;
+    }
+    distances.push_back(d);
+  }
+  return distances;
+}
+
+SearchOutcome TcamArray::nearest(std::span<const std::uint8_t> query) const {
+  if (rows_.empty()) throw std::logic_error{"TcamArray::nearest: array is empty"};
+  SearchOutcome outcome;
+  outcome.row_conductance = search_conductances(query);
+  if (config_.sensing == SensingMode::kMatchlineTiming) {
+    const circuit::Matchline ml{config_.matchline, word_length_};
+    const circuit::WinnerTakeAllSense sense{ml, config_.sense_clock_period};
+    outcome.sense = sense.sense(outcome.row_conductance);
+    outcome.row = outcome.sense.winner;
+  } else {
+    outcome.row = argmin(outcome.row_conductance);
+  }
+  outcome.conductance = outcome.row_conductance[outcome.row];
+  return outcome;
+}
+
+std::vector<std::size_t> TcamArray::exact_matches(std::span<const std::uint8_t> query,
+                                                  double g_match_limit_per_cell) const {
+  const std::vector<double> totals = search_conductances(query);
+  const double limit = g_match_limit_per_cell * static_cast<double>(word_length_);
+  std::vector<std::size_t> matches;
+  for (std::size_t r = 0; r < totals.size(); ++r) {
+    if (totals[r] <= limit) matches.push_back(r);
+  }
+  return matches;
+}
+
+}  // namespace mcam::cam

@@ -1,0 +1,90 @@
+// Ternary CAM array (the paper's baseline substrate, refs [3], [7]).
+//
+// A TCAM cell is the 1-bit special case of the MCAM cell: it stores "0",
+// "1", or "X" (don't care). Searching applies the query bit's input voltage
+// to DL; a mismatching cell conducts strongly, a matching cell leaks, and
+// an X cell never conducts (both FeFETs erased to the highest Vth). A
+// row's matchline conductance is therefore proportional to its Hamming
+// distance from the query, which is exactly how the TCAM+LSH baseline of
+// ref [3] performs nearest-neighbor search.
+#pragma once
+
+#include "cam/array.hpp"
+#include "fefet/device.hpp"
+#include "fefet/levels.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcam::cam {
+
+/// One ternary symbol.
+enum class Trit : std::uint8_t { kZero = 0, kOne = 1, kDontCare = 2 };
+
+/// Construction parameters for a TCAM array.
+struct TcamArrayConfig {
+  fefet::ChannelParams channel{};                ///< FeFET channel model.
+  circuit::MatchlineParams matchline{};          ///< ML electrical budget.
+  SensingMode sensing = SensingMode::kIdealSum;  ///< Ranking fidelity.
+  double sense_clock_period = 0.0;               ///< Sense clock [s]; 0 = ideal.
+  double vth_sigma = 0.0;                        ///< Per-FeFET programming noise [V].
+  std::uint64_t seed = 1;                        ///< Seed for programming noise.
+};
+
+/// A programmed ternary CAM array.
+class TcamArray {
+ public:
+  explicit TcamArray(const TcamArrayConfig& config);
+
+  /// Writes one ternary row; returns its index.
+  std::size_t add_row(std::span<const Trit> word);
+
+  /// Writes one binary row (no don't-cares).
+  std::size_t add_row_bits(std::span<const std::uint8_t> bits);
+
+  /// Removes all rows.
+  void clear() noexcept;
+
+  /// Matchline conductance of every row for a binary `query` [S].
+  [[nodiscard]] std::vector<double> search_conductances(
+      std::span<const std::uint8_t> query) const;
+
+  /// Ideal Hamming distance of every row from `query` (don't-care cells
+  /// match both values). Reference result for the electrical path.
+  [[nodiscard]] std::vector<std::size_t> hamming_distances(
+      std::span<const std::uint8_t> query) const;
+
+  /// Nearest row by matchline discharge (minimum Hamming distance).
+  [[nodiscard]] SearchOutcome nearest(std::span<const std::uint8_t> query) const;
+
+  /// Rows that match exactly (Hamming distance 0 electrically).
+  [[nodiscard]] std::vector<std::size_t> exact_matches(std::span<const std::uint8_t> query,
+                                                       double g_match_limit_per_cell) const;
+
+  /// Number of programmed rows.
+  [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
+  /// Cells per row.
+  [[nodiscard]] std::size_t word_length() const noexcept { return word_length_; }
+  /// Configuration in use.
+  [[nodiscard]] const TcamArrayConfig& config() const noexcept { return config_; }
+  /// The 1-bit level map realizing the ternary cell voltages.
+  [[nodiscard]] const fefet::LevelMap& level_map() const noexcept { return map_; }
+
+ private:
+  struct CellState {
+    Trit trit = Trit::kZero;
+    float dvth_left = 0.0f;
+    float dvth_right = 0.0f;
+  };
+
+  [[nodiscard]] double cell_conductance(const CellState& cell, std::uint8_t input) const;
+
+  TcamArrayConfig config_;
+  fefet::LevelMap map_;
+  std::vector<std::vector<CellState>> rows_;
+  std::size_t word_length_ = 0;
+  Rng rng_;
+};
+
+}  // namespace mcam::cam

@@ -1,0 +1,17 @@
+#include "circuit/matchline.hpp"
+
+namespace mcam::circuit {
+
+double Matchline::discharge_time(double g_total) const {
+  return time_to_cross(params_.v_precharge, params_.v_reference, g_total, capacitance());
+}
+
+double Matchline::voltage_at(double g_total, double t_seconds) const noexcept {
+  return discharge_voltage(params_.v_precharge, g_total, capacitance(), t_seconds);
+}
+
+double Matchline::precharge_energy() const noexcept {
+  return capacitance() * params_.v_precharge * params_.v_precharge;
+}
+
+}  // namespace mcam::circuit

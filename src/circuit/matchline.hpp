@@ -1,0 +1,54 @@
+// Matchline electrical model: precharge, capacitance budget, discharge
+// timing and per-search energy.
+#pragma once
+
+#include "circuit/rc.hpp"
+
+#include <cstddef>
+
+namespace mcam::circuit {
+
+/// Electrical parameters of one CAM matchline.
+///
+/// Capacitance scales with the number of cells hanging off the line
+/// (drain junction + wire per cell) plus the sense-amp input load.
+struct MatchlineParams {
+  double v_precharge = 0.8;      ///< Precharge voltage [V] (paper Sec. III-B).
+  double v_reference = 0.4;      ///< Sense threshold [V].
+  double c_per_cell = 0.8e-15;   ///< Drain + wire capacitance per cell [F].
+  double c_fixed = 4.0e-15;      ///< Sense amp + precharge device load [F].
+};
+
+/// Timing/energy view of one matchline with `cells` cells attached.
+class Matchline {
+ public:
+  Matchline(const MatchlineParams& params, std::size_t cells) noexcept
+      : params_(params), cells_(cells) {}
+
+  /// Total line capacitance [F].
+  [[nodiscard]] double capacitance() const noexcept {
+    return params_.c_fixed + params_.c_per_cell * static_cast<double>(cells_);
+  }
+
+  /// Time for the line to discharge from V_pre to V_ref through a total row
+  /// conductance `g_total` [S]; +inf when g_total == 0.
+  [[nodiscard]] double discharge_time(double g_total) const;
+
+  /// Line voltage after `t_seconds` of discharge through `g_total`.
+  [[nodiscard]] double voltage_at(double g_total, double t_seconds) const noexcept;
+
+  /// Energy to precharge the line once: C * V_pre^2 (precharge PMOS plus
+  /// eventual full discharge; upper bound used for search-energy accounting).
+  [[nodiscard]] double precharge_energy() const noexcept;
+
+  /// Parameters in use.
+  [[nodiscard]] const MatchlineParams& params() const noexcept { return params_; }
+  /// Number of attached cells.
+  [[nodiscard]] std::size_t cells() const noexcept { return cells_; }
+
+ private:
+  MatchlineParams params_;
+  std::size_t cells_;
+};
+
+}  // namespace mcam::circuit

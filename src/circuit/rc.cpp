@@ -1,0 +1,57 @@
+#include "circuit/rc.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcam::circuit {
+
+double discharge_voltage(double v0, double g_siemens, double c_farads,
+                         double t_seconds) noexcept {
+  return v0 * std::exp(-g_siemens * t_seconds / c_farads);
+}
+
+double time_to_cross(double v0, double v_ref, double g_siemens, double c_farads) {
+  if (!(v0 > 0.0) || !(v_ref > 0.0) || !(v_ref < v0)) {
+    throw std::invalid_argument{"time_to_cross: require 0 < v_ref < v0"};
+  }
+  if (g_siemens <= 0.0) return std::numeric_limits<double>::infinity();
+  return c_farads / g_siemens * std::log(v0 / v_ref);
+}
+
+double Waveform::crossing_time(double v_ref) const noexcept {
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    if (samples[i] <= v_ref && samples[i - 1] > v_ref) {
+      const double frac = (samples[i - 1] - v_ref) / (samples[i - 1] - samples[i]);
+      return dt * (static_cast<double>(i - 1) + frac);
+    }
+  }
+  return -1.0;
+}
+
+Waveform integrate_discharge(double v0, double c_farads,
+                             const std::function<double(double)>& conductance, double t_end,
+                             double dt) {
+  if (dt <= 0.0 || t_end <= 0.0) {
+    throw std::invalid_argument{"integrate_discharge: dt and t_end must be positive"};
+  }
+  Waveform wf;
+  wf.dt = dt;
+  const auto steps = static_cast<std::size_t>(std::ceil(t_end / dt));
+  wf.samples.reserve(steps + 1);
+  double v = v0;
+  wf.samples.push_back(v);
+  const auto dvdt = [&](double voltage) { return -conductance(voltage) * voltage / c_farads; };
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double k1 = dvdt(v);
+    const double k2 = dvdt(v + 0.5 * dt * k1);
+    const double k3 = dvdt(v + 0.5 * dt * k2);
+    const double k4 = dvdt(v + dt * k3);
+    v += dt / 6.0 * (k1 + 2.0 * k2 + 2.0 * k3 + k4);
+    if (v < 0.0) v = 0.0;
+    wf.samples.push_back(v);
+  }
+  return wf;
+}
+
+}  // namespace mcam::circuit

@@ -1,0 +1,43 @@
+// First-order RC discharge models for CAM matchlines (paper Fig. 4(c)).
+//
+// The matchline is precharged to V_pre and discharges through the parallel
+// conductance of all cells in the row: dV/dt = -G_T * V / C. Both the
+// closed-form solution and a generic RK4 integrator (for state-dependent
+// conductance G(V)) are provided; tests cross-validate the two.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+namespace mcam::circuit {
+
+/// Analytic discharge: V(t) = v0 * exp(-g * t / c).
+[[nodiscard]] double discharge_voltage(double v0, double g_siemens, double c_farads,
+                                       double t_seconds) noexcept;
+
+/// Analytic time for the ML to fall from `v0` to `v_ref`:
+/// t = (C / G) * ln(v0 / v_ref). Returns +inf when g == 0 or v_ref >= v0... .
+/// Preconditions: v0 > 0, 0 < v_ref < v0.
+[[nodiscard]] double time_to_cross(double v0, double v_ref, double g_siemens,
+                                   double c_farads);
+
+/// Sampled waveform produced by the numeric integrator.
+struct Waveform {
+  double dt = 0.0;               ///< Sample period [s].
+  std::vector<double> samples;   ///< Voltage at t = i * dt [V].
+
+  /// First time the waveform crosses below `v_ref` (linear interpolation
+  /// between samples); returns a negative value if it never crosses.
+  [[nodiscard]] double crossing_time(double v_ref) const noexcept;
+};
+
+/// Integrates C * dV/dt = -G(V) * V with classic RK4.
+///
+/// `conductance(v)` may depend on the instantaneous matchline voltage
+/// (FeFET drain-bias dependence); for constant G this converges to the
+/// analytic exponential.
+[[nodiscard]] Waveform integrate_discharge(double v0, double c_farads,
+                                           const std::function<double(double)>& conductance,
+                                           double t_end, double dt);
+
+}  // namespace mcam::circuit

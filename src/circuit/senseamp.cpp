@@ -1,0 +1,46 @@
+#include "circuit/senseamp.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcam::circuit {
+
+SenseResult WinnerTakeAllSense::sense(std::span<const double> row_conductances) const {
+  if (row_conductances.empty()) {
+    throw std::invalid_argument{"WinnerTakeAllSense: no rows"};
+  }
+  SenseResult result;
+  result.times.reserve(row_conductances.size());
+  for (double g : row_conductances) {
+    double t = matchline_.discharge_time(g);
+    if (clock_period_ > 0.0 && std::isfinite(t)) {
+      t = std::ceil(t / clock_period_) * clock_period_;
+    }
+    result.times.push_back(t);
+  }
+
+  // Winner = slowest discharge; runner-up = second slowest.
+  std::size_t best = 0;
+  std::size_t second = row_conductances.size() > 1 ? 1 : 0;
+  if (result.times.size() > 1 && result.times[second] > result.times[best]) {
+    std::swap(best, second);
+  }
+  for (std::size_t i = (result.times.size() > 1 ? 2 : 1); i < result.times.size(); ++i) {
+    if (result.times[i] > result.times[best]) {
+      second = best;
+      best = i;
+    } else if (result.times[i] > result.times[second]) {
+      second = i;
+    }
+  }
+  result.winner = best;
+  result.runner_up = second;
+  result.winner_time = result.times[best];
+  result.margin = result.times.size() > 1 ? result.times[best] - result.times[second]
+                                          : std::numeric_limits<double>::infinity();
+  result.tie = result.times.size() > 1 && result.margin == 0.0;
+  return result;
+}
+
+}  // namespace mcam::circuit

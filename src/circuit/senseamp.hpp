@@ -1,0 +1,50 @@
+// Winner-take-all sensing (paper Sec. III-B; sense amplifier of ref [1]).
+//
+// For nearest-neighbor search, the winning row is the one whose matchline
+// discharges *slowest* (smallest total conductance = smallest distance).
+// The SearcHD-style sense amplifier detects the last matchline still above
+// V_ref. We model it behaviorally: compute every row's crossing time, apply
+// an optional sampling clock (times are only observable at clock-period
+// granularity), and report the winner, the runner-up and the sense margin.
+#pragma once
+
+#include "circuit/matchline.hpp"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcam::circuit {
+
+/// Outcome of one winner-take-all sensing operation.
+struct SenseResult {
+  std::size_t winner = 0;          ///< Row index sensed as nearest.
+  std::size_t runner_up = 0;       ///< Second-slowest row.
+  double winner_time = 0.0;        ///< Crossing time of the winner [s].
+  double margin = 0.0;             ///< winner_time - runner_up_time [s].
+  bool tie = false;                ///< True if the clocked sense saw a tie.
+  std::vector<double> times;       ///< Per-row crossing times [s].
+};
+
+/// Behavioral winner-take-all sense amplifier.
+class WinnerTakeAllSense {
+ public:
+  /// `clock_period` quantizes observable crossing times; 0 = ideal
+  /// continuous-time sensing (no ties unless times are exactly equal).
+  explicit WinnerTakeAllSense(Matchline matchline, double clock_period = 0.0) noexcept
+      : matchline_(matchline), clock_period_(clock_period) {}
+
+  /// Senses the row with the slowest ML discharge among `row_conductances`.
+  /// Ties (after clock quantization) resolve to the lowest row index and
+  /// set `SenseResult::tie`.
+  [[nodiscard]] SenseResult sense(std::span<const double> row_conductances) const;
+
+  /// Matchline model used by the sensing.
+  [[nodiscard]] const Matchline& matchline() const noexcept { return matchline_; }
+
+ private:
+  Matchline matchline_;
+  double clock_period_;
+};
+
+}  // namespace mcam::circuit

@@ -1,0 +1,60 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace mcam::data {
+
+std::size_t Dataset::num_classes() const {
+  std::vector<int> unique = labels;
+  std::sort(unique.begin(), unique.end());
+  unique.erase(std::unique(unique.begin(), unique.end()), unique.end());
+  return unique.size();
+}
+
+std::size_t Dataset::class_count(int label) const {
+  return static_cast<std::size_t>(std::count(labels.begin(), labels.end(), label));
+}
+
+void Dataset::validate() const {
+  if (features.size() != labels.size()) {
+    throw std::logic_error{"Dataset::validate: features/labels size mismatch in " + name};
+  }
+  for (const auto& row : features) {
+    if (row.size() != dim()) throw std::logic_error{"Dataset::validate: ragged rows in " + name};
+    for (float v : row) {
+      if (!std::isfinite(v)) throw std::logic_error{"Dataset::validate: non-finite value in " + name};
+    }
+  }
+}
+
+SplitDataset stratified_split(const Dataset& dataset, double train_fraction,
+                              std::uint64_t seed) {
+  if (train_fraction <= 0.0 || train_fraction >= 1.0) {
+    throw std::invalid_argument{"stratified_split: fraction must be in (0,1)"};
+  }
+  dataset.validate();
+
+  std::map<int, std::vector<std::size_t>> by_class;
+  for (std::size_t i = 0; i < dataset.size(); ++i) by_class[dataset.labels[i]].push_back(i);
+
+  Rng rng{seed};
+  SplitDataset split;
+  split.train.name = dataset.name + "/train";
+  split.test.name = dataset.name + "/test";
+  for (auto& [label, indices] : by_class) {
+    rng.shuffle(indices);
+    const auto n_train = static_cast<std::size_t>(
+        std::ceil(train_fraction * static_cast<double>(indices.size())));
+    for (std::size_t i = 0; i < indices.size(); ++i) {
+      Dataset& side = i < n_train ? split.train : split.test;
+      side.features.push_back(dataset.features[indices[i]]);
+      side.labels.push_back(label);
+    }
+  }
+  return split;
+}
+
+}  // namespace mcam::data

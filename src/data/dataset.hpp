@@ -1,0 +1,48 @@
+// Labeled dataset container and stratified splitting.
+//
+// The NN-classification study (paper Sec. IV-B) randomly splits each
+// dataset into 80% train / 20% test; `stratified_split` preserves class
+// proportions so small classes (e.g. wine-quality grade 3 with 10 samples)
+// appear on both sides.
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mcam::data {
+
+/// In-memory labeled dataset of float feature vectors.
+struct Dataset {
+  std::string name;                          ///< Dataset identifier.
+  std::vector<std::vector<float>> features;  ///< One row per sample.
+  std::vector<int> labels;                   ///< Class label per sample.
+
+  /// Number of samples.
+  [[nodiscard]] std::size_t size() const noexcept { return features.size(); }
+  /// Feature dimensionality (0 when empty).
+  [[nodiscard]] std::size_t dim() const noexcept {
+    return features.empty() ? 0 : features.front().size();
+  }
+  /// Number of distinct labels.
+  [[nodiscard]] std::size_t num_classes() const;
+  /// Count of samples carrying `label`.
+  [[nodiscard]] std::size_t class_count(int label) const;
+  /// Throws std::logic_error if rows are ragged or labels mismatch rows.
+  void validate() const;
+};
+
+/// Train/test pair produced by a split.
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+
+/// Shuffles within each class and assigns ceil(train_fraction * n_c) samples
+/// of every class c to the training side.
+[[nodiscard]] SplitDataset stratified_split(const Dataset& dataset, double train_fraction,
+                                            std::uint64_t seed);
+
+}  // namespace mcam::data

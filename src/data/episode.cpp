@@ -1,0 +1,41 @@
+#include "data/episode.hpp"
+
+#include <stdexcept>
+
+namespace mcam::data {
+
+EpisodeSampler::EpisodeSampler(std::size_t num_classes, ClassSampler sample)
+    : num_classes_(num_classes), sample_(std::move(sample)) {
+  if (num_classes_ == 0) throw std::invalid_argument{"EpisodeSampler: empty class pool"};
+  if (!sample_) throw std::invalid_argument{"EpisodeSampler: null sampler"};
+}
+
+Episode EpisodeSampler::sample(const TaskSpec& task, Rng& rng) const {
+  if (task.ways == 0 || task.ways > num_classes_) {
+    throw std::invalid_argument{"EpisodeSampler: ways must be in [1, num_classes]"};
+  }
+  if (task.shots == 0 || task.queries == 0) {
+    throw std::invalid_argument{"EpisodeSampler: shots and queries must be positive"};
+  }
+  const std::vector<std::size_t> classes =
+      rng.sample_without_replacement(num_classes_, task.ways);
+
+  Episode episode;
+  episode.support.reserve(task.ways * task.shots);
+  episode.support_labels.reserve(task.ways * task.shots);
+  episode.query.reserve(task.ways * task.queries);
+  episode.query_labels.reserve(task.ways * task.queries);
+  for (std::size_t way = 0; way < classes.size(); ++way) {
+    for (std::size_t k = 0; k < task.shots; ++k) {
+      episode.support.push_back(sample_(classes[way], rng));
+      episode.support_labels.push_back(static_cast<int>(way));
+    }
+    for (std::size_t q = 0; q < task.queries; ++q) {
+      episode.query.push_back(sample_(classes[way], rng));
+      episode.query_labels.push_back(static_cast<int>(way));
+    }
+  }
+  return episode;
+}
+
+}  // namespace mcam::data

@@ -1,0 +1,52 @@
+// N-way K-shot episode construction (paper Sec. IV-C).
+//
+// A few-shot episode draws N previously unseen classes, K support images
+// per class (stored into the MANN memory) and Q query images per class
+// (classified against the memory). `EpisodeSampler` builds episodes over
+// any per-class vector source - rendered character images or precomputed
+// embeddings.
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <functional>
+#include <vector>
+
+namespace mcam::data {
+
+/// One N-way K-shot episode of real-valued vectors.
+struct Episode {
+  std::vector<std::vector<float>> support;  ///< N*K support vectors.
+  std::vector<int> support_labels;          ///< 0..N-1 episode-local labels.
+  std::vector<std::vector<float>> query;    ///< N*Q query vectors.
+  std::vector<int> query_labels;            ///< Ground-truth episode labels.
+};
+
+/// Few-shot task shape.
+struct TaskSpec {
+  std::size_t ways = 5;     ///< N: classes per episode.
+  std::size_t shots = 1;    ///< K: support samples per class.
+  std::size_t queries = 5;  ///< Q: query samples per class.
+};
+
+/// Builds episodes from a class-conditional sample source.
+class EpisodeSampler {
+ public:
+  /// `sample(cls, rng)` must return a fresh instance vector of class `cls`.
+  using ClassSampler = std::function<std::vector<float>(std::size_t, Rng&)>;
+
+  /// `num_classes` is the size of the class pool episodes draw from.
+  EpisodeSampler(std::size_t num_classes, ClassSampler sample);
+
+  /// Draws one episode; classes are sampled without replacement.
+  [[nodiscard]] Episode sample(const TaskSpec& task, Rng& rng) const;
+
+  /// Size of the class pool.
+  [[nodiscard]] std::size_t num_classes() const noexcept { return num_classes_; }
+
+ private:
+  std::size_t num_classes_;
+  ClassSampler sample_;
+};
+
+}  // namespace mcam::data

@@ -1,0 +1,116 @@
+#include "data/omniglot_synth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcam::data {
+
+OmniglotGenerator::OmniglotGenerator(std::size_t num_classes, const OmniglotConfig& config,
+                                     std::uint64_t seed)
+    : config_(config) {
+  Rng rng{seed};
+  classes_.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    CharacterClass character;
+    const std::size_t strokes =
+        config.min_strokes + rng.index(config.max_strokes - config.min_strokes + 1);
+    character.strokes.reserve(strokes);
+    // Chain strokes: each starts near the previous end so characters look
+    // connected, like pen trajectories.
+    float px = static_cast<float>(rng.uniform(0.2, 0.8));
+    float py = static_cast<float>(rng.uniform(0.2, 0.8));
+    for (std::size_t s = 0; s < strokes; ++s) {
+      Stroke stroke;
+      stroke.x0 = px;
+      stroke.y0 = py;
+      stroke.cx = static_cast<float>(rng.uniform(0.1, 0.9));
+      stroke.cy = static_cast<float>(rng.uniform(0.1, 0.9));
+      stroke.x1 = static_cast<float>(rng.uniform(0.15, 0.85));
+      stroke.y1 = static_cast<float>(rng.uniform(0.15, 0.85));
+      character.strokes.push_back(stroke);
+      // 60% chance the next stroke continues from this one's end.
+      if (rng.bernoulli(0.6)) {
+        px = stroke.x1;
+        py = stroke.y1;
+      } else {
+        px = static_cast<float>(rng.uniform(0.2, 0.8));
+        py = static_cast<float>(rng.uniform(0.2, 0.8));
+      }
+    }
+    classes_.push_back(std::move(character));
+  }
+}
+
+Image OmniglotGenerator::render(std::size_t cls, Rng& rng) const {
+  const CharacterClass& character = classes_.at(cls);
+  const std::size_t n = config_.image_size;
+  Image image;
+  image.width = n;
+  image.height = n;
+  image.pixels.assign(n * n, 0.0f);
+
+  // Per-instance affine jitter about the canvas center.
+  const double angle = rng.uniform(-config_.rotation_jitter, config_.rotation_jitter);
+  const double scale = 1.0 + rng.uniform(-config_.scale_jitter, config_.scale_jitter);
+  const double dx = rng.uniform(-config_.shift_jitter, config_.shift_jitter);
+  const double dy = rng.uniform(-config_.shift_jitter, config_.shift_jitter);
+  const double ca = std::cos(angle) * scale;
+  const double sa = std::sin(angle) * scale;
+  const auto warp = [&](double x, double y, double& wx, double& wy) {
+    const double cxr = x - 0.5;
+    const double cyr = y - 0.5;
+    wx = 0.5 + ca * cxr - sa * cyr + dx;
+    wy = 0.5 + sa * cxr + ca * cyr + dy;
+  };
+
+  const double width = config_.stroke_width * (1.0 + 0.2 * rng.normal());
+  const double inv_two_w2 = 1.0 / (2.0 * width * width);
+  const double cell = 1.0 / static_cast<double>(n);
+
+  for (const Stroke& s : character.strokes) {
+    // Jitter the control polygon per instance (a different "drawing").
+    const double jx0 = s.x0 + rng.normal(0.0, config_.control_jitter);
+    const double jy0 = s.y0 + rng.normal(0.0, config_.control_jitter);
+    const double jcx = s.cx + rng.normal(0.0, config_.control_jitter);
+    const double jcy = s.cy + rng.normal(0.0, config_.control_jitter);
+    const double jx1 = s.x1 + rng.normal(0.0, config_.control_jitter);
+    const double jy1 = s.y1 + rng.normal(0.0, config_.control_jitter);
+
+    constexpr std::size_t kSamples = 48;
+    for (std::size_t i = 0; i < kSamples; ++i) {
+      const double t = static_cast<double>(i) / (kSamples - 1);
+      const double u = 1.0 - t;
+      const double bx = u * u * jx0 + 2.0 * u * t * jcx + t * t * jx1;
+      const double by = u * u * jy0 + 2.0 * u * t * jcy + t * t * jy1;
+      double wx = 0.0;
+      double wy = 0.0;
+      warp(bx, by, wx, wy);
+      // Splat a Gaussian pen blob onto nearby pixels.
+      const auto px_lo = static_cast<long>(std::floor((wx - 3.0 * width) / cell));
+      const auto px_hi = static_cast<long>(std::ceil((wx + 3.0 * width) / cell));
+      const auto py_lo = static_cast<long>(std::floor((wy - 3.0 * width) / cell));
+      const auto py_hi = static_cast<long>(std::ceil((wy + 3.0 * width) / cell));
+      for (long py = std::max(0L, py_lo); py <= std::min<long>(n - 1, py_hi); ++py) {
+        for (long px = std::max(0L, px_lo); px <= std::min<long>(n - 1, px_hi); ++px) {
+          const double cx = (static_cast<double>(px) + 0.5) * cell;
+          const double cy = (static_cast<double>(py) + 0.5) * cell;
+          const double d2 = (cx - wx) * (cx - wx) + (cy - wy) * (cy - wy);
+          const double ink = std::exp(-d2 * inv_two_w2);
+          float& pixel = image.pixels[static_cast<std::size_t>(py) * n +
+                                      static_cast<std::size_t>(px)];
+          pixel = static_cast<float>(std::max<double>(pixel, ink));
+        }
+      }
+    }
+  }
+
+  if (config_.pixel_noise > 0.0) {
+    for (float& p : image.pixels) {
+      p = static_cast<float>(
+          std::clamp(static_cast<double>(p) + rng.normal(0.0, config_.pixel_noise), 0.0, 1.0));
+    }
+  }
+  return image;
+}
+
+}  // namespace mcam::data

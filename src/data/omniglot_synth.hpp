@@ -1,0 +1,93 @@
+// Procedural Omniglot-like handwritten-character generator.
+//
+// Omniglot (paper ref [11]) is built from hand-drawn characters, each class
+// being one character and each instance a different drawing of it. This
+// generator mirrors that structure offline: a *class* is a random stroke
+// program (2-5 quadratic Bezier strokes on a unit canvas), and an
+// *instance* renders the program with per-drawing jitter - control-point
+// noise, a small random affine transform (rotation/scale/shift), and
+// stroke-width variation - onto a grayscale bitmap. Lake et al. built
+// Omniglot from pen strokes; sampling jittered stroke programs is the same
+// generative recipe, which is why embeddings trained on these characters
+// show the class geometry the MANN experiments need (DESIGN.md Sec. 4).
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <cstddef>
+#include <vector>
+
+namespace mcam::data {
+
+/// One rendered character image, row-major grayscale in [0, 1].
+struct Image {
+  std::size_t width = 0;
+  std::size_t height = 0;
+  std::vector<float> pixels;
+
+  /// Pixel accessor (row `y`, column `x`).
+  [[nodiscard]] float at(std::size_t x, std::size_t y) const {
+    return pixels[y * width + x];
+  }
+  /// Flattened copy (feature vector for the embedding network).
+  [[nodiscard]] std::vector<float> flatten() const { return pixels; }
+};
+
+/// A quadratic Bezier stroke in unit-canvas coordinates.
+struct Stroke {
+  float x0, y0;  ///< Start point.
+  float cx, cy;  ///< Control point.
+  float x1, y1;  ///< End point.
+};
+
+/// A character class: the stroke program all instances share.
+struct CharacterClass {
+  std::vector<Stroke> strokes;
+};
+
+/// Rendering/jitter knobs.
+struct OmniglotConfig {
+  std::size_t image_size = 20;      ///< Canvas is image_size x image_size.
+  std::size_t min_strokes = 2;      ///< Fewest strokes per character.
+  std::size_t max_strokes = 4;      ///< Most strokes per character.
+  double control_jitter = 0.025;    ///< Per-instance control-point noise.
+  double rotation_jitter = 0.12;    ///< Max |rotation| [rad].
+  double scale_jitter = 0.10;       ///< Max relative scale deviation.
+  double shift_jitter = 0.04;       ///< Max |translation| (canvas units).
+  double stroke_width = 0.045;      ///< Gaussian pen radius (canvas units).
+  double pixel_noise = 0.02;        ///< Additive pixel noise sigma.
+};
+
+/// Character-class pool with instance rendering.
+class OmniglotGenerator {
+ public:
+  /// Draws `num_classes` random stroke programs.
+  OmniglotGenerator(std::size_t num_classes, const OmniglotConfig& config,
+                    std::uint64_t seed);
+
+  /// Renders one fresh instance of class `cls`; `rng` supplies the
+  /// per-instance jitter so instances are i.i.d. drawings.
+  [[nodiscard]] Image render(std::size_t cls, Rng& rng) const;
+
+  /// Number of classes in the pool.
+  [[nodiscard]] std::size_t num_classes() const noexcept { return classes_.size(); }
+
+  /// Flattened feature dimensionality of rendered images.
+  [[nodiscard]] std::size_t feature_dim() const noexcept {
+    return config_.image_size * config_.image_size;
+  }
+
+  /// The stroke program of class `cls` (tests inspect determinism).
+  [[nodiscard]] const CharacterClass& character(std::size_t cls) const {
+    return classes_.at(cls);
+  }
+
+  /// Config in use.
+  [[nodiscard]] const OmniglotConfig& config() const noexcept { return config_; }
+
+ private:
+  OmniglotConfig config_;
+  std::vector<CharacterClass> classes_;
+};
+
+}  // namespace mcam::data

@@ -1,0 +1,33 @@
+#include "distance/mcam_distance.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mcam::distance {
+
+double McamDistance::operator()(std::span<const std::uint16_t> query,
+                                std::span<const std::uint16_t> stored) const {
+  if (query.size() != stored.size()) {
+    throw std::invalid_argument{"McamDistance: length mismatch"};
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    total += lut_.g(query[i], stored[i]);
+  }
+  return total;
+}
+
+double SaturatingExponential::operator()(std::span<const std::uint16_t> a,
+                                         std::span<const std::uint16_t> b) const {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument{"SaturatingExponential: length mismatch"};
+  }
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::abs(static_cast<int>(a[i]) - static_cast<int>(b[i]));
+    total += cell(d);
+  }
+  return total;
+}
+
+}  // namespace mcam::distance

@@ -1,0 +1,50 @@
+#include "distance/metrics.hpp"
+
+#include "util/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcam::distance {
+
+double cosine(std::span<const float> a, std::span<const float> b) noexcept {
+  const double na = norm2(a);
+  const double nb = norm2(b);
+  if (na <= 0.0 || nb <= 0.0) return 1.0;
+  return 1.0 - static_cast<double>(dot(a, b)) / (na * nb);
+}
+
+double euclidean(std::span<const float> a, std::span<const float> b) noexcept {
+  return std::sqrt(static_cast<double>(squared_distance(a, b)));
+}
+
+double squared_euclidean(std::span<const float> a, std::span<const float> b) noexcept {
+  return static_cast<double>(squared_distance(a, b));
+}
+
+double linf(std::span<const float> a, std::span<const float> b) noexcept {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+double manhattan(std::span<const float> a, std::span<const float> b) noexcept {
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::fabs(static_cast<double>(a[i]) - static_cast<double>(b[i]));
+  }
+  return sum;
+}
+
+Metric metric_by_name(const std::string& name) {
+  if (name == "cosine") return [](auto a, auto b) { return cosine(a, b); };
+  if (name == "euclidean") return [](auto a, auto b) { return euclidean(a, b); };
+  if (name == "linf") return [](auto a, auto b) { return linf(a, b); };
+  if (name == "manhattan") return [](auto a, auto b) { return manhattan(a, b); };
+  throw std::invalid_argument{"metric_by_name: unknown metric " + name};
+}
+
+}  // namespace mcam::distance

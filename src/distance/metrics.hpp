@@ -1,0 +1,38 @@
+// Software distance functions (paper Sec. IV-A baselines).
+//
+// The GPU baselines of the paper use FP32 cosine and Euclidean distances;
+// L-inf is the metric of the prior TCAM work [4], Hamming of [3]. All are
+// provided both as free functions and as a type-erased `Metric` functor so
+// the NN-search engines can be parameterized uniformly.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <string>
+
+namespace mcam::distance {
+
+/// Cosine distance: 1 - <a, b> / (|a| |b|); 1 when either vector is zero.
+[[nodiscard]] double cosine(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Euclidean (L2) distance.
+[[nodiscard]] double euclidean(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Squared Euclidean distance (same ordering as euclidean, cheaper).
+[[nodiscard]] double squared_euclidean(std::span<const float> a,
+                                       std::span<const float> b) noexcept;
+
+/// Chebyshev (L-inf) distance: max_i |a_i - b_i|.
+[[nodiscard]] double linf(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Manhattan (L1) distance.
+[[nodiscard]] double manhattan(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Type-erased metric over float vectors; smaller = nearer.
+using Metric = std::function<double(std::span<const float>, std::span<const float>)>;
+
+/// Named metric lookup ("cosine", "euclidean", "linf", "manhattan").
+/// Throws std::invalid_argument for unknown names.
+[[nodiscard]] Metric metric_by_name(const std::string& name);
+
+}  // namespace mcam::distance

@@ -1,0 +1,58 @@
+#include "encoding/lsh.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mcam::encoding {
+
+std::vector<std::uint8_t> Signature::unpack() const {
+  std::vector<std::uint8_t> out(bits);
+  for (std::size_t i = 0; i < bits; ++i) out[i] = bit(i) ? 1 : 0;
+  return out;
+}
+
+std::size_t hamming_distance(const Signature& a, const Signature& b) {
+  if (a.bits != b.bits) throw std::invalid_argument{"hamming_distance: length mismatch"};
+  std::size_t distance = 0;
+  for (std::size_t w = 0; w < a.words.size(); ++w) {
+    distance += static_cast<std::size_t>(std::popcount(a.words[w] ^ b.words[w]));
+  }
+  return distance;
+}
+
+RandomHyperplaneLsh::RandomHyperplaneLsh(std::size_t num_features, std::size_t num_bits,
+                                         std::uint64_t seed)
+    : num_features_(num_features), num_bits_(num_bits) {
+  if (num_features == 0 || num_bits == 0) {
+    throw std::invalid_argument{"RandomHyperplaneLsh: dimensions must be positive"};
+  }
+  Rng rng{seed};
+  hyperplanes_.resize(num_bits * num_features);
+  for (float& w : hyperplanes_) w = static_cast<float>(rng.normal());
+}
+
+Signature RandomHyperplaneLsh::encode(std::span<const float> features) const {
+  if (features.size() != num_features_) {
+    throw std::invalid_argument{"RandomHyperplaneLsh::encode: width mismatch"};
+  }
+  Signature sig;
+  sig.bits = num_bits_;
+  sig.words.assign((num_bits_ + 63) / 64, 0);
+  for (std::size_t b = 0; b < num_bits_; ++b) {
+    const float* plane = &hyperplanes_[b * num_features_];
+    float projection = 0.0f;
+    for (std::size_t f = 0; f < num_features_; ++f) projection += plane[f] * features[f];
+    if (projection >= 0.0f) sig.words[b / 64] |= (std::uint64_t{1} << (b % 64));
+  }
+  return sig;
+}
+
+std::vector<Signature> RandomHyperplaneLsh::encode_all(
+    std::span<const std::vector<float>> rows) const {
+  std::vector<Signature> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(encode(row));
+  return out;
+}
+
+}  // namespace mcam::encoding

@@ -1,0 +1,62 @@
+// Random-hyperplane locality-sensitive hashing (paper refs [3], [8]).
+//
+// The TCAM+LSH baseline encodes real-valued features into binary
+// signatures whose Hamming distance approximates the cosine distance: bit k
+// is the sign of the dot product with a random Gaussian hyperplane. The
+// paper's iso-capacity comparison gives the TCAM signatures as many bits as
+// the CAM word has cells (64 for the MANN tasks); ref [3] used 512-bit
+// signatures, which the footnote notes requires 8x wider TCAM words - the
+// signature length is a constructor parameter so both points are
+// reproducible (bench_ablation_lsh_bits).
+#pragma once
+
+#include "util/rng.hpp"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcam::encoding {
+
+/// Packed binary LSH signature.
+struct Signature {
+  std::vector<std::uint64_t> words;  ///< Packed bits, LSB-first per word.
+  std::size_t bits = 0;              ///< Significant bit count.
+
+  /// Value of bit `i`.
+  [[nodiscard]] bool bit(std::size_t i) const {
+    return (words[i / 64] >> (i % 64)) & 1u;
+  }
+
+  /// Unpacks into one byte per bit (for TCAM programming).
+  [[nodiscard]] std::vector<std::uint8_t> unpack() const;
+};
+
+/// Hamming distance between two equal-length signatures (popcount).
+[[nodiscard]] std::size_t hamming_distance(const Signature& a, const Signature& b);
+
+/// Sign-of-random-projection LSH encoder.
+class RandomHyperplaneLsh {
+ public:
+  /// Draws `num_bits` Gaussian hyperplanes over `num_features` dimensions.
+  RandomHyperplaneLsh(std::size_t num_features, std::size_t num_bits, std::uint64_t seed);
+
+  /// Encodes one real-valued vector into a binary signature.
+  [[nodiscard]] Signature encode(std::span<const float> features) const;
+
+  /// Encodes every row.
+  [[nodiscard]] std::vector<Signature> encode_all(
+      std::span<const std::vector<float>> rows) const;
+
+  /// Signature length in bits.
+  [[nodiscard]] std::size_t num_bits() const noexcept { return num_bits_; }
+  /// Input dimensionality.
+  [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
+
+ private:
+  std::size_t num_features_;
+  std::size_t num_bits_;
+  std::vector<float> hyperplanes_;  ///< Row-major [num_bits x num_features].
+};
+
+}  // namespace mcam::encoding

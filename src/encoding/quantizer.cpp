@@ -1,0 +1,79 @@
+#include "encoding/quantizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcam::encoding {
+
+UniformQuantizer UniformQuantizer::fit(std::span<const std::vector<float>> rows,
+                                       unsigned bits, double clip_percentile) {
+  if (rows.empty()) throw std::invalid_argument{"UniformQuantizer::fit: no rows"};
+  if (bits < 1 || bits > 16) throw std::invalid_argument{"UniformQuantizer::fit: bits in [1,16]"};
+  if (clip_percentile < 0.0 || clip_percentile >= 50.0) {
+    throw std::invalid_argument{"UniformQuantizer::fit: clip_percentile in [0,50)"};
+  }
+  const std::size_t width = rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != width) throw std::invalid_argument{"UniformQuantizer::fit: ragged rows"};
+  }
+
+  UniformQuantizer q;
+  q.bits_ = bits;
+  q.lo_.resize(width);
+  q.hi_.resize(width);
+  std::vector<float> column(rows.size());
+  for (std::size_t f = 0; f < width; ++f) {
+    for (std::size_t r = 0; r < rows.size(); ++r) column[r] = rows[r][f];
+    std::sort(column.begin(), column.end());
+    const auto pick = [&column](double p) {
+      const double pos = p / 100.0 * static_cast<double>(column.size() - 1);
+      const auto lo_idx = static_cast<std::size_t>(pos);
+      const std::size_t hi_idx = std::min(lo_idx + 1, column.size() - 1);
+      const double frac = pos - static_cast<double>(lo_idx);
+      return static_cast<float>(column[lo_idx] * (1.0 - frac) + column[hi_idx] * frac);
+    };
+    q.lo_[f] = pick(clip_percentile);
+    q.hi_[f] = pick(100.0 - clip_percentile);
+    if (!(q.hi_[f] > q.lo_[f])) q.hi_[f] = q.lo_[f] + 1.0f;  // Constant feature.
+  }
+  return q;
+}
+
+std::vector<std::uint16_t> UniformQuantizer::quantize(std::span<const float> row) const {
+  if (row.size() != lo_.size()) {
+    throw std::invalid_argument{"UniformQuantizer::quantize: width mismatch"};
+  }
+  const auto levels = static_cast<float>(num_levels());
+  std::vector<std::uint16_t> out(row.size());
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    const float t = (row[f] - lo_[f]) / (hi_[f] - lo_[f]) * levels;
+    const auto level = static_cast<long>(std::floor(t));
+    out[f] = static_cast<std::uint16_t>(
+        std::clamp<long>(level, 0, static_cast<long>(num_levels()) - 1));
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint16_t>> UniformQuantizer::quantize_all(
+    std::span<const std::vector<float>> rows) const {
+  std::vector<std::vector<std::uint16_t>> out;
+  out.reserve(rows.size());
+  for (const auto& row : rows) out.push_back(quantize(row));
+  return out;
+}
+
+std::vector<float> UniformQuantizer::dequantize(std::span<const std::uint16_t> levels) const {
+  if (levels.size() != lo_.size()) {
+    throw std::invalid_argument{"UniformQuantizer::dequantize: width mismatch"};
+  }
+  std::vector<float> out(levels.size());
+  const auto n = static_cast<float>(num_levels());
+  for (std::size_t f = 0; f < levels.size(); ++f) {
+    const float step = (hi_[f] - lo_[f]) / n;
+    out[f] = lo_[f] + (static_cast<float>(levels[f]) + 0.5f) * step;
+  }
+  return out;
+}
+
+}  // namespace mcam::encoding

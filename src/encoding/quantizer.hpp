@@ -1,0 +1,53 @@
+// Uniform feature quantization for the MCAM path (paper Sec. IV-A).
+//
+// "The real-valued features of the query and memory entries are quantized
+// to the same bit precision as the MCAM" - each feature maps to one of 2^B
+// levels, giving a one-to-one correspondence between feature levels and
+// MCAM cell states / input voltages. The quantizer fits its per-feature
+// range on the training data (optionally with percentile clipping so
+// outliers don't waste levels) and is then applied to both memory entries
+// and queries.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace mcam::encoding {
+
+/// Per-feature uniform quantizer to B-bit levels.
+class UniformQuantizer {
+ public:
+  /// Fits the per-feature range [lo, hi] on `rows`.
+  /// `clip_percentile` in [0, 50): clip the range to the
+  /// [p, 100-p] percentiles to shed outliers; 0 = exact min/max.
+  [[nodiscard]] static UniformQuantizer fit(std::span<const std::vector<float>> rows,
+                                            unsigned bits, double clip_percentile = 0.0);
+
+  /// Quantizes one vector to levels in [0, 2^bits).
+  [[nodiscard]] std::vector<std::uint16_t> quantize(std::span<const float> row) const;
+
+  /// Quantizes every row.
+  [[nodiscard]] std::vector<std::vector<std::uint16_t>> quantize_all(
+      std::span<const std::vector<float>> rows) const;
+
+  /// Reconstructs the level centers (inverse map; used by tests to bound
+  /// quantization error at half a step).
+  [[nodiscard]] std::vector<float> dequantize(std::span<const std::uint16_t> levels) const;
+
+  /// Bits per feature.
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  /// Number of levels (2^bits).
+  [[nodiscard]] std::uint16_t num_levels() const noexcept {
+    return static_cast<std::uint16_t>(1u << bits_);
+  }
+  /// Number of features.
+  [[nodiscard]] std::size_t num_features() const noexcept { return lo_.size(); }
+
+ private:
+  unsigned bits_ = 0;
+  std::vector<float> lo_;
+  std::vector<float> hi_;
+};
+
+}  // namespace mcam::encoding

@@ -1,0 +1,114 @@
+#include "energy/model.hpp"
+
+namespace mcam::energy {
+
+namespace {
+
+/// Mean square of the level map's input voltages (uniform input states).
+double mean_square_input(const fefet::LevelMap& map) {
+  double sum = 0.0;
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    const double v = map.input_voltage(s);
+    sum += v * v;
+  }
+  return sum / static_cast<double>(map.num_states());
+}
+
+}  // namespace
+
+double ArrayEnergyModel::tcam_search_energy(std::size_t rows, std::size_t cols) const {
+  // One DL rail per cell column charged to v_search_tcam; DL capacitance
+  // scales with the rows it spans. Every row's matchline precharges once.
+  const double c_dl_column = params_.c_dataline_per_cell * static_cast<double>(rows);
+  const double e_dl = static_cast<double>(cols) * c_dl_column * params_.v_search_tcam *
+                      params_.v_search_tcam;
+  const double c_ml = params_.c_matchline_fixed +
+                      params_.c_matchline_per_cell * static_cast<double>(cols);
+  const double e_ml = static_cast<double>(rows) * c_ml * params_.v_ml_precharge *
+                      params_.v_ml_precharge;
+  return e_dl + e_ml;
+}
+
+double ArrayEnergyModel::mcam_search_energy(std::size_t rows, std::size_t cols,
+                                            const fefet::LevelMap& map) const {
+  // Both rails swing: DL to v and DL' to invert(v); by the level map's
+  // closure under inversion the expected v^2 is the same on both rails.
+  const double c_dl_column = params_.c_dataline_per_cell * static_cast<double>(rows);
+  const double e_dl = static_cast<double>(cols) * c_dl_column * 2.0 * mean_square_input(map);
+  const double c_ml = params_.c_matchline_fixed +
+                      params_.c_matchline_per_cell * static_cast<double>(cols);
+  const double e_ml = static_cast<double>(rows) * c_ml * params_.v_ml_precharge *
+                      params_.v_ml_precharge;
+  return e_dl + e_ml;
+}
+
+double ArrayEnergyModel::tcam_program_energy(std::size_t rows, std::size_t cols,
+                                             const fefet::PulseScheme& scheme) const {
+  // Per cell: erase both FeFETs, then one saturation write on the FeFET
+  // that encodes the stored bit (the other stays erased).
+  const double e_erase = 2.0 * params_.c_gate * params_.v_erase * params_.v_erase;
+  const double v_w = scheme.v_program_max;
+  const double e_write = params_.c_gate * v_w * v_w;
+  return static_cast<double>(rows * cols) * (e_erase + e_write);
+}
+
+double ArrayEnergyModel::mcam_program_energy(std::size_t rows, std::size_t cols,
+                                             const fefet::PulseProgrammer& programmer) const {
+  // Per cell: erase both FeFETs, then write both with the calibrated
+  // amplitudes of a uniformly distributed stored state. For state s the
+  // right FeFET uses amplitude(s) and the left uses amplitude(n-1-s), so a
+  // uniform expectation over states doubles the mean-square amplitude.
+  const double e_erase = 2.0 * params_.c_gate * params_.v_erase * params_.v_erase;
+  double mean_sq_amp = 0.0;
+  const std::size_t n = programmer.num_levels();
+  for (std::size_t level = 0; level < n; ++level) {
+    const double a = programmer.amplitude(level);
+    mean_sq_amp += a * a;
+  }
+  mean_sq_amp /= static_cast<double>(n);
+  const double e_write = 2.0 * params_.c_gate * mean_sq_amp;
+  return static_cast<double>(rows * cols) * (e_erase + e_write);
+}
+
+double ArrayEnergyModel::analog_inversion_energy(std::size_t rows, std::size_t cols,
+                                                 const fefet::LevelMap& map) const {
+  return kAnalogInversionSearchMultiple * mcam_search_energy(rows, cols, map);
+}
+
+MannCost MannEndToEndModel::gpu_cost() const {
+  MannCost cost;
+  cost.feature_latency_s = gpu_.feature_latency_s;
+  cost.feature_energy_j = gpu_.feature_energy_j;
+  cost.search_latency_s = gpu_.search_latency_s;
+  cost.search_energy_j = gpu_.search_energy_j;
+  return cost;
+}
+
+MannCost MannEndToEndModel::tcam_cost(std::size_t rows, std::size_t cols) const {
+  MannCost cost;
+  cost.feature_latency_s = gpu_.feature_latency_s;
+  cost.feature_energy_j = gpu_.feature_energy_j;
+  cost.search_latency_s = array_.search_delay();
+  cost.search_energy_j = array_.tcam_search_energy(rows, cols);
+  return cost;
+}
+
+MannCost MannEndToEndModel::mcam_cost(std::size_t rows, std::size_t cols,
+                                      const fefet::LevelMap& map) const {
+  MannCost cost;
+  cost.feature_latency_s = gpu_.feature_latency_s;
+  cost.feature_energy_j = gpu_.feature_energy_j;
+  cost.search_latency_s = array_.search_delay();
+  cost.search_energy_j = array_.mcam_search_energy(rows, cols, map);
+  return cost;
+}
+
+double MannEndToEndModel::latency_gain(const MannCost& cam) const {
+  return gpu_cost().total_latency_s() / cam.total_latency_s();
+}
+
+double MannEndToEndModel::energy_gain(const MannCost& cam) const {
+  return gpu_cost().total_energy_j() / cam.total_energy_j();
+}
+
+}  // namespace mcam::energy

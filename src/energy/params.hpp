@@ -1,0 +1,43 @@
+// Technology and platform constants for the energy/delay study (Sec. IV-C).
+//
+// All constants are documented model inputs, not measurements. Array-level
+// constants follow the assumptions shared with paper ref [3] (same cell,
+// same sensing scheme, same pulse widths for TCAM and MCAM - hence equal
+// delays); the GPU baseline follows the end-to-end time/energy distribution
+// reported by ref [3] for a Jetson TX2 running the MANN, in which the
+// feature-extraction (neural network) part is ~22% of the end-to-end cost,
+// bounding achievable CAM speedups at ~4.4x energy / ~4.5x latency.
+#pragma once
+
+namespace mcam::energy {
+
+/// Electrical constants of the CAM arrays.
+struct ArrayParams {
+  double c_dataline_per_cell = 1.5e-15;  ///< DL/DL' capacitance per attached cell [F].
+  double c_gate = 0.8e-15;               ///< FeFET gate capacitance (programming load) [F].
+  double c_matchline_per_cell = 0.8e-15; ///< ML capacitance per cell [F].
+  double c_matchline_fixed = 4.0e-15;    ///< ML sense/precharge fixed load [F].
+  double v_ml_precharge = 0.8;           ///< ML precharge voltage [V].
+  double v_search_tcam = 0.94;           ///< TCAM DL high level [V] (one rail/cell).
+  double v_erase = 5.0;                  ///< Erase pulse amplitude [V].
+  double search_cycle_s = 1.0e-9;        ///< Precharge+evaluate+sense cycle [s].
+  double erase_width_s = 500e-9;         ///< Erase pulse width [s].
+  double program_width_s = 200e-9;       ///< Program pulse width [s].
+};
+
+/// Jetson-TX2-like GPU MANN baseline, split into the neural-network
+/// (feature extraction) part and the NN-search part. Values reproduce the
+/// component distribution of ref [3]; see DESIGN.md Sec. 4.
+struct GpuBaselineParams {
+  double feature_latency_s = 0.90e-3;  ///< CNN feature extraction per query [s].
+  double feature_energy_j = 2.00e-3;   ///< CNN feature extraction per query [J].
+  double search_latency_s = 3.15e-3;   ///< GPU NN search + memory traffic [s].
+  double search_energy_j = 6.80e-3;    ///< GPU NN search + memory traffic [J].
+};
+
+/// Cost multiplier for a true analog CAM front-end: one on-the-fly analog
+/// inversion costs ~100x a full array search (paper Sec. II-C) - the
+/// motivation for the multi-bit input scheme, which needs no inverter.
+inline constexpr double kAnalogInversionSearchMultiple = 100.0;
+
+}  // namespace mcam::energy

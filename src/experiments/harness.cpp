@@ -1,0 +1,178 @@
+#include "experiments/harness.hpp"
+
+#include "encoding/normalize.hpp"
+#include "experiments/lut_engine.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcam::experiments {
+
+std::vector<Method> paper_methods() {
+  return {Method::kMcam3, Method::kMcam2, Method::kTcamLsh, Method::kCosine,
+          Method::kEuclidean};
+}
+
+std::string method_name(Method method) {
+  switch (method) {
+    case Method::kMcam3: return "3-bit MCAM";
+    case Method::kMcam2: return "2-bit MCAM";
+    case Method::kTcamLsh: return "TCAM+LSH";
+    case Method::kCosine: return "Cosine";
+    case Method::kEuclidean: return "Euclidean";
+  }
+  throw std::logic_error{"method_name: unknown method"};
+}
+
+namespace {
+
+cam::McamArrayConfig mcam_config(unsigned bits, const EngineOptions& options) {
+  cam::McamArrayConfig config;
+  config.level_map = fefet::LevelMap{bits};
+  config.sensing = options.sensing;
+  config.sense_clock_period = options.sense_clock_period;
+  config.vth_sigma = options.vth_sigma;
+  config.seed = options.seed;
+  return config;
+}
+
+}  // namespace
+
+std::unique_ptr<search::NnEngine> make_engine(Method method, std::size_t num_features,
+                                              const EngineOptions& options) {
+  switch (method) {
+    case Method::kCosine:
+      return std::make_unique<search::SoftwareNnEngine>("cosine");
+    case Method::kEuclidean:
+      return std::make_unique<search::SoftwareNnEngine>("euclidean");
+    case Method::kTcamLsh: {
+      // Iso-capacity default: as many signature bits as the CAM word has
+      // cells (= number of features), per the paper's comparison.
+      const std::size_t bits = options.lsh_bits > 0 ? options.lsh_bits : num_features;
+      cam::TcamArrayConfig config;
+      config.sensing = options.sensing;
+      config.sense_clock_period = options.sense_clock_period;
+      config.vth_sigma = options.vth_sigma;
+      config.seed = options.seed;
+      return std::make_unique<search::TcamLshEngine>(bits, options.seed, config);
+    }
+    case Method::kMcam2:
+      return std::make_unique<search::McamNnEngine>(mcam_config(2, options),
+                                                    options.clip_percentile);
+    case Method::kMcam3:
+      return std::make_unique<search::McamNnEngine>(mcam_config(3, options),
+                                                    options.clip_percentile);
+  }
+  throw std::logic_error{"make_engine: unknown method"};
+}
+
+double run_classification(const data::Dataset& dataset, Method method,
+                          std::uint64_t split_seed, const EngineOptions& options) {
+  const data::SplitDataset split = stratified_split(dataset, 0.8, split_seed);
+  // Each method receives features in its canonical domain: the FP32
+  // software baselines use z-scored features (standard NN-classification
+  // practice - without it, large-magnitude features like wine's proline
+  // dominate Euclidean, and shared positive offsets blind cosine),
+  // TCAM+LSH z-scores internally, and the MCAM quantizer normalizes per
+  // feature by construction. Scalers are fitted on the training split only.
+  std::unique_ptr<search::NnEngine> engine = make_engine(method, dataset.dim(), options);
+  if (method == Method::kEuclidean || method == Method::kCosine) {
+    const auto scaler = encoding::FeatureScaler::fit_z_score(split.train.features);
+    const auto train = scaler.transform_all(split.train.features);
+    const auto test = scaler.transform_all(split.test.features);
+    engine->fit(train, split.train.labels);
+    return engine->accuracy(test, split.test.labels);
+  }
+  engine->fit(split.train.features, split.train.labels);
+  return engine->accuracy(split.test.features, split.test.labels);
+}
+
+mann::FewShotResult run_few_shot(const data::TaskSpec& task, Method method,
+                                 const FewShotOptions& fs_options,
+                                 const EngineOptions& engine_options) {
+  // Feature model: held-out classes for episodes, plus a disjoint base pool
+  // for encoder calibration (quantizer ranges / LSH scaler), mirroring the
+  // SimpleShot deployment where the base split fixes all statistics.
+  const std::size_t total_classes = fs_options.eval_classes + 32;
+  const ml::GaussianPrototypeEmbedding features{
+      total_classes,          fs_options.feature_dim, fs_options.intra_sigma,
+      fs_options.seed,        fs_options.spike_prob,  fs_options.spike_sigma};
+
+  Rng calib_rng{fs_options.seed ^ 0xca11b7a7eULL};
+  std::vector<std::vector<float>> calibration;
+  calibration.reserve(fs_options.calibration_samples);
+  for (std::size_t i = 0; i < fs_options.calibration_samples; ++i) {
+    const std::size_t base_cls = fs_options.eval_classes + calib_rng.index(32);
+    calibration.push_back(features.sample(base_cls, calib_rng));
+  }
+
+  // Pre-fit the encoders once.
+  std::optional<encoding::FeatureScaler> lsh_scaler;
+  std::optional<encoding::UniformQuantizer> quantizer;
+  if (method == Method::kTcamLsh) {
+    lsh_scaler = encoding::FeatureScaler::fit_z_score(calibration);
+  } else if (method == Method::kMcam2 || method == Method::kMcam3) {
+    const unsigned bits = method == Method::kMcam3 ? 3 : 2;
+    quantizer = encoding::UniformQuantizer::fit(calibration, bits,
+                                                engine_options.clip_percentile);
+  }
+
+  const data::EpisodeSampler sampler{
+      fs_options.eval_classes,
+      [&features](std::size_t cls, Rng& rng) { return features.sample(cls, rng); }};
+
+  std::uint64_t instance = 0;
+  const mann::EngineFactory factory = [&, instance]() mutable {
+    EngineOptions opts = engine_options;
+    // Each episode programs a fresh array: re-seed its variation sampling.
+    opts.seed = engine_options.seed + 1000003 * (++instance);
+    auto engine = make_engine(method, fs_options.feature_dim, opts);
+    if (lsh_scaler) {
+      static_cast<search::TcamLshEngine&>(*engine).set_fixed_scaler(*lsh_scaler);
+    }
+    if (quantizer) {
+      static_cast<search::McamNnEngine&>(*engine).set_fixed_quantizer(*quantizer);
+    }
+    return engine;
+  };
+
+  return mann::evaluate_few_shot(sampler, task, fs_options.episodes, factory,
+                                 fs_options.seed);
+}
+
+MeasuredProfile measure_2bit_profile(const Stack& stack, double measurement_noise_sigma,
+                                     std::uint64_t seed) {
+  const cam::ConductanceLut lut = measured_2bit_lut(stack, measurement_noise_sigma, seed);
+  MeasuredProfile profile;
+  const std::vector<double> by_distance = lut.mean_g_by_distance();
+  for (std::size_t d = 0; d < by_distance.size(); ++d) {
+    profile.distance.push_back(static_cast<double>(d));
+    profile.conductance.push_back(by_distance[d]);
+  }
+  return profile;
+}
+
+cam::ConductanceLut measured_2bit_lut(const Stack& stack, double measurement_noise_sigma,
+                                      std::uint64_t seed) {
+  const fefet::LevelMap map = stack.level_map(2);
+  // Program Monte-Carlo device pairs with the experimental single-pulse
+  // scheme (1..4.5 V in 0.1 V steps is already the scheme default), then
+  // "measure" the ML current with lognormal instrument noise.
+  const cam::ConductanceLut programmed = cam::ConductanceLut::programmed(
+      map, stack.programmer(2), stack.preisach(), stack.channel(),
+      fefet::SamplingMode::kMonteCarlo, seed);
+  Rng rng{seed ^ 0x6f1abcdULL};
+  std::vector<double> values;
+  values.reserve(map.num_states() * map.num_states());
+  for (std::size_t input = 0; input < map.num_states(); ++input) {
+    for (std::size_t stored = 0; stored < map.num_states(); ++stored) {
+      const double clean = programmed.g(input, stored);
+      const double noisy =
+          clean * std::exp(rng.normal(0.0, measurement_noise_sigma));
+      values.push_back(noisy);
+    }
+  }
+  return cam::ConductanceLut::from_values(map.num_states(), std::move(values));
+}
+
+}  // namespace mcam::experiments

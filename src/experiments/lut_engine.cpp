@@ -1,0 +1,53 @@
+#include "experiments/lut_engine.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace mcam::experiments {
+
+McamLutEngine::McamLutEngine(cam::ConductanceLut lut, unsigned bits, double clip_percentile)
+    : distance_(std::move(lut)), bits_(bits), clip_percentile_(clip_percentile) {
+  if ((std::size_t{1} << bits) != distance_.lut().num_states()) {
+    throw std::invalid_argument{"McamLutEngine: bits do not match LUT"};
+  }
+}
+
+void McamLutEngine::set_fixed_quantizer(encoding::UniformQuantizer quantizer) {
+  if (quantizer.bits() != bits_) {
+    throw std::invalid_argument{"McamLutEngine: quantizer bits mismatch"};
+  }
+  fixed_quantizer_ = std::move(quantizer);
+}
+
+void McamLutEngine::fit(std::span<const std::vector<float>> rows,
+                        std::span<const int> labels) {
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument{"McamLutEngine::fit: bad training set"};
+  }
+  quantizer_ = fixed_quantizer_
+                   ? *fixed_quantizer_
+                   : encoding::UniformQuantizer::fit(rows, bits_, clip_percentile_);
+  stored_ = quantizer_->quantize_all(rows);
+  labels_.assign(labels.begin(), labels.end());
+}
+
+int McamLutEngine::predict(std::span<const float> query) const {
+  if (!quantizer_) throw std::logic_error{"McamLutEngine::predict before fit"};
+  const std::vector<std::uint16_t> q = quantizer_->quantize(query);
+  double best = std::numeric_limits<double>::infinity();
+  std::size_t best_row = 0;
+  for (std::size_t r = 0; r < stored_.size(); ++r) {
+    const double d = distance_(q, stored_[r]);
+    if (d < best) {
+      best = d;
+      best_row = r;
+    }
+  }
+  return labels_[best_row];
+}
+
+std::string McamLutEngine::name() const {
+  return std::to_string(bits_) + "-bit MCAM (LUT)";
+}
+
+}  // namespace mcam::experiments

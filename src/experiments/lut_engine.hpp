@@ -1,0 +1,44 @@
+// LUT-backed MCAM engine: the paper's own evaluation methodology.
+//
+// Sec. IV-A: "we create a 2D conductance look-up table based on states and
+// inputs for a single cell ... the conductances of all the cells are summed
+// up to get the total conductance of that row". This engine reproduces that
+// flow exactly, and is also how the *measured* distance function of the
+// Fig. 9 experiment is plugged into the application studies: hand it the
+// measured LUT instead of the simulated one.
+#pragma once
+
+#include "distance/mcam_distance.hpp"
+#include "encoding/quantizer.hpp"
+#include "search/engine.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace mcam::experiments {
+
+/// NN engine evaluating the MCAM distance via a conductance LUT.
+class McamLutEngine final : public search::NnEngine {
+ public:
+  /// `lut` is the per-cell conductance table (simulated or measured);
+  /// `bits` must satisfy 2^bits == lut.num_states().
+  McamLutEngine(cam::ConductanceLut lut, unsigned bits, double clip_percentile = 0.0);
+
+  /// Installs a quantizer fitted on calibration data (see McamNnEngine).
+  void set_fixed_quantizer(encoding::UniformQuantizer quantizer);
+
+  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  [[nodiscard]] int predict(std::span<const float> query) const override;
+  [[nodiscard]] std::string name() const override;
+
+ private:
+  distance::McamDistance distance_;
+  unsigned bits_;
+  double clip_percentile_;
+  std::optional<encoding::UniformQuantizer> fixed_quantizer_;
+  std::optional<encoding::UniformQuantizer> quantizer_;
+  std::vector<std::vector<std::uint16_t>> stored_;
+  std::vector<int> labels_;
+};
+
+}  // namespace mcam::experiments

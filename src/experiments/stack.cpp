@@ -1,0 +1,17 @@
+#include "experiments/stack.hpp"
+
+namespace mcam::experiments {
+
+const fefet::PulseProgrammer& Stack::programmer(unsigned bits) const {
+  auto it = programmers_.find(bits);
+  if (it == programmers_.end()) {
+    const fefet::LevelMap map{bits};
+    it = programmers_
+             .emplace(bits, std::make_unique<fefet::PulseProgrammer>(
+                                map.programmable_vth_levels(), preisach_, vth_map_, scheme_))
+             .first;
+  }
+  return *it->second;
+}
+
+}  // namespace mcam::experiments

@@ -1,0 +1,46 @@
+// The shared physics stack every experiment builds on.
+//
+// One place defines the nominal device/circuit parameters and the
+// calibrated pulse programmers, so all tables and figures are generated
+// from the same hardware model. Programmer calibration (bisection over the
+// Preisach model) is cached per bit width.
+#pragma once
+
+#include "fefet/device.hpp"
+#include "fefet/levels.hpp"
+#include "fefet/programming.hpp"
+
+#include <map>
+#include <memory>
+
+namespace mcam::experiments {
+
+/// Lazily-calibrated singleton-per-instance model stack.
+class Stack {
+ public:
+  Stack() = default;
+
+  /// Preisach/coercive-voltage parameters (paper-scale defaults).
+  [[nodiscard]] const fefet::PreisachParams& preisach() const noexcept { return preisach_; }
+  /// Polarization-to-Vth map covering the 3-bit level plan.
+  [[nodiscard]] const fefet::VthMap& vth_map() const noexcept { return vth_map_; }
+  /// Channel I-V parameters.
+  [[nodiscard]] const fefet::ChannelParams& channel() const noexcept { return channel_; }
+  /// Pulse-scheme constants (Sec. IV-D values).
+  [[nodiscard]] const fefet::PulseScheme& pulse_scheme() const noexcept { return scheme_; }
+
+  /// B-bit level map (constructed on demand).
+  [[nodiscard]] fefet::LevelMap level_map(unsigned bits) const { return fefet::LevelMap{bits}; }
+
+  /// Calibrated programmer for the B-bit level plan (cached).
+  [[nodiscard]] const fefet::PulseProgrammer& programmer(unsigned bits) const;
+
+ private:
+  fefet::PreisachParams preisach_{};
+  fefet::VthMap vth_map_{};
+  fefet::ChannelParams channel_{};
+  fefet::PulseScheme scheme_{};
+  mutable std::map<unsigned, std::unique_ptr<fefet::PulseProgrammer>> programmers_;
+};
+
+}  // namespace mcam::experiments

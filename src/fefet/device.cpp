@@ -1,0 +1,67 @@
+#include "fefet/device.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace mcam::fefet {
+
+FefetDevice::FefetDevice(const PreisachParams& preisach, const ChannelParams& channel,
+                         const VthMap& vth_map, SamplingMode mode, Rng rng)
+    : ensemble_(preisach, mode, rng), channel_(channel), vth_map_(vth_map) {
+  ensemble_.saturate_down();  // Devices start erased (highest Vth).
+}
+
+FefetDevice::FefetDevice()
+    : FefetDevice(PreisachParams{}, ChannelParams{}, VthMap{}, SamplingMode::kQuantile,
+                  Rng{0}) {}
+
+void FefetDevice::erase(double amplitude, double width_s) noexcept {
+  ensemble_.apply_pulse(amplitude, width_s);
+}
+
+void FefetDevice::program_pulse(double amplitude, double width_s) noexcept {
+  ensemble_.apply_pulse(amplitude, width_s);
+}
+
+double FefetDevice::vth() const noexcept {
+  return vth_map_.vth(ensemble_.polarization(), ensemble_.params().saturation_polarization) +
+         vth_offset_;
+}
+
+double channel_conductance(const ChannelParams& channel, double gate_overdrive) noexcept {
+  // Exponential branch saturating into the series on-resistance. The exp is
+  // clamped to avoid overflow at large overdrive; the series resistance
+  // dominates there anyway.
+  const double x = std::min(gate_overdrive / channel.v_slope, 60.0);
+  const double g_exp = channel.g0 * std::exp(x);
+  return channel.g_leak + 1.0 / (1.0 / g_exp + channel.r_on);
+}
+
+double FefetDevice::conductance(double vg) const noexcept {
+  return channel_conductance(channel_, vg - vth());
+}
+
+double FefetDevice::drain_current(double vg, double vds) const noexcept {
+  // Soft Vds saturation: I = G * v_sat_eff with v_sat_eff -> vds for small
+  // vds and -> v_dsat for large vds. Matchline read-out uses vds <= 0.8 V.
+  constexpr double v_dsat = 0.4;
+  const double v_eff = v_dsat * std::tanh(vds / v_dsat);
+  return conductance(vg) * v_eff;
+}
+
+TransferCurve trace_transfer_curve(const FefetDevice& device, double vds, double vg_lo,
+                                   double vg_hi, std::size_t points) {
+  if (points < 2) throw std::invalid_argument{"trace_transfer_curve: points >= 2"};
+  TransferCurve curve;
+  curve.vg.reserve(points);
+  curve.id.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double vg =
+        vg_lo + (vg_hi - vg_lo) * static_cast<double>(i) / static_cast<double>(points - 1);
+    curve.vg.push_back(vg);
+    curve.id.push_back(device.drain_current(vg, vds));
+  }
+  return curve;
+}
+
+}  // namespace mcam::fefet

@@ -1,0 +1,113 @@
+// FeFET device model: polarization-dependent threshold voltage plus a
+// behavioral channel I-V, calibrated to reproduce the transfer
+// characteristics of paper Fig. 2(b) and the conductance-vs-distance shape
+// of Fig. 4 (exponential growth with a saturating tail).
+#pragma once
+
+#include "fefet/preisach.hpp"
+
+#include <vector>
+
+namespace mcam::fefet {
+
+/// Channel/electrostatics parameters of the behavioral FeFET I-V.
+///
+/// The channel conductance at small Vds is modeled as
+///   G(Vg) = G_leak + 1 / ( 1 / (G0 * exp((Vg - Vth)/v_slope)) + R_on )
+/// i.e. an exponential subthreshold branch that saturates into a series
+/// on-resistance. This captures the two features the MCAM distance function
+/// rests on (Sec. III-B): conductance grows exponentially with gate
+/// overdrive (and hence with level distance), and flattens once the device
+/// is fully on, which produces the bell-shaped derivative of Fig. 4(d).
+struct ChannelParams {
+  double g_leak = 5e-10;   ///< Off-state leakage floor [S].
+  double g0 = 2.5e-9;      ///< Conductance prefactor at Vg = Vth [S].
+  double v_slope = 0.065;  ///< Exponential slope [V] (~150 mV/decade).
+  double r_on = 2.5e5;     ///< Series on-resistance cap [Ohm].
+};
+
+/// Maps polarization to threshold voltage linearly:
+///   Vth(P) = vth_center - (P / Ps) * vth_half_range.
+/// Defaults place the erased device (P = -Ps) at 1.320 V and the fully
+/// programmed device (P = +Ps) at 0.360 V, spanning the paper's level map.
+struct VthMap {
+  double vth_center = 0.840;     ///< Vth at zero net polarization [V].
+  double vth_half_range = 0.480; ///< Vth excursion at saturation [V].
+
+  /// Threshold voltage for a normalized polarization `p` in [-Ps, Ps].
+  [[nodiscard]] double vth(double polarization, double ps) const noexcept {
+    return vth_center - (polarization / ps) * vth_half_range;
+  }
+};
+
+/// Channel conductance [S] at `gate_overdrive` = Vg - Vth volts; the pure
+/// I-V expression shared by FefetDevice and the array fast path.
+[[nodiscard]] double channel_conductance(const ChannelParams& channel,
+                                         double gate_overdrive) noexcept;
+
+/// One ferroelectric FET: hysteron ensemble + channel model.
+///
+/// The device is stateful: programming pulses move its polarization, and
+/// `conductance(vg)` / `drain_current(vg, vds)` read out the channel with
+/// the current Vth. An additional `vth_offset` supports injected Gaussian
+/// variation (Fig. 8 studies) on top of the physical ensemble state.
+class FefetDevice {
+ public:
+  /// Builds a device from model parameters. MonteCarlo sampling plus a
+  /// forked RNG gives every device an individual coercive landscape.
+  FefetDevice(const PreisachParams& preisach, const ChannelParams& channel,
+              const VthMap& vth_map, SamplingMode mode = SamplingMode::kQuantile,
+              Rng rng = Rng{0});
+
+  /// Convenience: all-default nominal device (quantile/compact model).
+  FefetDevice();
+
+  /// Applies an erase pulse (negative saturation; paper: -5 V, 500 ns).
+  void erase(double amplitude = -5.0, double width_s = 500e-9) noexcept;
+
+  /// Applies a program pulse of `amplitude` volts and `width_s` seconds.
+  void program_pulse(double amplitude, double width_s = 200e-9) noexcept;
+
+  /// Current threshold voltage [V] including any injected offset.
+  [[nodiscard]] double vth() const noexcept;
+
+  /// Adds an extra Vth shift [V] (device-to-device variation injection).
+  void set_vth_offset(double volts) noexcept { vth_offset_ = volts; }
+  /// Currently injected Vth shift [V].
+  [[nodiscard]] double vth_offset() const noexcept { return vth_offset_; }
+
+  /// Small-signal channel conductance at gate voltage `vg` [S].
+  [[nodiscard]] double conductance(double vg) const noexcept;
+
+  /// Drain current at (vg, vds) using the small-Vds conductance model with a
+  /// soft saturation in Vds; adequate for matchline discharge and for the
+  /// Fig. 2(b) transfer-curve bench.
+  [[nodiscard]] double drain_current(double vg, double vds) const noexcept;
+
+  /// Direct access to the polarization state (for tests/characterization).
+  [[nodiscard]] const HysteronEnsemble& ensemble() const noexcept { return ensemble_; }
+  [[nodiscard]] HysteronEnsemble& ensemble() noexcept { return ensemble_; }
+
+  /// Channel parameters in use.
+  [[nodiscard]] const ChannelParams& channel() const noexcept { return channel_; }
+  /// Polarization-to-Vth map in use.
+  [[nodiscard]] const VthMap& vth_map() const noexcept { return vth_map_; }
+
+ private:
+  HysteronEnsemble ensemble_;
+  ChannelParams channel_;
+  VthMap vth_map_;
+  double vth_offset_ = 0.0;
+};
+
+/// Samples the Id-Vg transfer curve of `device` at drain bias `vds` over
+/// [vg_lo, vg_hi] with `points` samples (paper Fig. 2(b)).
+struct TransferCurve {
+  std::vector<double> vg;
+  std::vector<double> id;
+};
+[[nodiscard]] TransferCurve trace_transfer_curve(const FefetDevice& device, double vds,
+                                                 double vg_lo, double vg_hi,
+                                                 std::size_t points);
+
+}  // namespace mcam::fefet

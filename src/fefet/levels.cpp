@@ -1,0 +1,48 @@
+#include "fefet/levels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcam::fefet {
+
+LevelMap::LevelMap(unsigned bits, double v_min, double v_max)
+    : bits_(bits), v_min_(v_min), v_max_(v_max) {
+  if (bits < 1 || bits > 6) throw std::invalid_argument{"LevelMap: bits must be in [1, 6]"};
+  if (!(v_max > v_min)) throw std::invalid_argument{"LevelMap: v_max must exceed v_min"};
+  window_ = (v_max_ - v_min_) / static_cast<double>(num_states());
+}
+
+double LevelMap::lower_boundary(std::size_t s) const {
+  if (s >= num_states()) throw std::out_of_range{"LevelMap: state out of range"};
+  return v_min_ + static_cast<double>(s) * window_;
+}
+
+double LevelMap::upper_boundary(std::size_t s) const {
+  if (s >= num_states()) throw std::out_of_range{"LevelMap: state out of range"};
+  return v_min_ + static_cast<double>(s + 1) * window_;
+}
+
+double LevelMap::input_voltage(std::size_t s) const {
+  if (s >= num_states()) throw std::out_of_range{"LevelMap: state out of range"};
+  return v_min_ + (static_cast<double>(s) + 0.5) * window_;
+}
+
+std::vector<double> LevelMap::programmable_vth_levels() const {
+  // Right FeFETs need every upper boundary: v_min + w .. v_max.
+  // Left FeFETs need invert(lower boundary) = 2C - (v_min + s*w), which for
+  // s = 0..2^B-1 is v_max down to v_min + w: the same set.
+  std::vector<double> levels;
+  levels.reserve(num_states());
+  for (std::size_t s = 0; s < num_states(); ++s) levels.push_back(upper_boundary(s));
+  return levels;
+}
+
+std::size_t LevelMap::state_of_input(double v) const {
+  const double t = (v - v_min_) / window_;
+  const auto idx = static_cast<long long>(std::floor(t));
+  return static_cast<std::size_t>(
+      std::clamp<long long>(idx, 0, static_cast<long long>(num_states()) - 1));
+}
+
+}  // namespace mcam::fefet

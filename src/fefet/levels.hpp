@@ -1,0 +1,78 @@
+// B-bit level maps for MCAM cells (paper Fig. 3(b)).
+//
+// A B-bit MCAM cell distinguishes 2^B states. Each state is a narrow,
+// non-overlapping Vth window; the matching input voltage sits at the window
+// center. The 3-bit map of the paper uses Vth boundaries 360..1320 mV in
+// 120 mV steps and input voltages 420..1260 mV. All voltages are closed
+// under "analog inversion" about the map center (840 mV for the 3-bit map),
+// so the DL' rail never needs an on-the-fly analog inverter: the inverse of
+// every input voltage is another input voltage (Sec. III-A of the paper).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mcam::fefet {
+
+/// Immutable description of a B-bit MCAM level map.
+///
+/// Terminology (paper Fig. 3):
+///  - state s in [0, 2^B): the value stored in a cell ("S1".."S8" = 0..7),
+///  - window(s): the Vth interval [lower_boundary(s), upper_boundary(s)],
+///  - input_voltage(s): the DL voltage that searches for state s,
+///  - invert(v): analog inversion about the map center, 2*center - v.
+class LevelMap {
+ public:
+  /// Builds the map for `bits` in [1, 6] over [v_min, v_max] volts.
+  /// Defaults reproduce the paper's 3-bit map (0.360 V .. 1.320 V).
+  explicit LevelMap(unsigned bits = 3, double v_min = 0.360, double v_max = 1.320);
+
+  /// Number of bits per cell.
+  [[nodiscard]] unsigned bits() const noexcept { return bits_; }
+  /// Number of distinguishable states (2^bits).
+  [[nodiscard]] std::size_t num_states() const noexcept { return std::size_t{1} << bits_; }
+  /// Width of one state window in volts (120 mV for the 3-bit map).
+  [[nodiscard]] double window() const noexcept { return window_; }
+  /// Inversion center in volts (840 mV for the default map).
+  [[nodiscard]] double center() const noexcept { return 0.5 * (v_min_ + v_max_); }
+  /// Lowest Vth boundary (360 mV default).
+  [[nodiscard]] double v_min() const noexcept { return v_min_; }
+  /// Highest Vth boundary (1320 mV default).
+  [[nodiscard]] double v_max() const noexcept { return v_max_; }
+
+  /// Lower Vth boundary of state `s`'s window.
+  [[nodiscard]] double lower_boundary(std::size_t s) const;
+  /// Upper Vth boundary of state `s`'s window.
+  [[nodiscard]] double upper_boundary(std::size_t s) const;
+  /// DL input voltage searching for state `s` (window center).
+  [[nodiscard]] double input_voltage(std::size_t s) const;
+
+  /// Analog inversion about the center: invert(v) = 2*center - v.
+  [[nodiscard]] double invert(double v) const noexcept { return 2.0 * center() - v; }
+
+  /// Vth target for the *right* FeFET of a cell storing `s` (the window's
+  /// upper boundary; gates the "input too high" mismatch direction).
+  [[nodiscard]] double right_fefet_vth(std::size_t s) const { return upper_boundary(s); }
+  /// Vth target for the *left* FeFET of a cell storing `s` (inversion of the
+  /// window's lower boundary; gates the "input too low" direction).
+  [[nodiscard]] double left_fefet_vth(std::size_t s) const {
+    return invert(lower_boundary(s));
+  }
+
+  /// The set of distinct Vth values either FeFET of any cell may need.
+  /// For the 3-bit map this is {480, 600, ..., 1320} mV: 8 levels, matching
+  /// the 8 programmable polarization states of Fig. 2(b).
+  [[nodiscard]] std::vector<double> programmable_vth_levels() const;
+
+  /// Maps an input voltage back to the nearest state index (used by tests
+  /// and the analog front-end model).
+  [[nodiscard]] std::size_t state_of_input(double v) const;
+
+ private:
+  unsigned bits_;
+  double v_min_;
+  double v_max_;
+  double window_;
+};
+
+}  // namespace mcam::fefet

@@ -1,0 +1,151 @@
+#include "fefet/preisach.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcam::fefet {
+
+namespace {
+
+/// Inverse standard-normal CDF (Acklam's rational approximation; max
+/// relative error ~1.15e-9, ample for quantile placement).
+double inverse_normal_cdf(double p) {
+  if (p <= 0.0 || p >= 1.0) throw std::invalid_argument{"inverse_normal_cdf: p in (0,1)"};
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double q = 0.0;
+  double r = 0.0;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p <= 1.0 - p_low) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  }
+  q = std::sqrt(-2.0 * std::log(1.0 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+}
+
+}  // namespace
+
+HysteronEnsemble::HysteronEnsemble(const PreisachParams& params, SamplingMode mode, Rng rng)
+    : params_(params) {
+  const std::size_t n = params.num_domains;
+  if (n == 0) throw std::invalid_argument{"HysteronEnsemble: num_domains must be > 0"};
+  alpha_.resize(n);
+  beta_.resize(n);
+  up_.assign(n, false);
+
+  // The down-coercive offset tracks each hysteron's up-coercive offset so the
+  // descending branch mirrors the ascending one (congruent minor loops).
+  if (mode == SamplingMode::kQuantile) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double p = (static_cast<double>(i) + 0.5) / static_cast<double>(n);
+      const double z = inverse_normal_cdf(p);
+      alpha_[i] = params.coercive_mean + params.coercive_sigma * z;
+      beta_[i] = params.negative_coercive_mean + params.coercive_sigma * z;
+    }
+  } else {
+    const double device_shift = rng.normal(0.0, params.device_sigma);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double z = rng.normal();
+      alpha_[i] = params.coercive_mean + device_shift + params.coercive_sigma * z;
+      beta_[i] = params.negative_coercive_mean + device_shift + params.coercive_sigma * z;
+    }
+  }
+}
+
+void HysteronEnsemble::apply_voltage(double volts) noexcept {
+  for (std::size_t i = 0; i < up_.size(); ++i) {
+    if (volts >= alpha_[i]) up_[i] = true;
+    if (volts <= beta_[i]) up_[i] = false;
+  }
+}
+
+void HysteronEnsemble::apply_pulse(double amplitude, double width_s) noexcept {
+  // NLS: a hysteron flips only if the pulse outlasts tau(overdrive).
+  for (std::size_t i = 0; i < up_.size(); ++i) {
+    if (amplitude > 0.0 && !up_[i]) {
+      const double overdrive = amplitude - alpha_[i];
+      if (overdrive <= 0.0) continue;
+      const double tau = params_.nls_tau0 * std::exp(params_.nls_v_activation / overdrive);
+      if (width_s >= tau) up_[i] = true;
+    } else if (amplitude < 0.0 && up_[i]) {
+      const double overdrive = beta_[i] - amplitude;
+      if (overdrive <= 0.0) continue;
+      const double tau = params_.nls_tau0 * std::exp(params_.nls_v_activation / overdrive);
+      if (width_s >= tau) up_[i] = false;
+    }
+  }
+}
+
+double HysteronEnsemble::polarization() const noexcept {
+  return params_.saturation_polarization * (2.0 * up_fraction() - 1.0);
+}
+
+double HysteronEnsemble::up_fraction() const noexcept {
+  std::size_t count = 0;
+  for (bool u : up_) count += u ? 1 : 0;
+  return static_cast<double>(count) / static_cast<double>(up_.size());
+}
+
+void HysteronEnsemble::saturate_down() noexcept { std::fill(up_.begin(), up_.end(), false); }
+void HysteronEnsemble::saturate_up() noexcept { std::fill(up_.begin(), up_.end(), true); }
+
+void HysteronEnsemble::force_up_fraction(double fraction) noexcept {
+  fraction = std::clamp(fraction, 0.0, 1.0);
+  const auto k = static_cast<std::size_t>(
+      std::llround(fraction * static_cast<double>(up_.size())));
+  // Hysterons with the lowest alpha switch first under any ascending drive;
+  // select them by rank so non-sorted (Monte-Carlo) ensembles behave the
+  // same way as quantile ensembles.
+  std::vector<std::size_t> order(up_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [this](std::size_t a, std::size_t b) { return alpha_[a] < alpha_[b]; });
+  std::fill(up_.begin(), up_.end(), false);
+  for (std::size_t i = 0; i < k; ++i) up_[order[i]] = true;
+}
+
+LoopTrace trace_major_loop(const PreisachParams& params, double v_span, std::size_t steps) {
+  if (steps < 2) throw std::invalid_argument{"trace_major_loop: steps must be >= 2"};
+  HysteronEnsemble ensemble{params, SamplingMode::kQuantile};
+  ensemble.saturate_down();
+  LoopTrace trace;
+  trace.voltage.reserve(2 * steps);
+  trace.polarization.reserve(2 * steps);
+  // Ascend from -v_span to +v_span, then descend back.
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double v = -v_span + 2.0 * v_span * static_cast<double>(i) /
+                                   static_cast<double>(steps - 1);
+    ensemble.apply_voltage(v);
+    trace.voltage.push_back(v);
+    trace.polarization.push_back(ensemble.polarization());
+  }
+  for (std::size_t i = 0; i < steps; ++i) {
+    const double v = v_span - 2.0 * v_span * static_cast<double>(i) /
+                                  static_cast<double>(steps - 1);
+    ensemble.apply_voltage(v);
+    trace.voltage.push_back(v);
+    trace.polarization.push_back(ensemble.polarization());
+  }
+  return trace;
+}
+
+}  // namespace mcam::fefet

@@ -1,0 +1,107 @@
+// Preisach-style ferroelectric polarization model (paper refs [14], [15]).
+//
+// The ferroelectric layer of a FeFET is modeled as an ensemble of bistable
+// hysterons ("domains"). Hysteron i switches up when the applied gate
+// voltage exceeds its up-coercive voltage alpha_i and switches down when the
+// voltage drops below its down-coercive voltage beta_i (beta_i < alpha_i).
+// Remanent polarization is Ps * (fraction up - fraction down).
+//
+// Two sampling modes cover both models the paper uses:
+//  - Quantile (deterministic): coercive voltages are placed at Gaussian
+//    quantiles. This is the smooth "Preisach compact model" of Ni et al.
+//    (VLSI'18) used for the nominal distance function; it exhibits the
+//    classical wipe-out and congruency properties.
+//  - MonteCarlo (stochastic): coercive voltages are drawn per device from
+//    the same Gaussian plus a per-device mean shift. This is the
+//    Deng et al. (VLSI'20)-style Monte-Carlo framework the paper uses for
+//    device-to-device variation (Fig. 5).
+//
+// Pulse-width dependence follows a nucleation-limited-switching (NLS)
+// acceleration: a hysteron switches only if the pulse is long enough for
+// its overdrive, tau(V) = tau0 * exp(v_act / max(V - alpha, eps)).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace mcam::fefet {
+
+/// Gaussian coercive-voltage statistics for the hysteron ensemble.
+struct PreisachParams {
+  double saturation_polarization = 1.0;  ///< Ps, normalized remanent polarization.
+  double coercive_mean = 2.8;            ///< Mean up-coercive voltage [V].
+  double coercive_sigma = 0.90;          ///< Within-device coercive spread [V].
+  double device_sigma = 0.0;             ///< Device-to-device mean-shift spread [V].
+  double negative_coercive_mean = -2.5;  ///< Mean down-coercive voltage [V].
+  std::size_t num_domains = 40;          ///< Hysterons per device; fewer = noisier.
+  // NLS time constants; defaults make 200 ns pulses quasi-static for
+  // overdrives of a few hundred mV, matching the single-pulse scheme.
+  double nls_tau0 = 1e-9;     ///< Attempt time [s].
+  double nls_v_activation = 0.25;  ///< Activation voltage scale [V].
+};
+
+/// How hysterons are placed on the coercive-voltage distribution.
+enum class SamplingMode {
+  kQuantile,    ///< Deterministic Gaussian quantiles (compact model).
+  kMonteCarlo,  ///< Random draws + per-device shift (variation model).
+};
+
+/// Bistable-hysteron ensemble representing one FeFET's ferroelectric layer.
+class HysteronEnsemble {
+ public:
+  /// Builds the ensemble. In MonteCarlo mode, `rng` seeds the per-device
+  /// draws; in Quantile mode `rng` is unused.
+  HysteronEnsemble(const PreisachParams& params, SamplingMode mode, Rng rng = Rng{0});
+
+  /// Applies a quasi-static voltage (pulse of "infinite" width).
+  void apply_voltage(double volts) noexcept;
+
+  /// Applies a pulse of `amplitude` volts for `width_s` seconds, honoring
+  /// the NLS switching-time model. Negative amplitudes switch down.
+  void apply_pulse(double amplitude, double width_s) noexcept;
+
+  /// Current normalized polarization in [-Ps, +Ps].
+  [[nodiscard]] double polarization() const noexcept;
+
+  /// Fraction of hysterons in the "up" state, in [0, 1].
+  [[nodiscard]] double up_fraction() const noexcept;
+
+  /// Drives every hysteron down (negative saturation / erase).
+  void saturate_down() noexcept;
+  /// Drives every hysteron up (positive saturation).
+  void saturate_up() noexcept;
+
+  /// Forces the `fraction` of hysterons with the lowest up-coercive voltage
+  /// into the up state and the rest down. This is the idealized "perfectly
+  /// programmed" state used to build nominal cells without running the
+  /// pulse scheme; physically it is the state an ideal write-and-verify
+  /// loop converges to.
+  void force_up_fraction(double fraction) noexcept;
+
+  /// Number of hysterons.
+  [[nodiscard]] std::size_t size() const noexcept { return up_.size(); }
+
+  /// Model parameters the ensemble was built with.
+  [[nodiscard]] const PreisachParams& params() const noexcept { return params_; }
+
+ private:
+  PreisachParams params_;
+  std::vector<double> alpha_;  ///< Up-coercive voltage per hysteron.
+  std::vector<double> beta_;   ///< Down-coercive voltage per hysteron.
+  std::vector<bool> up_;       ///< Switching state per hysteron.
+};
+
+/// Traces the major hysteresis loop P(V) of a fresh quantile ensemble by
+/// sweeping v from -v_span to +v_span and back in `steps` increments.
+/// Returns {voltages, polarizations} with 2*steps entries. Used by tests
+/// and the FeFET characterization bench.
+struct LoopTrace {
+  std::vector<double> voltage;
+  std::vector<double> polarization;
+};
+[[nodiscard]] LoopTrace trace_major_loop(const PreisachParams& params, double v_span,
+                                         std::size_t steps);
+
+}  // namespace mcam::fefet

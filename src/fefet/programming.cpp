@@ -1,0 +1,129 @@
+#include "fefet/programming.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace mcam::fefet {
+
+PulseProgrammer::PulseProgrammer(std::vector<double> vth_targets,
+                                 const PreisachParams& preisach, const VthMap& vth_map,
+                                 const PulseScheme& scheme)
+    : targets_(std::move(vth_targets)), preisach_(preisach), vth_map_(vth_map),
+      scheme_(scheme) {
+  if (targets_.empty()) throw std::invalid_argument{"PulseProgrammer: no targets"};
+  amplitudes_.reserve(targets_.size());
+  for (double target : targets_) {
+    // Vth decreases monotonically with pulse amplitude (more domains switch
+    // up), so bisection on the nominal device converges.
+    double lo = scheme_.v_program_min;
+    double hi = scheme_.v_program_max;
+    const double vth_lo_amp = nominal_vth_after_pulse(lo);
+    const double vth_hi_amp = nominal_vth_after_pulse(hi);
+    const double vth_erased = vth_map_.vth(-preisach_.saturation_polarization,
+                                           preisach_.saturation_polarization);
+    if (target > vth_erased + 1e-9) {
+      throw std::invalid_argument{"PulseProgrammer: target " + std::to_string(target) +
+                                  " V above erased Vth"};
+    }
+    if (target >= vth_lo_amp - 1e-12) {
+      // The erase pulse alone lands at least as close as the weakest
+      // program pulse: mark the level as "no program pulse" (amplitude 0)
+      // when erased is the closer of the two.
+      if (std::fabs(vth_erased - target) <= std::fabs(vth_lo_amp - target)) {
+        amplitudes_.push_back(kNoPulse);
+      } else {
+        amplitudes_.push_back(scheme_.v_program_min);
+      }
+      continue;
+    }
+    if (target < vth_hi_amp - 1e-9) {
+      throw std::invalid_argument{"PulseProgrammer: target " + std::to_string(target) +
+                                  " V unreachable at v_program_max"};
+    }
+    for (int iter = 0; iter < 60; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (nominal_vth_after_pulse(mid) > target) {
+        lo = mid;  // Too little switching; need a stronger pulse.
+      } else {
+        hi = mid;
+      }
+    }
+    // The finite hysteron count makes Vth(amplitude) a staircase, so the
+    // bisection interval brackets a step: pick whichever side (after DAC
+    // rounding) lands the achieved Vth closest to the target.
+    const auto quantize = [this](double amp) {
+      if (scheme_.v_program_step <= 0.0) return amp;
+      return scheme_.v_program_min +
+             std::round((amp - scheme_.v_program_min) / scheme_.v_program_step) *
+                 scheme_.v_program_step;
+    };
+    double best_amp = quantize(hi);
+    double best_err = std::fabs(nominal_vth_after_pulse(best_amp) - target);
+    for (double candidate : {quantize(lo), quantize(hi + scheme_.v_program_step),
+                             quantize(lo - scheme_.v_program_step)}) {
+      if (candidate < scheme_.v_program_min || candidate > scheme_.v_program_max) continue;
+      const double err = std::fabs(nominal_vth_after_pulse(candidate) - target);
+      if (err < best_err) {
+        best_err = err;
+        best_amp = candidate;
+      }
+    }
+    amplitudes_.push_back(best_amp);
+  }
+}
+
+double PulseProgrammer::nominal_vth_after_pulse(double amp) const {
+  FefetDevice device{preisach_, ChannelParams{}, vth_map_, SamplingMode::kQuantile, Rng{0}};
+  device.erase(scheme_.erase_amplitude, scheme_.erase_width_s);
+  device.program_pulse(amp, scheme_.program_width_s);
+  return device.vth();
+}
+
+void PulseProgrammer::program(FefetDevice& device, std::size_t level) const {
+  device.erase(scheme_.erase_amplitude, scheme_.erase_width_s);
+  const double amp = amplitude(level);
+  if (amp != kNoPulse) device.program_pulse(amp, scheme_.program_width_s);
+}
+
+std::optional<unsigned> PulseProgrammer::program_with_verify(FefetDevice& device,
+                                                             std::size_t level, double tol_v,
+                                                             unsigned max_pulses) const {
+  const double target_vth = target(level);
+  if (amplitude(level) == kNoPulse) {
+    device.erase(scheme_.erase_amplitude, scheme_.erase_width_s);
+    return std::fabs(device.vth() - target_vth) <= tol_v ? std::optional<unsigned>{0}
+                                                         : std::nullopt;
+  }
+  // Start slightly weak and staircase upward; each extra pulse can only
+  // switch more domains, so Vth ratchets down toward the target.
+  double amp = std::max(scheme_.v_program_min, amplitude(level) - 0.2);
+  device.erase(scheme_.erase_amplitude, scheme_.erase_width_s);
+  for (unsigned pulse = 1; pulse <= max_pulses; ++pulse) {
+    device.program_pulse(amp, scheme_.program_width_s);
+    const double vth = device.vth();
+    if (std::fabs(vth - target_vth) <= tol_v) return pulse;
+    if (vth < target_vth - tol_v) {
+      // Overshot (Vth below target): restart from erase with a weaker ramp.
+      device.erase(scheme_.erase_amplitude, scheme_.erase_width_s);
+      amp -= 0.10;
+      if (amp < scheme_.v_program_min) amp = scheme_.v_program_min;
+    } else {
+      amp += 0.05;
+      if (amp > scheme_.v_program_max) amp = scheme_.v_program_max;
+    }
+  }
+  return std::nullopt;
+}
+
+double PulseProgrammer::amplitude(std::size_t level) const {
+  if (level >= amplitudes_.size()) throw std::out_of_range{"PulseProgrammer: level"};
+  return amplitudes_[level];
+}
+
+double PulseProgrammer::target(std::size_t level) const {
+  if (level >= targets_.size()) throw std::out_of_range{"PulseProgrammer: level"};
+  return targets_[level];
+}
+
+}  // namespace mcam::fefet

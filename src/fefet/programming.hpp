@@ -1,0 +1,80 @@
+// Programming schemes for multi-level FeFETs (paper Sec. III-A, IV-D).
+//
+// The paper programs intermediate Vth states with *single, same-width
+// pulses of different amplitudes* and no verify pulses. The experimental
+// demonstration constrains amplitudes to 1.0..4.5 V in 0.1 V steps with
+// 200 ns pulses, and erases with -5 V / 500 ns. `PulseProgrammer`
+// reproduces that scheme: it calibrates an amplitude for each target Vth
+// on the nominal (quantile) device, then programs any device - including
+// Monte-Carlo variation samples - with the calibrated amplitude.
+//
+// A write-and-verify scheme (mentioned by the paper as a future-work knob
+// for tightening Vth control) is provided as well.
+#pragma once
+
+#include "fefet/device.hpp"
+
+#include <optional>
+#include <vector>
+
+namespace mcam::fefet {
+
+/// Pulse-scheme constants; defaults mirror Sec. IV-D.
+struct PulseScheme {
+  double erase_amplitude = -5.0;  ///< Erase pulse amplitude [V].
+  double erase_width_s = 500e-9;  ///< Erase pulse width [s].
+  double program_width_s = 200e-9;///< Program pulse width [s].
+  double v_program_min = 1.0;     ///< Lowest usable program amplitude [V].
+  double v_program_max = 4.5;     ///< Highest usable program amplitude [V].
+  double v_program_step = 0.0;    ///< DAC granularity [V]; 0 = continuous.
+};
+
+/// Calibrated single-pulse programmer for a fixed set of Vth targets.
+class PulseProgrammer {
+ public:
+  /// Sentinel amplitude meaning "the erase pulse alone realizes this level"
+  /// (the highest-Vth state needs no program pulse).
+  static constexpr double kNoPulse = 0.0;
+  /// Calibrates amplitudes for `vth_targets` (volts) against the nominal
+  /// device built from `preisach`/`vth_map`. Throws if a target is
+  /// unreachable inside the scheme's amplitude window.
+  PulseProgrammer(std::vector<double> vth_targets, const PreisachParams& preisach,
+                  const VthMap& vth_map, const PulseScheme& scheme = PulseScheme{});
+
+  /// Erases `device`, then applies the single calibrated pulse for target
+  /// index `level`. The achieved Vth depends on the device's own coercive
+  /// landscape (this is where device-to-device variation enters).
+  void program(FefetDevice& device, std::size_t level) const;
+
+  /// Write-and-verify: erase, then staircase the amplitude upward from the
+  /// calibrated value minus one sigma-step until |vth - target| <= tol or
+  /// `max_pulses` is exhausted. Returns the number of pulses used, or
+  /// nullopt if the tolerance was not met.
+  [[nodiscard]] std::optional<unsigned> program_with_verify(FefetDevice& device,
+                                                            std::size_t level, double tol_v,
+                                                            unsigned max_pulses = 16) const;
+
+  /// Calibrated pulse amplitude for target `level` [V].
+  [[nodiscard]] double amplitude(std::size_t level) const;
+
+  /// Vth target for `level` [V].
+  [[nodiscard]] double target(std::size_t level) const;
+
+  /// Number of calibrated levels.
+  [[nodiscard]] std::size_t num_levels() const noexcept { return targets_.size(); }
+
+  /// Scheme constants in use.
+  [[nodiscard]] const PulseScheme& scheme() const noexcept { return scheme_; }
+
+ private:
+  /// Achieved Vth on a fresh nominal device after erase + one pulse at `amp`.
+  [[nodiscard]] double nominal_vth_after_pulse(double amp) const;
+
+  std::vector<double> targets_;
+  std::vector<double> amplitudes_;
+  PreisachParams preisach_;
+  VthMap vth_map_;
+  PulseScheme scheme_;
+};
+
+}  // namespace mcam::fefet

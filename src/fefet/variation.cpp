@@ -1,0 +1,48 @@
+#include "fefet/variation.hpp"
+
+#include <algorithm>
+
+namespace mcam::fefet {
+
+VariationStudy::VariationStudy(const PreisachParams& preisach, const VthMap& vth_map,
+                               const PulseProgrammer& programmer)
+    : preisach_(preisach), vth_map_(vth_map), programmer_(&programmer) {}
+
+std::vector<StateDistribution> VariationStudy::run(std::size_t num_devices,
+                                                   std::uint64_t seed) const {
+  const std::size_t levels = programmer_->num_levels();
+  std::vector<StateDistribution> result(levels);
+  for (std::size_t level = 0; level < levels; ++level) {
+    result[level].target_vth = programmer_->target(level);
+    result[level].samples.reserve(num_devices);
+  }
+
+  Rng master{seed};
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    // Each device gets its own coercive-voltage landscape; reprogramming the
+    // same physical device to different levels reuses that landscape, as in
+    // the paper's experiment.
+    FefetDevice device{preisach_, ChannelParams{}, vth_map_, SamplingMode::kMonteCarlo,
+                       master.fork(d)};
+    for (std::size_t level = 0; level < levels; ++level) {
+      programmer_->program(device, level);
+      result[level].samples.push_back(device.vth());
+    }
+  }
+
+  for (auto& dist : result) {
+    RunningStats stats;
+    for (double v : dist.samples) stats.add(v);
+    dist.mean = stats.mean();
+    dist.sigma = stats.stddev();
+  }
+  return result;
+}
+
+double VariationStudy::max_sigma(const std::vector<StateDistribution>& distributions) {
+  double worst = 0.0;
+  for (const auto& dist : distributions) worst = std::max(worst, dist.sigma);
+  return worst;
+}
+
+}  // namespace mcam::fefet

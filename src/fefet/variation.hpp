@@ -1,0 +1,68 @@
+// Device-to-device variation studies (paper Sec. III-C, Fig. 5, Fig. 8).
+//
+// The paper simulates 1200 FeFET devices with the Monte-Carlo model of
+// Deng et al. (VLSI'20), programs each to 8 states with single same-width
+// pulses (no verify), and reports per-state Vth distributions with sigma up
+// to ~80 mV. `VariationStudy` reproduces that flow on our hysteron
+// ensemble; `GaussianVthSampler` provides the Gaussian abstraction of those
+// distributions that the application-level studies consume.
+#pragma once
+
+#include "fefet/programming.hpp"
+#include "util/rng.hpp"
+#include "util/statistics.hpp"
+
+#include <vector>
+
+namespace mcam::fefet {
+
+/// Per-state result of a Monte-Carlo programming experiment.
+struct StateDistribution {
+  double target_vth = 0.0;        ///< Programmed Vth target [V].
+  std::vector<double> samples;    ///< Achieved Vth of every device [V].
+  double mean = 0.0;              ///< Sample mean [V].
+  double sigma = 0.0;             ///< Sample standard deviation [V].
+};
+
+/// Runs the Fig. 5 experiment: `num_devices` Monte-Carlo devices, each
+/// programmed to every target level of `programmer`; returns one
+/// distribution per state.
+class VariationStudy {
+ public:
+  VariationStudy(const PreisachParams& preisach, const VthMap& vth_map,
+                 const PulseProgrammer& programmer);
+
+  /// Programs every device to every level and collects the achieved Vth.
+  /// `seed` makes the device population reproducible.
+  [[nodiscard]] std::vector<StateDistribution> run(std::size_t num_devices,
+                                                   std::uint64_t seed) const;
+
+  /// Largest per-state sigma of `distributions` [V]; the paper quotes up to
+  /// ~80 mV for the unverified single-pulse scheme.
+  [[nodiscard]] static double max_sigma(const std::vector<StateDistribution>& distributions);
+
+ private:
+  PreisachParams preisach_;
+  VthMap vth_map_;
+  const PulseProgrammer* programmer_;
+};
+
+/// Gaussian Vth-noise source used by the application-level sweeps
+/// (Fig. 8): every programmed cell FeFET receives an independent
+/// N(0, sigma) threshold shift.
+class GaussianVthSampler {
+ public:
+  /// `sigma_v` is the standard deviation in volts.
+  explicit GaussianVthSampler(double sigma_v) noexcept : sigma_(sigma_v) {}
+
+  /// Draws one Vth offset [V].
+  [[nodiscard]] double sample(Rng& rng) const noexcept { return rng.normal(0.0, sigma_); }
+
+  /// Standard deviation [V].
+  [[nodiscard]] double sigma() const noexcept { return sigma_; }
+
+ private:
+  double sigma_;
+};
+
+}  // namespace mcam::fefet

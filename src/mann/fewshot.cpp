@@ -1,0 +1,36 @@
+#include "mann/fewshot.hpp"
+
+#include "util/statistics.hpp"
+
+#include <stdexcept>
+
+namespace mcam::mann {
+
+FewShotResult evaluate_few_shot(const data::EpisodeSampler& sampler,
+                                const data::TaskSpec& task, std::size_t episodes,
+                                const EngineFactory& factory, std::uint64_t seed,
+                                StoragePolicy policy) {
+  if (!factory) throw std::invalid_argument{"evaluate_few_shot: null engine factory"};
+  if (episodes == 0) throw std::invalid_argument{"evaluate_few_shot: zero episodes"};
+
+  Rng rng{seed};
+  std::size_t correct = 0;
+  std::size_t total = 0;
+  for (std::size_t e = 0; e < episodes; ++e) {
+    const data::Episode episode = sampler.sample(task, rng);
+    FeatureMemory memory{factory(), policy};
+    memory.store(episode.support, episode.support_labels);
+    for (std::size_t q = 0; q < episode.query.size(); ++q) {
+      if (memory.lookup(episode.query[q]) == episode.query_labels[q]) ++correct;
+      ++total;
+    }
+  }
+  FewShotResult result;
+  result.accuracy = static_cast<double>(correct) / static_cast<double>(total);
+  result.ci95 = proportion_ci95(result.accuracy, total);
+  result.episodes = episodes;
+  result.queries = total;
+  return result;
+}
+
+}  // namespace mcam::mann

@@ -1,0 +1,46 @@
+#include "mann/memory.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace mcam::mann {
+
+FeatureMemory::FeatureMemory(std::unique_ptr<search::NnEngine> engine, StoragePolicy policy)
+    : engine_(std::move(engine)), policy_(policy) {
+  if (!engine_) throw std::invalid_argument{"FeatureMemory: null engine"};
+}
+
+void FeatureMemory::store(std::span<const std::vector<float>> features,
+                          std::span<const int> labels) {
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument{"FeatureMemory::store: bad support set"};
+  }
+  if (policy_ == StoragePolicy::kAllShots) {
+    engine_->fit(features, labels);
+    return;
+  }
+  // Prototype policy: average the features of each class.
+  std::map<int, std::pair<std::vector<float>, std::size_t>> sums;
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    auto& [sum, count] = sums[labels[i]];
+    if (sum.empty()) sum.assign(features[i].size(), 0.0f);
+    for (std::size_t f = 0; f < features[i].size(); ++f) sum[f] += features[i][f];
+    ++count;
+  }
+  std::vector<std::vector<float>> prototypes;
+  std::vector<int> prototype_labels;
+  prototypes.reserve(sums.size());
+  for (auto& [label, entry] : sums) {
+    auto& [sum, count] = entry;
+    for (float& v : sum) v /= static_cast<float>(count);
+    prototypes.push_back(std::move(sum));
+    prototype_labels.push_back(label);
+  }
+  engine_->fit(prototypes, prototype_labels);
+}
+
+int FeatureMemory::lookup(std::span<const float> query) const {
+  return engine_->predict(query);
+}
+
+}  // namespace mcam::mann

@@ -1,0 +1,47 @@
+// The MANN's explicit memory module (paper Sec. IV-C).
+//
+// The memory holds the features of the support examples; inference embeds
+// the query and returns the label of its nearest memory entry. The storage
+// policy selects between keeping every shot (the paper's CAM arrays store
+// all N*K support rows) and collapsing each class to its prototype mean
+// (the Prototypical-Networks variant, useful as an ablation).
+#pragma once
+
+#include "search/engine.hpp"
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace mcam::mann {
+
+/// How K-shot support features are stored.
+enum class StoragePolicy {
+  kAllShots,    ///< One memory row per support example (paper default).
+  kPrototype,   ///< One row per class: the mean of its support features.
+};
+
+/// Feature memory backed by any NN engine (software, TCAM+LSH, or MCAM).
+class FeatureMemory {
+ public:
+  /// Takes ownership of the search engine that realizes the lookups.
+  FeatureMemory(std::unique_ptr<search::NnEngine> engine, StoragePolicy policy);
+
+  /// Writes the support set (programs the backing array / index).
+  void store(std::span<const std::vector<float>> features, std::span<const int> labels);
+
+  /// Label of the nearest stored entry to `query`.
+  [[nodiscard]] int lookup(std::span<const float> query) const;
+
+  /// Engine name for result tables.
+  [[nodiscard]] std::string engine_name() const { return engine_->name(); }
+
+  /// Policy in use.
+  [[nodiscard]] StoragePolicy policy() const noexcept { return policy_; }
+
+ private:
+  std::unique_ptr<search::NnEngine> engine_;
+  StoragePolicy policy_;
+};
+
+}  // namespace mcam::mann

@@ -1,0 +1,26 @@
+#include "mann/pipeline.hpp"
+
+#include <stdexcept>
+
+namespace mcam::mann {
+
+MannPipeline::MannPipeline(ml::EmbeddingSource& embedding,
+                           std::unique_ptr<search::NnEngine> engine, StoragePolicy policy)
+    : embedding_(&embedding), memory_(std::move(engine), policy) {}
+
+void MannPipeline::store_support(std::span<const std::vector<float>> images,
+                                 std::span<const int> labels) {
+  if (images.size() != labels.size() || images.empty()) {
+    throw std::invalid_argument{"MannPipeline::store_support: bad support set"};
+  }
+  std::vector<std::vector<float>> features;
+  features.reserve(images.size());
+  for (const auto& image : images) features.push_back(embedding_->embed(image));
+  memory_.store(features, labels);
+}
+
+int MannPipeline::classify(const std::vector<float>& image) {
+  return memory_.lookup(embedding_->embed(image));
+}
+
+}  // namespace mcam::mann

@@ -1,0 +1,40 @@
+// End-to-end MANN inference pipeline: image -> embedding -> memory lookup.
+//
+// Combines a feature extractor (the trained classifier's embedding cut)
+// with a CAM-backed feature memory, mirroring the full inference path the
+// paper accelerates: "the features of the query image are extracted using
+// the neural network and compared with the features of the trained classes
+// stored in memory".
+#pragma once
+
+#include "mann/memory.hpp"
+#include "ml/embedding.hpp"
+
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace mcam::mann {
+
+/// Image-in, label-out MANN.
+class MannPipeline {
+ public:
+  /// `embedding` must outlive the pipeline; the memory is owned.
+  MannPipeline(ml::EmbeddingSource& embedding, std::unique_ptr<search::NnEngine> engine,
+               StoragePolicy policy = StoragePolicy::kAllShots);
+
+  /// Embeds and stores the support images.
+  void store_support(std::span<const std::vector<float>> images, std::span<const int> labels);
+
+  /// Embeds `image` and returns the label of its nearest memory entry.
+  [[nodiscard]] int classify(const std::vector<float>& image);
+
+  /// Name of the backing engine.
+  [[nodiscard]] std::string engine_name() const { return memory_.engine_name(); }
+
+ private:
+  ml::EmbeddingSource* embedding_;
+  FeatureMemory memory_;
+};
+
+}  // namespace mcam::mann

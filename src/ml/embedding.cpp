@@ -1,0 +1,67 @@
+#include "ml/embedding.hpp"
+
+#include "util/linalg.hpp"
+
+#include <stdexcept>
+
+namespace mcam::ml {
+
+TrainedEmbedding::TrainedEmbedding(Sequential& network, std::size_t cut, std::size_t dim)
+    : network_(&network), cut_(cut), dim_(dim) {
+  if (cut == 0 || cut > network.num_layers()) {
+    throw std::invalid_argument{"TrainedEmbedding: cut out of range"};
+  }
+}
+
+void TrainedEmbedding::set_centering(std::vector<float> mean) {
+  if (mean.size() != dim_) throw std::invalid_argument{"TrainedEmbedding: center width"};
+  center_ = std::move(mean);
+}
+
+std::vector<float> TrainedEmbedding::embed(const std::vector<float>& input) {
+  std::vector<float> features = network_->forward_to(input, cut_);
+  if (features.size() != dim_) {
+    throw std::logic_error{"TrainedEmbedding: cut width does not match dim"};
+  }
+  if (center_) {
+    for (std::size_t i = 0; i < features.size(); ++i) features[i] -= (*center_)[i];
+  }
+  if (l2_normalize_) l2_normalize(features);
+  return features;
+}
+
+GaussianPrototypeEmbedding::GaussianPrototypeEmbedding(std::size_t num_classes,
+                                                       std::size_t dim, double intra_sigma,
+                                                       std::uint64_t seed, double spike_prob,
+                                                       double spike_sigma)
+    : dim_(dim), intra_sigma_(intra_sigma), spike_prob_(spike_prob),
+      spike_sigma_(spike_sigma) {
+  if (num_classes == 0 || dim == 0) {
+    throw std::invalid_argument{"GaussianPrototypeEmbedding: empty dimensions"};
+  }
+  Rng rng{seed};
+  prototypes_.reserve(num_classes);
+  for (std::size_t c = 0; c < num_classes; ++c) {
+    std::vector<float> proto(dim);
+    for (float& v : proto) v = static_cast<float>(rng.normal());
+    prototypes_.push_back(std::move(proto));
+  }
+}
+
+std::vector<float> GaussianPrototypeEmbedding::sample(std::size_t cls, Rng& rng) const {
+  const std::vector<float>& proto = prototypes_.at(cls);
+  std::vector<float> features(dim_);
+  for (std::size_t i = 0; i < dim_; ++i) {
+    // Latent Gaussian around the class prototype pushed through a ReLU:
+    // mimics the sparse non-negative statistics of post-ReLU CNN features.
+    double latent = proto[i] + intra_sigma_ * rng.normal();
+    // Sparse outlier dimensions (see class comment).
+    if (spike_prob_ > 0.0 && rng.bernoulli(spike_prob_)) {
+      latent += spike_sigma_ * rng.normal();
+    }
+    features[i] = latent > 0.0 ? static_cast<float>(latent) : 0.0f;
+  }
+  return features;
+}
+
+}  // namespace mcam::ml

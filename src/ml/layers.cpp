@@ -1,0 +1,204 @@
+#include "ml/layers.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace mcam::ml {
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng)
+    : in_dim_(in_dim), out_dim_(out_dim),
+      weight_(Tensor::randn({out_dim, in_dim}, rng, std::sqrt(2.0 / static_cast<double>(in_dim)))),
+      bias_(Tensor::zeros({out_dim})), weight_grad_(Tensor::zeros({out_dim, in_dim})),
+      bias_grad_(Tensor::zeros({out_dim})) {
+  if (in_dim == 0 || out_dim == 0) throw std::invalid_argument{"Dense: zero dimension"};
+}
+
+std::vector<float> Dense::forward(const std::vector<float>& x) {
+  if (x.size() != in_dim_) throw std::invalid_argument{"Dense::forward: width mismatch"};
+  last_input_ = x;
+  std::vector<float> y(out_dim_);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    float sum = bias_[o];
+    const float* w = &weight_[o * in_dim_];
+    for (std::size_t i = 0; i < in_dim_; ++i) sum += w[i] * x[i];
+    y[o] = sum;
+  }
+  return y;
+}
+
+std::vector<float> Dense::backward(const std::vector<float>& grad_out) {
+  if (grad_out.size() != out_dim_) throw std::invalid_argument{"Dense::backward: width"};
+  std::vector<float> grad_in(in_dim_, 0.0f);
+  for (std::size_t o = 0; o < out_dim_; ++o) {
+    const float g = grad_out[o];
+    bias_grad_[o] += g;
+    const float* w = &weight_[o * in_dim_];
+    float* wg = &weight_grad_[o * in_dim_];
+    for (std::size_t i = 0; i < in_dim_; ++i) {
+      wg[i] += g * last_input_[i];
+      grad_in[i] += g * w[i];
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Dense::parameters() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+std::string Dense::name() const {
+  return "dense(" + std::to_string(in_dim_) + "->" + std::to_string(out_dim_) + ")";
+}
+
+std::vector<float> Relu::forward(const std::vector<float>& x) {
+  last_input_ = x;
+  std::vector<float> y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0.0f ? x[i] : 0.0f;
+  return y;
+}
+
+std::vector<float> Relu::backward(const std::vector<float>& grad_out) {
+  if (grad_out.size() != last_input_.size()) throw std::invalid_argument{"Relu::backward"};
+  std::vector<float> grad_in(grad_out.size());
+  for (std::size_t i = 0; i < grad_out.size(); ++i) {
+    grad_in[i] = last_input_[i] > 0.0f ? grad_out[i] : 0.0f;
+  }
+  return grad_in;
+}
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t height,
+               std::size_t width, Rng& rng)
+    : in_channels_(in_channels), out_channels_(out_channels), height_(height), width_(width),
+      weight_(Tensor::randn({out_channels, in_channels, kKernel, kKernel}, rng,
+                            std::sqrt(2.0 / static_cast<double>(in_channels * kKernel * kKernel)))),
+      bias_(Tensor::zeros({out_channels})),
+      weight_grad_(Tensor::zeros({out_channels, in_channels, kKernel, kKernel})),
+      bias_grad_(Tensor::zeros({out_channels})) {
+  if (height < kKernel || width < kKernel) throw std::invalid_argument{"Conv2d: image too small"};
+}
+
+std::vector<float> Conv2d::forward(const std::vector<float>& x) {
+  if (x.size() != in_channels_ * height_ * width_) {
+    throw std::invalid_argument{"Conv2d::forward: width mismatch"};
+  }
+  last_input_ = x;
+  std::vector<float> y(out_channels_ * height_ * width_, 0.0f);
+  const long pad = kKernel / 2;
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    for (std::size_t row = 0; row < height_; ++row) {
+      for (std::size_t col = 0; col < width_; ++col) {
+        float sum = bias_[oc];
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t kr = 0; kr < kKernel; ++kr) {
+            const long in_row = static_cast<long>(row) + static_cast<long>(kr) - pad;
+            if (in_row < 0 || in_row >= static_cast<long>(height_)) continue;
+            for (std::size_t kc = 0; kc < kKernel; ++kc) {
+              const long in_col = static_cast<long>(col) + static_cast<long>(kc) - pad;
+              if (in_col < 0 || in_col >= static_cast<long>(width_)) continue;
+              const float w =
+                  weight_[((oc * in_channels_ + ic) * kKernel + kr) * kKernel + kc];
+              sum += w * x[(ic * height_ + static_cast<std::size_t>(in_row)) * width_ +
+                           static_cast<std::size_t>(in_col)];
+            }
+          }
+        }
+        y[(oc * height_ + row) * width_ + col] = sum;
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<float> Conv2d::backward(const std::vector<float>& grad_out) {
+  if (grad_out.size() != out_channels_ * height_ * width_) {
+    throw std::invalid_argument{"Conv2d::backward: width mismatch"};
+  }
+  std::vector<float> grad_in(in_channels_ * height_ * width_, 0.0f);
+  const long pad = kKernel / 2;
+  for (std::size_t oc = 0; oc < out_channels_; ++oc) {
+    for (std::size_t row = 0; row < height_; ++row) {
+      for (std::size_t col = 0; col < width_; ++col) {
+        const float g = grad_out[(oc * height_ + row) * width_ + col];
+        bias_grad_[oc] += g;
+        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
+          for (std::size_t kr = 0; kr < kKernel; ++kr) {
+            const long in_row = static_cast<long>(row) + static_cast<long>(kr) - pad;
+            if (in_row < 0 || in_row >= static_cast<long>(height_)) continue;
+            for (std::size_t kc = 0; kc < kKernel; ++kc) {
+              const long in_col = static_cast<long>(col) + static_cast<long>(kc) - pad;
+              if (in_col < 0 || in_col >= static_cast<long>(width_)) continue;
+              const std::size_t w_idx =
+                  ((oc * in_channels_ + ic) * kKernel + kr) * kKernel + kc;
+              const std::size_t x_idx =
+                  (ic * height_ + static_cast<std::size_t>(in_row)) * width_ +
+                  static_cast<std::size_t>(in_col);
+              weight_grad_[w_idx] += g * last_input_[x_idx];
+              grad_in[x_idx] += g * weight_[w_idx];
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::vector<ParamRef> Conv2d::parameters() {
+  return {{&weight_, &weight_grad_}, {&bias_, &bias_grad_}};
+}
+
+std::string Conv2d::name() const {
+  return "conv3x3(" + std::to_string(in_channels_) + "->" + std::to_string(out_channels_) + ")";
+}
+
+MaxPool2d::MaxPool2d(std::size_t channels, std::size_t height, std::size_t width)
+    : channels_(channels), height_(height), width_(width) {
+  if (height % 2 != 0 || width % 2 != 0) {
+    throw std::invalid_argument{"MaxPool2d: dimensions must be even"};
+  }
+}
+
+std::vector<float> MaxPool2d::forward(const std::vector<float>& x) {
+  if (x.size() != channels_ * height_ * width_) {
+    throw std::invalid_argument{"MaxPool2d::forward: width mismatch"};
+  }
+  const std::size_t out_h = height_ / 2;
+  const std::size_t out_w = width_ / 2;
+  std::vector<float> y(channels_ * out_h * out_w);
+  argmax_.assign(y.size(), 0);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    for (std::size_t row = 0; row < out_h; ++row) {
+      for (std::size_t col = 0; col < out_w; ++col) {
+        float best = -std::numeric_limits<float>::infinity();
+        std::size_t best_idx = 0;
+        for (std::size_t dr = 0; dr < 2; ++dr) {
+          for (std::size_t dc = 0; dc < 2; ++dc) {
+            const std::size_t idx =
+                (c * height_ + row * 2 + dr) * width_ + col * 2 + dc;
+            if (x[idx] > best) {
+              best = x[idx];
+              best_idx = idx;
+            }
+          }
+        }
+        const std::size_t out_idx = (c * out_h + row) * out_w + col;
+        y[out_idx] = best;
+        argmax_[out_idx] = best_idx;
+      }
+    }
+  }
+  return y;
+}
+
+std::vector<float> MaxPool2d::backward(const std::vector<float>& grad_out) {
+  if (grad_out.size() != argmax_.size()) {
+    throw std::invalid_argument{"MaxPool2d::backward: width mismatch"};
+  }
+  std::vector<float> grad_in(channels_ * height_ * width_, 0.0f);
+  for (std::size_t i = 0; i < grad_out.size(); ++i) grad_in[argmax_[i]] += grad_out[i];
+  return grad_in;
+}
+
+}  // namespace mcam::ml

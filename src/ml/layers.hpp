@@ -1,0 +1,129 @@
+// Neural-network layers with single-sample forward/backward.
+//
+// The MANN's feature extractor (paper Sec. IV-C) is a small convolutional
+// network whose last fully-connected layer has 64 units; these layers are
+// enough to build both the paper's exact architecture and the faster
+// default used by the benches. Training is plain SGD over one sample at a
+// time, so each layer caches its last input for the backward pass.
+#pragma once
+
+#include "ml/tensor.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcam::ml {
+
+/// View of one learnable parameter tensor and its gradient accumulator.
+struct ParamRef {
+  Tensor* value = nullptr;
+  Tensor* grad = nullptr;
+};
+
+/// Base layer: y = f(x) with cached-input backprop.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the output for `x` and caches what backward needs.
+  virtual std::vector<float> forward(const std::vector<float>& x) = 0;
+
+  /// Propagates `grad_out` (dL/dy) to dL/dx, accumulating parameter grads.
+  virtual std::vector<float> backward(const std::vector<float>& grad_out) = 0;
+
+  /// Learnable parameters (empty for activations/pooling).
+  virtual std::vector<ParamRef> parameters() { return {}; }
+
+  /// Layer name for summaries.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Output width given `input_dim` flat inputs.
+  [[nodiscard]] virtual std::size_t output_dim(std::size_t input_dim) const = 0;
+};
+
+/// Fully connected layer y = W x + b.
+class Dense final : public Layer {
+ public:
+  /// He-initialized weights (scale sqrt(2/in)).
+  Dense(std::size_t in_dim, std::size_t out_dim, Rng& rng);
+
+  std::vector<float> forward(const std::vector<float>& x) override;
+  std::vector<float> backward(const std::vector<float>& grad_out) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_dim(std::size_t) const override { return out_dim_; }
+
+ private:
+  std::size_t in_dim_;
+  std::size_t out_dim_;
+  Tensor weight_;       ///< [out x in].
+  Tensor bias_;         ///< [out].
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  std::vector<float> last_input_;
+};
+
+/// Elementwise rectifier.
+class Relu final : public Layer {
+ public:
+  std::vector<float> forward(const std::vector<float>& x) override;
+  std::vector<float> backward(const std::vector<float>& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "relu"; }
+  [[nodiscard]] std::size_t output_dim(std::size_t input_dim) const override {
+    return input_dim;
+  }
+
+ private:
+  std::vector<float> last_input_;
+};
+
+/// 3x3 same-padding convolution over CHW-flattened inputs.
+class Conv2d final : public Layer {
+ public:
+  /// Input is `in_channels` x `height` x `width` flattened row-major.
+  Conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t height,
+         std::size_t width, Rng& rng);
+
+  std::vector<float> forward(const std::vector<float>& x) override;
+  std::vector<float> backward(const std::vector<float>& grad_out) override;
+  std::vector<ParamRef> parameters() override;
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] std::size_t output_dim(std::size_t) const override {
+    return out_channels_ * height_ * width_;
+  }
+
+ private:
+  static constexpr std::size_t kKernel = 3;
+
+  std::size_t in_channels_;
+  std::size_t out_channels_;
+  std::size_t height_;
+  std::size_t width_;
+  Tensor weight_;  ///< [out_ch x in_ch x 3 x 3] flattened.
+  Tensor bias_;
+  Tensor weight_grad_;
+  Tensor bias_grad_;
+  std::vector<float> last_input_;
+};
+
+/// 2x2 max pooling with stride 2 over CHW-flattened inputs.
+class MaxPool2d final : public Layer {
+ public:
+  MaxPool2d(std::size_t channels, std::size_t height, std::size_t width);
+
+  std::vector<float> forward(const std::vector<float>& x) override;
+  std::vector<float> backward(const std::vector<float>& grad_out) override;
+  [[nodiscard]] std::string name() const override { return "maxpool2x2"; }
+  [[nodiscard]] std::size_t output_dim(std::size_t) const override {
+    return channels_ * (height_ / 2) * (width_ / 2);
+  }
+
+ private:
+  std::size_t channels_;
+  std::size_t height_;
+  std::size_t width_;
+  std::vector<std::size_t> argmax_;  ///< Winner index per output element.
+};
+
+}  // namespace mcam::ml

@@ -1,0 +1,34 @@
+#include "ml/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mcam::ml {
+
+std::vector<float> softmax(std::span<const float> logits) {
+  if (logits.empty()) throw std::invalid_argument{"softmax: empty logits"};
+  const float peak = *std::max_element(logits.begin(), logits.end());
+  std::vector<float> probs(logits.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    probs[i] = std::exp(logits[i] - peak);
+    total += probs[i];
+  }
+  for (float& p : probs) p = static_cast<float>(p / total);
+  return probs;
+}
+
+LossResult softmax_cross_entropy(std::span<const float> logits, std::size_t target) {
+  if (target >= logits.size()) {
+    throw std::invalid_argument{"softmax_cross_entropy: target out of range"};
+  }
+  LossResult result;
+  result.grad = softmax(logits);
+  const double p_target = std::max(static_cast<double>(result.grad[target]), 1e-12);
+  result.loss = -std::log(p_target);
+  result.grad[target] -= 1.0f;  // dL/dlogit = softmax - one_hot.
+  return result;
+}
+
+}  // namespace mcam::ml

@@ -1,0 +1,23 @@
+// Losses for classifier training.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcam::ml {
+
+/// Loss value + gradient w.r.t. the logits.
+struct LossResult {
+  double loss = 0.0;
+  std::vector<float> grad;
+};
+
+/// Numerically stable softmax cross-entropy against integer `target`.
+[[nodiscard]] LossResult softmax_cross_entropy(std::span<const float> logits,
+                                               std::size_t target);
+
+/// Softmax probabilities (stable; used by tests and diagnostics).
+[[nodiscard]] std::vector<float> softmax(std::span<const float> logits);
+
+}  // namespace mcam::ml

@@ -1,0 +1,108 @@
+#include "ml/network.hpp"
+
+#include <stdexcept>
+
+namespace mcam::ml {
+
+std::size_t Sequential::add(std::unique_ptr<Layer> layer) {
+  if (!layer) throw std::invalid_argument{"Sequential::add: null layer"};
+  layers_.push_back(std::move(layer));
+  return layers_.size() - 1;
+}
+
+std::vector<float> Sequential::forward(const std::vector<float>& x) {
+  return forward_to(x, layers_.size());
+}
+
+std::vector<float> Sequential::forward_to(const std::vector<float>& x,
+                                          std::size_t num_layers) {
+  if (num_layers > layers_.size()) {
+    throw std::invalid_argument{"Sequential::forward_to: layer count out of range"};
+  }
+  std::vector<float> activation = x;
+  for (std::size_t i = 0; i < num_layers; ++i) {
+    activation = layers_[i]->forward(activation);
+  }
+  return activation;
+}
+
+std::vector<float> Sequential::backward(const std::vector<float>& grad_out) {
+  std::vector<float> grad = grad_out;
+  for (std::size_t i = layers_.size(); i-- > 0;) {
+    grad = layers_[i]->backward(grad);
+  }
+  return grad;
+}
+
+std::vector<ParamRef> Sequential::parameters() {
+  std::vector<ParamRef> params;
+  for (auto& layer : layers_) {
+    for (const ParamRef& p : layer->parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+std::string Sequential::summary() const {
+  std::string text;
+  for (const auto& layer : layers_) {
+    if (!text.empty()) text += " ";
+    text += layer->name();
+  }
+  return text;
+}
+
+std::size_t Sequential::num_parameters() {
+  std::size_t total = 0;
+  for (const ParamRef& p : parameters()) total += p.value->size();
+  return total;
+}
+
+Sequential make_mlp_classifier(std::size_t input_dim, std::size_t num_classes, Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Dense>(input_dim, 128, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dense>(128, 64, rng));
+  net.add(std::make_unique<Relu>());  // <- kDefaultEmbeddingCut = 4 ends here.
+  net.add(std::make_unique<Dense>(64, num_classes, rng));
+  return net;
+}
+
+Sequential make_conv_classifier(std::size_t size, std::size_t num_classes, Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(1, 8, size, size, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool2d>(8, size, size));
+  const std::size_t half = size / 2;
+  net.add(std::make_unique<Conv2d>(8, 16, half, half, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool2d>(16, half, half));
+  const std::size_t quarter = half / 2;
+  net.add(std::make_unique<Dense>(16 * quarter * quarter, 64, rng));
+  net.add(std::make_unique<Relu>());  // <- conv_embedding_cut() = 8 ends here.
+  net.add(std::make_unique<Dense>(64, num_classes, rng));
+  return net;
+}
+
+Sequential make_paper_controller(std::size_t size, std::size_t num_classes, Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(1, 64, size, size, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Conv2d>(64, 64, size, size, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool2d>(64, size, size));
+  const std::size_t half = size / 2;
+  net.add(std::make_unique<Conv2d>(64, 128, half, half, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Conv2d>(128, 128, half, half, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<MaxPool2d>(128, half, half));
+  const std::size_t quarter = half / 2;
+  net.add(std::make_unique<Dense>(128 * quarter * quarter, 128, rng));
+  net.add(std::make_unique<Relu>());
+  net.add(std::make_unique<Dense>(128, 64, rng));
+  net.add(std::make_unique<Relu>());  // <- paper_controller_embedding_cut() = 14 ends here.
+  net.add(std::make_unique<Dense>(64, num_classes, rng));
+  return net;
+}
+
+}  // namespace mcam::ml

@@ -1,0 +1,79 @@
+// Sequential network container with an embedding cut point.
+//
+// Following SimpleShot (paper ref [21]), the MANN's feature extractor is a
+// standard classifier; at inference the logits head is dropped and the
+// activations at a chosen cut (the 64-unit layer) become the stored /
+// queried features. `forward_to` implements that cut.
+#pragma once
+
+#include "ml/layers.hpp"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcam::ml {
+
+/// Ordered stack of layers trained end-to-end.
+class Sequential {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns its index.
+  std::size_t add(std::unique_ptr<Layer> layer);
+
+  /// Full forward pass (training/classification).
+  [[nodiscard]] std::vector<float> forward(const std::vector<float>& x);
+
+  /// Forward through the first `num_layers` layers only (embedding cut).
+  [[nodiscard]] std::vector<float> forward_to(const std::vector<float>& x,
+                                              std::size_t num_layers);
+
+  /// Backward pass from dL/dy of the last forward; accumulates parameter
+  /// gradients and returns dL/dx.
+  std::vector<float> backward(const std::vector<float>& grad_out);
+
+  /// All learnable parameters in layer order.
+  [[nodiscard]] std::vector<ParamRef> parameters();
+
+  /// Number of layers.
+  [[nodiscard]] std::size_t num_layers() const noexcept { return layers_.size(); }
+
+  /// One-line architecture summary, e.g. "dense(400->128) relu ...".
+  [[nodiscard]] std::string summary() const;
+
+  /// Total learnable scalar count.
+  [[nodiscard]] std::size_t num_parameters();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Builds the default embedding classifier for `input_dim`-pixel images and
+/// `num_classes` outputs: dense(input->128) relu dense(128->64) relu
+/// dense(64->classes). The embedding cut is after layer 4 (post-ReLU 64-d),
+/// exposed as `kDefaultEmbeddingCut`.
+inline constexpr std::size_t kDefaultEmbeddingCut = 4;
+[[nodiscard]] Sequential make_mlp_classifier(std::size_t input_dim, std::size_t num_classes,
+                                             Rng& rng);
+
+/// Builds the small conv classifier used by the conv-path tests/examples:
+/// conv(1->8) relu pool conv(8->16) relu pool dense(flat->64) relu
+/// dense(64->classes) over `size` x `size` images. Embedding cut after the
+/// post-ReLU 64-d layer (`conv_embedding_cut()`).
+[[nodiscard]] Sequential make_conv_classifier(std::size_t size, std::size_t num_classes,
+                                              Rng& rng);
+/// Cut index for make_conv_classifier networks.
+[[nodiscard]] constexpr std::size_t conv_embedding_cut() { return 8; }
+
+/// Builds the paper's exact MANN controller (Sec. IV-C): two 3x3 conv
+/// layers with 64 filters, maxpool, two 3x3 conv layers with 128 filters,
+/// maxpool, dense 128 and dense 64, plus a classification head. Provided
+/// for completeness; training it on a laptop-scale budget is slow, so the
+/// benches default to the MLP.
+[[nodiscard]] Sequential make_paper_controller(std::size_t size, std::size_t num_classes,
+                                               Rng& rng);
+/// Cut index (post-ReLU 64-d layer) for make_paper_controller networks.
+[[nodiscard]] constexpr std::size_t paper_controller_embedding_cut() { return 14; }
+
+}  // namespace mcam::ml

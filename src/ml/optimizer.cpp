@@ -1,0 +1,62 @@
+#include "ml/optimizer.hpp"
+
+#include <cmath>
+
+namespace mcam::ml {
+
+void Optimizer::zero_grad() noexcept {
+  for (ParamRef& p : params_) p.grad->fill_zero();
+}
+
+Sgd::Sgd(std::vector<ParamRef> params, double learning_rate, double momentum)
+    : Optimizer(std::move(params)), lr_(learning_rate), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const ParamRef& p : params_) velocity_.emplace_back(p.value->size(), 0.0f);
+}
+
+void Sgd::step() {
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& value = params_[k].value->storage();
+    auto& grad = params_[k].grad->storage();
+    auto& vel = velocity_[k];
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      vel[i] = static_cast<float>(momentum_ * vel[i] - lr_ * grad[i]);
+      value[i] += vel[i];
+      grad[i] = 0.0f;
+    }
+  }
+}
+
+Adam::Adam(std::vector<ParamRef> params, double learning_rate, double beta1, double beta2,
+           double epsilon)
+    : Optimizer(std::move(params)), lr_(learning_rate), beta1_(beta1), beta2_(beta2),
+      eps_(epsilon) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const ParamRef& p : params_) {
+    m_.emplace_back(p.value->size(), 0.0f);
+    v_.emplace_back(p.value->size(), 0.0f);
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  const double bias1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bias2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t k = 0; k < params_.size(); ++k) {
+    auto& value = params_[k].value->storage();
+    auto& grad = params_[k].grad->storage();
+    auto& m = m_[k];
+    auto& v = v_[k];
+    for (std::size_t i = 0; i < value.size(); ++i) {
+      m[i] = static_cast<float>(beta1_ * m[i] + (1.0 - beta1_) * grad[i]);
+      v[i] = static_cast<float>(beta2_ * v[i] + (1.0 - beta2_) * grad[i] * grad[i]);
+      const double m_hat = m[i] / bias1;
+      const double v_hat = v[i] / bias2;
+      value[i] -= static_cast<float>(lr_ * m_hat / (std::sqrt(v_hat) + eps_));
+      grad[i] = 0.0f;
+    }
+  }
+}
+
+}  // namespace mcam::ml

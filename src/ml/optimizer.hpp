@@ -1,0 +1,56 @@
+// First-order optimizers over ParamRef views.
+#pragma once
+
+#include "ml/layers.hpp"
+
+#include <vector>
+
+namespace mcam::ml {
+
+/// Optimizer interface: step() applies accumulated gradients and clears
+/// them.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<ParamRef> params) : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update from the accumulated gradients, then zeroes them.
+  virtual void step() = 0;
+
+  /// Clears gradients without updating (dropped samples).
+  void zero_grad() noexcept;
+
+ protected:
+  std::vector<ParamRef> params_;
+};
+
+/// SGD with classical momentum.
+class Sgd final : public Optimizer {
+ public:
+  Sgd(std::vector<ParamRef> params, double learning_rate, double momentum = 0.9);
+  void step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class Adam final : public Optimizer {
+ public:
+  Adam(std::vector<ParamRef> params, double learning_rate, double beta1 = 0.9,
+       double beta2 = 0.999, double epsilon = 1e-8);
+  void step() override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  long t_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace mcam::ml

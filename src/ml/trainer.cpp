@@ -1,0 +1,40 @@
+#include "ml/trainer.hpp"
+
+#include "util/linalg.hpp"
+
+#include <stdexcept>
+
+namespace mcam::ml {
+
+TrainStats train_classifier(Sequential& network, const SampleSource& source,
+                            const TrainerConfig& config, Rng& rng) {
+  if (!source) throw std::invalid_argument{"train_classifier: null sample source"};
+  Adam optimizer{network.parameters(), config.learning_rate};
+  TrainStats stats;
+  double loss_ema = 0.0;
+  double acc_ema = 0.0;
+  bool ema_primed = false;
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    const TrainingSample sample = source(rng);
+    const std::vector<float> logits = network.forward(sample.input);
+    const LossResult loss = softmax_cross_entropy(logits, sample.label);
+    network.backward(loss.grad);
+    optimizer.step();
+
+    const double correct = argmax_f(logits) == sample.label ? 1.0 : 0.0;
+    if (!ema_primed) {
+      loss_ema = loss.loss;
+      acc_ema = correct;
+      ema_primed = true;
+    } else {
+      loss_ema = config.ema_decay * loss_ema + (1.0 - config.ema_decay) * loss.loss;
+      acc_ema = config.ema_decay * acc_ema + (1.0 - config.ema_decay) * correct;
+    }
+  }
+  stats.final_loss_ema = loss_ema;
+  stats.final_accuracy_ema = acc_ema;
+  stats.steps = config.steps;
+  return stats;
+}
+
+}  // namespace mcam::ml

@@ -1,0 +1,47 @@
+// Classifier training loop (SimpleShot-style embedding learning).
+//
+// The feature extractor is trained as an ordinary softmax classifier over
+// *background* classes; the few-shot evaluation then uses held-out classes
+// only. `train_classifier` runs single-sample Adam steps against any
+// (input, label) sample source - for the MANN experiments that source
+// renders fresh synthetic characters each step, so no fixed training set
+// has to be materialized.
+#pragma once
+
+#include "ml/loss.hpp"
+#include "ml/network.hpp"
+#include "ml/optimizer.hpp"
+#include "util/rng.hpp"
+
+#include <functional>
+
+namespace mcam::ml {
+
+/// One labeled training sample.
+struct TrainingSample {
+  std::vector<float> input;
+  std::size_t label = 0;
+};
+
+/// Draws a random labeled sample each step.
+using SampleSource = std::function<TrainingSample(Rng&)>;
+
+/// Knobs for the training run.
+struct TrainerConfig {
+  std::size_t steps = 3000;       ///< Single-sample optimizer steps.
+  double learning_rate = 1e-3;    ///< Adam step size.
+  double ema_decay = 0.98;        ///< Smoothing for the reported metrics.
+};
+
+/// Smoothed end-of-run training metrics.
+struct TrainStats {
+  double final_loss_ema = 0.0;      ///< Exponential moving average of CE loss.
+  double final_accuracy_ema = 0.0;  ///< EMA of top-1 training accuracy.
+  std::size_t steps = 0;            ///< Steps executed.
+};
+
+/// Trains `network` in place; returns smoothed final metrics.
+TrainStats train_classifier(Sequential& network, const SampleSource& source,
+                            const TrainerConfig& config, Rng& rng);
+
+}  // namespace mcam::ml

@@ -1,0 +1,104 @@
+#include "search/engine.hpp"
+
+#include <stdexcept>
+
+namespace mcam::search {
+
+double NnEngine::accuracy(std::span<const std::vector<float>> queries,
+                          std::span<const int> labels) const {
+  if (queries.size() != labels.size()) {
+    throw std::invalid_argument{"NnEngine::accuracy: queries/labels mismatch"};
+  }
+  if (queries.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (predict(queries[i]) == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(queries.size());
+}
+
+SoftwareNnEngine::SoftwareNnEngine(std::string metric_name)
+    : metric_name_(std::move(metric_name)) {
+  // Validate the name eagerly so configuration errors surface at build time
+  // of the experiment, not at fit time.
+  (void)distance::metric_by_name(metric_name_);
+}
+
+void SoftwareNnEngine::fit(std::span<const std::vector<float>> rows,
+                           std::span<const int> labels) {
+  index_.emplace(distance::metric_by_name(metric_name_));
+  index_->add_all(rows, labels);
+}
+
+int SoftwareNnEngine::predict(std::span<const float> query) const {
+  if (!index_) throw std::logic_error{"SoftwareNnEngine::predict before fit"};
+  return index_->nearest(query).label;
+}
+
+TcamLshEngine::TcamLshEngine(std::size_t signature_bits, std::uint64_t seed,
+                             cam::TcamArrayConfig config)
+    : signature_bits_(signature_bits), seed_(seed), config_(config) {}
+
+void TcamLshEngine::fit(std::span<const std::vector<float>> rows,
+                        std::span<const int> labels) {
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument{"TcamLshEngine::fit: bad training set"};
+  }
+  // Random-hyperplane LSH approximates *cosine* distance only for centered
+  // data, so signatures are computed on z-scored features.
+  scaler_ = fixed_scaler_ ? *fixed_scaler_ : encoding::FeatureScaler::fit_z_score(rows);
+  lsh_.emplace(rows.front().size(), signature_bits_, seed_);
+  tcam_ = std::make_unique<cam::TcamArray>(config_);
+  labels_.assign(labels.begin(), labels.end());
+  for (const auto& row : rows) {
+    const encoding::Signature sig = lsh_->encode(scaler_->transform(row));
+    tcam_->add_row_bits(sig.unpack());
+  }
+}
+
+int TcamLshEngine::predict(std::span<const float> query) const {
+  if (!tcam_) throw std::logic_error{"TcamLshEngine::predict before fit"};
+  const encoding::Signature sig = lsh_->encode(scaler_->transform(query));
+  const cam::SearchOutcome outcome = tcam_->nearest(sig.unpack());
+  return labels_[outcome.row];
+}
+
+std::string TcamLshEngine::name() const {
+  return "TCAM+LSH (" + std::to_string(signature_bits_) + "b)";
+}
+
+McamNnEngine::McamNnEngine(cam::McamArrayConfig config, double clip_percentile)
+    : config_(config), clip_percentile_(clip_percentile) {}
+
+void McamNnEngine::set_fixed_quantizer(encoding::UniformQuantizer quantizer) {
+  if (quantizer.bits() != config_.level_map.bits()) {
+    throw std::invalid_argument{"McamNnEngine: quantizer bits do not match level map"};
+  }
+  fixed_quantizer_ = std::move(quantizer);
+}
+
+void McamNnEngine::fit(std::span<const std::vector<float>> rows,
+                       std::span<const int> labels) {
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument{"McamNnEngine::fit: bad training set"};
+  }
+  quantizer_ = fixed_quantizer_ ? *fixed_quantizer_
+                                : encoding::UniformQuantizer::fit(rows, config_.level_map.bits(),
+                                                                  clip_percentile_);
+  array_ = std::make_unique<cam::McamArray>(config_);
+  labels_.assign(labels.begin(), labels.end());
+  for (const auto& row : rows) array_->add_row(quantizer_->quantize(row));
+}
+
+int McamNnEngine::predict(std::span<const float> query) const {
+  if (!array_) throw std::logic_error{"McamNnEngine::predict before fit"};
+  const std::vector<std::uint16_t> levels = quantizer_->quantize(query);
+  const cam::SearchOutcome outcome = array_->nearest(levels);
+  return labels_[outcome.row];
+}
+
+std::string McamNnEngine::name() const {
+  return std::to_string(config_.level_map.bits()) + "-bit MCAM";
+}
+
+}  // namespace mcam::search

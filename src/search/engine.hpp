@@ -1,0 +1,128 @@
+// Unified nearest-neighbor engines: the three implementations the paper
+// compares (Sec. IV-A), behind one interface.
+//
+//  1. SoftwareNnEngine - FP32 exact NN with cosine or Euclidean distance
+//     (the GPU baseline).
+//  2. TcamLshEngine    - LSH signatures stored in a TCAM, Hamming-distance
+//     NN (the ref [3] baseline). Signature length defaults to the CAM word
+//     length for the paper's iso-capacity comparison.
+//  3. McamNnEngine     - features quantized to B bits, stored in the FeFET
+//     MCAM, single-step NN search with the proposed distance function.
+//
+// Engines own their fitted state (scalers, encoders, programmed arrays),
+// so `fit` + `predict` is the entire protocol the application studies use.
+#pragma once
+
+#include "cam/array.hpp"
+#include "cam/tcam.hpp"
+#include "encoding/lsh.hpp"
+#include "encoding/normalize.hpp"
+#include "encoding/quantizer.hpp"
+#include "search/knn.hpp"
+
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcam::search {
+
+/// Common interface: fit on labeled vectors, predict labels for queries.
+class NnEngine {
+ public:
+  virtual ~NnEngine() = default;
+
+  /// Stores the training set (programs arrays / fits encoders).
+  virtual void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) = 0;
+
+  /// Label of the nearest stored entry.
+  [[nodiscard]] virtual int predict(std::span<const float> query) const = 0;
+
+  /// Human-readable engine name for result tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Fraction of `queries` classified correctly.
+  [[nodiscard]] double accuracy(std::span<const std::vector<float>> queries,
+                                std::span<const int> labels) const;
+};
+
+/// FP32 software baseline over an arbitrary metric.
+class SoftwareNnEngine final : public NnEngine {
+ public:
+  /// `metric_name`: "cosine", "euclidean", "linf" or "manhattan".
+  explicit SoftwareNnEngine(std::string metric_name);
+
+  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  [[nodiscard]] int predict(std::span<const float> query) const override;
+  [[nodiscard]] std::string name() const override { return metric_name_ + " (FP32)"; }
+
+ private:
+  std::string metric_name_;
+  std::optional<ExactNnIndex> index_;
+};
+
+/// TCAM + LSH baseline (Hamming distance over binary signatures).
+class TcamLshEngine final : public NnEngine {
+ public:
+  /// `signature_bits`: LSH signature length = TCAM word length.
+  TcamLshEngine(std::size_t signature_bits, std::uint64_t seed,
+                cam::TcamArrayConfig config = cam::TcamArrayConfig{});
+
+  /// Installs a scaler fitted on calibration (base-split) data; without it,
+  /// fit() fits z-scores on the support rows themselves. Essential for
+  /// few-shot episodes, where the support set is too small to estimate
+  /// feature statistics.
+  void set_fixed_scaler(encoding::FeatureScaler scaler) { fixed_scaler_ = std::move(scaler); }
+
+  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  [[nodiscard]] int predict(std::span<const float> query) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The programmed TCAM (for inspection in tests).
+  [[nodiscard]] const cam::TcamArray& tcam() const { return *tcam_; }
+
+ private:
+  std::size_t signature_bits_;
+  std::uint64_t seed_;
+  cam::TcamArrayConfig config_;
+  std::optional<encoding::FeatureScaler> fixed_scaler_;
+  std::optional<encoding::FeatureScaler> scaler_;
+  std::optional<encoding::RandomHyperplaneLsh> lsh_;
+  std::unique_ptr<cam::TcamArray> tcam_;
+  std::vector<int> labels_;
+};
+
+/// The proposed FeFET MCAM engine.
+class McamNnEngine final : public NnEngine {
+ public:
+  /// `config.level_map` fixes the bit precision; `clip_percentile` tunes
+  /// the quantizer's outlier clipping.
+  explicit McamNnEngine(cam::McamArrayConfig config = cam::McamArrayConfig{},
+                        double clip_percentile = 0.0);
+
+  /// Installs a quantizer fitted on calibration (base-split) data; without
+  /// it, fit() fits the per-feature ranges on the support rows. Essential
+  /// for few-shot episodes (K*N support rows cannot estimate ranges).
+  /// Throws if the quantizer's bit width disagrees with the level map.
+  void set_fixed_quantizer(encoding::UniformQuantizer quantizer);
+
+  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  [[nodiscard]] int predict(std::span<const float> query) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// The programmed MCAM (for inspection in tests).
+  [[nodiscard]] const cam::McamArray& array() const { return *array_; }
+  /// Fitted quantizer (valid after fit).
+  [[nodiscard]] const encoding::UniformQuantizer& quantizer() const { return *quantizer_; }
+
+ private:
+  cam::McamArrayConfig config_;
+  double clip_percentile_;
+  std::optional<encoding::UniformQuantizer> fixed_quantizer_;
+  std::optional<encoding::UniformQuantizer> quantizer_;
+  std::unique_ptr<cam::McamArray> array_;
+  std::vector<int> labels_;
+};
+
+}  // namespace mcam::search

@@ -1,0 +1,81 @@
+#include "search/knn.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace mcam::search {
+
+ExactNnIndex::ExactNnIndex(distance::Metric metric) : metric_(std::move(metric)) {
+  if (!metric_) throw std::invalid_argument{"ExactNnIndex: null metric"};
+}
+
+std::size_t ExactNnIndex::add(std::vector<float> vector, int label) {
+  if (!vectors_.empty() && vector.size() != vectors_.front().size()) {
+    throw std::invalid_argument{"ExactNnIndex::add: dimension mismatch"};
+  }
+  vectors_.push_back(std::move(vector));
+  labels_.push_back(label);
+  return vectors_.size() - 1;
+}
+
+void ExactNnIndex::add_all(std::span<const std::vector<float>> rows,
+                           std::span<const int> labels) {
+  if (rows.size() != labels.size()) {
+    throw std::invalid_argument{"ExactNnIndex::add_all: rows/labels mismatch"};
+  }
+  for (std::size_t i = 0; i < rows.size(); ++i) add(rows[i], labels[i]);
+}
+
+Neighbor ExactNnIndex::nearest(std::span<const float> query) const {
+  if (vectors_.empty()) throw std::logic_error{"ExactNnIndex::nearest: empty index"};
+  Neighbor best{0, labels_[0], metric_(query, vectors_[0])};
+  for (std::size_t i = 1; i < vectors_.size(); ++i) {
+    const double d = metric_(query, vectors_[i]);
+    if (d < best.distance) best = Neighbor{i, labels_[i], d};
+  }
+  return best;
+}
+
+std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
+                                              std::size_t k) const {
+  if (vectors_.empty()) throw std::logic_error{"ExactNnIndex::k_nearest: empty index"};
+  std::vector<Neighbor> all;
+  all.reserve(vectors_.size());
+  for (std::size_t i = 0; i < vectors_.size(); ++i) {
+    all.push_back(Neighbor{i, labels_[i], metric_(query, vectors_[i])});
+  }
+  k = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
+                    [](const Neighbor& a, const Neighbor& b) {
+                      if (a.distance != b.distance) return a.distance < b.distance;
+                      return a.index < b.index;
+                    });
+  all.resize(k);
+  return all;
+}
+
+int ExactNnIndex::classify(std::span<const float> query, std::size_t k) const {
+  const std::vector<Neighbor> neighbors = k_nearest(query, k);
+  // Votes per label; ties broken by the smaller total distance.
+  std::map<int, std::pair<std::size_t, double>> votes;
+  for (const Neighbor& n : neighbors) {
+    auto& entry = votes[n.label];
+    ++entry.first;
+    entry.second += n.distance;
+  }
+  int best_label = neighbors.front().label;
+  std::size_t best_votes = 0;
+  double best_distance = 0.0;
+  for (const auto& [label, entry] : votes) {
+    const auto [count, distance_sum] = entry;
+    if (count > best_votes || (count == best_votes && distance_sum < best_distance)) {
+      best_label = label;
+      best_votes = count;
+      best_distance = distance_sum;
+    }
+  }
+  return best_label;
+}
+
+}  // namespace mcam::search

@@ -1,0 +1,61 @@
+// Exact (brute-force) nearest-neighbor index over an arbitrary metric.
+//
+// This is the software reference implementation: the GPU baselines of the
+// paper are exact linear-scan NN searches with cosine/Euclidean distance,
+// and every CAM engine is validated against this index in the tests.
+#pragma once
+
+#include "distance/metrics.hpp"
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcam::search {
+
+/// One retrieved neighbor.
+struct Neighbor {
+  std::size_t index = 0;  ///< Position in insertion order.
+  int label = 0;          ///< Label stored with the vector.
+  double distance = 0.0;  ///< Metric value to the query.
+};
+
+/// Linear-scan exact NN index with majority-vote classification.
+class ExactNnIndex {
+ public:
+  /// `metric`: smaller = nearer.
+  explicit ExactNnIndex(distance::Metric metric);
+
+  /// Adds one vector with its label; returns its index.
+  std::size_t add(std::vector<float> vector, int label);
+
+  /// Adds many rows.
+  void add_all(std::span<const std::vector<float>> rows, std::span<const int> labels);
+
+  /// Nearest stored vector to `query` (throws std::logic_error when empty).
+  [[nodiscard]] Neighbor nearest(std::span<const float> query) const;
+
+  /// The `k` nearest neighbors, sorted by increasing distance.
+  [[nodiscard]] std::vector<Neighbor> k_nearest(std::span<const float> query,
+                                                std::size_t k) const;
+
+  /// Majority vote among the `k` nearest; distance-sum tie-break.
+  [[nodiscard]] int classify(std::span<const float> query, std::size_t k = 1) const;
+
+  /// Number of stored vectors.
+  [[nodiscard]] std::size_t size() const noexcept { return vectors_.size(); }
+
+  /// Stored vector `i` (for tests and diagnostics).
+  [[nodiscard]] const std::vector<float>& vector_at(std::size_t i) const {
+    return vectors_.at(i);
+  }
+  /// Stored label `i`.
+  [[nodiscard]] int label_at(std::size_t i) const { return labels_.at(i); }
+
+ private:
+  distance::Metric metric_;
+  std::vector<std::vector<float>> vectors_;
+  std::vector<int> labels_;
+};
+
+}  // namespace mcam::search

@@ -1,0 +1,62 @@
+#include "util/linalg.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace mcam {
+
+float dot(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+float norm2(std::span<const float> a) noexcept { return std::sqrt(dot(a, a)); }
+
+float squared_distance(std::span<const float> a, std::span<const float> b) noexcept {
+  assert(a.size() == b.size());
+  float sum = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void l2_normalize(std::span<float> a) noexcept {
+  const float n = norm2(a);
+  if (n <= 0.0f) return;
+  for (float& x : a) x /= n;
+}
+
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept {
+  assert(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+std::size_t argmin(std::span<const double> xs) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] < xs[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t argmax(std::span<const double> xs) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[best]) best = i;
+  }
+  return best;
+}
+
+std::size_t argmax_f(std::span<const float> xs) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < xs.size(); ++i) {
+    if (xs[i] > xs[best]) best = i;
+  }
+  return best;
+}
+
+}  // namespace mcam

@@ -1,0 +1,37 @@
+// Small dense-vector helpers shared by the encoders, distance metrics and
+// the ML substrate. Feature vectors across the library are
+// std::vector<float>; these helpers keep the hot loops in one place.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcam {
+
+/// Dot product of two equal-length spans (undefined if lengths differ;
+/// asserted in debug builds).
+[[nodiscard]] float dot(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// Euclidean norm of `a`.
+[[nodiscard]] float norm2(std::span<const float> a) noexcept;
+
+/// Squared Euclidean distance between `a` and `b`.
+[[nodiscard]] float squared_distance(std::span<const float> a, std::span<const float> b) noexcept;
+
+/// In-place L2 normalization; leaves zero vectors untouched.
+void l2_normalize(std::span<float> a) noexcept;
+
+/// y += alpha * x.
+void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
+
+/// Index of the smallest element; 0 for an empty span.
+[[nodiscard]] std::size_t argmin(std::span<const double> xs) noexcept;
+
+/// Index of the largest element; 0 for an empty span.
+[[nodiscard]] std::size_t argmax(std::span<const double> xs) noexcept;
+
+/// Index of the largest float element; 0 for an empty span.
+[[nodiscard]] std::size_t argmax_f(std::span<const float> xs) noexcept;
+
+}  // namespace mcam

@@ -1,0 +1,114 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components of the library (device variation sampling, dataset
+// synthesis, LSH projections, episode sampling, ...) draw from `Rng`, a
+// xoshiro256** generator seeded through splitmix64.  Experiments pass explicit
+// seeds so every table in EXPERIMENTS.md regenerates bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+namespace mcam {
+
+/// Stateless splitmix64 step; used to expand a single seed into generator
+/// state and to derive independent sub-stream seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** PRNG with convenience draws used across the library.
+///
+/// Satisfies the C++ UniformRandomBitGenerator requirements, so it can also
+/// be plugged into <random> distributions and std::shuffle.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the four 64-bit state words by iterating splitmix64 over `seed`.
+  explicit Rng(std::uint64_t seed = 0x5eedULL) noexcept { reseed(seed); }
+
+  /// Re-initializes the state from `seed` (same expansion as the ctor).
+  void reseed(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  /// Next raw 64-bit draw (xoshiro256** scrambler).
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double uniform() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [0, n); n must be > 0.
+  [[nodiscard]] std::size_t index(std::size_t n) noexcept {
+    return static_cast<std::size_t>(uniform() * static_cast<double>(n)) % n;
+  }
+
+  /// Standard normal draw (Box-Muller with a cached second value).
+  [[nodiscard]] double normal() noexcept;
+
+  /// Normal draw with mean `mu` and standard deviation `sigma`.
+  [[nodiscard]] double normal(double mu, double sigma) noexcept {
+    return mu + sigma * normal();
+  }
+
+  /// Bernoulli draw with success probability `p`.
+  [[nodiscard]] bool bernoulli(double p) noexcept { return uniform() < p; }
+
+  /// Derives an independent child generator; `stream` selects the substream.
+  /// Used to give each device / dataset / episode its own reproducible RNG.
+  [[nodiscard]] Rng fork(std::uint64_t stream) noexcept {
+    std::uint64_t sm = state_[0] ^ (0x9e3779b97f4a7c15ULL * (stream + 1));
+    return Rng{splitmix64(sm)};
+  }
+
+  /// Fisher-Yates shuffle of `items`.
+  template <typename T>
+  void shuffle(std::vector<T>& items) noexcept {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      std::swap(items[i - 1], items[index(i)]);
+    }
+  }
+
+  /// Samples `k` distinct indices from [0, n) (partial Fisher-Yates).
+  [[nodiscard]] std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                                    std::size_t k);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4]{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace mcam

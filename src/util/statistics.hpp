@@ -1,0 +1,99 @@
+// Descriptive statistics used throughout the device-variation studies and
+// the application-level accuracy evaluations.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcam {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for the long Monte-Carlo runs in the variation studies
+/// (1200 devices x 8 states x many trials).
+class RunningStats {
+ public:
+  /// Folds one observation into the accumulator.
+  void add(double x) noexcept;
+
+  /// Number of observations folded in so far.
+  [[nodiscard]] std::size_t count() const noexcept { return count_; }
+  /// Sample mean; 0 when empty.
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance; 0 with fewer than two observations.
+  [[nodiscard]] double variance() const noexcept;
+  /// Square root of variance().
+  [[nodiscard]] double stddev() const noexcept;
+  /// Smallest observation; +inf when empty.
+  [[nodiscard]] double min() const noexcept { return min_; }
+  /// Largest observation; -inf when empty.
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Merges another accumulator (parallel-friendly Chan combination).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Sample mean of `xs`; 0 for an empty span.
+[[nodiscard]] double mean(std::span<const double> xs) noexcept;
+
+/// Unbiased sample standard deviation of `xs`; 0 with fewer than 2 samples.
+[[nodiscard]] double stddev(std::span<const double> xs) noexcept;
+
+/// Linear-interpolated percentile, `p` in [0, 100]. Throws on empty input.
+[[nodiscard]] double percentile(std::vector<double> xs, double p);
+
+/// Half-width of the normal-approximation 95% confidence interval on a
+/// proportion `p_hat` estimated from `n` trials.
+[[nodiscard]] double proportion_ci95(double p_hat, std::size_t n) noexcept;
+
+/// Fixed-width histogram over [lo, hi) with `bins` equal bins.
+/// Out-of-range samples are clamped into the first/last bin.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  /// Adds one sample.
+  void add(double x) noexcept;
+  /// Adds every sample in `xs`.
+  void add_all(std::span<const double> xs) noexcept;
+
+  /// Count in bin `i`.
+  [[nodiscard]] std::size_t count(std::size_t i) const { return counts_.at(i); }
+  /// Center of bin `i`.
+  [[nodiscard]] double bin_center(std::size_t i) const noexcept;
+  /// Number of bins.
+  [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
+  /// Total samples added.
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+  /// Renders a compact ASCII bar chart (one line per bin), used by the
+  /// variation bench to print the Fig. 5 histograms.
+  [[nodiscard]] std::string to_ascii(std::size_t max_bar_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+/// Least-squares fit of y = a + b*x. Returns {a, b}. Requires >= 2 points.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+};
+[[nodiscard]] LinearFit linear_fit(std::span<const double> xs, std::span<const double> ys);
+
+/// Pearson correlation of two equal-length spans; 0 if degenerate.
+[[nodiscard]] double pearson(std::span<const double> xs, std::span<const double> ys) noexcept;
+
+}  // namespace mcam

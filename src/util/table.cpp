@@ -1,0 +1,119 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace mcam {
+
+void TextTable::set_header(std::vector<std::string> header) { header_ = std::move(header); }
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size()) {
+    throw std::invalid_argument{"TextTable: row width does not match header"};
+  }
+  rows_.push_back(std::move(row));
+}
+
+void TextTable::add_numeric_row(const std::string& label, const std::vector<double>& values,
+                                int precision) {
+  std::vector<std::string> row;
+  row.reserve(values.size() + 1);
+  row.push_back(label);
+  for (double v : values) row.push_back(format_double(v, precision));
+  add_row(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  // Column widths over header and all rows.
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&widths](const std::vector<std::string>& row) {
+    if (row.size() > widths.size()) widths.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  };
+  widen(header_);
+  for (const auto& row : rows_) widen(row);
+
+  auto emit_row = [&widths](std::ostringstream& out, const std::vector<std::string>& row) {
+    out << "|";
+    for (std::size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < row.size() ? row[i] : std::string{};
+      out << " " << cell << std::string(widths[i] - cell.size(), ' ') << " |";
+    }
+    out << "\n";
+  };
+
+  std::ostringstream out;
+  if (!title_.empty()) out << "== " << title_ << " ==\n";
+  std::size_t total = 1;
+  for (std::size_t w : widths) total += w + 3;
+  const std::string rule(total, '-');
+  out << rule << "\n";
+  if (!header_.empty()) {
+    emit_row(out, header_);
+    out << rule << "\n";
+  }
+  for (const auto& row : rows_) emit_row(out, row);
+  out << rule << "\n";
+  return out.str();
+}
+
+void TextTable::print(std::ostream& out) const { out << to_string(); }
+
+const std::string& TextTable::write_csv(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) throw std::runtime_error{"TextTable::write_csv: cannot open " + path};
+  auto emit = [&out](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ",";
+      const bool quote = row[i].find_first_of(",\"\n") != std::string::npos;
+      if (quote) {
+        out << '"';
+        for (char c : row[i]) {
+          if (c == '"') out << '"';
+          out << c;
+        }
+        out << '"';
+      } else {
+        out << row[i];
+      }
+    }
+    out << "\n";
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& row : rows_) emit(row);
+  if (!out) throw std::runtime_error{"TextTable::write_csv: write failed for " + path};
+  return path;
+}
+
+std::string format_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string format_si(double value, const std::string& unit, int precision) {
+  struct Prefix {
+    double scale;
+    const char* name;
+  };
+  static constexpr Prefix kPrefixes[] = {
+      {1e9, "G"}, {1e6, "M"}, {1e3, "k"}, {1.0, ""},
+      {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+  };
+  const double magnitude = std::fabs(value);
+  if (magnitude == 0.0) return format_double(0.0, precision) + " " + unit;
+  for (const auto& prefix : kPrefixes) {
+    if (magnitude >= prefix.scale) {
+      return format_double(value / prefix.scale, precision) + " " + prefix.name + unit;
+    }
+  }
+  const auto& smallest = kPrefixes[std::size(kPrefixes) - 1];
+  return format_double(value / smallest.scale, precision) + " " + smallest.name + unit;
+}
+
+}  // namespace mcam

@@ -1,0 +1,57 @@
+// ASCII table and CSV emission for the benchmark harness.
+//
+// Every bench binary prints the rows/series of the paper figure it
+// regenerates through `TextTable`, and mirrors the same data to a CSV file
+// so EXPERIMENTS.md can reference machine-readable outputs.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mcam {
+
+/// Column-aligned ASCII table with an optional title and header row.
+class TextTable {
+ public:
+  /// Creates a table with the given title (printed above the grid).
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Sets the header row. Column count of subsequent rows must match.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a pre-formatted row.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats each double with `precision` decimals.
+  void add_numeric_row(const std::string& label, const std::vector<double>& values,
+                       int precision = 2);
+
+  /// Renders the table (unicode-free, terminal friendly).
+  [[nodiscard]] std::string to_string() const;
+
+  /// Renders to `out`.
+  void print(std::ostream& out) const;
+
+  /// Writes header+rows as CSV to `path`. Throws std::runtime_error on I/O
+  /// failure. Returns the path for logging convenience.
+  const std::string& write_csv(const std::string& path) const;
+
+  /// Number of data rows added so far.
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats `value` with `precision` decimals (locale-independent).
+[[nodiscard]] std::string format_double(double value, int precision = 3);
+
+/// Formats a value in engineering notation with an SI prefix, e.g.
+/// 3.2e-9 s -> "3.20 ns". Supported prefixes: f p n u m (none) k M G.
+[[nodiscard]] std::string format_si(double value, const std::string& unit, int precision = 2);
+
+}  // namespace mcam

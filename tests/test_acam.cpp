@@ -1,0 +1,91 @@
+#include "cam/acam.hpp"
+
+#include "cam/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcam::cam {
+namespace {
+
+constexpr double kMatchLimit = 10e-9;
+
+TEST(AcamCell, MatchesInsideRangeOnly) {
+  const AcamCell cell{AnalogRange{0.5, 0.8}, 0.84};
+  EXPECT_TRUE(cell.matches(0.65, kMatchLimit));
+  EXPECT_TRUE(cell.matches(0.55, kMatchLimit));
+  EXPECT_FALSE(cell.matches(0.95, kMatchLimit));
+  EXPECT_FALSE(cell.matches(0.30, kMatchLimit));
+}
+
+TEST(AcamCell, ConductanceGrowsWithExcursion) {
+  const AcamCell cell{AnalogRange{0.5, 0.8}, 0.84};
+  EXPECT_GT(cell.conductance_at(1.1), cell.conductance_at(0.95));
+  EXPECT_GT(cell.conductance_at(0.2), cell.conductance_at(0.4));
+}
+
+TEST(AcamCell, InvalidRangeThrows) {
+  EXPECT_THROW((AcamCell{AnalogRange{0.8, 0.5}, 0.84}), std::invalid_argument);
+}
+
+TEST(AcamCell, McamStateRangeEquivalence) {
+  // Sec. II-A: an MCAM cell is an ACAM cell storing the narrow state
+  // window. Conductances must agree for every discrete input.
+  const fefet::LevelMap map{3};
+  for (std::size_t s : {0ul, 2ul, 5ul, 7ul}) {
+    const McamCell mcam{map, s};
+    const AcamCell acam{mcam_state_range(map, s), map.center()};
+    for (std::size_t input = 0; input < map.num_states(); ++input) {
+      const double v = map.input_voltage(input);
+      EXPECT_NEAR(acam.conductance_at(v) / mcam.conductance_at_voltage(v), 1.0, 1e-6)
+          << "state " << s << " input " << input;
+    }
+  }
+}
+
+TEST(AcamArray, MatchingRows) {
+  AcamArray array{0.84};
+  const std::vector<AnalogRange> row0{{0.0, 1.0}, {0.0, 0.15}, {0.5, 0.8}};
+  const std::vector<AnalogRange> row1{{0.2, 0.55}, {0.85, 1.0}, {0.45, 0.85}};
+  array.add_row(row0);
+  array.add_row(row1);
+  // The Fig. 1(a) example: inputs 0.3, 0.1, 0.75 match the first row only.
+  const std::vector<double> query{0.3, 0.1, 0.75};
+  const auto matches = array.matching_rows(query, kMatchLimit);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], 0u);
+}
+
+TEST(AcamArray, SearchConductancesOrderMismatches) {
+  AcamArray array{0.84};
+  const std::vector<AnalogRange> near{{0.4, 0.6}};
+  const std::vector<AnalogRange> far{{1.0, 1.2}};
+  array.add_row(near);
+  array.add_row(far);
+  const auto g = array.search_conductances(std::vector<double>{0.65});
+  EXPECT_LT(g[0], g[1]);  // Slightly outside beats far outside.
+}
+
+TEST(AcamArray, Validation) {
+  AcamArray array{0.84};
+  EXPECT_THROW((void)array.add_row(std::vector<AnalogRange>{}), std::invalid_argument);
+  array.add_row(std::vector<AnalogRange>{{0.1, 0.3}, {0.2, 0.4}});
+  EXPECT_THROW((void)array.add_row(std::vector<AnalogRange>{{0.1, 0.3}}),
+               std::invalid_argument);
+  EXPECT_THROW((void)array.search_conductances(std::vector<double>{0.5}),
+               std::invalid_argument);
+}
+
+TEST(AcamArray, OverlappingRangesBothMatch) {
+  // Unlike MCAM states, ACAM ranges may overlap: one input can match
+  // multiple rows (the generality MCAM trades away for robustness).
+  AcamArray array{0.84};
+  array.add_row(std::vector<AnalogRange>{{0.3, 0.7}});
+  array.add_row(std::vector<AnalogRange>{{0.5, 0.9}});
+  const auto matches = array.matching_rows(std::vector<double>{0.6}, kMatchLimit);
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace mcam::cam

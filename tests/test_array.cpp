@@ -1,0 +1,248 @@
+#include "cam/array.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mcam::cam {
+namespace {
+
+std::vector<std::uint16_t> row(std::initializer_list<int> levels) {
+  std::vector<std::uint16_t> out;
+  for (int l : levels) out.push_back(static_cast<std::uint16_t>(l));
+  return out;
+}
+
+TEST(McamArray, AddRowValidation) {
+  McamArray array{McamArrayConfig{}};
+  EXPECT_THROW((void)array.add_row(std::vector<std::uint16_t>{}), std::invalid_argument);
+  array.add_row(row({1, 2, 3}));
+  EXPECT_THROW((void)array.add_row(row({1, 2})), std::invalid_argument);
+  EXPECT_THROW((void)array.add_row(row({1, 2, 9})), std::out_of_range);
+  EXPECT_EQ(array.num_rows(), 1u);
+  EXPECT_EQ(array.word_length(), 3u);
+}
+
+TEST(McamArray, SearchConductancesEqualLutSums) {
+  McamArray array{McamArrayConfig{}};
+  array.add_row(row({0, 3, 7}));
+  array.add_row(row({2, 2, 2}));
+  const auto query = row({1, 3, 6});
+  const std::vector<double> totals = array.search_conductances(query);
+  ASSERT_EQ(totals.size(), 2u);
+  const ConductanceLut& lut = array.lut();
+  EXPECT_NEAR(totals[0], lut.g(1, 0) + lut.g(3, 3) + lut.g(6, 7), 1e-18);
+  EXPECT_NEAR(totals[1], lut.g(1, 2) + lut.g(3, 2) + lut.g(6, 2), 1e-18);
+}
+
+TEST(McamArray, NearestFindsExactMatchRow) {
+  McamArray array{McamArrayConfig{}};
+  array.add_row(row({0, 1, 2, 3}));
+  array.add_row(row({4, 5, 6, 7}));
+  array.add_row(row({7, 0, 7, 0}));
+  const SearchOutcome outcome = array.nearest(row({4, 5, 6, 7}));
+  EXPECT_EQ(outcome.row, 1u);
+}
+
+TEST(McamArray, NearestPrefersSmallestTotalDistance) {
+  McamArray array{McamArrayConfig{}};
+  array.add_row(row({2, 2, 2, 2}));  // distance 4 (1 per cell)
+  array.add_row(row({3, 3, 3, 3}));  // distance 0
+  array.add_row(row({3, 3, 3, 5}));  // distance 2
+  const SearchOutcome outcome = array.nearest(row({3, 3, 3, 3}));
+  EXPECT_EQ(outcome.row, 1u);
+}
+
+TEST(McamArray, ExponentialDistanceConcentration) {
+  // Sec. III-B: G_1^4 > G_4^1 and G_1^7 >> G_7^1 on 16-cell rows: one far
+  // mismatch outweighs several near ones even at larger total distance.
+  McamArrayConfig config;
+  McamArray array{config};
+  std::vector<std::uint16_t> match(16, 0);
+  auto one_cell_d4 = match;
+  one_cell_d4[0] = 4;
+  auto four_cells_d1 = match;
+  for (int i = 0; i < 4; ++i) four_cells_d1[i] = 1;
+  auto one_cell_d7 = match;
+  one_cell_d7[0] = 7;
+  auto seven_cells_d1 = match;
+  for (int i = 0; i < 7; ++i) seven_cells_d1[i] = 1;
+  array.add_row(one_cell_d4);
+  array.add_row(four_cells_d1);
+  array.add_row(one_cell_d7);
+  array.add_row(seven_cells_d1);
+  const std::vector<double> g = array.search_conductances(match);
+  EXPECT_GT(g[0], g[1]);          // G_1^4 > G_4^1.
+  EXPECT_GT(g[2], 10.0 * g[3]);   // G_1^7 >> G_7^1.
+  EXPECT_GT(g[0], g[3]);          // G_1^4 > G_7^1.
+}
+
+TEST(McamArray, MatchlineTimingAgreesWithIdealSum) {
+  McamArrayConfig ideal_config;
+  McamArrayConfig timing_config;
+  timing_config.sensing = SensingMode::kMatchlineTiming;
+  McamArray ideal{ideal_config};
+  McamArray timing{timing_config};
+  Rng rng{5};
+  std::vector<std::vector<std::uint16_t>> rows;
+  for (int r = 0; r < 12; ++r) {
+    std::vector<std::uint16_t> levels(16);
+    for (auto& l : levels) l = static_cast<std::uint16_t>(rng.index(8));
+    rows.push_back(levels);
+  }
+  ideal.program(rows);
+  timing.program(rows);
+  for (int q = 0; q < 20; ++q) {
+    std::vector<std::uint16_t> query(16);
+    for (auto& l : query) l = static_cast<std::uint16_t>(rng.index(8));
+    EXPECT_EQ(ideal.nearest(query).row, timing.nearest(query).row);
+  }
+}
+
+TEST(McamArray, MatchlineTimingPopulatesSenseResult) {
+  McamArrayConfig config;
+  config.sensing = SensingMode::kMatchlineTiming;
+  McamArray array{config};
+  array.add_row(row({0, 0, 0, 0}));
+  array.add_row(row({7, 7, 7, 7}));
+  const SearchOutcome outcome = array.nearest(row({0, 0, 0, 0}));
+  EXPECT_EQ(outcome.row, 0u);
+  ASSERT_EQ(outcome.sense.times.size(), 2u);
+  EXPECT_GT(outcome.sense.times[0], outcome.sense.times[1]);
+  EXPECT_GT(outcome.sense.margin, 0.0);
+}
+
+TEST(McamArray, CoarseSenseClockCanTieNearbyRows) {
+  McamArrayConfig config;
+  config.sensing = SensingMode::kMatchlineTiming;
+  config.sense_clock_period = 1.0;  // Absurdly coarse: everything ties.
+  McamArray array{config};
+  array.add_row(row({0, 0, 0, 1}));
+  array.add_row(row({0, 0, 1, 0}));
+  const SearchOutcome outcome = array.nearest(row({0, 0, 0, 0}));
+  EXPECT_TRUE(outcome.sense.tie);
+}
+
+TEST(McamArray, ExactMatchSearch) {
+  McamArray array{McamArrayConfig{}};
+  array.add_row(row({1, 2, 3}));
+  array.add_row(row({1, 2, 4}));
+  array.add_row(row({1, 2, 3}));
+  // The limit must sit between the per-cell match level (~3 nS) and the
+  // distance-1 level (~7.4 nS); 4 nS/cell separates them at row scale.
+  const auto matches = array.exact_matches(row({1, 2, 3}), 4e-9);
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0], 0u);
+  EXPECT_EQ(matches[1], 2u);
+}
+
+TEST(McamArray, QueryLengthMismatchThrows) {
+  McamArray array{McamArrayConfig{}};
+  array.add_row(row({1, 2, 3}));
+  EXPECT_THROW((void)array.search_conductances(row({1, 2})), std::invalid_argument);
+}
+
+TEST(McamArray, NearestOnEmptyThrows) {
+  McamArray array{McamArrayConfig{}};
+  EXPECT_THROW((void)array.nearest(row({0})), std::logic_error);
+}
+
+TEST(McamArray, ClearResets) {
+  McamArray array{McamArrayConfig{}};
+  array.add_row(row({1, 2}));
+  array.clear();
+  EXPECT_EQ(array.num_rows(), 0u);
+  array.add_row(row({1, 2, 3}));  // New word length accepted after clear.
+  EXPECT_EQ(array.word_length(), 3u);
+}
+
+TEST(McamArray, ProgrammingNoiseIsStablePerInstance) {
+  McamArrayConfig config;
+  config.vth_sigma = 0.05;
+  config.seed = 9;
+  McamArray array{config};
+  array.add_row(row({3, 4, 5, 6}));
+  const auto q = row({3, 4, 5, 6});
+  const double g1 = array.search_conductances(q)[0];
+  const double g2 = array.search_conductances(q)[0];
+  EXPECT_DOUBLE_EQ(g1, g2);  // Same hardware instance across searches.
+}
+
+TEST(McamArray, DifferentSeedsGiveDifferentInstances) {
+  McamArrayConfig a_config;
+  a_config.vth_sigma = 0.05;
+  a_config.seed = 1;
+  McamArrayConfig b_config = a_config;
+  b_config.seed = 2;
+  McamArray a{a_config};
+  McamArray b{b_config};
+  a.add_row(row({3, 4, 5, 6}));
+  b.add_row(row({3, 4, 5, 6}));
+  const auto q = row({3, 4, 5, 6});
+  EXPECT_NE(a.search_conductances(q)[0], b.search_conductances(q)[0]);
+}
+
+TEST(McamArray, ZeroNoiseMatchesLutExactly) {
+  McamArrayConfig config;
+  config.vth_sigma = 0.0;
+  McamArray array{config};
+  array.add_row(row({5}));
+  EXPECT_DOUBLE_EQ(array.search_conductances(row({2}))[0], array.lut().g(2, 5));
+}
+
+TEST(McamArray, HugeNoiseBreaksNearestNeighbor) {
+  // Sanity: with sigma far beyond the window, ranking must degrade for at
+  // least some queries (this is the regime past the Fig. 8 cliff).
+  McamArrayConfig clean_config;
+  McamArrayConfig noisy_config;
+  noisy_config.vth_sigma = 0.50;
+  noisy_config.seed = 13;
+  McamArray clean{clean_config};
+  McamArray noisy{noisy_config};
+  Rng rng{21};
+  std::vector<std::vector<std::uint16_t>> rows;
+  for (int r = 0; r < 16; ++r) {
+    std::vector<std::uint16_t> levels(8);
+    for (auto& l : levels) l = static_cast<std::uint16_t>(rng.index(8));
+    rows.push_back(levels);
+  }
+  clean.program(rows);
+  noisy.program(rows);
+  int disagreements = 0;
+  for (int q = 0; q < 40; ++q) {
+    std::vector<std::uint16_t> query(8);
+    for (auto& l : query) l = static_cast<std::uint16_t>(rng.index(8));
+    if (clean.nearest(query).row != noisy.nearest(query).row) ++disagreements;
+  }
+  EXPECT_GT(disagreements, 0);
+}
+
+/// Parameterized sweep over bit widths: the array works for any B.
+class McamArrayBits : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(McamArrayBits, SelfMatchAlwaysWins) {
+  McamArrayConfig config;
+  config.level_map = fefet::LevelMap{GetParam()};
+  McamArray array{config};
+  const auto n = static_cast<std::uint16_t>(config.level_map.num_states());
+  Rng rng{GetParam()};
+  std::vector<std::vector<std::uint16_t>> rows;
+  for (int r = 0; r < 8; ++r) {
+    std::vector<std::uint16_t> levels(12);
+    for (auto& l : levels) l = static_cast<std::uint16_t>(rng.index(n));
+    rows.push_back(levels);
+  }
+  array.program(rows);
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const SearchOutcome outcome = array.nearest(rows[r]);
+    // The stored row itself (or an identical duplicate) must win.
+    EXPECT_EQ(array.search_conductances(rows[r])[outcome.row],
+              array.search_conductances(rows[r])[r]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, McamArrayBits, ::testing::Values(1u, 2u, 3u, 4u));
+
+}  // namespace
+}  // namespace mcam::cam

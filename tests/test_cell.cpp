@@ -1,0 +1,174 @@
+#include "cam/cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::cam {
+namespace {
+
+using fefet::ChannelParams;
+using fefet::LevelMap;
+using fefet::PreisachParams;
+using fefet::PulseProgrammer;
+using fefet::PulseScheme;
+using fefet::SamplingMode;
+using fefet::VthMap;
+
+TEST(McamCell, MatchConductanceIsLeakageLevel) {
+  const LevelMap map{3};
+  const ChannelParams channel;
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    const McamCell cell{map, s, channel};
+    const double g_match = cell.conductance_for_input(s);
+    // Both FeFETs sub-threshold: a few nS at most.
+    EXPECT_LT(g_match, 10e-9) << "state " << s;
+  }
+}
+
+TEST(McamCell, MismatchConductanceGrowsWithDistance) {
+  const LevelMap map{3};
+  const McamCell cell{map, 0};
+  double previous = cell.conductance_for_input(0);
+  for (std::size_t input = 1; input < map.num_states(); ++input) {
+    const double g = cell.conductance_for_input(input);
+    EXPECT_GT(g, previous) << "distance " << input;
+    previous = g;
+  }
+}
+
+TEST(McamCell, DistanceOneToDistanceFourSpansDecades) {
+  // Fig. 4(a): conductance grows ~exponentially; d=4 is orders of magnitude
+  // above d=1.
+  const LevelMap map{3};
+  const McamCell cell{map, 0};
+  const double g1 = cell.conductance_for_input(1);
+  const double g4 = cell.conductance_for_input(4);
+  EXPECT_GT(g4 / g1, 50.0);
+}
+
+TEST(McamCell, SymmetricInDistanceDirection) {
+  // A cell storing S4 must respond (nearly) equally to inputs S4-d and
+  // S4+d: one direction trips the right FeFET, the other the left.
+  const LevelMap map{3};
+  const McamCell cell{map, 4};
+  for (std::size_t d = 1; d <= 3; ++d) {
+    const double g_low = cell.conductance_for_input(4 - d);
+    const double g_high = cell.conductance_for_input(4 + d);
+    EXPECT_NEAR(g_low / g_high, 1.0, 0.35) << "distance " << d;
+  }
+}
+
+TEST(McamCell, ConductancePairSymmetry) {
+  // F(I, S) should approximately equal F(S, I): swapping stored and input
+  // states mirrors which FeFET conducts.
+  const LevelMap map{3};
+  for (std::size_t s = 0; s < 8; ++s) {
+    const McamCell cell_s{map, s};
+    for (std::size_t i = 0; i < 8; ++i) {
+      const McamCell cell_i{map, i};
+      const double g_si = cell_s.conductance_for_input(i);
+      const double g_is = cell_i.conductance_for_input(s);
+      EXPECT_NEAR(g_si / g_is, 1.0, 0.05) << "pair (" << i << "," << s << ")";
+    }
+  }
+}
+
+TEST(McamCell, AnalogInputBetweenLevelsInterpolates) {
+  const LevelMap map{3};
+  const McamCell cell{map, 2};
+  const double g_at_3 = cell.conductance_for_input(3);
+  const double g_at_4 = cell.conductance_for_input(4);
+  const double v_between = 0.5 * (map.input_voltage(3) + map.input_voltage(4));
+  const double g_between = cell.conductance_at_voltage(v_between);
+  EXPECT_GT(g_between, g_at_3);
+  EXPECT_LT(g_between, g_at_4);
+}
+
+TEST(McamCell, MatchesPredicate) {
+  const LevelMap map{3};
+  const McamCell cell{map, 5};
+  const double limit = 20e-9;
+  EXPECT_TRUE(cell.matches(5, limit));
+  EXPECT_FALSE(cell.matches(3, limit));
+  EXPECT_FALSE(cell.matches(7, limit));
+}
+
+TEST(McamCell, OutOfRangeStateThrows) {
+  const LevelMap map{2};
+  EXPECT_THROW((McamCell{map, 4}), std::out_of_range);
+}
+
+TEST(McamCell, VthNoiseChangesConductance) {
+  const LevelMap map{3};
+  McamCell noisy{map, 2};
+  const McamCell clean{map, 2};
+  Rng rng{5};
+  noisy.inject_vth_noise(0.08, rng);
+  bool any_changed = false;
+  for (std::size_t input = 0; input < map.num_states(); ++input) {
+    if (std::fabs(noisy.conductance_for_input(input) - clean.conductance_for_input(input)) >
+        1e-12) {
+      any_changed = true;
+    }
+  }
+  EXPECT_TRUE(any_changed);
+}
+
+TEST(McamCell, SmallNoisePreservesMatchWindow) {
+  // 20 mV of noise (<< 60 mV half-window) must not break exact matching.
+  const LevelMap map{3};
+  Rng rng{6};
+  for (int trial = 0; trial < 10; ++trial) {
+    McamCell cell{map, 3};
+    cell.inject_vth_noise(0.020, rng);
+    EXPECT_TRUE(cell.matches(3, 20e-9));
+  }
+}
+
+TEST(McamCell, ProgrammedQuantileCellTracksIdealCell) {
+  const LevelMap map{3};
+  const PulseProgrammer programmer{map.programmable_vth_levels(), PreisachParams{},
+                                   VthMap{}, PulseScheme{}};
+  for (std::size_t s : {0ul, 3ul, 7ul}) {
+    const McamCell ideal{map, s};
+    const McamCell programmed{map,        s,
+                              programmer, PreisachParams{},
+                              ChannelParams{}, SamplingMode::kQuantile,
+                              Rng{1}};
+    for (std::size_t input = 0; input < map.num_states(); ++input) {
+      const double gi = ideal.conductance_for_input(input);
+      const double gp = programmed.conductance_for_input(input);
+      // Same ordering and within a factor ~2 everywhere (calibration lands
+      // on the exact targets for the nominal device).
+      EXPECT_NEAR(std::log10(gp / gi), 0.0, 0.35)
+          << "state " << s << " input " << input;
+    }
+  }
+}
+
+TEST(McamCell, MonteCarloCellsDiffer) {
+  const LevelMap map{3};
+  const PulseProgrammer programmer{map.programmable_vth_levels(), PreisachParams{},
+                                   VthMap{}, PulseScheme{}};
+  Rng rng{42};
+  const McamCell a{map, 2, programmer, PreisachParams{}, ChannelParams{},
+                   SamplingMode::kMonteCarlo, rng.fork(0)};
+  const McamCell b{map, 2, programmer, PreisachParams{}, ChannelParams{},
+                   SamplingMode::kMonteCarlo, rng.fork(1)};
+  EXPECT_NE(a.conductance_for_input(5), b.conductance_for_input(5));
+}
+
+TEST(McamCell, TwoBitCellHasFourStates) {
+  const LevelMap map{2};
+  for (std::size_t s = 0; s < 4; ++s) {
+    const McamCell cell{map, s};
+    EXPECT_LT(cell.conductance_for_input(s), 10e-9);
+    for (std::size_t input = 0; input < 4; ++input) {
+      if (input != s) EXPECT_GT(cell.conductance_for_input(input), 5e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcam::cam

@@ -1,0 +1,154 @@
+#include "circuit/matchline.hpp"
+#include "circuit/rc.hpp"
+#include "circuit/senseamp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::circuit {
+namespace {
+
+TEST(Rc, AnalyticDischargeAtTimeConstant) {
+  // After one time constant (t = C/G) the voltage is v0/e.
+  const double v = discharge_voltage(0.8, 1e-6, 2e-14, 2e-8);
+  EXPECT_NEAR(v, 0.8 / std::exp(1.0), 1e-9);
+}
+
+TEST(Rc, TimeToCrossMatchesClosedForm) {
+  const double t = time_to_cross(0.8, 0.4, 1e-6, 2e-14);
+  EXPECT_NEAR(t, 2e-8 * std::log(2.0), 1e-15);
+  EXPECT_NEAR(discharge_voltage(0.8, 1e-6, 2e-14, t), 0.4, 1e-9);
+}
+
+TEST(Rc, ZeroConductanceNeverCrosses) {
+  EXPECT_TRUE(std::isinf(time_to_cross(0.8, 0.4, 0.0, 1e-14)));
+}
+
+TEST(Rc, TimeToCrossValidatesArguments) {
+  EXPECT_THROW((void)time_to_cross(0.0, 0.4, 1e-6, 1e-14), std::invalid_argument);
+  EXPECT_THROW((void)time_to_cross(0.8, 0.9, 1e-6, 1e-14), std::invalid_argument);
+  EXPECT_THROW((void)time_to_cross(0.8, -0.1, 1e-6, 1e-14), std::invalid_argument);
+}
+
+TEST(Rc, Rk4MatchesAnalyticForConstantG) {
+  constexpr double kG = 2e-6;
+  constexpr double kC = 1.5e-14;
+  const Waveform wf = integrate_discharge(0.8, kC, [](double) { return kG; }, 5e-8, 1e-10);
+  for (std::size_t i = 0; i < wf.samples.size(); i += 50) {
+    const double t = wf.dt * static_cast<double>(i);
+    EXPECT_NEAR(wf.samples[i], discharge_voltage(0.8, kG, kC, t), 1e-5);
+  }
+}
+
+TEST(Rc, CrossingTimeInterpolates) {
+  constexpr double kG = 2e-6;
+  constexpr double kC = 1.5e-14;
+  const Waveform wf = integrate_discharge(0.8, kC, [](double) { return kG; }, 5e-8, 1e-10);
+  const double t_num = wf.crossing_time(0.4);
+  const double t_ana = time_to_cross(0.8, 0.4, kG, kC);
+  EXPECT_NEAR(t_num, t_ana, 1e-11);
+}
+
+TEST(Rc, CrossingTimeNegativeWhenNotReached) {
+  const Waveform wf =
+      integrate_discharge(0.8, 1e-12, [](double) { return 1e-9; }, 1e-9, 1e-11);
+  EXPECT_LT(wf.crossing_time(0.1), 0.0);
+}
+
+TEST(Rc, NonlinearConductanceDischargesFasterWhenGRises) {
+  // A conductance that rises at low V discharges the tail faster than the
+  // constant-G case matched at V0.
+  constexpr double kC = 1e-14;
+  const auto g_const = [](double) { return 1e-6; };
+  const auto g_rising = [](double v) { return 1e-6 * (1.0 + (0.8 - v)); };
+  const Waveform a = integrate_discharge(0.8, kC, g_const, 4e-8, 1e-10);
+  const Waveform b = integrate_discharge(0.8, kC, g_rising, 4e-8, 1e-10);
+  EXPECT_GT(a.crossing_time(0.2), b.crossing_time(0.2));
+}
+
+TEST(Rc, InvalidIntegrationArgsThrow) {
+  EXPECT_THROW((void)integrate_discharge(0.8, 1e-14, [](double) { return 1e-6; }, 0.0, 1e-10),
+               std::invalid_argument);
+  EXPECT_THROW((void)integrate_discharge(0.8, 1e-14, [](double) { return 1e-6; }, 1e-8, 0.0),
+               std::invalid_argument);
+}
+
+TEST(Matchline, CapacitanceScalesWithCells) {
+  const MatchlineParams params;
+  const Matchline small{params, 16};
+  const Matchline large{params, 64};
+  EXPECT_NEAR(large.capacitance() - small.capacitance(), 48.0 * params.c_per_cell, 1e-21);
+}
+
+TEST(Matchline, SmallerConductanceDischargesSlower) {
+  const Matchline ml{MatchlineParams{}, 64};
+  EXPECT_GT(ml.discharge_time(1e-8), ml.discharge_time(1e-6));
+}
+
+TEST(Matchline, VoltageAtDecays) {
+  const Matchline ml{MatchlineParams{}, 64};
+  const double t = ml.discharge_time(1e-6);
+  EXPECT_NEAR(ml.voltage_at(1e-6, t), MatchlineParams{}.v_reference, 1e-9);
+}
+
+TEST(Matchline, PrechargeEnergyIsCV2) {
+  const MatchlineParams params;
+  const Matchline ml{params, 64};
+  EXPECT_NEAR(ml.precharge_energy(),
+              ml.capacitance() * params.v_precharge * params.v_precharge, 1e-24);
+}
+
+TEST(SenseAmp, WinnerIsSlowestDischarge) {
+  const Matchline ml{MatchlineParams{}, 16};
+  const WinnerTakeAllSense sense{ml};
+  // Smallest conductance = smallest distance = slowest = winner.
+  const std::vector<double> g{5e-7, 1e-7, 8e-7, 3e-7};
+  const SenseResult result = sense.sense(g);
+  EXPECT_EQ(result.winner, 1u);
+  EXPECT_EQ(result.runner_up, 3u);
+  EXPECT_GT(result.margin, 0.0);
+  EXPECT_FALSE(result.tie);
+}
+
+TEST(SenseAmp, SingleRowWins) {
+  const Matchline ml{MatchlineParams{}, 16};
+  const WinnerTakeAllSense sense{ml};
+  const SenseResult result = sense.sense(std::vector<double>{4e-7});
+  EXPECT_EQ(result.winner, 0u);
+  EXPECT_TRUE(std::isinf(result.margin));
+}
+
+TEST(SenseAmp, EmptyThrows) {
+  const Matchline ml{MatchlineParams{}, 16};
+  const WinnerTakeAllSense sense{ml};
+  EXPECT_THROW((void)sense.sense(std::vector<double>{}), std::invalid_argument);
+}
+
+TEST(SenseAmp, CoarseClockCausesTies) {
+  const Matchline ml{MatchlineParams{}, 16};
+  // A very coarse sampling clock quantizes both rows into the same slot.
+  const WinnerTakeAllSense coarse{ml, 1.0};
+  const SenseResult result = coarse.sense(std::vector<double>{1.00e-7, 1.01e-7});
+  EXPECT_TRUE(result.tie);
+  EXPECT_EQ(result.winner, 0u);  // Lowest index wins ties.
+}
+
+TEST(SenseAmp, FineClockPreservesOrder) {
+  const Matchline ml{MatchlineParams{}, 16};
+  const WinnerTakeAllSense ideal{ml, 0.0};
+  const WinnerTakeAllSense fine{ml, 1e-12};
+  const std::vector<double> g{4e-7, 1e-7, 2e-7, 9e-7, 3e-7};
+  EXPECT_EQ(ideal.sense(g).winner, fine.sense(g).winner);
+}
+
+TEST(SenseAmp, MarginShrinksWithCloserConductances) {
+  const Matchline ml{MatchlineParams{}, 16};
+  const WinnerTakeAllSense sense{ml};
+  const double wide = sense.sense(std::vector<double>{1e-7, 5e-7}).margin;
+  const double narrow = sense.sense(std::vector<double>{1e-7, 1.2e-7}).margin;
+  EXPECT_GT(wide, narrow);
+}
+
+}  // namespace
+}  // namespace mcam::circuit

@@ -1,0 +1,276 @@
+#include "data/dataset.hpp"
+#include "data/episode.hpp"
+#include "data/omniglot_synth.hpp"
+#include "data/uci_synth.hpp"
+
+#include "distance/metrics.hpp"
+#include "util/statistics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mcam::data {
+namespace {
+
+TEST(Dataset, ValidateCatchesRaggedRows) {
+  Dataset ds;
+  ds.name = "bad";
+  ds.features = {{1.0f, 2.0f}, {1.0f}};
+  ds.labels = {0, 1};
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(Dataset, ValidateCatchesLabelMismatch) {
+  Dataset ds;
+  ds.features = {{1.0f}};
+  ds.labels = {0, 1};
+  EXPECT_THROW(ds.validate(), std::logic_error);
+}
+
+TEST(Dataset, ClassCountsAndNumClasses) {
+  Dataset ds;
+  ds.features = {{0.f}, {0.f}, {0.f}};
+  ds.labels = {3, 5, 3};
+  EXPECT_EQ(ds.num_classes(), 2u);
+  EXPECT_EQ(ds.class_count(3), 2u);
+  EXPECT_EQ(ds.class_count(5), 1u);
+  EXPECT_EQ(ds.class_count(9), 0u);
+}
+
+TEST(StratifiedSplit, PreservesClassProportions) {
+  const Dataset iris = make_iris(1);
+  const SplitDataset split = stratified_split(iris, 0.8, 2);
+  EXPECT_EQ(split.train.size() + split.test.size(), iris.size());
+  for (int cls = 0; cls < 3; ++cls) {
+    EXPECT_EQ(split.train.class_count(cls), 40u);
+    EXPECT_EQ(split.test.class_count(cls), 10u);
+  }
+}
+
+TEST(StratifiedSplit, SmallClassesAppearOnBothSides) {
+  const Dataset wq = make_wine_quality_red(1);
+  const SplitDataset split = stratified_split(wq, 0.8, 3);
+  // Grade 3 has only 10 samples; ceil(0.8*10)=8 train, 2 test.
+  EXPECT_EQ(split.train.class_count(3), 8u);
+  EXPECT_EQ(split.test.class_count(3), 2u);
+}
+
+TEST(StratifiedSplit, DeterministicPerSeed) {
+  const Dataset iris = make_iris(1);
+  const SplitDataset a = stratified_split(iris, 0.8, 7);
+  const SplitDataset b = stratified_split(iris, 0.8, 7);
+  EXPECT_EQ(a.train.features, b.train.features);
+  const SplitDataset c = stratified_split(iris, 0.8, 8);
+  EXPECT_NE(a.train.features, c.train.features);
+}
+
+TEST(StratifiedSplit, InvalidFractionThrows) {
+  const Dataset iris = make_iris(1);
+  EXPECT_THROW((void)stratified_split(iris, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW((void)stratified_split(iris, 1.0, 1), std::invalid_argument);
+}
+
+TEST(UciSynth, IrisShapeMatchesOriginal) {
+  const Dataset iris = make_iris(5);
+  EXPECT_EQ(iris.size(), 150u);
+  EXPECT_EQ(iris.dim(), 4u);
+  EXPECT_EQ(iris.num_classes(), 3u);
+  for (int cls = 0; cls < 3; ++cls) EXPECT_EQ(iris.class_count(cls), 50u);
+}
+
+TEST(UciSynth, IrisClassGeometry) {
+  // Setosa's petal length is far below the other two classes (the defining
+  // property of the original data).
+  const Dataset iris = make_iris(5);
+  double setosa_petal = 0.0;
+  double virginica_petal = 0.0;
+  for (std::size_t i = 0; i < iris.size(); ++i) {
+    if (iris.labels[i] == 0) setosa_petal += iris.features[i][2];
+    if (iris.labels[i] == 2) virginica_petal += iris.features[i][2];
+  }
+  EXPECT_LT(setosa_petal / 50.0, 2.0);
+  EXPECT_GT(virginica_petal / 50.0, 5.0);
+}
+
+TEST(UciSynth, WineShape) {
+  const Dataset wine = make_wine(5);
+  EXPECT_EQ(wine.size(), 178u);
+  EXPECT_EQ(wine.dim(), 13u);
+  EXPECT_EQ(wine.class_count(0), 59u);
+  EXPECT_EQ(wine.class_count(1), 71u);
+  EXPECT_EQ(wine.class_count(2), 48u);
+}
+
+TEST(UciSynth, BreastCancerShapeAndCorrelations) {
+  const Dataset cancer = make_breast_cancer(5);
+  EXPECT_EQ(cancer.size(), 569u);
+  EXPECT_EQ(cancer.dim(), 30u);
+  EXPECT_EQ(cancer.class_count(0), 357u);
+  EXPECT_EQ(cancer.class_count(1), 212u);
+  // Radius (f0) and area (f3) must be strongly correlated via the latent
+  // size factor, as in the real data.
+  std::vector<double> radius;
+  std::vector<double> area;
+  for (const auto& row : cancer.features) {
+    radius.push_back(row[0]);
+    area.push_back(row[3]);
+  }
+  EXPECT_GT(pearson(radius, area), 0.9);
+}
+
+TEST(UciSynth, BreastCancerMalignantLarger) {
+  const Dataset cancer = make_breast_cancer(6);
+  double benign_radius = 0.0;
+  double malignant_radius = 0.0;
+  for (std::size_t i = 0; i < cancer.size(); ++i) {
+    (cancer.labels[i] == 0 ? benign_radius : malignant_radius) += cancer.features[i][0];
+  }
+  EXPECT_GT(malignant_radius / 212.0, benign_radius / 357.0 + 3.0);
+}
+
+TEST(UciSynth, WineQualityShapeAndImbalance) {
+  const Dataset wq = make_wine_quality_red(5);
+  EXPECT_EQ(wq.size(), 1599u);
+  EXPECT_EQ(wq.dim(), 11u);
+  EXPECT_EQ(wq.class_count(5), 681u);
+  EXPECT_EQ(wq.class_count(6), 638u);
+  EXPECT_EQ(wq.class_count(8), 18u);
+}
+
+TEST(UciSynth, WineQualityAlcoholTracksQuality) {
+  const Dataset wq = make_wine_quality_red(7);
+  double low = 0.0;
+  std::size_t n_low = 0;
+  double high = 0.0;
+  std::size_t n_high = 0;
+  for (std::size_t i = 0; i < wq.size(); ++i) {
+    if (wq.labels[i] <= 4) {
+      low += wq.features[i][10];
+      ++n_low;
+    } else if (wq.labels[i] >= 7) {
+      high += wq.features[i][10];
+      ++n_high;
+    }
+  }
+  EXPECT_GT(high / static_cast<double>(n_high), low / static_cast<double>(n_low) + 0.5);
+}
+
+TEST(UciSynth, DeterministicPerSeed) {
+  EXPECT_EQ(make_iris(9).features, make_iris(9).features);
+  EXPECT_NE(make_iris(9).features, make_iris(10).features);
+}
+
+TEST(UciSynth, SuiteHasPaperOrder) {
+  const auto suite = make_uci_suite(1);
+  ASSERT_EQ(suite.size(), 4u);
+  EXPECT_EQ(suite[0].name, "iris");
+  EXPECT_EQ(suite[1].name, "wine");
+  EXPECT_EQ(suite[2].name, "breast_cancer");
+  EXPECT_EQ(suite[3].name, "wine_quality_red");
+}
+
+TEST(Omniglot, ImageShapeAndRange) {
+  const OmniglotGenerator gen{10, OmniglotConfig{}, 3};
+  Rng rng{1};
+  const Image image = gen.render(0, rng);
+  EXPECT_EQ(image.width, 20u);
+  EXPECT_EQ(image.height, 20u);
+  ASSERT_EQ(image.pixels.size(), 400u);
+  for (float p : image.pixels) {
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(Omniglot, ImagesContainInk) {
+  const OmniglotGenerator gen{10, OmniglotConfig{}, 3};
+  Rng rng{2};
+  for (std::size_t cls = 0; cls < 10; ++cls) {
+    const Image image = gen.render(cls, rng);
+    float total = 0.0f;
+    for (float p : image.pixels) total += p;
+    EXPECT_GT(total, 5.0f) << "class " << cls << " rendered almost empty";
+  }
+}
+
+TEST(Omniglot, ClassPoolIsDeterministic) {
+  const OmniglotGenerator a{5, OmniglotConfig{}, 7};
+  const OmniglotGenerator b{5, OmniglotConfig{}, 7};
+  for (std::size_t cls = 0; cls < 5; ++cls) {
+    ASSERT_EQ(a.character(cls).strokes.size(), b.character(cls).strokes.size());
+    for (std::size_t s = 0; s < a.character(cls).strokes.size(); ++s) {
+      EXPECT_FLOAT_EQ(a.character(cls).strokes[s].x0, b.character(cls).strokes[s].x0);
+    }
+  }
+}
+
+TEST(Omniglot, WithinClassCloserThanAcrossClass) {
+  // The property the MANN experiments rest on: two drawings of the same
+  // character are closer (L2 on pixels) than drawings of different ones,
+  // on average.
+  const OmniglotGenerator gen{12, OmniglotConfig{}, 11};
+  Rng rng{5};
+  double within = 0.0;
+  double across = 0.0;
+  constexpr int kPairs = 30;
+  for (int p = 0; p < kPairs; ++p) {
+    const std::size_t cls_a = rng.index(12);
+    std::size_t cls_b = rng.index(12);
+    while (cls_b == cls_a) cls_b = rng.index(12);
+    const Image a1 = gen.render(cls_a, rng);
+    const Image a2 = gen.render(cls_a, rng);
+    const Image b1 = gen.render(cls_b, rng);
+    within += distance::euclidean(a1.pixels, a2.pixels);
+    across += distance::euclidean(a1.pixels, b1.pixels);
+  }
+  EXPECT_LT(within, 0.8 * across);
+}
+
+TEST(EpisodeSampler, ShapesMatchTask) {
+  const OmniglotGenerator gen{20, OmniglotConfig{}, 13};
+  const EpisodeSampler sampler{20, [&gen](std::size_t cls, Rng& rng) {
+                                 return gen.render(cls, rng).flatten();
+                               }};
+  Rng rng{9};
+  const TaskSpec task{5, 3, 4};
+  const Episode episode = sampler.sample(task, rng);
+  EXPECT_EQ(episode.support.size(), 15u);
+  EXPECT_EQ(episode.support_labels.size(), 15u);
+  EXPECT_EQ(episode.query.size(), 20u);
+  EXPECT_EQ(episode.query_labels.size(), 20u);
+}
+
+TEST(EpisodeSampler, LabelsAreEpisodeLocal) {
+  const EpisodeSampler sampler{50, [](std::size_t cls, Rng&) {
+                                 return std::vector<float>{static_cast<float>(cls)};
+                               }};
+  Rng rng{15};
+  const TaskSpec task{5, 2, 2};
+  const Episode episode = sampler.sample(task, rng);
+  std::set<int> support_labels(episode.support_labels.begin(), episode.support_labels.end());
+  EXPECT_EQ(support_labels, (std::set<int>{0, 1, 2, 3, 4}));
+  // Support and query with the same episode label come from the same class.
+  for (std::size_t q = 0; q < episode.query.size(); ++q) {
+    for (std::size_t s = 0; s < episode.support.size(); ++s) {
+      if (episode.support_labels[s] == episode.query_labels[q]) {
+        EXPECT_FLOAT_EQ(episode.support[s][0], episode.query[q][0]);
+      }
+    }
+  }
+}
+
+TEST(EpisodeSampler, Validation) {
+  EXPECT_THROW((EpisodeSampler{0, [](std::size_t, Rng&) { return std::vector<float>{}; }}),
+               std::invalid_argument);
+  EXPECT_THROW((EpisodeSampler{5, EpisodeSampler::ClassSampler{}}), std::invalid_argument);
+  const EpisodeSampler sampler{5, [](std::size_t, Rng&) {
+                                 return std::vector<float>{0.0f};
+                               }};
+  Rng rng{1};
+  EXPECT_THROW((void)sampler.sample(TaskSpec{10, 1, 1}, rng), std::invalid_argument);
+  EXPECT_THROW((void)sampler.sample(TaskSpec{2, 0, 1}, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcam::data

@@ -1,0 +1,131 @@
+#include "fefet/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::fefet {
+namespace {
+
+TEST(VthMap, EndpointsSpanLevelPlan) {
+  const VthMap map;
+  // Erased (P = -Ps) -> 1.320 V; fully programmed (P = +Ps) -> 0.360 V.
+  EXPECT_NEAR(map.vth(-1.0, 1.0), 1.320, 1e-12);
+  EXPECT_NEAR(map.vth(1.0, 1.0), 0.360, 1e-12);
+  EXPECT_NEAR(map.vth(0.0, 1.0), 0.840, 1e-12);
+}
+
+TEST(FefetDevice, StartsErasedAtHighestVth) {
+  const FefetDevice device;
+  EXPECT_NEAR(device.vth(), 1.320, 1e-9);
+}
+
+TEST(FefetDevice, EraseAfterProgramRestoresVth) {
+  FefetDevice device;
+  device.program_pulse(4.0, 200e-9);
+  EXPECT_LT(device.vth(), 1.0);
+  device.erase();
+  EXPECT_NEAR(device.vth(), 1.320, 1e-9);
+}
+
+TEST(FefetDevice, StrongerPulseLowersVth) {
+  FefetDevice weak;
+  FefetDevice strong;
+  weak.program_pulse(2.2, 200e-9);
+  strong.program_pulse(3.6, 200e-9);
+  EXPECT_GT(weak.vth(), strong.vth());
+}
+
+TEST(FefetDevice, VthOffsetShiftsThreshold) {
+  FefetDevice device;
+  const double base = device.vth();
+  device.set_vth_offset(0.05);
+  EXPECT_NEAR(device.vth(), base + 0.05, 1e-12);
+}
+
+TEST(ChannelConductance, MonotoneInOverdrive) {
+  const ChannelParams channel;
+  double previous = 0.0;
+  for (double od = -0.5; od <= 1.0; od += 0.05) {
+    const double g = channel_conductance(channel, od);
+    EXPECT_GT(g, previous);
+    previous = g;
+  }
+}
+
+TEST(ChannelConductance, LeakageFloorDeepOff) {
+  const ChannelParams channel;
+  const double g = channel_conductance(channel, -1.0);
+  EXPECT_NEAR(g, channel.g_leak, 0.1 * channel.g_leak);
+}
+
+TEST(ChannelConductance, SeriesResistanceCapsOnState) {
+  const ChannelParams channel;
+  const double g = channel_conductance(channel, 3.0);
+  EXPECT_LT(g, 1.0 / channel.r_on + channel.g_leak + 1e-9);
+  EXPECT_GT(g, 0.9 / channel.r_on);
+}
+
+TEST(ChannelConductance, ExponentialSubthresholdSlope) {
+  const ChannelParams channel;
+  // In weak inversion the ratio over one v_slope of overdrive is ~e.
+  const double g1 = channel_conductance(channel, -0.30) - channel.g_leak;
+  const double g2 = channel_conductance(channel, -0.30 + channel.v_slope) - channel.g_leak;
+  EXPECT_NEAR(g2 / g1, std::exp(1.0), 0.05 * std::exp(1.0));
+}
+
+TEST(ChannelConductance, NoOverflowAtExtremeOverdrive) {
+  const ChannelParams channel;
+  const double g = channel_conductance(channel, 100.0);
+  EXPECT_TRUE(std::isfinite(g));
+}
+
+TEST(FefetDevice, ConductanceUsesCurrentVth) {
+  FefetDevice device;
+  const double g_erased = device.conductance(0.9);
+  device.ensemble().force_up_fraction(0.875);  // Vth -> 0.48 V.
+  const double g_programmed = device.conductance(0.9);
+  EXPECT_GT(g_programmed, 100.0 * g_erased);
+}
+
+TEST(FefetDevice, DrainCurrentSaturatesInVds) {
+  FefetDevice device;
+  device.ensemble().force_up_fraction(0.875);
+  const double i_small = device.drain_current(1.0, 0.05);
+  const double i_mid = device.drain_current(1.0, 0.4);
+  const double i_large = device.drain_current(1.0, 2.0);
+  EXPECT_GT(i_mid, i_small);
+  // Saturation: doubling Vds beyond v_dsat gains little.
+  EXPECT_LT(i_large, 1.2 * device.drain_current(1.0, 1.0));
+}
+
+TEST(TransferCurve, EightStatesAreOrdered) {
+  // Fig. 2(b): programming to lower Vth shifts the transfer curve left,
+  // i.e. raises the current at a fixed mid-sweep gate voltage.
+  double previous = -1.0;
+  for (int level = 0; level < 8; ++level) {
+    FefetDevice device;
+    device.ensemble().force_up_fraction(0.875 - 0.125 * level);  // Vth 0.48..1.32.
+    const TransferCurve curve = trace_transfer_curve(device, 0.1, 0.0, 1.2, 25);
+    const double id_mid = curve.id[12];
+    if (previous >= 0.0) EXPECT_LT(id_mid, previous);
+    previous = id_mid;
+  }
+}
+
+TEST(TransferCurve, SpansSeveralDecades) {
+  FefetDevice device;
+  device.ensemble().force_up_fraction(0.5);
+  const TransferCurve curve = trace_transfer_curve(device, 0.1, 0.0, 1.2, 61);
+  ASSERT_EQ(curve.vg.size(), 61u);
+  const double ratio = curve.id.back() / curve.id.front();
+  EXPECT_GT(ratio, 1e3);  // Fig. 2(b) shows >= 10^3 on/off over the sweep.
+}
+
+TEST(TransferCurve, InvalidPointsThrow) {
+  const FefetDevice device;
+  EXPECT_THROW((void)trace_transfer_curve(device, 0.1, 0.0, 1.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcam::fefet

@@ -1,0 +1,161 @@
+#include "distance/mcam_distance.hpp"
+#include "distance/metrics.hpp"
+
+#include "cam/lut.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::distance {
+namespace {
+
+TEST(Metrics, CosineBasics) {
+  const std::vector<float> a{1.0f, 0.0f};
+  const std::vector<float> b{0.0f, 1.0f};
+  const std::vector<float> c{2.0f, 0.0f};
+  EXPECT_NEAR(cosine(a, a), 0.0, 1e-7);
+  EXPECT_NEAR(cosine(a, b), 1.0, 1e-7);
+  EXPECT_NEAR(cosine(a, c), 0.0, 1e-7);  // Scale invariant.
+}
+
+TEST(Metrics, CosineZeroVectorConvention) {
+  const std::vector<float> zero{0.0f, 0.0f};
+  const std::vector<float> a{1.0f, 2.0f};
+  EXPECT_DOUBLE_EQ(cosine(zero, a), 1.0);
+}
+
+TEST(Metrics, EuclideanAndSquared) {
+  const std::vector<float> a{0.0f, 3.0f};
+  const std::vector<float> b{4.0f, 0.0f};
+  EXPECT_NEAR(euclidean(a, b), 5.0, 1e-7);
+  EXPECT_NEAR(squared_euclidean(a, b), 25.0, 1e-6);
+}
+
+TEST(Metrics, LinfIsMaxComponent) {
+  const std::vector<float> a{1.0f, 5.0f, 2.0f};
+  const std::vector<float> b{2.0f, 1.0f, 2.0f};
+  EXPECT_NEAR(linf(a, b), 4.0, 1e-7);
+}
+
+TEST(Metrics, ManhattanIsSum) {
+  const std::vector<float> a{1.0f, 5.0f, 2.0f};
+  const std::vector<float> b{2.0f, 1.0f, 2.0f};
+  EXPECT_NEAR(manhattan(a, b), 5.0, 1e-7);
+}
+
+TEST(Metrics, SymmetryAndIdentity) {
+  Rng rng{3};
+  std::vector<float> a(16);
+  std::vector<float> b(16);
+  for (std::size_t i = 0; i < 16; ++i) {
+    a[i] = static_cast<float>(rng.normal());
+    b[i] = static_cast<float>(rng.normal());
+  }
+  for (const auto& name : {"cosine", "euclidean", "linf", "manhattan"}) {
+    const Metric m = metric_by_name(name);
+    EXPECT_NEAR(m(a, b), m(b, a), 1e-9) << name;
+    EXPECT_NEAR(m(a, a), 0.0, 1e-6) << name;
+  }
+}
+
+TEST(Metrics, EuclideanTriangleInequality) {
+  Rng rng{5};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<float> a(8);
+    std::vector<float> b(8);
+    std::vector<float> c(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      a[i] = static_cast<float>(rng.normal());
+      b[i] = static_cast<float>(rng.normal());
+      c[i] = static_cast<float>(rng.normal());
+    }
+    EXPECT_LE(euclidean(a, c), euclidean(a, b) + euclidean(b, c) + 1e-5);
+  }
+}
+
+TEST(Metrics, UnknownNameThrows) {
+  EXPECT_THROW((void)metric_by_name("hamming-ish"), std::invalid_argument);
+}
+
+TEST(McamDistanceFn, ZeroForIdenticalVectors) {
+  const cam::ConductanceLut lut = cam::ConductanceLut::nominal(fefet::LevelMap{3});
+  const McamDistance d{lut};
+  const std::vector<std::uint16_t> v{0, 3, 5, 7};
+  // Not literally zero (leakage), but equal to the sum of match entries.
+  double expected = 0.0;
+  for (std::uint16_t level : v) expected += lut.g(level, level);
+  EXPECT_NEAR(d(v, v), expected, 1e-18);
+}
+
+TEST(McamDistanceFn, GrowsWithLevelDistance) {
+  const cam::ConductanceLut lut = cam::ConductanceLut::nominal(fefet::LevelMap{3});
+  const McamDistance d{lut};
+  const std::vector<std::uint16_t> base{4, 4, 4, 4};
+  const std::vector<std::uint16_t> near{4, 4, 4, 5};
+  const std::vector<std::uint16_t> far{4, 4, 4, 7};
+  EXPECT_LT(d(base, base), d(base, near));
+  EXPECT_LT(d(base, near), d(base, far));
+}
+
+TEST(McamDistanceFn, LengthMismatchThrows) {
+  const cam::ConductanceLut lut = cam::ConductanceLut::nominal(fefet::LevelMap{2});
+  const McamDistance d{lut};
+  EXPECT_THROW((void)d(std::vector<std::uint16_t>{1},
+                       std::vector<std::uint16_t>{1, 2}),
+               std::invalid_argument);
+}
+
+TEST(SaturatingExponentialFn, MatchesQualitativeShape) {
+  const SaturatingExponential f;
+  EXPECT_LT(f.cell(0), f.cell(1));
+  EXPECT_LT(f.cell(1), f.cell(4));
+  // Saturation: step 6->7 adds less than step 2->3 multiplicatively.
+  EXPECT_LT(f.cell(7) / f.cell(6), f.cell(3) / f.cell(2));
+  EXPECT_LT(f.cell(100), 1.0 / f.r_on + 1e-12);
+}
+
+TEST(SaturatingExponentialFn, OrdersLikeCircuitLut) {
+  // The closed-form surrogate must induce the same nearest-neighbor choice
+  // as the circuit-derived LUT on random workloads.
+  const cam::ConductanceLut lut = cam::ConductanceLut::nominal(fefet::LevelMap{3});
+  const McamDistance circuit{lut};
+  const SaturatingExponential surrogate;
+  Rng rng{11};
+  int agreements = 0;
+  constexpr int kTrials = 100;
+  for (int trial = 0; trial < kTrials; ++trial) {
+    std::vector<std::vector<std::uint16_t>> rows(8, std::vector<std::uint16_t>(16));
+    std::vector<std::uint16_t> query(16);
+    for (auto& row : rows) {
+      for (auto& level : row) level = static_cast<std::uint16_t>(rng.index(8));
+    }
+    for (auto& level : query) level = static_cast<std::uint16_t>(rng.index(8));
+    std::size_t best_circuit = 0;
+    std::size_t best_surrogate = 0;
+    for (std::size_t r = 1; r < rows.size(); ++r) {
+      if (circuit(query, rows[r]) < circuit(query, rows[best_circuit])) best_circuit = r;
+      if (surrogate(query, rows[r]) < surrogate(query, rows[best_surrogate]))
+        best_surrogate = r;
+    }
+    agreements += best_circuit == best_surrogate ? 1 : 0;
+  }
+  EXPECT_GE(agreements, 90);
+}
+
+TEST(McamDistanceFn, DominatedByLargestSingleDeviation) {
+  // The exponential shape means one far feature outweighs several near
+  // ones (the G_n^d analysis of Sec. III-B) - verify at the metric level.
+  const cam::ConductanceLut lut = cam::ConductanceLut::nominal(fefet::LevelMap{3});
+  const McamDistance d{lut};
+  std::vector<std::uint16_t> query(16, 0);
+  std::vector<std::uint16_t> one_far(16, 0);
+  one_far[0] = 4;
+  std::vector<std::uint16_t> four_near(16, 0);
+  for (int i = 0; i < 4; ++i) four_near[i] = 1;
+  EXPECT_GT(d(query, one_far), d(query, four_near));
+}
+
+}  // namespace
+}  // namespace mcam::distance

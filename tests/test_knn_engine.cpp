@@ -1,0 +1,214 @@
+#include "search/engine.hpp"
+#include "search/knn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::search {
+namespace {
+
+/// Two well-separated Gaussian blobs in 8 dimensions.
+struct Blobs {
+  std::vector<std::vector<float>> train;
+  std::vector<int> train_labels;
+  std::vector<std::vector<float>> test;
+  std::vector<int> test_labels;
+};
+
+Blobs make_blobs(std::size_t per_class, double spread, std::uint64_t seed) {
+  Blobs blobs;
+  Rng rng{seed};
+  const auto sample = [&rng, spread](int cls) {
+    std::vector<float> v(8);
+    for (std::size_t i = 0; i < 8; ++i) {
+      const double center = cls == 0 ? 1.0 : (i % 2 == 0 ? 4.0 : -2.0);
+      v[i] = static_cast<float>(rng.normal(center, spread));
+    }
+    return v;
+  };
+  for (int cls = 0; cls < 2; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      blobs.train.push_back(sample(cls));
+      blobs.train_labels.push_back(cls);
+      blobs.test.push_back(sample(cls));
+      blobs.test_labels.push_back(cls);
+    }
+  }
+  return blobs;
+}
+
+TEST(ExactNnIndex, NearestMatchesBruteForce) {
+  Rng rng{3};
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  std::vector<std::vector<float>> rows;
+  for (int r = 0; r < 50; ++r) {
+    std::vector<float> v(4);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    rows.push_back(v);
+    index.add(v, r);
+  }
+  for (int q = 0; q < 20; ++q) {
+    std::vector<float> query(4);
+    for (auto& x : query) x = static_cast<float>(rng.normal());
+    const Neighbor found = index.nearest(query);
+    double best = 1e30;
+    std::size_t best_idx = 0;
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const double d = distance::euclidean(query, rows[r]);
+      if (d < best) {
+        best = d;
+        best_idx = r;
+      }
+    }
+    EXPECT_EQ(found.index, best_idx);
+    EXPECT_NEAR(found.distance, best, 1e-9);
+  }
+}
+
+TEST(ExactNnIndex, KNearestSortedAndDistinct) {
+  Rng rng{5};
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  for (int r = 0; r < 30; ++r) {
+    std::vector<float> v(3);
+    for (auto& x : v) x = static_cast<float>(rng.normal());
+    index.add(v, r % 3);
+  }
+  const std::vector<float> query{0.0f, 0.0f, 0.0f};
+  const auto neighbors = index.k_nearest(query, 7);
+  ASSERT_EQ(neighbors.size(), 7u);
+  for (std::size_t i = 1; i < neighbors.size(); ++i) {
+    EXPECT_GE(neighbors[i].distance, neighbors[i - 1].distance);
+    EXPECT_NE(neighbors[i].index, neighbors[i - 1].index);
+  }
+}
+
+TEST(ExactNnIndex, KLargerThanSizeClamps) {
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  index.add({0.0f}, 0);
+  index.add({1.0f}, 1);
+  EXPECT_EQ(index.k_nearest(std::vector<float>{0.2f}, 10).size(), 2u);
+}
+
+TEST(ExactNnIndex, ClassifyMajorityVote) {
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  index.add({0.0f}, 7);
+  index.add({0.1f}, 7);
+  index.add({0.2f}, 9);
+  EXPECT_EQ(index.classify(std::vector<float>{0.05f}, 3), 7);
+}
+
+TEST(ExactNnIndex, ClassifyK1IsNearestLabel) {
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  index.add({0.0f}, 1);
+  index.add({1.0f}, 2);
+  EXPECT_EQ(index.classify(std::vector<float>{0.9f}, 1), 2);
+}
+
+TEST(ExactNnIndex, Validation) {
+  EXPECT_THROW((ExactNnIndex{distance::Metric{}}), std::invalid_argument);
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  EXPECT_THROW((void)index.nearest(std::vector<float>{1.0f}), std::logic_error);
+  index.add({1.0f, 2.0f}, 0);
+  EXPECT_THROW((void)index.add({1.0f}, 1), std::invalid_argument);
+}
+
+TEST(SoftwareNnEngine, PerfectOnSeparableBlobs) {
+  const Blobs blobs = make_blobs(20, 0.3, 7);
+  SoftwareNnEngine engine{"euclidean"};
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_DOUBLE_EQ(engine.accuracy(blobs.test, blobs.test_labels), 1.0);
+}
+
+TEST(SoftwareNnEngine, UnknownMetricThrowsAtConstruction) {
+  EXPECT_THROW((SoftwareNnEngine{"nope"}), std::invalid_argument);
+}
+
+TEST(SoftwareNnEngine, PredictBeforeFitThrows) {
+  SoftwareNnEngine engine{"cosine"};
+  EXPECT_THROW((void)engine.predict(std::vector<float>{1.0f}), std::logic_error);
+}
+
+TEST(McamNnEngine, MatchesSoftwareOnSeparableBlobs) {
+  const Blobs blobs = make_blobs(20, 0.3, 9);
+  McamNnEngine engine{};
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_GE(engine.accuracy(blobs.test, blobs.test_labels), 0.97);
+}
+
+TEST(McamNnEngine, TwoBitStillSeparatesEasyBlobs) {
+  const Blobs blobs = make_blobs(20, 0.3, 11);
+  cam::McamArrayConfig config;
+  config.level_map = fefet::LevelMap{2};
+  McamNnEngine engine{config};
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_GE(engine.accuracy(blobs.test, blobs.test_labels), 0.95);
+}
+
+TEST(McamNnEngine, FixedQuantizerIsUsed) {
+  const Blobs blobs = make_blobs(10, 0.3, 13);
+  McamNnEngine engine{};
+  encoding::UniformQuantizer quantizer = encoding::UniformQuantizer::fit(blobs.train, 3);
+  engine.set_fixed_quantizer(quantizer);
+  // Fitting on a *single* support row would normally produce degenerate
+  // ranges; the fixed quantizer avoids that.
+  const std::vector<std::vector<float>> support{blobs.train[0], blobs.train.back()};
+  const std::vector<int> support_labels{0, 1};
+  engine.fit(support, support_labels);
+  EXPECT_EQ(engine.predict(blobs.test[0]), 0);
+  EXPECT_EQ(engine.predict(blobs.test.back()), 1);
+}
+
+TEST(McamNnEngine, FixedQuantizerBitsMismatchThrows) {
+  const Blobs blobs = make_blobs(5, 0.3, 15);
+  McamNnEngine engine{};  // 3-bit default.
+  EXPECT_THROW(engine.set_fixed_quantizer(encoding::UniformQuantizer::fit(blobs.train, 2)),
+               std::invalid_argument);
+}
+
+TEST(McamNnEngine, NameReflectsBits) {
+  McamNnEngine engine3{};
+  EXPECT_EQ(engine3.name(), "3-bit MCAM");
+  cam::McamArrayConfig config;
+  config.level_map = fefet::LevelMap{2};
+  McamNnEngine engine2{config};
+  EXPECT_EQ(engine2.name(), "2-bit MCAM");
+}
+
+TEST(TcamLshEngine, SeparatesEasyBlobsWithManyBits) {
+  const Blobs blobs = make_blobs(20, 0.3, 17);
+  TcamLshEngine engine{256, 23};
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_GE(engine.accuracy(blobs.test, blobs.test_labels), 0.95);
+}
+
+TEST(TcamLshEngine, FewBitsLoseAccuracy) {
+  const Blobs blobs = make_blobs(40, 1.2, 19);
+  TcamLshEngine wide{512, 23};
+  TcamLshEngine narrow{8, 23};
+  wide.fit(blobs.train, blobs.train_labels);
+  narrow.fit(blobs.train, blobs.train_labels);
+  EXPECT_GT(wide.accuracy(blobs.test, blobs.test_labels),
+            narrow.accuracy(blobs.test, blobs.test_labels));
+}
+
+TEST(TcamLshEngine, NameIncludesBits) {
+  TcamLshEngine engine{64, 1};
+  EXPECT_EQ(engine.name(), "TCAM+LSH (64b)");
+}
+
+TEST(TcamLshEngine, PredictBeforeFitThrows) {
+  TcamLshEngine engine{64, 1};
+  EXPECT_THROW((void)engine.predict(std::vector<float>{1.0f}), std::logic_error);
+}
+
+TEST(Engines, AccuracyValidatesSpans) {
+  SoftwareNnEngine engine{"euclidean"};
+  const Blobs blobs = make_blobs(5, 0.3, 21);
+  engine.fit(blobs.train, blobs.train_labels);
+  const std::vector<int> short_labels{0};
+  EXPECT_THROW((void)engine.accuracy(blobs.test, short_labels), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcam::search

@@ -1,0 +1,143 @@
+#include "fefet/levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+namespace mcam::fefet {
+namespace {
+
+TEST(LevelMap, DefaultIsPaperThreeBitMap) {
+  const LevelMap map;
+  EXPECT_EQ(map.bits(), 3u);
+  EXPECT_EQ(map.num_states(), 8u);
+  EXPECT_NEAR(map.window(), 0.120, 1e-12);
+  EXPECT_NEAR(map.center(), 0.840, 1e-12);
+  EXPECT_NEAR(map.v_min(), 0.360, 1e-12);
+  EXPECT_NEAR(map.v_max(), 1.320, 1e-12);
+}
+
+TEST(LevelMap, PaperBoundaryValues) {
+  const LevelMap map{3};
+  // Fig. 3(b): boundaries 360..1320 mV in 120 mV steps.
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_NEAR(map.lower_boundary(s), 0.360 + 0.120 * static_cast<double>(s), 1e-12);
+    EXPECT_NEAR(map.upper_boundary(s), 0.480 + 0.120 * static_cast<double>(s), 1e-12);
+  }
+}
+
+TEST(LevelMap, PaperInputVoltages) {
+  const LevelMap map{3};
+  // Fig. 3(b): inputs 420..1260 mV in 120 mV steps.
+  for (std::size_t s = 0; s < 8; ++s) {
+    EXPECT_NEAR(map.input_voltage(s), 0.420 + 0.120 * static_cast<double>(s), 1e-12);
+  }
+}
+
+TEST(LevelMap, InputsClosedUnderInversion) {
+  // Sec. III-A: the collection of input signals equals the collection of
+  // their inverses, so no analog inverter is needed.
+  const LevelMap map{3};
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    const double inverse = map.invert(map.input_voltage(s));
+    EXPECT_NEAR(inverse, map.input_voltage(map.num_states() - 1 - s), 1e-12);
+  }
+}
+
+TEST(LevelMap, ProgrammableLevelsClosedUnderInversion) {
+  const LevelMap map{3};
+  const std::vector<double> levels = map.programmable_vth_levels();
+  ASSERT_EQ(levels.size(), 8u);
+  // Left FeFET targets are inversions of lower boundaries and must land on
+  // the same 8-value set.
+  std::multiset<long> set;
+  for (double v : levels) set.insert(std::lround(v * 1e6));
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    const long left = std::lround(map.left_fefet_vth(s) * 1e6);
+    EXPECT_TRUE(set.count(left)) << "left target " << left << " not programmable";
+  }
+}
+
+TEST(LevelMap, LeftRightVthBoundTheWindow) {
+  const LevelMap map{3};
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    EXPECT_NEAR(map.right_fefet_vth(s), map.upper_boundary(s), 1e-12);
+    EXPECT_NEAR(map.left_fefet_vth(s), map.invert(map.lower_boundary(s)), 1e-12);
+  }
+}
+
+TEST(LevelMap, TwoBitMergesNeighboringStates) {
+  // Sec. III-A: a 2-bit cell combines neighboring 3-bit states; inputs sit
+  // in the middle of the merged windows.
+  const LevelMap map2{2};
+  const LevelMap map3{3};
+  EXPECT_NEAR(map2.window(), 2.0 * map3.window(), 1e-12);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_NEAR(map2.lower_boundary(s), map3.lower_boundary(2 * s), 1e-12);
+    EXPECT_NEAR(map2.upper_boundary(s), map3.upper_boundary(2 * s + 1), 1e-12);
+  }
+}
+
+TEST(LevelMap, StateOfInputRoundTrips) {
+  const LevelMap map{3};
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    EXPECT_EQ(map.state_of_input(map.input_voltage(s)), s);
+  }
+}
+
+TEST(LevelMap, StateOfInputClampsOutOfRange) {
+  const LevelMap map{3};
+  EXPECT_EQ(map.state_of_input(-1.0), 0u);
+  EXPECT_EQ(map.state_of_input(5.0), 7u);
+}
+
+TEST(LevelMap, InvalidConstructionThrows) {
+  EXPECT_THROW((LevelMap{0}), std::invalid_argument);
+  EXPECT_THROW((LevelMap{7}), std::invalid_argument);
+  EXPECT_THROW((LevelMap{3, 1.0, 0.5}), std::invalid_argument);
+}
+
+TEST(LevelMap, OutOfRangeStateThrows) {
+  const LevelMap map{2};
+  EXPECT_THROW((void)map.lower_boundary(4), std::out_of_range);
+  EXPECT_THROW((void)map.input_voltage(4), std::out_of_range);
+}
+
+/// Property sweep over all supported widths.
+class LevelMapProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LevelMapProperty, WindowsTileTheRangeWithoutOverlap) {
+  const LevelMap map{GetParam()};
+  for (std::size_t s = 0; s + 1 < map.num_states(); ++s) {
+    EXPECT_NEAR(map.upper_boundary(s), map.lower_boundary(s + 1), 1e-12);
+  }
+  EXPECT_NEAR(map.lower_boundary(0), map.v_min(), 1e-12);
+  EXPECT_NEAR(map.upper_boundary(map.num_states() - 1), map.v_max(), 1e-12);
+}
+
+TEST_P(LevelMapProperty, InputsAreWindowCenters) {
+  const LevelMap map{GetParam()};
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    EXPECT_NEAR(map.input_voltage(s),
+                0.5 * (map.lower_boundary(s) + map.upper_boundary(s)), 1e-12);
+  }
+}
+
+TEST_P(LevelMapProperty, InversionIsInvolution) {
+  const LevelMap map{GetParam()};
+  for (std::size_t s = 0; s < map.num_states(); ++s) {
+    const double v = map.input_voltage(s);
+    EXPECT_NEAR(map.invert(map.invert(v)), v, 1e-12);
+  }
+}
+
+TEST_P(LevelMapProperty, ProgrammableLevelCountEqualsStates) {
+  const LevelMap map{GetParam()};
+  EXPECT_EQ(map.programmable_vth_levels().size(), map.num_states());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, LevelMapProperty, ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+}  // namespace
+}  // namespace mcam::fefet

@@ -1,0 +1,340 @@
+#include "ml/embedding.hpp"
+#include "ml/layers.hpp"
+#include "ml/loss.hpp"
+#include "ml/network.hpp"
+#include "ml/optimizer.hpp"
+#include "ml/tensor.hpp"
+#include "ml/trainer.hpp"
+
+#include "util/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::ml {
+namespace {
+
+/// Central-difference gradient check of a layer's input gradient.
+void grad_check_layer(Layer& layer, std::vector<float> x, double tol = 2e-2) {
+  const std::vector<float> y = layer.forward(x);
+  // Loss = sum(y^2)/2 so dL/dy = y.
+  const std::vector<float> grad_in = layer.backward(y);
+  constexpr float kEps = 1e-3f;
+  for (std::size_t i = 0; i < x.size(); i += std::max<std::size_t>(1, x.size() / 16)) {
+    auto plus = x;
+    plus[i] += kEps;
+    auto minus = x;
+    minus[i] -= kEps;
+    const std::vector<float> yp = layer.forward(plus);
+    const std::vector<float> ym = layer.forward(minus);
+    double lp = 0.0;
+    double lm = 0.0;
+    for (float v : yp) lp += 0.5 * v * v;
+    for (float v : ym) lm += 0.5 * v * v;
+    const double numeric = (lp - lm) / (2.0 * kEps);
+    EXPECT_NEAR(grad_in[i], numeric, tol * std::max(1.0, std::fabs(numeric)))
+        << "input index " << i;
+  }
+}
+
+TEST(Tensor, ShapeAndAccess) {
+  Tensor t{{2, 3}};
+  EXPECT_EQ(t.size(), 6u);
+  t.at(1, 2) = 5.0f;
+  EXPECT_FLOAT_EQ(t.at(1, 2), 5.0f);
+  EXPECT_FLOAT_EQ(t[5], 5.0f);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng{3};
+  const Tensor t = Tensor::randn({1000}, rng, 0.5);
+  double sum = 0.0;
+  for (std::size_t i = 0; i < t.size(); ++i) sum += t[i];
+  EXPECT_NEAR(sum / 1000.0, 0.0, 0.06);
+}
+
+TEST(Tensor, Rank2AccessOnVectorThrows) {
+  Tensor t{{4}};
+  EXPECT_THROW((void)t.at(0, 0), std::logic_error);
+}
+
+TEST(Dense, ForwardIsAffine) {
+  Rng rng{1};
+  Dense dense{2, 1, rng};
+  const auto params = dense.parameters();
+  params[0].value->storage() = {2.0f, 3.0f};  // W.
+  params[1].value->storage() = {1.0f};        // b.
+  const std::vector<float> y = dense.forward({10.0f, 100.0f});
+  ASSERT_EQ(y.size(), 1u);
+  EXPECT_FLOAT_EQ(y[0], 2.0f * 10.0f + 3.0f * 100.0f + 1.0f);
+}
+
+TEST(Dense, GradCheck) {
+  Rng rng{2};
+  Dense dense{6, 4, rng};
+  std::vector<float> x(6);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  grad_check_layer(dense, x);
+}
+
+TEST(Dense, WeightGradientAccumulates) {
+  Rng rng{3};
+  Dense dense{2, 1, rng};
+  (void)dense.forward({1.0f, 2.0f});
+  (void)dense.backward({1.0f});
+  (void)dense.forward({1.0f, 2.0f});
+  (void)dense.backward({1.0f});
+  const auto params = dense.parameters();
+  EXPECT_FLOAT_EQ(params[0].grad->storage()[0], 2.0f);  // dW = 2 * x0 * g.
+  EXPECT_FLOAT_EQ(params[1].grad->storage()[0], 2.0f);
+}
+
+TEST(Relu, ForwardBackward) {
+  Relu relu;
+  const std::vector<float> y = relu.forward({-1.0f, 2.0f, -3.0f, 4.0f});
+  EXPECT_EQ(y, (std::vector<float>{0.0f, 2.0f, 0.0f, 4.0f}));
+  const std::vector<float> g = relu.backward({1.0f, 1.0f, 1.0f, 1.0f});
+  EXPECT_EQ(g, (std::vector<float>{0.0f, 1.0f, 0.0f, 1.0f}));
+}
+
+TEST(Conv2d, GradCheck) {
+  Rng rng{5};
+  Conv2d conv{1, 2, 6, 6, rng};
+  std::vector<float> x(36);
+  for (auto& v : x) v = static_cast<float>(rng.normal());
+  grad_check_layer(conv, x);
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng{7};
+  Conv2d conv{1, 1, 4, 4, rng};
+  auto params = conv.parameters();
+  auto& w = params[0].value->storage();
+  std::fill(w.begin(), w.end(), 0.0f);
+  w[4] = 1.0f;  // Center tap of the single 3x3 kernel.
+  params[1].value->storage()[0] = 0.0f;
+  std::vector<float> x(16);
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  EXPECT_EQ(conv.forward(x), x);
+}
+
+TEST(MaxPool2d, ForwardPicksMaxAndRoutesGradient) {
+  MaxPool2d pool{1, 4, 4};
+  std::vector<float> x(16, 0.0f);
+  x[5] = 3.0f;   // Window (row 0-1, col 0-1) of the second 2x2 block... index 5 = (1,1).
+  x[10] = 7.0f;  // (2,2).
+  const std::vector<float> y = pool.forward(x);
+  ASSERT_EQ(y.size(), 4u);
+  EXPECT_FLOAT_EQ(y[0], 3.0f);
+  EXPECT_FLOAT_EQ(y[3], 7.0f);
+  const std::vector<float> g = pool.backward({1.0f, 0.0f, 0.0f, 2.0f});
+  EXPECT_FLOAT_EQ(g[5], 1.0f);
+  EXPECT_FLOAT_EQ(g[10], 2.0f);
+  EXPECT_FLOAT_EQ(g[0], 0.0f);
+}
+
+TEST(MaxPool2d, OddSizeThrows) {
+  EXPECT_THROW((MaxPool2d{1, 5, 4}), std::invalid_argument);
+}
+
+TEST(Softmax, SumsToOneAndStable) {
+  const std::vector<float> probs = softmax(std::vector<float>{1000.0f, 1001.0f, 999.0f});
+  double sum = 0.0;
+  for (float p : probs) sum += p;
+  EXPECT_NEAR(sum, 1.0, 1e-6);
+  EXPECT_GT(probs[1], probs[0]);
+}
+
+TEST(SoftmaxCrossEntropy, GradientIsSoftmaxMinusOneHot) {
+  const LossResult result = softmax_cross_entropy(std::vector<float>{1.0f, 2.0f, 3.0f}, 2);
+  const std::vector<float> probs = softmax(std::vector<float>{1.0f, 2.0f, 3.0f});
+  EXPECT_NEAR(result.grad[0], probs[0], 1e-6);
+  EXPECT_NEAR(result.grad[2], probs[2] - 1.0f, 1e-6);
+  EXPECT_NEAR(result.loss, -std::log(probs[2]), 1e-6);
+}
+
+TEST(SoftmaxCrossEntropy, TargetOutOfRangeThrows) {
+  EXPECT_THROW((void)softmax_cross_entropy(std::vector<float>{1.0f}, 1),
+               std::invalid_argument);
+}
+
+TEST(Sequential, ForwardToCutsAtLayer) {
+  Rng rng{9};
+  Sequential net = make_mlp_classifier(10, 3, rng);
+  std::vector<float> x(10, 0.5f);
+  const std::vector<float> embedding = net.forward_to(x, kDefaultEmbeddingCut);
+  EXPECT_EQ(embedding.size(), 64u);
+  const std::vector<float> logits = net.forward(x);
+  EXPECT_EQ(logits.size(), 3u);
+}
+
+TEST(Sequential, SummaryAndParameterCount) {
+  Rng rng{11};
+  Sequential net = make_mlp_classifier(400, 20, rng);
+  EXPECT_NE(net.summary().find("dense(400->128)"), std::string::npos);
+  // 400*128+128 + 128*64+64 + 64*20+20.
+  EXPECT_EQ(net.num_parameters(), 400u * 128 + 128 + 128 * 64 + 64 + 64 * 20 + 20);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  // Minimize ||W x - t||^2 for a fixed x via the Dense layer.
+  Rng rng{13};
+  Dense dense{1, 1, rng};
+  Sgd sgd{dense.parameters(), 0.05, 0.0};
+  for (int step = 0; step < 200; ++step) {
+    const std::vector<float> y = dense.forward({1.0f});
+    (void)dense.backward({y[0] - 3.0f});
+    sgd.step();
+  }
+  EXPECT_NEAR(dense.forward({1.0f})[0], 3.0f, 1e-3);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  Rng rng{15};
+  Dense dense{1, 1, rng};
+  Adam adam{dense.parameters(), 0.05};
+  for (int step = 0; step < 400; ++step) {
+    const std::vector<float> y = dense.forward({1.0f});
+    (void)dense.backward({y[0] - 3.0f});
+    adam.step();
+  }
+  EXPECT_NEAR(dense.forward({1.0f})[0], 3.0f, 1e-2);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  Rng rng{17};
+  Dense dense{2, 2, rng};
+  (void)dense.forward({1.0f, 1.0f});
+  (void)dense.backward({1.0f, 1.0f});
+  Sgd sgd{dense.parameters(), 0.1};
+  sgd.zero_grad();
+  for (const ParamRef& p : dense.parameters()) {
+    for (std::size_t i = 0; i < p.grad->size(); ++i) {
+      EXPECT_FLOAT_EQ((*p.grad)[i], 0.0f);
+    }
+  }
+}
+
+TEST(Trainer, LearnsSeparableBlobs) {
+  Rng rng{19};
+  Sequential net = make_mlp_classifier(4, 3, rng);
+  const SampleSource source = [](Rng& r) {
+    TrainingSample sample;
+    sample.label = r.index(3);
+    sample.input.resize(4);
+    for (std::size_t i = 0; i < 4; ++i) {
+      sample.input[i] =
+          static_cast<float>(r.normal(static_cast<double>(sample.label) * 2.0, 0.3));
+    }
+    return sample;
+  };
+  TrainerConfig config;
+  config.steps = 1500;
+  Rng train_rng{21};
+  const TrainStats stats = train_classifier(net, source, config, train_rng);
+  EXPECT_GT(stats.final_accuracy_ema, 0.9);
+  EXPECT_LT(stats.final_loss_ema, 0.4);
+  EXPECT_EQ(stats.steps, 1500u);
+}
+
+TEST(Trainer, NullSourceThrows) {
+  Rng rng{23};
+  Sequential net = make_mlp_classifier(4, 2, rng);
+  Rng train_rng{1};
+  EXPECT_THROW((void)train_classifier(net, SampleSource{}, TrainerConfig{}, train_rng),
+               std::invalid_argument);
+}
+
+TEST(TrainedEmbedding, CutAndTransforms) {
+  Rng rng{25};
+  Sequential net = make_mlp_classifier(8, 2, rng);
+  TrainedEmbedding embedding{net, kDefaultEmbeddingCut, 64};
+  std::vector<float> x(8, 1.0f);
+  const std::vector<float> raw = embedding.embed(x);
+  EXPECT_EQ(raw.size(), 64u);
+  // L2 normalization.
+  embedding.set_l2_normalize(true);
+  const std::vector<float> normalized = embedding.embed(x);
+  EXPECT_NEAR(norm2(normalized), 1.0f, 1e-5f);
+  // Centering changes the output.
+  embedding.set_centering(std::vector<float>(64, 0.1f));
+  const std::vector<float> centered = embedding.embed(x);
+  EXPECT_NE(centered, normalized);
+}
+
+TEST(TrainedEmbedding, Validation) {
+  Rng rng{27};
+  Sequential net = make_mlp_classifier(8, 2, rng);
+  EXPECT_THROW((TrainedEmbedding{net, 0, 64}), std::invalid_argument);
+  EXPECT_THROW((TrainedEmbedding{net, 99, 64}), std::invalid_argument);
+  TrainedEmbedding embedding{net, kDefaultEmbeddingCut, 64};
+  EXPECT_THROW(embedding.set_centering(std::vector<float>(3, 0.0f)), std::invalid_argument);
+}
+
+TEST(GaussianPrototypeEmbedding, SameClassCloserThanCrossClass) {
+  const GaussianPrototypeEmbedding features{20, 64, 0.8, 31};
+  Rng rng{33};
+  double within = 0.0;
+  double across = 0.0;
+  for (int pair = 0; pair < 50; ++pair) {
+    const std::size_t cls_a = rng.index(20);
+    std::size_t cls_b = rng.index(20);
+    while (cls_b == cls_a) cls_b = rng.index(20);
+    const auto a1 = features.sample(cls_a, rng);
+    const auto a2 = features.sample(cls_a, rng);
+    const auto b = features.sample(cls_b, rng);
+    within += squared_distance(a1, a2);
+    across += squared_distance(a1, b);
+  }
+  EXPECT_LT(within, 0.7 * across);
+}
+
+TEST(GaussianPrototypeEmbedding, FeaturesAreNonNegative) {
+  const GaussianPrototypeEmbedding features{5, 32, 0.5, 35};
+  Rng rng{37};
+  for (int i = 0; i < 20; ++i) {
+    for (float v : features.sample(rng.index(5), rng)) EXPECT_GE(v, 0.0f);
+  }
+}
+
+TEST(GaussianPrototypeEmbedding, SpikesIncreaseSpread) {
+  const GaussianPrototypeEmbedding clean{10, 64, 0.3, 39, 0.0, 2.0};
+  const GaussianPrototypeEmbedding spiky{10, 64, 0.3, 39, 0.2, 2.0};
+  Rng rng_a{41};
+  Rng rng_b{41};
+  double clean_spread = 0.0;
+  double spiky_spread = 0.0;
+  for (int i = 0; i < 40; ++i) {
+    const auto c1 = clean.sample(3, rng_a);
+    const auto c2 = clean.sample(3, rng_a);
+    const auto s1 = spiky.sample(3, rng_b);
+    const auto s2 = spiky.sample(3, rng_b);
+    clean_spread += squared_distance(c1, c2);
+    spiky_spread += squared_distance(s1, s2);
+  }
+  EXPECT_GT(spiky_spread, 1.5 * clean_spread);
+}
+
+TEST(ConvClassifier, ForwardShapes) {
+  Rng rng{43};
+  Sequential net = make_conv_classifier(20, 5, rng);
+  std::vector<float> image(400, 0.5f);
+  const std::vector<float> embedding = net.forward_to(image, conv_embedding_cut());
+  EXPECT_EQ(embedding.size(), 64u);
+  const std::vector<float> logits = net.forward(image);
+  EXPECT_EQ(logits.size(), 5u);
+}
+
+TEST(PaperController, ForwardShapes) {
+  // The paper's exact MANN controller; forward only (training it is out of
+  // bench budget, see network.hpp).
+  Rng rng{45};
+  Sequential net = make_paper_controller(20, 5, rng);
+  std::vector<float> image(400, 0.5f);
+  const std::vector<float> embedding = net.forward_to(image, paper_controller_embedding_cut());
+  EXPECT_EQ(embedding.size(), 64u);
+}
+
+}  // namespace
+}  // namespace mcam::ml

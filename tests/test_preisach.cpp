@@ -1,0 +1,197 @@
+#include "fefet/preisach.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::fefet {
+namespace {
+
+PreisachParams default_params() { return PreisachParams{}; }
+
+TEST(HysteronEnsemble, StartsUnpolarized) {
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  EXPECT_DOUBLE_EQ(e.up_fraction(), 0.0);
+}
+
+TEST(HysteronEnsemble, SaturationBounds) {
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.saturate_up();
+  EXPECT_DOUBLE_EQ(e.polarization(), default_params().saturation_polarization);
+  e.saturate_down();
+  EXPECT_DOUBLE_EQ(e.polarization(), -default_params().saturation_polarization);
+}
+
+TEST(HysteronEnsemble, LargePositiveVoltageSaturates) {
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.apply_voltage(20.0);
+  EXPECT_DOUBLE_EQ(e.up_fraction(), 1.0);
+  e.apply_voltage(-20.0);
+  EXPECT_DOUBLE_EQ(e.up_fraction(), 0.0);
+}
+
+TEST(HysteronEnsemble, AscendingBranchIsMonotone) {
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.saturate_down();
+  double previous = e.polarization();
+  for (double v = 0.0; v <= 6.0; v += 0.25) {
+    e.apply_voltage(v);
+    EXPECT_GE(e.polarization(), previous - 1e-12);
+    previous = e.polarization();
+  }
+}
+
+TEST(HysteronEnsemble, MidCoerciveVoltageSwitchesHalf) {
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.saturate_down();
+  e.apply_voltage(default_params().coercive_mean);
+  EXPECT_NEAR(e.up_fraction(), 0.5, 0.05);
+}
+
+TEST(HysteronEnsemble, HysteresisMemory) {
+  // After partial switching, reducing the voltage does not un-switch (the
+  // hysteron only flips down below its negative coercive voltage).
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.saturate_down();
+  e.apply_voltage(3.0);
+  const double fraction = e.up_fraction();
+  EXPECT_GT(fraction, 0.0);
+  e.apply_voltage(0.0);
+  EXPECT_DOUBLE_EQ(e.up_fraction(), fraction);
+}
+
+TEST(HysteronEnsemble, WipeOutProperty) {
+  // Classical Preisach wipe-out: a larger excursion erases the memory of a
+  // smaller intermediate one.
+  HysteronEnsemble a{default_params(), SamplingMode::kQuantile};
+  a.saturate_down();
+  a.apply_voltage(2.5);
+  a.apply_voltage(1.0);  // Minor event (no further switching either way).
+  a.apply_voltage(3.5);  // Larger excursion dominates.
+
+  HysteronEnsemble b{default_params(), SamplingMode::kQuantile};
+  b.saturate_down();
+  b.apply_voltage(3.5);
+  EXPECT_DOUBLE_EQ(a.polarization(), b.polarization());
+}
+
+TEST(HysteronEnsemble, QuantileModeIsDeterministic) {
+  HysteronEnsemble a{default_params(), SamplingMode::kQuantile};
+  HysteronEnsemble b{default_params(), SamplingMode::kQuantile};
+  a.apply_voltage(2.9);
+  b.apply_voltage(2.9);
+  EXPECT_DOUBLE_EQ(a.polarization(), b.polarization());
+}
+
+TEST(HysteronEnsemble, MonteCarloDevicesDiffer) {
+  PreisachParams params = default_params();
+  Rng rng{5};
+  HysteronEnsemble a{params, SamplingMode::kMonteCarlo, rng.fork(0)};
+  HysteronEnsemble b{params, SamplingMode::kMonteCarlo, rng.fork(1)};
+  a.apply_voltage(2.8);
+  b.apply_voltage(2.8);
+  // Same pulse, different coercive landscapes -> (almost surely) different
+  // switched fractions.
+  EXPECT_NE(a.up_fraction(), b.up_fraction());
+}
+
+TEST(HysteronEnsemble, DeviceSigmaShiftsWholeDevice) {
+  PreisachParams params = default_params();
+  params.device_sigma = 0.5;
+  Rng rng{11};
+  // With a large device-level shift, devices differ in their half-switching
+  // voltage; verify spread across devices exceeds the no-shift case.
+  double with_shift = 0.0;
+  for (int d = 0; d < 32; ++d) {
+    HysteronEnsemble e{params, SamplingMode::kMonteCarlo, rng.fork(d)};
+    e.apply_voltage(params.coercive_mean);
+    with_shift += std::fabs(e.up_fraction() - 0.5);
+  }
+  params.device_sigma = 0.0;
+  double without_shift = 0.0;
+  for (int d = 0; d < 32; ++d) {
+    HysteronEnsemble e{params, SamplingMode::kMonteCarlo, rng.fork(100 + d)};
+    e.apply_voltage(params.coercive_mean);
+    without_shift += std::fabs(e.up_fraction() - 0.5);
+  }
+  EXPECT_GT(with_shift, without_shift);
+}
+
+TEST(HysteronEnsemble, NlsShortPulseSwitchesLess) {
+  PreisachParams params = default_params();
+  HysteronEnsemble slow{params, SamplingMode::kQuantile};
+  HysteronEnsemble fast{params, SamplingMode::kQuantile};
+  slow.saturate_down();
+  fast.saturate_down();
+  slow.apply_pulse(3.0, 1e-3);   // Quasi-static.
+  fast.apply_pulse(3.0, 2e-9);   // Barely longer than tau0.
+  EXPECT_GE(slow.up_fraction(), fast.up_fraction());
+  EXPECT_GT(slow.up_fraction(), 0.0);
+}
+
+TEST(HysteronEnsemble, NegativePulseSwitchesDown) {
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.saturate_up();
+  e.apply_pulse(-6.0, 500e-9);
+  EXPECT_LT(e.up_fraction(), 0.2);
+}
+
+TEST(HysteronEnsemble, ForceUpFractionExact) {
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.force_up_fraction(0.375);  // 15 of 40 hysterons.
+  EXPECT_NEAR(e.up_fraction(), 0.375, 1e-12);
+  e.force_up_fraction(0.0);
+  EXPECT_DOUBLE_EQ(e.up_fraction(), 0.0);
+  e.force_up_fraction(1.0);
+  EXPECT_DOUBLE_EQ(e.up_fraction(), 1.0);
+}
+
+TEST(HysteronEnsemble, ForceUpFractionMatchesQuasiStaticOrder) {
+  // Forcing fraction f then raising the voltage must behave like the
+  // ascending branch: the forced-up hysterons are those that switch first.
+  HysteronEnsemble e{default_params(), SamplingMode::kQuantile};
+  e.force_up_fraction(0.25);
+  const double before = e.up_fraction();
+  // A voltage just above the 25th-percentile coercive voltage adds little.
+  e.apply_voltage(default_params().coercive_mean - 0.6 * default_params().coercive_sigma);
+  EXPECT_GE(e.up_fraction(), before);
+}
+
+TEST(HysteronEnsemble, ZeroDomainsThrows) {
+  PreisachParams params = default_params();
+  params.num_domains = 0;
+  EXPECT_THROW((HysteronEnsemble{params, SamplingMode::kQuantile}), std::invalid_argument);
+}
+
+TEST(MajorLoop, TraceShapesAndSymmetry) {
+  const LoopTrace trace = trace_major_loop(default_params(), 6.0, 100);
+  ASSERT_EQ(trace.voltage.size(), 200u);
+  ASSERT_EQ(trace.polarization.size(), 200u);
+  // Starts near -Ps, reaches +Ps at the apex, returns to -Ps region only
+  // after the descending branch passes the negative coercive region.
+  EXPECT_NEAR(trace.polarization.front(), -1.0, 1e-9);
+  EXPECT_NEAR(trace.polarization[99], 1.0, 1e-9);
+  EXPECT_NEAR(trace.polarization.back(), -1.0, 1e-9);
+}
+
+TEST(MajorLoop, ExhibitsHysteresis) {
+  // At 0 V the ascending branch (coming from -Ps) and descending branch
+  // (coming from +Ps) must disagree: that opening is the hysteresis.
+  const LoopTrace trace = trace_major_loop(default_params(), 6.0, 201);
+  double ascending_at_zero = 0.0;
+  double descending_at_zero = 0.0;
+  for (std::size_t i = 0; i < 201; ++i) {
+    if (std::fabs(trace.voltage[i]) < 0.02) ascending_at_zero = trace.polarization[i];
+  }
+  for (std::size_t i = 201; i < trace.voltage.size(); ++i) {
+    if (std::fabs(trace.voltage[i]) < 0.02) descending_at_zero = trace.polarization[i];
+  }
+  EXPECT_GT(descending_at_zero, ascending_at_zero + 0.5);
+}
+
+TEST(MajorLoop, InvalidStepsThrow) {
+  EXPECT_THROW((void)trace_major_loop(default_params(), 6.0, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mcam::fefet

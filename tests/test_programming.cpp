@@ -1,0 +1,163 @@
+#include "fefet/programming.hpp"
+
+#include "fefet/levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::fefet {
+namespace {
+
+PulseProgrammer make_programmer(unsigned bits = 3, PulseScheme scheme = PulseScheme{}) {
+  const LevelMap map{bits};
+  return PulseProgrammer{map.programmable_vth_levels(), PreisachParams{}, VthMap{}, scheme};
+}
+
+TEST(PulseProgrammer, CalibrationHitsTargetsOnNominalDevice) {
+  const PulseProgrammer programmer = make_programmer();
+  // With 40 quantile hysterons the 8 targets are exactly representable
+  // (multiples of 1/8 of the polarization range).
+  for (std::size_t level = 0; level < programmer.num_levels(); ++level) {
+    FefetDevice device;
+    programmer.program(device, level);
+    EXPECT_NEAR(device.vth(), programmer.target(level), 0.015)
+        << "level " << level << " amplitude " << programmer.amplitude(level);
+  }
+}
+
+TEST(PulseProgrammer, AmplitudesDecreaseWithTargetVth) {
+  // Lower Vth targets require more switched domains, hence stronger pulses.
+  const PulseProgrammer programmer = make_programmer();
+  for (std::size_t level = 0; level + 1 < programmer.num_levels(); ++level) {
+    // Targets ascend (0.48 .. 1.32 V) so amplitudes must descend.
+    EXPECT_LT(programmer.target(level), programmer.target(level + 1));
+    EXPECT_GT(programmer.amplitude(level), programmer.amplitude(level + 1));
+  }
+}
+
+TEST(PulseProgrammer, AmplitudesWithinSchemeWindow) {
+  const PulseProgrammer programmer = make_programmer();
+  for (std::size_t level = 0; level < programmer.num_levels(); ++level) {
+    const double amp = programmer.amplitude(level);
+    if (amp == PulseProgrammer::kNoPulse) continue;  // Erase-only level.
+    EXPECT_GE(amp, PulseScheme{}.v_program_min - 1e-9);
+    EXPECT_LE(amp, PulseScheme{}.v_program_max + 1e-9);
+  }
+}
+
+TEST(PulseProgrammer, HighestLevelNeedsNoPulse) {
+  // The erased state *is* the highest Vth level; the calibrator must mark
+  // it as erase-only rather than firing a pulse that would disturb it.
+  const PulseProgrammer programmer = make_programmer();
+  EXPECT_EQ(programmer.amplitude(programmer.num_levels() - 1), PulseProgrammer::kNoPulse);
+}
+
+TEST(PulseProgrammer, DacStepQuantizesAmplitudes) {
+  PulseScheme scheme;
+  scheme.v_program_step = 0.1;  // The experimental 0.1 V DAC (Sec. IV-D).
+  const PulseProgrammer programmer = make_programmer(3, scheme);
+  for (std::size_t level = 0; level < programmer.num_levels(); ++level) {
+    const double steps = (programmer.amplitude(level) - scheme.v_program_min) / 0.1;
+    EXPECT_NEAR(steps, std::round(steps), 1e-6);
+  }
+}
+
+TEST(PulseProgrammer, DacQuantizationBoundsVthError) {
+  PulseScheme scheme;
+  scheme.v_program_step = 0.1;
+  const PulseProgrammer programmer = make_programmer(3, scheme);
+  for (std::size_t level = 0; level < programmer.num_levels(); ++level) {
+    FefetDevice device;
+    programmer.program(device, level);
+    // 0.1 V of amplitude moves at most a few domains: stay within half a
+    // level window (60 mV).
+    EXPECT_NEAR(device.vth(), programmer.target(level), 0.060);
+  }
+}
+
+TEST(PulseProgrammer, UnreachableTargetThrows) {
+  const LevelMap map{3};
+  std::vector<double> targets = map.programmable_vth_levels();
+  targets.push_back(0.05);  // Below what v_program_max can reach.
+  EXPECT_THROW(
+      (PulseProgrammer{targets, PreisachParams{}, VthMap{}, PulseScheme{}}),
+      std::invalid_argument);
+}
+
+TEST(PulseProgrammer, TargetAboveErasedThrows) {
+  std::vector<double> targets{1.5};  // Above the erased Vth of 1.32 V.
+  EXPECT_THROW(
+      (PulseProgrammer{targets, PreisachParams{}, VthMap{}, PulseScheme{}}),
+      std::invalid_argument);
+}
+
+TEST(PulseProgrammer, EmptyTargetsThrow) {
+  EXPECT_THROW((PulseProgrammer{{}, PreisachParams{}, VthMap{}, PulseScheme{}}),
+               std::invalid_argument);
+}
+
+TEST(PulseProgrammer, LevelIndexOutOfRangeThrows) {
+  const PulseProgrammer programmer = make_programmer(2);
+  FefetDevice device;
+  EXPECT_THROW(programmer.program(device, 4), std::out_of_range);
+  EXPECT_THROW((void)programmer.amplitude(4), std::out_of_range);
+  EXPECT_THROW((void)programmer.target(4), std::out_of_range);
+}
+
+TEST(PulseProgrammer, ReprogrammingMovesBetweenLevels) {
+  const PulseProgrammer programmer = make_programmer();
+  FefetDevice device;
+  programmer.program(device, 0);
+  EXPECT_NEAR(device.vth(), programmer.target(0), 0.02);
+  programmer.program(device, 6);
+  EXPECT_NEAR(device.vth(), programmer.target(6), 0.02);
+  programmer.program(device, 3);
+  EXPECT_NEAR(device.vth(), programmer.target(3), 0.02);
+}
+
+TEST(PulseProgrammer, MonteCarloDevicesSpreadAroundTarget) {
+  const PulseProgrammer programmer = make_programmer();
+  Rng rng{77};
+  double spread = 0.0;
+  constexpr int kDevices = 24;
+  for (int d = 0; d < kDevices; ++d) {
+    FefetDevice device{PreisachParams{}, ChannelParams{}, VthMap{},
+                       SamplingMode::kMonteCarlo, rng.fork(d)};
+    programmer.program(device, 3);
+    spread += std::fabs(device.vth() - programmer.target(3));
+  }
+  // Variation exists but stays well below a level window.
+  EXPECT_GT(spread / kDevices, 0.005);
+  EXPECT_LT(spread / kDevices, 0.120);
+}
+
+TEST(PulseProgrammer, WriteVerifyTightensVth) {
+  const PulseProgrammer programmer = make_programmer();
+  Rng rng{99};
+  constexpr double kTol = 0.02;
+  int verified = 0;
+  for (int d = 0; d < 16; ++d) {
+    FefetDevice device{PreisachParams{}, ChannelParams{}, VthMap{},
+                       SamplingMode::kMonteCarlo, rng.fork(d)};
+    const auto pulses = programmer.program_with_verify(device, 4, kTol, 32);
+    if (pulses.has_value()) {
+      ++verified;
+      EXPECT_NEAR(device.vth(), programmer.target(4), kTol);
+      EXPECT_GE(*pulses, 1u);
+    }
+  }
+  // The verify loop should succeed for most devices.
+  EXPECT_GE(verified, 10);
+}
+
+TEST(PulseProgrammer, WriteVerifyOnNominalDeviceIsQuick) {
+  const PulseProgrammer programmer = make_programmer();
+  FefetDevice device;
+  const auto pulses = programmer.program_with_verify(device, 2, 0.02, 16);
+  ASSERT_TRUE(pulses.has_value());
+  EXPECT_LE(*pulses, 8u);
+}
+
+}  // namespace
+}  // namespace mcam::fefet

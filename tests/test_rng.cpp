@@ -1,0 +1,170 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mcam {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng rng{7};
+  const auto first = rng();
+  rng.reseed(7);
+  EXPECT_EQ(rng(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng{3};
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng{3};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-2.5, 4.5);
+    EXPECT_GE(u, -2.5);
+    EXPECT_LT(u, 4.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng{5};
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng{11};
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalScaled) {
+  Rng rng{13};
+  double sum = 0.0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(3.0, 0.5);
+  EXPECT_NEAR(sum / kN, 3.0, 0.02);
+}
+
+TEST(Rng, IndexInRange) {
+  Rng rng{17};
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.index(7), 7u);
+}
+
+TEST(Rng, IndexCoversAllValues) {
+  Rng rng{19};
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.index(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng{23};
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, ForkedStreamsAreIndependent) {
+  Rng parent{29};
+  Rng a = parent.fork(0);
+  Rng b = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b()) ? 1 : 0;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng p1{31};
+  Rng p2{31};
+  Rng a = p1.fork(5);
+  Rng b = p2.fork(5);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{37};
+  std::vector<int> items{1, 2, 3, 4, 5, 6, 7, 8, 9};
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  auto sorted = shuffled;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, items);
+}
+
+TEST(Rng, ShuffleActuallyMoves) {
+  Rng rng{41};
+  std::vector<int> items(50);
+  for (int i = 0; i < 50; ++i) items[i] = i;
+  auto shuffled = items;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, items);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng{43};
+  const auto sample = rng.sample_without_replacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (std::size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(Rng, SampleWithoutReplacementFull) {
+  Rng rng{47};
+  const auto sample = rng.sample_without_replacement(10, 10);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 10u);
+}
+
+TEST(Rng, SampleWithoutReplacementThrowsWhenKExceedsN) {
+  Rng rng{53};
+  EXPECT_THROW((void)rng.sample_without_replacement(5, 6), std::invalid_argument);
+}
+
+TEST(Rng, WorksWithStdDistributions) {
+  Rng rng{59};
+  std::uniform_int_distribution<int> dist{1, 6};
+  for (int i = 0; i < 100; ++i) {
+    const int roll = dist(rng);
+    EXPECT_GE(roll, 1);
+    EXPECT_LE(roll, 6);
+  }
+}
+
+}  // namespace
+}  // namespace mcam

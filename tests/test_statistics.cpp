@@ -1,0 +1,168 @@
+#include "util/statistics.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mcam {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats stats;
+  stats.add(4.2);
+  EXPECT_EQ(stats.count(), 1u);
+  EXPECT_DOUBLE_EQ(stats.mean(), 4.2);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 4.2);
+  EXPECT_DOUBLE_EQ(stats.max(), 4.2);
+}
+
+TEST(RunningStats, MatchesDirectComputation) {
+  const std::vector<double> xs{1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats stats;
+  for (double x : xs) stats.add(x);
+  EXPECT_NEAR(stats.mean(), 6.2, 1e-12);
+  // Unbiased variance: sum((x-6.2)^2)/4 = (27.04+17.64+4.84+3.24+96.04)/4.
+  EXPECT_NEAR(stats.variance(), 148.8 / 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 16.0);
+}
+
+TEST(RunningStats, MergeEqualsSequential) {
+  Rng rng{7};
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(2.0, 3.0);
+    whole.add(x);
+    (i % 2 == 0 ? left : right).add(x);
+  }
+  left.merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-6);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(1.0);
+  a.add(3.0);
+  RunningStats b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+}
+
+TEST(Statistics, MeanAndStddev) {
+  const std::vector<double> xs{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 4.0);
+  EXPECT_NEAR(stddev(xs), 2.0, 1e-12);
+}
+
+TEST(Statistics, MeanOfEmptyIsZero) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(stddev({}), 0.0);
+}
+
+TEST(Statistics, PercentileEndpoints) {
+  std::vector<double> xs{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50.0), 3.0);
+}
+
+TEST(Statistics, PercentileInterpolates) {
+  std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Statistics, PercentileThrowsOnEmpty) {
+  EXPECT_THROW((void)percentile({}, 50.0), std::invalid_argument);
+}
+
+TEST(Statistics, ProportionCi) {
+  // p=0.5, n=100 -> 1.96 * 0.05 = 0.098.
+  EXPECT_NEAR(proportion_ci95(0.5, 100), 0.098, 1e-9);
+  EXPECT_DOUBLE_EQ(proportion_ci95(0.5, 0), 0.0);
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h{0.0, 10.0, 10};
+  h.add(0.5);   // bin 0
+  h.add(9.5);   // bin 9
+  h.add(-5.0);  // clamped to bin 0
+  h.add(15.0);  // clamped to bin 9
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(9), 2u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, BinCenters) {
+  Histogram h{0.0, 1.0, 4};
+  EXPECT_NEAR(h.bin_center(0), 0.125, 1e-12);
+  EXPECT_NEAR(h.bin_center(3), 0.875, 1e-12);
+}
+
+TEST(Histogram, GaussianShape) {
+  Histogram h{-4.0, 4.0, 8};
+  Rng rng{3};
+  for (int i = 0; i < 20000; ++i) h.add(rng.normal());
+  // Central bins dominate the tails.
+  EXPECT_GT(h.count(3) + h.count(4), 10 * (h.count(0) + h.count(7)));
+}
+
+TEST(Histogram, AsciiRenderIncludesCounts) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.2);
+  h.add(0.7);
+  h.add(0.8);
+  const std::string art = h.to_ascii(10);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('2'), std::string::npos);
+}
+
+TEST(Histogram, InvalidConstructionThrows) {
+  EXPECT_THROW((Histogram{0.0, 1.0, 0}), std::invalid_argument);
+  EXPECT_THROW((Histogram{1.0, 0.0, 4}), std::invalid_argument);
+}
+
+TEST(LinearFit, RecoversLine) {
+  std::vector<double> xs{0.0, 1.0, 2.0, 3.0};
+  std::vector<double> ys{1.0, 3.0, 5.0, 7.0};
+  const LinearFit fit = linear_fit(xs, ys);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+}
+
+TEST(LinearFit, ThrowsOnDegenerateInput) {
+  EXPECT_THROW((void)linear_fit(std::vector<double>{1.0}, std::vector<double>{2.0}),
+               std::invalid_argument);
+}
+
+TEST(Pearson, PerfectCorrelation) {
+  std::vector<double> xs{1.0, 2.0, 3.0};
+  std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+  std::vector<double> neg{-2.0, -4.0, -6.0};
+  EXPECT_NEAR(pearson(xs, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, DegenerateReturnsZero) {
+  std::vector<double> xs{1.0, 1.0, 1.0};
+  std::vector<double> ys{2.0, 4.0, 6.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+}  // namespace
+}  // namespace mcam

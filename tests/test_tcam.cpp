@@ -1,0 +1,143 @@
+#include "cam/tcam.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mcam::cam {
+namespace {
+
+std::vector<std::uint8_t> bits(std::initializer_list<int> values) {
+  std::vector<std::uint8_t> out;
+  for (int v : values) out.push_back(static_cast<std::uint8_t>(v));
+  return out;
+}
+
+TEST(TcamArray, HammingDistances) {
+  TcamArray tcam{TcamArrayConfig{}};
+  tcam.add_row_bits(bits({0, 0, 0, 0}));
+  tcam.add_row_bits(bits({1, 1, 1, 1}));
+  tcam.add_row_bits(bits({1, 0, 1, 0}));
+  const auto d = tcam.hamming_distances(bits({0, 0, 0, 0}));
+  EXPECT_EQ(d, (std::vector<std::size_t>{0, 4, 2}));
+}
+
+TEST(TcamArray, DontCareMatchesBoth) {
+  TcamArray tcam{TcamArrayConfig{}};
+  const std::vector<Trit> word{Trit::kOne, Trit::kDontCare, Trit::kZero};
+  tcam.add_row(word);
+  EXPECT_EQ(tcam.hamming_distances(bits({1, 0, 0}))[0], 0u);
+  EXPECT_EQ(tcam.hamming_distances(bits({1, 1, 0}))[0], 0u);
+  EXPECT_EQ(tcam.hamming_distances(bits({0, 1, 0}))[0], 1u);
+}
+
+TEST(TcamArray, ElectricalOrderingMatchesHamming) {
+  TcamArray tcam{TcamArrayConfig{}};
+  Rng rng{3};
+  std::vector<std::vector<std::uint8_t>> rows;
+  for (int r = 0; r < 10; ++r) {
+    std::vector<std::uint8_t> word(32);
+    for (auto& b : word) b = rng.bernoulli(0.5) ? 1 : 0;
+    rows.push_back(word);
+    tcam.add_row_bits(word);
+  }
+  for (int q = 0; q < 10; ++q) {
+    std::vector<std::uint8_t> query(32);
+    for (auto& b : query) b = rng.bernoulli(0.5) ? 1 : 0;
+    const auto g = tcam.search_conductances(query);
+    const auto d = tcam.hamming_distances(query);
+    for (std::size_t i = 0; i < g.size(); ++i) {
+      for (std::size_t j = 0; j < g.size(); ++j) {
+        if (d[i] < d[j]) EXPECT_LT(g[i], g[j]);
+      }
+    }
+  }
+}
+
+TEST(TcamArray, NearestIsMinimumHamming) {
+  TcamArray tcam{TcamArrayConfig{}};
+  tcam.add_row_bits(bits({1, 1, 0, 0, 1}));
+  tcam.add_row_bits(bits({0, 1, 0, 0, 1}));
+  tcam.add_row_bits(bits({1, 1, 1, 1, 1}));
+  const SearchOutcome outcome = tcam.nearest(bits({0, 1, 0, 0, 0}));
+  EXPECT_EQ(outcome.row, 1u);
+}
+
+TEST(TcamArray, MatchlineTimingAgreesWithIdeal) {
+  TcamArrayConfig ideal_config;
+  TcamArrayConfig timing_config;
+  timing_config.sensing = SensingMode::kMatchlineTiming;
+  TcamArray ideal{ideal_config};
+  TcamArray timing{timing_config};
+  Rng rng{7};
+  for (int r = 0; r < 8; ++r) {
+    std::vector<std::uint8_t> word(24);
+    for (auto& b : word) b = rng.bernoulli(0.5) ? 1 : 0;
+    ideal.add_row_bits(word);
+    timing.add_row_bits(word);
+  }
+  for (int q = 0; q < 15; ++q) {
+    std::vector<std::uint8_t> query(24);
+    for (auto& b : query) b = rng.bernoulli(0.5) ? 1 : 0;
+    EXPECT_EQ(ideal.nearest(query).row, timing.nearest(query).row);
+  }
+}
+
+TEST(TcamArray, ExactMatchOnlyAtZeroDistance) {
+  TcamArray tcam{TcamArrayConfig{}};
+  tcam.add_row_bits(bits({1, 0, 1}));
+  tcam.add_row_bits(bits({1, 1, 1}));
+  const auto matches = tcam.exact_matches(bits({1, 0, 1}), 10e-9);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0], 0u);
+}
+
+TEST(TcamArray, AllDontCareRowMatchesEverything) {
+  TcamArray tcam{TcamArrayConfig{}};
+  const std::vector<Trit> wildcard(6, Trit::kDontCare);
+  tcam.add_row(wildcard);
+  Rng rng{11};
+  for (int q = 0; q < 8; ++q) {
+    std::vector<std::uint8_t> query(6);
+    for (auto& b : query) b = rng.bernoulli(0.5) ? 1 : 0;
+    EXPECT_EQ(tcam.hamming_distances(query)[0], 0u);
+    EXPECT_FALSE(tcam.exact_matches(query, 10e-9).empty());
+  }
+}
+
+TEST(TcamArray, Validation) {
+  TcamArray tcam{TcamArrayConfig{}};
+  EXPECT_THROW((void)tcam.add_row(std::vector<Trit>{}), std::invalid_argument);
+  tcam.add_row_bits(bits({1, 0}));
+  EXPECT_THROW((void)tcam.add_row_bits(bits({1, 0, 1})), std::invalid_argument);
+  EXPECT_THROW((void)tcam.search_conductances(bits({1})), std::invalid_argument);
+  EXPECT_THROW((void)tcam.hamming_distances(bits({1, 0, 1})), std::invalid_argument);
+}
+
+TEST(TcamArray, NearestOnEmptyThrows) {
+  TcamArray tcam{TcamArrayConfig{}};
+  EXPECT_THROW((void)tcam.nearest(bits({1})), std::logic_error);
+}
+
+TEST(TcamArray, ClearResets) {
+  TcamArray tcam{TcamArrayConfig{}};
+  tcam.add_row_bits(bits({1, 1}));
+  tcam.clear();
+  EXPECT_EQ(tcam.num_rows(), 0u);
+  tcam.add_row_bits(bits({1, 1, 1}));
+  EXPECT_EQ(tcam.word_length(), 3u);
+}
+
+TEST(TcamArray, ProgrammingNoiseKeepsSmallDistanceOrdering) {
+  TcamArrayConfig config;
+  config.vth_sigma = 0.04;  // Well inside the 240 mV half-window of 1-bit cells.
+  config.seed = 5;
+  TcamArray tcam{config};
+  tcam.add_row_bits(bits({0, 0, 0, 0, 0, 0, 0, 0}));
+  tcam.add_row_bits(bits({1, 1, 1, 1, 0, 0, 0, 0}));
+  const SearchOutcome outcome = tcam.nearest(bits({0, 0, 0, 0, 0, 0, 0, 0}));
+  EXPECT_EQ(outcome.row, 0u);
+}
+
+}  // namespace
+}  // namespace mcam::cam

@@ -1,0 +1,124 @@
+#include "util/linalg.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mcam {
+namespace {
+
+TEST(Linalg, DotAndNorm) {
+  const std::vector<float> a{1.0f, 2.0f, 3.0f};
+  const std::vector<float> b{4.0f, -5.0f, 6.0f};
+  EXPECT_FLOAT_EQ(dot(a, b), 12.0f);
+  EXPECT_FLOAT_EQ(norm2(a), std::sqrt(14.0f));
+}
+
+TEST(Linalg, SquaredDistance) {
+  const std::vector<float> a{1.0f, 2.0f};
+  const std::vector<float> b{4.0f, 6.0f};
+  EXPECT_FLOAT_EQ(squared_distance(a, b), 25.0f);
+}
+
+TEST(Linalg, L2NormalizeUnitLength) {
+  std::vector<float> a{3.0f, 4.0f};
+  l2_normalize(a);
+  EXPECT_NEAR(norm2(a), 1.0f, 1e-6f);
+  EXPECT_NEAR(a[0], 0.6f, 1e-6f);
+}
+
+TEST(Linalg, L2NormalizeZeroVectorUntouched) {
+  std::vector<float> zero{0.0f, 0.0f};
+  l2_normalize(zero);
+  EXPECT_FLOAT_EQ(zero[0], 0.0f);
+  EXPECT_FLOAT_EQ(zero[1], 0.0f);
+}
+
+TEST(Linalg, Axpy) {
+  const std::vector<float> x{1.0f, 2.0f};
+  std::vector<float> y{10.0f, 20.0f};
+  axpy(2.0f, x, y);
+  EXPECT_FLOAT_EQ(y[0], 12.0f);
+  EXPECT_FLOAT_EQ(y[1], 24.0f);
+}
+
+TEST(Linalg, ArgminArgmax) {
+  const std::vector<double> xs{3.0, 1.0, 2.0, 1.0};
+  EXPECT_EQ(argmin(xs), 1u);  // First minimum wins.
+  EXPECT_EQ(argmax(xs), 0u);
+  const std::vector<float> fs{0.1f, 0.9f, 0.5f};
+  EXPECT_EQ(argmax_f(fs), 1u);
+}
+
+TEST(Linalg, ArgminEmptyIsZero) {
+  EXPECT_EQ(argmin({}), 0u);
+}
+
+TEST(TextTable, RendersAlignedGrid) {
+  TextTable table{"demo"};
+  table.set_header({"name", "value"});
+  table.add_row({"alpha", "1"});
+  table.add_row({"bb", "22"});
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("demo"), std::string::npos);
+  EXPECT_NE(text.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(text.find("| bb    | 22    |"), std::string::npos);
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, NumericRowFormatsPrecision) {
+  TextTable table;
+  table.set_header({"label", "x", "y"});
+  table.add_numeric_row("row", {1.23456, 2.0}, 2);
+  const std::string text = table.to_string();
+  EXPECT_NE(text.find("1.23"), std::string::npos);
+  EXPECT_NE(text.find("2.00"), std::string::npos);
+}
+
+TEST(TextTable, CsvRoundTrip) {
+  TextTable table;
+  table.set_header({"a", "b"});
+  table.add_row({"x,with,commas", "plain"});
+  const std::string path = std::filesystem::temp_directory_path() / "mcam_table_test.csv";
+  table.write_csv(path);
+  std::ifstream in{path};
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "\"x,with,commas\",plain");
+  std::filesystem::remove(path);
+}
+
+TEST(TextTable, CsvInvalidPathThrows) {
+  TextTable table;
+  table.add_row({"x"});
+  EXPECT_THROW((void)table.write_csv("/nonexistent-dir-xyz/out.csv"), std::runtime_error);
+}
+
+TEST(Format, FormatDouble) {
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+  EXPECT_EQ(format_double(-1.0, 0), "-1");
+}
+
+TEST(Format, FormatSiPicksPrefix) {
+  EXPECT_EQ(format_si(3.2e-9, "s"), "3.20 ns");
+  EXPECT_EQ(format_si(4.5e-15, "J"), "4.50 fJ");
+  EXPECT_EQ(format_si(2.0e6, "Hz"), "2.00 MHz");
+  EXPECT_EQ(format_si(0.0, "V", 1), "0.0 V");
+  EXPECT_EQ(format_si(-1.5e-3, "A"), "-1.50 mA");
+}
+
+}  // namespace
+}  // namespace mcam

@@ -1,0 +1,96 @@
+#include "fefet/variation.hpp"
+
+#include "fefet/levels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mcam::fefet {
+namespace {
+
+class VariationStudyTest : public ::testing::Test {
+ protected:
+  VariationStudyTest()
+      : programmer_(LevelMap{3}.programmable_vth_levels(), PreisachParams{}, VthMap{},
+                    PulseScheme{}),
+        study_(PreisachParams{}, VthMap{}, programmer_) {}
+
+  PulseProgrammer programmer_;
+  VariationStudy study_;
+};
+
+TEST_F(VariationStudyTest, ProducesOneDistributionPerState) {
+  const auto distributions = study_.run(50, 1);
+  ASSERT_EQ(distributions.size(), 8u);
+  for (const auto& dist : distributions) {
+    EXPECT_EQ(dist.samples.size(), 50u);
+  }
+}
+
+TEST_F(VariationStudyTest, MeansTrackTargets) {
+  const auto distributions = study_.run(150, 2);
+  for (const auto& dist : distributions) {
+    EXPECT_NEAR(dist.mean, dist.target_vth, 0.030)
+        << "state target " << dist.target_vth;
+  }
+}
+
+TEST_F(VariationStudyTest, SigmaPeaksAtMidLevelsAndStaysUnder100mV) {
+  // Fig. 5: unverified single-pulse programming yields sigma up to ~80 mV,
+  // largest for intermediate states (binomial domain statistics).
+  const auto distributions = study_.run(200, 3);
+  const double max_sigma = VariationStudy::max_sigma(distributions);
+  EXPECT_GT(max_sigma, 0.040);
+  EXPECT_LT(max_sigma, 0.100);
+  // The erased-most state (highest Vth, fewest switched domains) is tighter
+  // than the mid state.
+  EXPECT_LT(distributions.back().sigma, distributions[3].sigma);
+}
+
+TEST_F(VariationStudyTest, DeterministicGivenSeed) {
+  const auto a = study_.run(30, 42);
+  const auto b = study_.run(30, 42);
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    EXPECT_DOUBLE_EQ(a[s].mean, b[s].mean);
+    EXPECT_DOUBLE_EQ(a[s].sigma, b[s].sigma);
+  }
+}
+
+TEST_F(VariationStudyTest, DifferentSeedsDiffer) {
+  const auto a = study_.run(30, 1);
+  const auto b = study_.run(30, 2);
+  bool any_different = false;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    if (a[s].mean != b[s].mean) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST_F(VariationStudyTest, StatesRemainSeparable) {
+  // Neighboring state distributions must not collapse into each other:
+  // mean gap (120 mV) should exceed the pooled sigma.
+  const auto distributions = study_.run(200, 4);
+  for (std::size_t s = 0; s + 1 < distributions.size(); ++s) {
+    const double gap = distributions[s + 1].mean - distributions[s].mean;
+    EXPECT_GT(gap, 0.060) << "states " << s << " and " << s + 1;
+  }
+}
+
+TEST(GaussianVthSampler, MatchesRequestedSigma) {
+  GaussianVthSampler sampler{0.08};
+  Rng rng{9};
+  RunningStats stats;
+  for (int i = 0; i < 20000; ++i) stats.add(sampler.sample(rng));
+  EXPECT_NEAR(stats.mean(), 0.0, 0.002);
+  EXPECT_NEAR(stats.stddev(), 0.08, 0.003);
+}
+
+TEST(GaussianVthSampler, ZeroSigmaIsNoiseless) {
+  GaussianVthSampler sampler{0.0};
+  Rng rng{1};
+  for (int i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(sampler.sample(rng), 0.0);
+}
+
+}  // namespace
+}  // namespace mcam::fefet
