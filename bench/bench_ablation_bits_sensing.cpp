@@ -47,7 +47,7 @@ int main() {
                                          [&features](std::size_t cls, Rng& rng) {
                                            return features.sample(cls, rng);
                                          }};
-      const mann::EngineFactory factory = [bits, &quantizer]() {
+      const mann::IndexFactory factory = [bits, &quantizer]() {
         cam::McamArrayConfig config;
         config.level_map = fefet::LevelMap{bits};
         auto engine = std::make_unique<search::McamNnEngine>(config);
@@ -107,7 +107,7 @@ int main() {
                                        [&features](std::size_t cls, Rng& rng) {
                                          return features.sample(cls, rng);
                                        }};
-    const mann::EngineFactory factory = [&quantizer]() {
+    const mann::IndexFactory factory = [&quantizer]() {
       auto engine = std::make_unique<search::McamNnEngine>(cam::McamArrayConfig{});
       engine->set_fixed_quantizer(quantizer);
       return engine;

@@ -37,7 +37,7 @@ int main() {
 
   const auto accuracy_with = [&](double short_rate, double open_rate) {
     std::uint64_t instance = 0;
-    const mann::EngineFactory factory = [&, instance]() mutable {
+    const mann::IndexFactory factory = [&, instance]() mutable {
       cam::McamArrayConfig config;
       config.stuck_short_rate = short_rate;
       config.stuck_open_rate = open_rate;

@@ -65,7 +65,7 @@ int main() {
                                      }};
 
   const auto run_with_lut = [&](const cam::ConductanceLut& lut, const data::TaskSpec& task) {
-    const mann::EngineFactory factory = [&lut, &quantizer]() {
+    const mann::IndexFactory factory = [&lut, &quantizer]() {
       auto engine = std::make_unique<experiments::McamLutEngine>(lut, 2);
       engine->set_fixed_quantizer(quantizer);
       return engine;

@@ -1,10 +1,12 @@
 // google-benchmark microbenchmarks of the hot paths: array search, LUT
-// construction, quantization, LSH encoding and full few-shot episodes.
+// construction, quantization, LSH encoding, batched top-k queries and full
+// few-shot episodes.
 #include "cam/array.hpp"
 #include "cam/lut.hpp"
 #include "encoding/lsh.hpp"
 #include "encoding/quantizer.hpp"
 #include "experiments/harness.hpp"
+#include "search/batch.hpp"
 #include "search/engine.hpp"
 
 #include <benchmark/benchmark.h>
@@ -98,6 +100,34 @@ void BM_TcamSearch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_TcamSearch);
+
+void BM_BatchTopKQuery(benchmark::State& state) {
+  // Batched top-5 queries through BatchExecutor; Arg = worker threads.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  Rng rng{13};
+  std::vector<std::vector<float>> rows(256, std::vector<float>(64));
+  std::vector<int> labels(rows.size());
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    for (auto& v : rows[r]) v = static_cast<float>(rng.normal());
+    labels[r] = static_cast<int>(r % 8);
+  }
+  std::vector<std::vector<float>> batch(64, std::vector<float>(64));
+  for (auto& q : batch) {
+    for (auto& v : q) v = static_cast<float>(rng.normal());
+  }
+  search::McamNnEngine engine{};
+  engine.fit(rows, labels);
+  search::BatchOptions options;
+  options.num_threads = threads;
+  options.min_shard_size = 1;
+  const search::BatchExecutor executor{options};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(engine, batch, 5));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(batch.size()));
+}
+BENCHMARK(BM_BatchTopKQuery)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_FewShotEpisode(benchmark::State& state) {
   experiments::FewShotOptions options;

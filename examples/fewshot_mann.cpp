@@ -11,6 +11,7 @@
 #include "ml/embedding.hpp"
 #include "ml/trainer.hpp"
 #include "search/engine.hpp"
+#include "search/factory.hpp"
 #include "util/table.hpp"
 
 #include <cstdio>
@@ -70,11 +71,13 @@ int main() {
 
   struct Candidate {
     const char* name;
-    mann::EngineFactory factory;
+    mann::IndexFactory factory;
   };
   const Candidate candidates[] = {
       {"FP32 cosine (software)",
-       [] { return std::make_unique<search::SoftwareNnEngine>("cosine"); }},
+       // The registry route: engines that need no fixed encoder can be
+       // built by name alone.
+       [] { return search::make_index("cosine"); }},
       {"3-bit FeFET MCAM",
        [&quantizer] {
          auto engine = std::make_unique<search::McamNnEngine>(cam::McamArrayConfig{});

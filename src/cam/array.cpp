@@ -7,6 +7,23 @@
 
 namespace mcam::cam {
 
+std::vector<std::size_t> rank_by_sensing(std::span<const double> row_conductances,
+                                         SensingMode sensing,
+                                         const circuit::MatchlineParams& matchline,
+                                         std::size_t word_length,
+                                         double sense_clock_period, std::size_t k) {
+  if (sensing == SensingMode::kMatchlineTiming) {
+    const circuit::Matchline ml{matchline, word_length};
+    const circuit::WinnerTakeAllSense sense{ml, sense_clock_period};
+    std::vector<double> keys = sense.sense(row_conductances).times;
+    // Slowest discharge = nearest: negate so the ascending argsort yields
+    // descending times with the same low-index tie-break.
+    for (double& t : keys) t = -t;
+    return argsort_top_k(keys, k);
+  }
+  return argsort_top_k(row_conductances, k);
+}
+
 McamArray::McamArray(const McamArrayConfig& config)
     : config_(config), lut_(ConductanceLut::nominal(config.level_map, config.channel)),
       rng_(config.seed) {}
@@ -110,17 +127,7 @@ SearchOutcome McamArray::nearest(std::span<const std::uint16_t> query) const {
 std::vector<std::size_t> McamArray::k_nearest(std::span<const std::uint16_t> query,
                                               std::size_t k) const {
   if (rows_.empty()) throw std::logic_error{"McamArray::k_nearest: array is empty"};
-  const std::vector<double> totals = search_conductances(query);
-  std::vector<std::size_t> order(totals.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  k = std::min(k, order.size());
-  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
-                    order.end(), [&totals](std::size_t a, std::size_t b) {
-                      if (totals[a] != totals[b]) return totals[a] < totals[b];
-                      return a < b;
-                    });
-  order.resize(k);
-  return order;
+  return argsort_top_k(search_conductances(query), k);
 }
 
 std::vector<std::size_t> McamArray::exact_matches(std::span<const std::uint16_t> query,

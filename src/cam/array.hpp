@@ -52,6 +52,21 @@ struct SearchOutcome {
   circuit::SenseResult sense;          ///< Populated in kMatchlineTiming mode.
 };
 
+/// Nearest-first row ranking for a set of matchline conductances,
+/// honoring the sensing mode: kIdealSum ranks by ascending conductance,
+/// kMatchlineTiming by descending (clock-quantized) discharge crossing
+/// time - the order a repeated winner-take-all sense would latch
+/// matchlines. Ties resolve to the lower row index, matching the WTA
+/// amplifier and argmin, so the top-1 always equals the `nearest()`
+/// winner of the array the conductances came from. k is clamped to the
+/// row count. Lives here, next to SensingMode and the arrays' own
+/// `nearest()` dispatch, so a new sensing mode is implemented in one
+/// module.
+[[nodiscard]] std::vector<std::size_t> rank_by_sensing(
+    std::span<const double> row_conductances, SensingMode sensing,
+    const circuit::MatchlineParams& matchline, std::size_t word_length,
+    double sense_clock_period, std::size_t k);
+
 /// A programmed MCAM array.
 ///
 /// Programming-time Vth noise (config.vth_sigma) is sampled once per cell

@@ -2,6 +2,7 @@
 
 #include "encoding/normalize.hpp"
 #include "experiments/lut_engine.hpp"
+#include "search/batch.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -24,46 +25,38 @@ std::string method_name(Method method) {
   throw std::logic_error{"method_name: unknown method"};
 }
 
-namespace {
+std::string method_key(Method method) {
+  switch (method) {
+    case Method::kMcam3: return "mcam3";
+    case Method::kMcam2: return "mcam2";
+    case Method::kTcamLsh: return "tcam-lsh";
+    case Method::kCosine: return "cosine";
+    case Method::kEuclidean: return "euclidean";
+  }
+  throw std::logic_error{"method_key: unknown method"};
+}
 
-cam::McamArrayConfig mcam_config(unsigned bits, const EngineOptions& options) {
-  cam::McamArrayConfig config;
-  config.level_map = fefet::LevelMap{bits};
+search::EngineConfig engine_config(std::size_t num_features, const EngineOptions& options) {
+  search::EngineConfig config;
+  config.num_features = num_features;
+  config.lsh_bits = options.lsh_bits;
+  config.vth_sigma = options.vth_sigma;
   config.sensing = options.sensing;
   config.sense_clock_period = options.sense_clock_period;
-  config.vth_sigma = options.vth_sigma;
+  config.clip_percentile = options.clip_percentile;
   config.seed = options.seed;
   return config;
 }
 
-}  // namespace
+std::unique_ptr<search::NnIndex> make_engine(Method method, std::size_t num_features,
+                                             const EngineOptions& options) {
+  return make_engine(method_key(method), num_features, options);
+}
 
-std::unique_ptr<search::NnEngine> make_engine(Method method, std::size_t num_features,
-                                              const EngineOptions& options) {
-  switch (method) {
-    case Method::kCosine:
-      return std::make_unique<search::SoftwareNnEngine>("cosine");
-    case Method::kEuclidean:
-      return std::make_unique<search::SoftwareNnEngine>("euclidean");
-    case Method::kTcamLsh: {
-      // Iso-capacity default: as many signature bits as the CAM word has
-      // cells (= number of features), per the paper's comparison.
-      const std::size_t bits = options.lsh_bits > 0 ? options.lsh_bits : num_features;
-      cam::TcamArrayConfig config;
-      config.sensing = options.sensing;
-      config.sense_clock_period = options.sense_clock_period;
-      config.vth_sigma = options.vth_sigma;
-      config.seed = options.seed;
-      return std::make_unique<search::TcamLshEngine>(bits, options.seed, config);
-    }
-    case Method::kMcam2:
-      return std::make_unique<search::McamNnEngine>(mcam_config(2, options),
-                                                    options.clip_percentile);
-    case Method::kMcam3:
-      return std::make_unique<search::McamNnEngine>(mcam_config(3, options),
-                                                    options.clip_percentile);
-  }
-  throw std::logic_error{"make_engine: unknown method"};
+std::unique_ptr<search::NnIndex> make_engine(const std::string& name,
+                                             std::size_t num_features,
+                                             const EngineOptions& options) {
+  return search::make_index(name, engine_config(num_features, options));
 }
 
 double run_classification(const data::Dataset& dataset, Method method,
@@ -75,16 +68,31 @@ double run_classification(const data::Dataset& dataset, Method method,
   // dominate Euclidean, and shared positive offsets blind cosine),
   // TCAM+LSH z-scores internally, and the MCAM quantizer normalizes per
   // feature by construction. Scalers are fitted on the training split only.
-  std::unique_ptr<search::NnEngine> engine = make_engine(method, dataset.dim(), options);
+  std::unique_ptr<search::NnIndex> engine = make_engine(method, dataset.dim(), options);
+  // The whole test split is served as one batch through the parallel query
+  // executor - the production path; results are identical to sequential
+  // predict() calls (BatchExecutor guarantees order and determinism).
+  const search::BatchExecutor executor;
+  const auto batch_accuracy = [&](std::span<const std::vector<float>> queries,
+                                  std::span<const int> labels) {
+    const std::vector<search::QueryResult> results = executor.run(*engine, queries, 1);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      if (results[i].label == labels[i]) ++correct;
+    }
+    return queries.empty() ? 0.0
+                           : static_cast<double>(correct) /
+                                 static_cast<double>(queries.size());
+  };
   if (method == Method::kEuclidean || method == Method::kCosine) {
     const auto scaler = encoding::FeatureScaler::fit_z_score(split.train.features);
     const auto train = scaler.transform_all(split.train.features);
     const auto test = scaler.transform_all(split.test.features);
-    engine->fit(train, split.train.labels);
-    return engine->accuracy(test, split.test.labels);
+    engine->add(train, split.train.labels);
+    return batch_accuracy(test, split.test.labels);
   }
-  engine->fit(split.train.features, split.train.labels);
-  return engine->accuracy(split.test.features, split.test.labels);
+  engine->add(split.train.features, split.train.labels);
+  return batch_accuracy(split.test.features, split.test.labels);
 }
 
 mann::FewShotResult run_few_shot(const data::TaskSpec& task, Method method,
@@ -122,7 +130,7 @@ mann::FewShotResult run_few_shot(const data::TaskSpec& task, Method method,
       [&features](std::size_t cls, Rng& rng) { return features.sample(cls, rng); }};
 
   std::uint64_t instance = 0;
-  const mann::EngineFactory factory = [&, instance]() mutable {
+  const mann::IndexFactory factory = [&, instance]() mutable {
     EngineOptions opts = engine_options;
     // Each episode programs a fresh array: re-seed its variation sampling.
     opts.seed = engine_options.seed + 1000003 * (++instance);

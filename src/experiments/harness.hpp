@@ -13,6 +13,7 @@
 #include "mann/fewshot.hpp"
 #include "ml/embedding.hpp"
 #include "search/engine.hpp"
+#include "search/factory.hpp"
 
 #include <memory>
 #include <string>
@@ -29,6 +30,9 @@ enum class Method { kMcam3, kMcam2, kTcamLsh, kCosine, kEuclidean };
 /// Display name, e.g. "3-bit MCAM".
 [[nodiscard]] std::string method_name(Method method);
 
+/// search::EngineFactory registry key of `method`, e.g. "mcam3".
+[[nodiscard]] std::string method_key(Method method);
+
 /// Per-engine knobs (hardware non-idealities and capacity).
 struct EngineOptions {
   std::size_t lsh_bits = 0;        ///< TCAM signature length; 0 = #features.
@@ -39,10 +43,21 @@ struct EngineOptions {
   std::uint64_t seed = 7;          ///< Seed for LSH planes / programming noise.
 };
 
-/// Builds one engine; `num_features` sizes the LSH default.
-[[nodiscard]] std::unique_ptr<search::NnEngine> make_engine(Method method,
-                                                            std::size_t num_features,
-                                                            const EngineOptions& options);
+/// The search::EngineConfig equivalent of `options` (for direct registry
+/// calls: `search::make_index(name, engine_config(n, options))`).
+[[nodiscard]] search::EngineConfig engine_config(std::size_t num_features,
+                                                 const EngineOptions& options);
+
+/// Builds one engine via the search::EngineFactory registry; `num_features`
+/// sizes the LSH default.
+[[nodiscard]] std::unique_ptr<search::NnIndex> make_engine(Method method,
+                                                           std::size_t num_features,
+                                                           const EngineOptions& options);
+
+/// Registry-keyed overload: any name in search::EngineFactory.
+[[nodiscard]] std::unique_ptr<search::NnIndex> make_engine(const std::string& name,
+                                                           std::size_t num_features,
+                                                           const EngineOptions& options);
 
 /// Engine options used by the paper-figure benches: quantizer range
 /// calibrated to the 6th-94th percentile of the base features - the

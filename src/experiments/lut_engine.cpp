@@ -1,6 +1,8 @@
 #include "experiments/lut_engine.hpp"
 
-#include <limits>
+#include "energy/model.hpp"
+
+#include <algorithm>
 #include <stdexcept>
 
 namespace mcam::experiments {
@@ -19,31 +21,42 @@ void McamLutEngine::set_fixed_quantizer(encoding::UniformQuantizer quantizer) {
   fixed_quantizer_ = std::move(quantizer);
 }
 
-void McamLutEngine::fit(std::span<const std::vector<float>> rows,
+void McamLutEngine::add(std::span<const std::vector<float>> rows,
                         std::span<const int> labels) {
   if (rows.size() != labels.size() || rows.empty()) {
-    throw std::invalid_argument{"McamLutEngine::fit: bad training set"};
+    throw std::invalid_argument{"McamLutEngine::add: bad training set"};
   }
-  quantizer_ = fixed_quantizer_
-                   ? *fixed_quantizer_
-                   : encoding::UniformQuantizer::fit(rows, bits_, clip_percentile_);
-  stored_ = quantizer_->quantize_all(rows);
-  labels_.assign(labels.begin(), labels.end());
+  if (!quantizer_) {
+    quantizer_ = fixed_quantizer_
+                     ? *fixed_quantizer_
+                     : encoding::UniformQuantizer::fit(rows, bits_, clip_percentile_);
+  }
+  const std::vector<std::vector<std::uint16_t>> quantized = quantizer_->quantize_all(rows);
+  stored_.insert(stored_.end(), quantized.begin(), quantized.end());
+  labels_.insert(labels_.end(), labels.begin(), labels.end());
 }
 
-int McamLutEngine::predict(std::span<const float> query) const {
-  if (!quantizer_) throw std::logic_error{"McamLutEngine::predict before fit"};
-  const std::vector<std::uint16_t> q = quantizer_->quantize(query);
-  double best = std::numeric_limits<double>::infinity();
-  std::size_t best_row = 0;
-  for (std::size_t r = 0; r < stored_.size(); ++r) {
-    const double d = distance_(q, stored_[r]);
-    if (d < best) {
-      best = d;
-      best_row = r;
-    }
+void McamLutEngine::clear() {
+  quantizer_.reset();
+  stored_.clear();
+  labels_.clear();
+}
+
+search::QueryResult McamLutEngine::query_one(std::span<const float> query,
+                                             std::size_t k) const {
+  if (!quantizer_ || stored_.empty()) {
+    throw std::logic_error{"McamLutEngine::query_one before add"};
   }
-  return labels_[best_row];
+  const std::vector<std::uint16_t> q = quantizer_->quantize(query);
+  std::vector<double> conductances;
+  conductances.reserve(stored_.size());
+  for (const auto& row : stored_) conductances.push_back(distance_(q, row));
+  const std::vector<std::size_t> order = search::top_k_ascending(conductances, k);
+  search::QueryResult result = search::make_query_result(order, conductances, labels_);
+  result.telemetry.energy_j =
+      energy::ArrayEnergyModel{energy::ArrayParams{}}.mcam_search_energy(
+          stored_.size(), stored_.front().size(), fefet::LevelMap{bits_});
+  return result;
 }
 
 std::string McamLutEngine::name() const {

@@ -5,20 +5,21 @@
 // up to get the total conductance of that row". This engine reproduces that
 // flow exactly, and is also how the *measured* distance function of the
 // Fig. 9 experiment is plugged into the application studies: hand it the
-// measured LUT instead of the simulated one.
+// measured LUT instead of the simulated one. Top-k queries rank rows by
+// the summed LUT conductance, i.e. the matchline discharge current.
 #pragma once
 
 #include "distance/mcam_distance.hpp"
 #include "encoding/quantizer.hpp"
-#include "search/engine.hpp"
+#include "search/index.hpp"
 
 #include <optional>
 #include <vector>
 
 namespace mcam::experiments {
 
-/// NN engine evaluating the MCAM distance via a conductance LUT.
-class McamLutEngine final : public search::NnEngine {
+/// NN index evaluating the MCAM distance via a conductance LUT.
+class McamLutEngine final : public search::NnIndex {
  public:
   /// `lut` is the per-cell conductance table (simulated or measured);
   /// `bits` must satisfy 2^bits == lut.num_states().
@@ -27,8 +28,11 @@ class McamLutEngine final : public search::NnEngine {
   /// Installs a quantizer fitted on calibration data (see McamNnEngine).
   void set_fixed_quantizer(encoding::UniformQuantizer quantizer);
 
-  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
-  [[nodiscard]] int predict(std::span<const float> query) const override;
+  void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  void clear() override;
+  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  [[nodiscard]] search::QueryResult query_one(std::span<const float> query,
+                                              std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
 
  private:

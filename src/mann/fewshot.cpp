@@ -8,7 +8,7 @@ namespace mcam::mann {
 
 FewShotResult evaluate_few_shot(const data::EpisodeSampler& sampler,
                                 const data::TaskSpec& task, std::size_t episodes,
-                                const EngineFactory& factory, std::uint64_t seed,
+                                const IndexFactory& factory, std::uint64_t seed,
                                 StoragePolicy policy) {
   if (!factory) throw std::invalid_argument{"evaluate_few_shot: null engine factory"};
   if (episodes == 0) throw std::invalid_argument{"evaluate_few_shot: zero episodes"};

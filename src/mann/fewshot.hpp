@@ -16,8 +16,13 @@
 
 namespace mcam::mann {
 
-/// Builds a fresh NN engine per episode (new array instance each time).
-using EngineFactory = std::function<std::unique_ptr<search::NnEngine>()>;
+/// Builds a fresh NN index per episode (new array instance each time).
+using IndexFactory = std::function<std::unique_ptr<search::NnIndex>()>;
+
+/// Deprecated spelling of IndexFactory (pre-NnIndex API); kept for the
+/// original call sites. Not to be confused with the string-keyed
+/// search::EngineFactory registry.
+using EngineFactory = IndexFactory;
 
 /// Aggregated few-shot accuracy.
 struct FewShotResult {
@@ -32,7 +37,7 @@ struct FewShotResult {
 /// identical episodes when given the same seed).
 [[nodiscard]] FewShotResult evaluate_few_shot(const data::EpisodeSampler& sampler,
                                               const data::TaskSpec& task,
-                                              std::size_t episodes, const EngineFactory& factory,
+                                              std::size_t episodes, const IndexFactory& factory,
                                               std::uint64_t seed,
                                               StoragePolicy policy = StoragePolicy::kAllShots);
 

@@ -5,9 +5,9 @@
 
 namespace mcam::mann {
 
-FeatureMemory::FeatureMemory(std::unique_ptr<search::NnEngine> engine, StoragePolicy policy)
-    : engine_(std::move(engine)), policy_(policy) {
-  if (!engine_) throw std::invalid_argument{"FeatureMemory: null engine"};
+FeatureMemory::FeatureMemory(std::unique_ptr<search::NnIndex> index, StoragePolicy policy)
+    : index_(std::move(index)), policy_(policy) {
+  if (!index_) throw std::invalid_argument{"FeatureMemory: null engine"};
 }
 
 void FeatureMemory::store(std::span<const std::vector<float>> features,
@@ -16,7 +16,7 @@ void FeatureMemory::store(std::span<const std::vector<float>> features,
     throw std::invalid_argument{"FeatureMemory::store: bad support set"};
   }
   if (policy_ == StoragePolicy::kAllShots) {
-    engine_->fit(features, labels);
+    index_->fit(features, labels);
     return;
   }
   // Prototype policy: average the features of each class.
@@ -36,11 +36,16 @@ void FeatureMemory::store(std::span<const std::vector<float>> features,
     prototypes.push_back(std::move(sum));
     prototype_labels.push_back(label);
   }
-  engine_->fit(prototypes, prototype_labels);
+  index_->fit(prototypes, prototype_labels);
 }
 
-int FeatureMemory::lookup(std::span<const float> query) const {
-  return engine_->predict(query);
+int FeatureMemory::lookup(std::span<const float> query, std::size_t k) const {
+  return index_->query_one(query, k).label;
+}
+
+search::QueryResult FeatureMemory::retrieve(std::span<const float> query,
+                                            std::size_t k) const {
+  return index_->query_one(query, k);
 }
 
 }  // namespace mcam::mann

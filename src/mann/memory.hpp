@@ -1,13 +1,15 @@
 // The MANN's explicit memory module (paper Sec. IV-C).
 //
 // The memory holds the features of the support examples; inference embeds
-// the query and returns the label of its nearest memory entry. The storage
+// the query and returns the label of its nearest memory entry - or, with
+// k > 1, the majority vote over the k nearest entries, which a CAM
+// realizes by latching the k slowest matchlines in sequence. The storage
 // policy selects between keeping every shot (the paper's CAM arrays store
 // all N*K support rows) and collapsing each class to its prototype mean
 // (the Prototypical-Networks variant, useful as an ablation).
 #pragma once
 
-#include "search/engine.hpp"
+#include "search/index.hpp"
 
 #include <memory>
 #include <span>
@@ -21,26 +23,31 @@ enum class StoragePolicy {
   kPrototype,   ///< One row per class: the mean of its support features.
 };
 
-/// Feature memory backed by any NN engine (software, TCAM+LSH, or MCAM).
+/// Feature memory backed by any NN index (software, TCAM+LSH, or MCAM).
 class FeatureMemory {
  public:
-  /// Takes ownership of the search engine that realizes the lookups.
-  FeatureMemory(std::unique_ptr<search::NnEngine> engine, StoragePolicy policy);
+  /// Takes ownership of the search index that realizes the lookups.
+  FeatureMemory(std::unique_ptr<search::NnIndex> index, StoragePolicy policy);
 
   /// Writes the support set (programs the backing array / index).
   void store(std::span<const std::vector<float>> features, std::span<const int> labels);
 
-  /// Label of the nearest stored entry to `query`.
-  [[nodiscard]] int lookup(std::span<const float> query) const;
+  /// Majority-vote label over the `k` nearest stored entries (k = 1: the
+  /// nearest entry's label).
+  [[nodiscard]] int lookup(std::span<const float> query, std::size_t k = 1) const;
+
+  /// Full top-k retrieval with scores and telemetry.
+  [[nodiscard]] search::QueryResult retrieve(std::span<const float> query,
+                                             std::size_t k) const;
 
   /// Engine name for result tables.
-  [[nodiscard]] std::string engine_name() const { return engine_->name(); }
+  [[nodiscard]] std::string engine_name() const { return index_->name(); }
 
   /// Policy in use.
   [[nodiscard]] StoragePolicy policy() const noexcept { return policy_; }
 
  private:
-  std::unique_ptr<search::NnEngine> engine_;
+  std::unique_ptr<search::NnIndex> index_;
   StoragePolicy policy_;
 };
 

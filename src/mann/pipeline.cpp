@@ -5,8 +5,8 @@
 namespace mcam::mann {
 
 MannPipeline::MannPipeline(ml::EmbeddingSource& embedding,
-                           std::unique_ptr<search::NnEngine> engine, StoragePolicy policy)
-    : embedding_(&embedding), memory_(std::move(engine), policy) {}
+                           std::unique_ptr<search::NnIndex> index, StoragePolicy policy)
+    : embedding_(&embedding), memory_(std::move(index), policy) {}
 
 void MannPipeline::store_support(std::span<const std::vector<float>> images,
                                  std::span<const int> labels) {
@@ -19,8 +19,12 @@ void MannPipeline::store_support(std::span<const std::vector<float>> images,
   memory_.store(features, labels);
 }
 
-int MannPipeline::classify(const std::vector<float>& image) {
-  return memory_.lookup(embedding_->embed(image));
+int MannPipeline::classify(const std::vector<float>& image, std::size_t k) {
+  return memory_.lookup(embedding_->embed(image), k);
+}
+
+search::QueryResult MannPipeline::retrieve(const std::vector<float>& image, std::size_t k) {
+  return memory_.retrieve(embedding_->embed(image), k);
 }
 
 }  // namespace mcam::mann

@@ -4,7 +4,8 @@
 // with a CAM-backed feature memory, mirroring the full inference path the
 // paper accelerates: "the features of the query image are extracted using
 // the neural network and compared with the features of the trained classes
-// stored in memory".
+// stored in memory". Classification supports k > 1 majority voting over
+// the memory's top-k retrieval.
 #pragma once
 
 #include "mann/memory.hpp"
@@ -20,14 +21,18 @@ namespace mcam::mann {
 class MannPipeline {
  public:
   /// `embedding` must outlive the pipeline; the memory is owned.
-  MannPipeline(ml::EmbeddingSource& embedding, std::unique_ptr<search::NnEngine> engine,
+  MannPipeline(ml::EmbeddingSource& embedding, std::unique_ptr<search::NnIndex> index,
                StoragePolicy policy = StoragePolicy::kAllShots);
 
   /// Embeds and stores the support images.
   void store_support(std::span<const std::vector<float>> images, std::span<const int> labels);
 
-  /// Embeds `image` and returns the label of its nearest memory entry.
-  [[nodiscard]] int classify(const std::vector<float>& image);
+  /// Embeds `image` and returns the majority-vote label over the `k`
+  /// nearest memory entries (k = 1: plain nearest-neighbor).
+  [[nodiscard]] int classify(const std::vector<float>& image, std::size_t k = 1);
+
+  /// Embeds `image` and returns the memory's full top-k retrieval.
+  [[nodiscard]] search::QueryResult retrieve(const std::vector<float>& image, std::size_t k);
 
   /// Name of the backing engine.
   [[nodiscard]] std::string engine_name() const { return memory_.engine_name(); }

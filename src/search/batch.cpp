@@ -1,0 +1,60 @@
+#include "search/batch.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+namespace mcam::search {
+
+BatchExecutor::BatchExecutor(BatchOptions options) : options_(options) {
+  if (options_.num_threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    options_.num_threads = hw > 0 ? hw : 1;
+  }
+  if (options_.min_shard_size == 0) options_.min_shard_size = 1;
+}
+
+std::size_t BatchExecutor::threads_for(std::size_t batch_size) const {
+  if (batch_size == 0) return 0;
+  // Floor division: never spawn a worker whose shard would fall below the
+  // configured minimum.
+  const std::size_t by_shard = batch_size / options_.min_shard_size;
+  return std::max<std::size_t>(1, std::min(options_.num_threads, by_shard));
+}
+
+std::vector<QueryResult> BatchExecutor::run(const NnIndex& index,
+                                            std::span<const std::vector<float>> batch,
+                                            std::size_t k) const {
+  std::vector<QueryResult> results(batch.size());
+  const std::size_t workers = threads_for(batch.size());
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < batch.size(); ++i) results[i] = index.query_one(batch[i], k);
+    return results;
+  }
+
+  // Contiguous shards: worker w handles [w*stride, min((w+1)*stride, n)).
+  const std::size_t stride = (batch.size() + workers - 1) / workers;
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  std::vector<std::exception_ptr> errors(workers);
+  for (std::size_t w = 0; w < workers; ++w) {
+    threads.emplace_back([&, w] {
+      const std::size_t begin = w * stride;
+      const std::size_t end = std::min(begin + stride, batch.size());
+      try {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = index.query_one(batch[i], k);
+        }
+      } catch (...) {
+        errors[w] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& error : errors) {
+    if (error) std::rethrow_exception(error);
+  }
+  return results;
+}
+
+}  // namespace mcam::search

@@ -1,71 +1,120 @@
 #include "search/engine.hpp"
 
+#include "energy/model.hpp"
+
+#include <algorithm>
 #include <stdexcept>
 
 namespace mcam::search {
 
-double NnEngine::accuracy(std::span<const std::vector<float>> queries,
-                          std::span<const int> labels) const {
-  if (queries.size() != labels.size()) {
-    throw std::invalid_argument{"NnEngine::accuracy: queries/labels mismatch"};
+namespace {
+
+void validate_batch(std::span<const std::vector<float>> rows, std::span<const int> labels,
+                    const char* where) {
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument{std::string{where} + ": bad training set"};
   }
-  if (queries.empty()) return 0.0;
-  std::size_t correct = 0;
-  for (std::size_t i = 0; i < queries.size(); ++i) {
-    if (predict(queries[i]) == labels[i]) ++correct;
-  }
-  return static_cast<double>(correct) / static_cast<double>(queries.size());
 }
+
+/// cam::rank_by_sensing with the engine's k convention (k = 0 -> 1-NN).
+std::vector<std::size_t> rank_rows(const std::vector<double>& conductances,
+                                   cam::SensingMode sensing,
+                                   const circuit::MatchlineParams& matchline_params,
+                                   std::size_t word_length, double sense_clock_period,
+                                   std::size_t k) {
+  return cam::rank_by_sensing(conductances, sensing, matchline_params, word_length,
+                              sense_clock_period, std::max<std::size_t>(k, 1));
+}
+
+}  // namespace
+
+// --- SoftwareNnEngine ------------------------------------------------------
 
 SoftwareNnEngine::SoftwareNnEngine(std::string metric_name)
     : metric_name_(std::move(metric_name)) {
   // Validate the name eagerly so configuration errors surface at build time
-  // of the experiment, not at fit time.
+  // of the experiment, not at first add.
   (void)distance::metric_by_name(metric_name_);
 }
 
-void SoftwareNnEngine::fit(std::span<const std::vector<float>> rows,
+void SoftwareNnEngine::add(std::span<const std::vector<float>> rows,
                            std::span<const int> labels) {
-  index_.emplace(distance::metric_by_name(metric_name_));
+  validate_batch(rows, labels, "SoftwareNnEngine::add");
+  if (!index_) index_.emplace(distance::metric_by_name(metric_name_));
   index_->add_all(rows, labels);
 }
 
-int SoftwareNnEngine::predict(std::span<const float> query) const {
-  if (!index_) throw std::logic_error{"SoftwareNnEngine::predict before fit"};
-  return index_->nearest(query).label;
+void SoftwareNnEngine::clear() { index_.reset(); }
+
+std::size_t SoftwareNnEngine::size() const { return index_ ? index_->size() : 0; }
+
+QueryResult SoftwareNnEngine::query_one(std::span<const float> query, std::size_t k) const {
+  if (!index_ || index_->size() == 0) {
+    throw std::logic_error{"SoftwareNnEngine::query_one before add"};
+  }
+  QueryResult result;
+  // k = 0 degenerates to 1-NN; k_nearest clamps the upper end itself.
+  result.neighbors = index_->k_nearest(query, std::max<std::size_t>(k, 1));
+  result.label = majority_label(result.neighbors);
+  result.telemetry.candidates = index_->size();
+  return result;
 }
+
+// --- TcamLshEngine ---------------------------------------------------------
 
 TcamLshEngine::TcamLshEngine(std::size_t signature_bits, std::uint64_t seed,
                              cam::TcamArrayConfig config)
     : signature_bits_(signature_bits), seed_(seed), config_(config) {}
 
-void TcamLshEngine::fit(std::span<const std::vector<float>> rows,
+void TcamLshEngine::add(std::span<const std::vector<float>> rows,
                         std::span<const int> labels) {
-  if (rows.size() != labels.size() || rows.empty()) {
-    throw std::invalid_argument{"TcamLshEngine::fit: bad training set"};
+  validate_batch(rows, labels, "TcamLshEngine::add");
+  if (!tcam_) {
+    // Calibration: random-hyperplane LSH approximates *cosine* distance
+    // only for centered data, so signatures are computed on z-scored
+    // features. Fitted once, on the fixed scaler's data or this batch.
+    scaler_ = fixed_scaler_ ? *fixed_scaler_ : encoding::FeatureScaler::fit_z_score(rows);
+    lsh_.emplace(rows.front().size(), signature_bits_, seed_);
+    tcam_ = std::make_unique<cam::TcamArray>(config_);
   }
-  // Random-hyperplane LSH approximates *cosine* distance only for centered
-  // data, so signatures are computed on z-scored features.
-  scaler_ = fixed_scaler_ ? *fixed_scaler_ : encoding::FeatureScaler::fit_z_score(rows);
-  lsh_.emplace(rows.front().size(), signature_bits_, seed_);
-  tcam_ = std::make_unique<cam::TcamArray>(config_);
-  labels_.assign(labels.begin(), labels.end());
+  // Encode the whole batch before mutating anything: a bad row (e.g. a
+  // dimension mismatch) must leave rows and labels consistent.
+  std::vector<std::vector<std::uint8_t>> signatures;
+  signatures.reserve(rows.size());
   for (const auto& row : rows) {
-    const encoding::Signature sig = lsh_->encode(scaler_->transform(row));
-    tcam_->add_row_bits(sig.unpack());
+    signatures.push_back(lsh_->encode(scaler_->transform(row)).unpack());
   }
+  for (const auto& bits : signatures) tcam_->add_row_bits(bits);
+  labels_.insert(labels_.end(), labels.begin(), labels.end());
 }
 
-int TcamLshEngine::predict(std::span<const float> query) const {
-  if (!tcam_) throw std::logic_error{"TcamLshEngine::predict before fit"};
+void TcamLshEngine::clear() {
+  scaler_.reset();
+  lsh_.reset();
+  tcam_.reset();
+  labels_.clear();
+}
+
+QueryResult TcamLshEngine::query_one(std::span<const float> query, std::size_t k) const {
+  if (!tcam_ || labels_.empty()) {
+    throw std::logic_error{"TcamLshEngine::query_one before add"};
+  }
   const encoding::Signature sig = lsh_->encode(scaler_->transform(query));
-  const cam::SearchOutcome outcome = tcam_->nearest(sig.unpack());
-  return labels_[outcome.row];
+  const std::vector<double> conductances = tcam_->search_conductances(sig.unpack());
+  const std::vector<std::size_t> order =
+      rank_rows(conductances, config_.sensing, config_.matchline, tcam_->word_length(),
+                config_.sense_clock_period, k);
+  QueryResult result = make_query_result(order, conductances, labels_);
+  result.telemetry.energy_j = energy::ArrayEnergyModel{energy::ArrayParams{}}
+                                  .tcam_search_energy(tcam_->num_rows(), tcam_->word_length());
+  return result;
 }
 
 std::string TcamLshEngine::name() const {
   return "TCAM+LSH (" + std::to_string(signature_bits_) + "b)";
 }
+
+// --- McamNnEngine ----------------------------------------------------------
 
 McamNnEngine::McamNnEngine(cam::McamArrayConfig config, double clip_percentile)
     : config_(config), clip_percentile_(clip_percentile) {}
@@ -77,24 +126,44 @@ void McamNnEngine::set_fixed_quantizer(encoding::UniformQuantizer quantizer) {
   fixed_quantizer_ = std::move(quantizer);
 }
 
-void McamNnEngine::fit(std::span<const std::vector<float>> rows,
+void McamNnEngine::add(std::span<const std::vector<float>> rows,
                        std::span<const int> labels) {
-  if (rows.size() != labels.size() || rows.empty()) {
-    throw std::invalid_argument{"McamNnEngine::fit: bad training set"};
+  validate_batch(rows, labels, "McamNnEngine::add");
+  if (!array_) {
+    quantizer_ = fixed_quantizer_ ? *fixed_quantizer_
+                                  : encoding::UniformQuantizer::fit(
+                                        rows, config_.level_map.bits(), clip_percentile_);
+    array_ = std::make_unique<cam::McamArray>(config_);
   }
-  quantizer_ = fixed_quantizer_ ? *fixed_quantizer_
-                                : encoding::UniformQuantizer::fit(rows, config_.level_map.bits(),
-                                                                  clip_percentile_);
-  array_ = std::make_unique<cam::McamArray>(config_);
-  labels_.assign(labels.begin(), labels.end());
-  for (const auto& row : rows) array_->add_row(quantizer_->quantize(row));
+  // Quantize the whole batch before programming: a bad row must leave the
+  // array and labels consistent.
+  std::vector<std::vector<std::uint16_t>> levels;
+  levels.reserve(rows.size());
+  for (const auto& row : rows) levels.push_back(quantizer_->quantize(row));
+  for (const auto& level_row : levels) array_->add_row(level_row);
+  labels_.insert(labels_.end(), labels.begin(), labels.end());
 }
 
-int McamNnEngine::predict(std::span<const float> query) const {
-  if (!array_) throw std::logic_error{"McamNnEngine::predict before fit"};
+void McamNnEngine::clear() {
+  array_.reset();
+  quantizer_.reset();
+  labels_.clear();
+}
+
+QueryResult McamNnEngine::query_one(std::span<const float> query, std::size_t k) const {
+  if (!array_ || labels_.empty()) {
+    throw std::logic_error{"McamNnEngine::query_one before add"};
+  }
   const std::vector<std::uint16_t> levels = quantizer_->quantize(query);
-  const cam::SearchOutcome outcome = array_->nearest(levels);
-  return labels_[outcome.row];
+  const std::vector<double> conductances = array_->search_conductances(levels);
+  const std::vector<std::size_t> order =
+      rank_rows(conductances, config_.sensing, config_.matchline, array_->word_length(),
+                config_.sense_clock_period, k);
+  QueryResult result = make_query_result(order, conductances, labels_);
+  result.telemetry.energy_j =
+      energy::ArrayEnergyModel{energy::ArrayParams{}}.mcam_search_energy(
+          array_->num_rows(), array_->word_length(), config_.level_map);
+  return result;
 }
 
 std::string McamNnEngine::name() const {

@@ -1,5 +1,5 @@
-// Unified nearest-neighbor engines: the three implementations the paper
-// compares (Sec. IV-A), behind one interface.
+// The three nearest-neighbor backends the paper compares (Sec. IV-A),
+// behind the NnIndex interface (search/index.hpp):
 //
 //  1. SoftwareNnEngine - FP32 exact NN with cosine or Euclidean distance
 //     (the GPU baseline).
@@ -9,8 +9,12 @@
 //  3. McamNnEngine     - features quantized to B bits, stored in the FeFET
 //     MCAM, single-step NN search with the proposed distance function.
 //
-// Engines own their fitted state (scalers, encoders, programmed arrays),
-// so `fit` + `predict` is the entire protocol the application studies use.
+// Engines own their fitted state (scalers, encoders, programmed arrays).
+// The first `add` on an empty engine calibrates the encoders (unless a
+// fixed encoder was installed), later `add`s stream entries in, and
+// `query` performs batched top-k search with the backend's native ranking:
+// metric distance for software, matchline conductance (= Hamming popcount
+// electrically) for the TCAM, matchline discharge current for the MCAM.
 #pragma once
 
 #include "cam/array.hpp"
@@ -18,7 +22,7 @@
 #include "encoding/lsh.hpp"
 #include "encoding/normalize.hpp"
 #include "encoding/quantizer.hpp"
-#include "search/knn.hpp"
+#include "search/index.hpp"
 
 #include <memory>
 #include <optional>
@@ -28,33 +32,17 @@
 
 namespace mcam::search {
 
-/// Common interface: fit on labeled vectors, predict labels for queries.
-class NnEngine {
- public:
-  virtual ~NnEngine() = default;
-
-  /// Stores the training set (programs arrays / fits encoders).
-  virtual void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) = 0;
-
-  /// Label of the nearest stored entry.
-  [[nodiscard]] virtual int predict(std::span<const float> query) const = 0;
-
-  /// Human-readable engine name for result tables.
-  [[nodiscard]] virtual std::string name() const = 0;
-
-  /// Fraction of `queries` classified correctly.
-  [[nodiscard]] double accuracy(std::span<const std::vector<float>> queries,
-                                std::span<const int> labels) const;
-};
-
 /// FP32 software baseline over an arbitrary metric.
-class SoftwareNnEngine final : public NnEngine {
+class SoftwareNnEngine final : public NnIndex {
  public:
   /// `metric_name`: "cosine", "euclidean", "linf" or "manhattan".
   explicit SoftwareNnEngine(std::string metric_name);
 
-  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
-  [[nodiscard]] int predict(std::span<const float> query) const override;
+  void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  void clear() override;
+  [[nodiscard]] std::size_t size() const override;
+  [[nodiscard]] QueryResult query_one(std::span<const float> query,
+                                      std::size_t k) const override;
   [[nodiscard]] std::string name() const override { return metric_name_ + " (FP32)"; }
 
  private:
@@ -63,20 +51,23 @@ class SoftwareNnEngine final : public NnEngine {
 };
 
 /// TCAM + LSH baseline (Hamming distance over binary signatures).
-class TcamLshEngine final : public NnEngine {
+class TcamLshEngine final : public NnIndex {
  public:
   /// `signature_bits`: LSH signature length = TCAM word length.
   TcamLshEngine(std::size_t signature_bits, std::uint64_t seed,
                 cam::TcamArrayConfig config = cam::TcamArrayConfig{});
 
   /// Installs a scaler fitted on calibration (base-split) data; without it,
-  /// fit() fits z-scores on the support rows themselves. Essential for
+  /// the first add() fits z-scores on that batch itself. Essential for
   /// few-shot episodes, where the support set is too small to estimate
   /// feature statistics.
   void set_fixed_scaler(encoding::FeatureScaler scaler) { fixed_scaler_ = std::move(scaler); }
 
-  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
-  [[nodiscard]] int predict(std::span<const float> query) const override;
+  void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  void clear() override;
+  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  [[nodiscard]] QueryResult query_one(std::span<const float> query,
+                                      std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
 
   /// The programmed TCAM (for inspection in tests).
@@ -94,7 +85,7 @@ class TcamLshEngine final : public NnEngine {
 };
 
 /// The proposed FeFET MCAM engine.
-class McamNnEngine final : public NnEngine {
+class McamNnEngine final : public NnIndex {
  public:
   /// `config.level_map` fixes the bit precision; `clip_percentile` tunes
   /// the quantizer's outlier clipping.
@@ -102,18 +93,22 @@ class McamNnEngine final : public NnEngine {
                         double clip_percentile = 0.0);
 
   /// Installs a quantizer fitted on calibration (base-split) data; without
-  /// it, fit() fits the per-feature ranges on the support rows. Essential
-  /// for few-shot episodes (K*N support rows cannot estimate ranges).
-  /// Throws if the quantizer's bit width disagrees with the level map.
+  /// it, the first add() fits the per-feature ranges on that batch.
+  /// Essential for few-shot episodes (K*N support rows cannot estimate
+  /// ranges). Throws if the quantizer's bit width disagrees with the level
+  /// map.
   void set_fixed_quantizer(encoding::UniformQuantizer quantizer);
 
-  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
-  [[nodiscard]] int predict(std::span<const float> query) const override;
+  void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  void clear() override;
+  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  [[nodiscard]] QueryResult query_one(std::span<const float> query,
+                                      std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
 
   /// The programmed MCAM (for inspection in tests).
   [[nodiscard]] const cam::McamArray& array() const { return *array_; }
-  /// Fitted quantizer (valid after fit).
+  /// Fitted quantizer (valid after the first add).
   [[nodiscard]] const encoding::UniformQuantizer& quantizer() const { return *quantizer_; }
 
  private:

@@ -1,0 +1,105 @@
+#include "search/factory.hpp"
+
+#include "search/engine.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace mcam::search {
+
+namespace {
+
+cam::McamArrayConfig mcam_array_config(unsigned bits, const EngineConfig& config) {
+  cam::McamArrayConfig array;
+  array.level_map = fefet::LevelMap{bits};
+  array.sensing = config.sensing;
+  array.sense_clock_period = config.sense_clock_period;
+  array.vth_sigma = config.vth_sigma;
+  array.seed = config.seed;
+  return array;
+}
+
+EngineFactory::Builder mcam_builder(unsigned bits) {
+  return [bits](const EngineConfig& config) -> std::unique_ptr<NnIndex> {
+    return std::make_unique<McamNnEngine>(mcam_array_config(bits, config),
+                                          config.clip_percentile);
+  };
+}
+
+EngineFactory::Builder software_builder(std::string metric) {
+  return [metric = std::move(metric)](const EngineConfig&) -> std::unique_ptr<NnIndex> {
+    return std::make_unique<SoftwareNnEngine>(metric);
+  };
+}
+
+}  // namespace
+
+EngineFactory::EngineFactory() {
+  register_engine("mcam3", mcam_builder(3));
+  register_engine("mcam2", mcam_builder(2));
+  register_engine("mcam", [](const EngineConfig& config) -> std::unique_ptr<NnIndex> {
+    return std::make_unique<McamNnEngine>(mcam_array_config(config.mcam_bits, config),
+                                          config.clip_percentile);
+  });
+  register_engine("tcam-lsh", [](const EngineConfig& config) -> std::unique_ptr<NnIndex> {
+    // Iso-capacity default: as many signature bits as the CAM word has
+    // cells (= number of features), per the paper's comparison.
+    const std::size_t bits = config.lsh_bits > 0 ? config.lsh_bits : config.num_features;
+    if (bits == 0) {
+      throw std::invalid_argument{
+          "EngineFactory: tcam-lsh needs lsh_bits or num_features"};
+    }
+    cam::TcamArrayConfig array;
+    array.sensing = config.sensing;
+    array.sense_clock_period = config.sense_clock_period;
+    array.vth_sigma = config.vth_sigma;
+    array.seed = config.seed;
+    return std::make_unique<TcamLshEngine>(bits, config.seed, array);
+  });
+  for (const char* metric : {"cosine", "euclidean", "manhattan", "linf"}) {
+    register_engine(metric, software_builder(metric));
+  }
+}
+
+EngineFactory& EngineFactory::instance() {
+  static EngineFactory factory;
+  return factory;
+}
+
+void EngineFactory::register_engine(std::string name, Builder builder) {
+  if (name.empty()) throw std::invalid_argument{"EngineFactory: empty name"};
+  if (!builder) throw std::invalid_argument{"EngineFactory: null builder for " + name};
+  builders_[std::move(name)] = std::move(builder);
+}
+
+std::unique_ptr<NnIndex> EngineFactory::create(const std::string& name,
+                                               const EngineConfig& config) const {
+  const auto it = builders_.find(name);
+  if (it == builders_.end()) {
+    std::string known;
+    for (const auto& [key, builder] : builders_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw std::invalid_argument{"EngineFactory: unknown engine '" + name +
+                                "' (known: " + known + ")"};
+  }
+  return it->second(config);
+}
+
+bool EngineFactory::contains(const std::string& name) const {
+  return builders_.find(name) != builders_.end();
+}
+
+std::vector<std::string> EngineFactory::registered_names() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) names.push_back(name);
+  return names;
+}
+
+std::unique_ptr<NnIndex> make_index(const std::string& name, const EngineConfig& config) {
+  return EngineFactory::instance().create(name, config);
+}
+
+}  // namespace mcam::search

@@ -1,0 +1,75 @@
+// String-keyed registry of NnIndex backends.
+//
+// Replaces the old `experiments::Method` enum switch: engines are created
+// by name ("mcam3", "tcam-lsh", "euclidean", ...) from one config struct,
+// so new backends register without touching a central switch and serving
+// configs can name their engine in plain text. Built-in names:
+//
+//   mcam3, mcam2       - FeFET MCAM at the paper's two design points
+//   mcam               - FeFET MCAM at `config.mcam_bits`
+//   tcam-lsh           - TCAM storing LSH signatures (Hamming search)
+//   cosine, euclidean,
+//   manhattan, linf    - FP32 software linear scan over that metric
+//
+// The registry is process-global; `register_engine` accepts additional
+// builders (e.g. a LUT-backed MCAM bound to a measured conductance table).
+#pragma once
+
+#include "cam/array.hpp"
+#include "cam/tcam.hpp"
+#include "search/index.hpp"
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcam::search {
+
+/// One config for every built-in backend; builders read what they need.
+struct EngineConfig {
+  std::size_t num_features = 0;    ///< Word length; sizes the LSH default.
+  unsigned mcam_bits = 3;          ///< MCAM cell precision for the "mcam" key.
+  std::size_t lsh_bits = 0;        ///< TCAM signature length; 0 = num_features.
+  double vth_sigma = 0.0;          ///< Per-FeFET programming noise [V].
+  cam::SensingMode sensing = cam::SensingMode::kIdealSum;  ///< Ranking fidelity.
+  double sense_clock_period = 0.0; ///< Sense clock [s] for kMatchlineTiming.
+  double clip_percentile = 0.0;    ///< Quantizer outlier clipping.
+  std::uint64_t seed = 7;          ///< Seed for LSH planes / programming noise.
+};
+
+/// Process-global name -> builder registry.
+class EngineFactory {
+ public:
+  using Builder = std::function<std::unique_ptr<NnIndex>(const EngineConfig&)>;
+
+  /// The global registry, with the built-in backends pre-registered.
+  [[nodiscard]] static EngineFactory& instance();
+
+  /// Registers (or replaces) a builder under `name`.
+  void register_engine(std::string name, Builder builder);
+
+  /// Builds the backend registered under `name`; throws
+  /// std::invalid_argument (listing the known names) when absent.
+  [[nodiscard]] std::unique_ptr<NnIndex> create(const std::string& name,
+                                                const EngineConfig& config) const;
+
+  /// True when `name` is registered.
+  [[nodiscard]] bool contains(const std::string& name) const;
+
+  /// Sorted names of every registered backend.
+  [[nodiscard]] std::vector<std::string> registered_names() const;
+
+ private:
+  EngineFactory();
+
+  std::map<std::string, Builder> builders_;
+};
+
+/// Convenience for the common path: `EngineFactory::instance().create(...)`.
+[[nodiscard]] std::unique_ptr<NnIndex> make_index(const std::string& name,
+                                                  const EngineConfig& config = EngineConfig{});
+
+}  // namespace mcam::search

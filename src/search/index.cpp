@@ -1,0 +1,95 @@
+#include "search/index.hpp"
+
+#include "util/linalg.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <stdexcept>
+
+namespace mcam::search {
+
+int majority_label(std::span<const Neighbor> neighbors) {
+  if (neighbors.empty()) {
+    throw std::invalid_argument{"majority_label: no neighbors"};
+  }
+  // Votes and score sums per label, plus the first rank at which the label
+  // appears so exact vote+score ties resolve to the nearer label.
+  struct Tally {
+    std::size_t votes = 0;
+    double score_sum = 0.0;
+    std::size_t first_rank = std::numeric_limits<std::size_t>::max();
+  };
+  std::map<int, Tally> tallies;
+  for (std::size_t rank = 0; rank < neighbors.size(); ++rank) {
+    Tally& tally = tallies[neighbors[rank].label];
+    ++tally.votes;
+    tally.score_sum += neighbors[rank].distance;
+    if (rank < tally.first_rank) tally.first_rank = rank;
+  }
+  int best_label = neighbors.front().label;
+  const Tally* best = nullptr;
+  for (const auto& [label, tally] : tallies) {
+    const bool wins = best == nullptr || tally.votes > best->votes ||
+                      (tally.votes == best->votes &&
+                       (tally.score_sum < best->score_sum ||
+                        (tally.score_sum == best->score_sum &&
+                         tally.first_rank < best->first_rank)));
+    if (wins) {
+      best_label = label;
+      best = &tally;
+    }
+  }
+  return best_label;
+}
+
+std::vector<std::size_t> top_k_ascending(std::span<const double> scores, std::size_t k) {
+  if (scores.empty()) throw std::logic_error{"top_k_ascending: no scores"};
+  return argsort_top_k(scores, std::max<std::size_t>(k, 1));
+}
+
+QueryResult make_query_result(std::span<const std::size_t> ranked,
+                              std::span<const double> scores,
+                              std::span<const int> labels) {
+  QueryResult result;
+  result.neighbors.reserve(ranked.size());
+  for (std::size_t row : ranked) {
+    result.neighbors.push_back(Neighbor{row, labels[row], scores[row]});
+  }
+  result.label = majority_label(result.neighbors);
+  result.telemetry.candidates = labels.size();
+  result.telemetry.sense_events = ranked.size();
+  return result;
+}
+
+std::vector<QueryResult> NnIndex::query(std::span<const std::vector<float>> batch,
+                                        std::size_t k) const {
+  std::vector<QueryResult> results;
+  results.reserve(batch.size());
+  for (const auto& q : batch) results.push_back(query_one(q, k));
+  return results;
+}
+
+void NnIndex::fit(std::span<const std::vector<float>> rows, std::span<const int> labels) {
+  clear();
+  add(rows, labels);
+}
+
+int NnIndex::predict(std::span<const float> query) const {
+  return query_one(query, 1).label;
+}
+
+double NnIndex::accuracy(std::span<const std::vector<float>> queries,
+                         std::span<const int> labels, std::size_t k) const {
+  if (queries.size() != labels.size()) {
+    throw std::invalid_argument{"NnIndex::accuracy: queries/labels mismatch"};
+  }
+  if (queries.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    if (query_one(queries[i], k).label == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(queries.size());
+}
+
+}  // namespace mcam::search

@@ -1,0 +1,122 @@
+// Production nearest-neighbor index interface: incremental adds, batched
+// top-k queries with raw match scores, and per-query telemetry.
+//
+// This supersedes the original single-query `NnEngine` protocol (`fit` +
+// argmax-only `predict`). Every backend - software linear scan, TCAM+LSH,
+// FeFET MCAM array, conductance-LUT MCAM - implements `query_one`, which
+// surfaces the backend's *native* ranking:
+//
+//  - software engines rank by metric distance (cosine/Euclidean/...),
+//  - the TCAM ranks by matchline conductance, which is proportional to the
+//    Hamming popcount of the stored signature vs the query,
+//  - the MCAM ranks by total matchline conductance (discharge current),
+//    realizing the paper's distance function at the row level; under
+//    kMatchlineTiming sensing the order is the order in which a repeated
+//    winner-take-all sense would latch matchlines, slowest first.
+//
+// Batched execution (`query`) is the serving primitive; `BatchExecutor`
+// (search/batch.hpp) shards batches across worker threads. `query_one`
+// implementations are const and touch no mutable state, so concurrent
+// queries against one index are safe.
+//
+// Migration note: `NnEngine` is now a deprecated alias of `NnIndex`, and
+// `fit`/`predict`/`accuracy` are retained as thin non-virtual shims
+// (`fit` = `clear` + `add`; `predict(q)` = `query_one(q, 1).label`). New
+// code should use `add` + `query`.
+#pragma once
+
+#include "search/knn.hpp"
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcam::search {
+
+/// Per-query execution telemetry.
+struct QueryTelemetry {
+  std::size_t candidates = 0;    ///< Stored rows compared against the query.
+  std::size_t sense_events = 0;  ///< WTA latch events needed for the top-k (CAM engines).
+  double energy_j = 0.0;         ///< Estimated search energy (0 when no model applies) [J].
+};
+
+/// Result of one top-k query.
+struct QueryResult {
+  int label = 0;                    ///< Predicted label (majority vote over the top-k).
+  std::vector<Neighbor> neighbors;  ///< Top-k, nearest first; `distance` is the raw
+                                    ///< match score (metric distance, or matchline
+                                    ///< conductance [S] for the CAM engines).
+  QueryTelemetry telemetry;         ///< Execution counters for this query.
+};
+
+/// Majority vote over ranked neighbors: most votes wins; ties break to the
+/// smaller summed score, then to the earlier (nearer) first occurrence.
+/// With k = 1 this is exactly the nearest neighbor's label.
+[[nodiscard]] int majority_label(std::span<const Neighbor> neighbors);
+
+/// Indices of the k smallest scores, ascending with low-index tie-break
+/// (the argmin/WTA convention of the CAM arrays). k is clamped to
+/// [1, scores.size()]; throws std::logic_error on an empty score set.
+[[nodiscard]] std::vector<std::size_t> top_k_ascending(std::span<const double> scores,
+                                                       std::size_t k);
+
+/// Assembles a QueryResult from nearest-first `ranked` row indices and the
+/// per-row native scores: fills the neighbor list, the majority-vote
+/// label, and the candidates/sense-events telemetry (energy is left for
+/// the engine to fill).
+[[nodiscard]] QueryResult make_query_result(std::span<const std::size_t> ranked,
+                                            std::span<const double> scores,
+                                            std::span<const int> labels);
+
+/// Common interface of every nearest-neighbor backend.
+class NnIndex {
+ public:
+  virtual ~NnIndex() = default;
+
+  /// Appends labeled vectors. The first call on an empty, uncalibrated
+  /// index also calibrates the backend's encoders (scaler / LSH planes /
+  /// quantizer ranges) on that batch; later calls reuse them, so entries
+  /// can stream in incrementally after calibration.
+  virtual void add(std::span<const std::vector<float>> rows, std::span<const int> labels) = 0;
+
+  /// Removes every stored entry (and any encoder fitted from data, but not
+  /// externally installed fixed encoders).
+  virtual void clear() = 0;
+
+  /// Number of stored entries.
+  [[nodiscard]] virtual std::size_t size() const = 0;
+
+  /// Top-k search for one query; `k` is clamped to [1, `size()`] (k = 0
+  /// degenerates to 1-NN). Throws std::logic_error before any data is
+  /// added.
+  [[nodiscard]] virtual QueryResult query_one(std::span<const float> query,
+                                              std::size_t k) const = 0;
+
+  /// Batched top-k search (sequential; see BatchExecutor for the parallel
+  /// path). Result `i` corresponds to `batch[i]`.
+  [[nodiscard]] std::vector<QueryResult> query(std::span<const std::vector<float>> batch,
+                                               std::size_t k) const;
+
+  /// Human-readable engine name for result tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  // --- Deprecated NnEngine shims -----------------------------------------
+
+  /// Replaces the stored set: `clear()` + `add(rows, labels)`. Prefer `add`.
+  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels);
+
+  /// Label of the nearest stored entry (= `query_one(query, 1).label`).
+  /// Prefer `query` / `query_one`, which also return scores and telemetry.
+  [[nodiscard]] int predict(std::span<const float> query) const;
+
+  /// Fraction of `queries` classified correctly with k-NN majority vote.
+  [[nodiscard]] double accuracy(std::span<const std::vector<float>> queries,
+                                std::span<const int> labels, std::size_t k = 1) const;
+};
+
+/// Deprecated name of the interface, kept for the original fit/predict
+/// call sites; new code should spell it NnIndex.
+using NnEngine = NnIndex;
+
+}  // namespace mcam::search

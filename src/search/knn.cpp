@@ -1,7 +1,8 @@
 #include "search/knn.hpp"
 
+#include "search/index.hpp"
+
 #include <algorithm>
-#include <map>
 #include <stdexcept>
 
 namespace mcam::search {
@@ -24,6 +25,16 @@ void ExactNnIndex::add_all(std::span<const std::vector<float>> rows,
   if (rows.size() != labels.size()) {
     throw std::invalid_argument{"ExactNnIndex::add_all: rows/labels mismatch"};
   }
+  // Validate the whole batch first so a bad row is all-or-nothing instead
+  // of leaving a partially committed batch behind.
+  const std::size_t width = vectors_.empty()
+                                ? (rows.empty() ? 0 : rows.front().size())
+                                : vectors_.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != width) {
+      throw std::invalid_argument{"ExactNnIndex::add_all: dimension mismatch"};
+    }
+  }
   for (std::size_t i = 0; i < rows.size(); ++i) add(rows[i], labels[i]);
 }
 
@@ -39,7 +50,9 @@ Neighbor ExactNnIndex::nearest(std::span<const float> query) const {
 
 std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
                                               std::size_t k) const {
-  if (vectors_.empty()) throw std::logic_error{"ExactNnIndex::k_nearest: empty index"};
+  // Clamp instead of throwing: k > size() returns everything, and an empty
+  // index (or k = 0) returns no neighbors.
+  if (vectors_.empty() || k == 0) return {};
   std::vector<Neighbor> all;
   all.reserve(vectors_.size());
   for (std::size_t i = 0; i < vectors_.size(); ++i) {
@@ -56,26 +69,11 @@ std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
 }
 
 int ExactNnIndex::classify(std::span<const float> query, std::size_t k) const {
-  const std::vector<Neighbor> neighbors = k_nearest(query, k);
-  // Votes per label; ties broken by the smaller total distance.
-  std::map<int, std::pair<std::size_t, double>> votes;
-  for (const Neighbor& n : neighbors) {
-    auto& entry = votes[n.label];
-    ++entry.first;
-    entry.second += n.distance;
-  }
-  int best_label = neighbors.front().label;
-  std::size_t best_votes = 0;
-  double best_distance = 0.0;
-  for (const auto& [label, entry] : votes) {
-    const auto [count, distance_sum] = entry;
-    if (count > best_votes || (count == best_votes && distance_sum < best_distance)) {
-      best_label = label;
-      best_votes = count;
-      best_distance = distance_sum;
-    }
-  }
-  return best_label;
+  if (vectors_.empty()) throw std::logic_error{"ExactNnIndex::classify: empty index"};
+  // k = 0 would leave no voters; degenerate to 1-NN. Tie-break semantics
+  // (votes, then distance sum, then nearer neighbor) live in
+  // majority_label, shared with every NnIndex::query_one path.
+  return majority_label(k_nearest(query, std::max<std::size_t>(k, 1)));
 }
 
 }  // namespace mcam::search

@@ -35,11 +35,15 @@ class ExactNnIndex {
   /// Nearest stored vector to `query` (throws std::logic_error when empty).
   [[nodiscard]] Neighbor nearest(std::span<const float> query) const;
 
-  /// The `k` nearest neighbors, sorted by increasing distance.
+  /// The `k` nearest neighbors, sorted by increasing distance with a
+  /// deterministic insertion-order tie-break. `k` is clamped to `size()`:
+  /// an empty index or k = 0 yields an empty vector (never throws).
   [[nodiscard]] std::vector<Neighbor> k_nearest(std::span<const float> query,
                                                 std::size_t k) const;
 
-  /// Majority vote among the `k` nearest; distance-sum tie-break.
+  /// Majority vote among the `k` nearest (`k` clamped to [1, size()]);
+  /// ties break to the smaller distance sum, then to the nearer neighbor.
+  /// Throws std::logic_error when the index is empty.
   [[nodiscard]] int classify(std::span<const float> query, std::size_t k = 1) const;
 
   /// Number of stored vectors.

@@ -1,5 +1,6 @@
 #include "util/linalg.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
@@ -41,6 +42,19 @@ std::size_t argmin(std::span<const double> xs) noexcept {
     if (xs[i] < xs[best]) best = i;
   }
   return best;
+}
+
+std::vector<std::size_t> argsort_top_k(std::span<const double> xs, std::size_t k) {
+  std::vector<std::size_t> order(xs.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  k = std::min(k, order.size());
+  std::partial_sort(order.begin(), order.begin() + static_cast<std::ptrdiff_t>(k),
+                    order.end(), [xs](std::size_t a, std::size_t b) {
+                      if (xs[a] != xs[b]) return xs[a] < xs[b];
+                      return a < b;
+                    });
+  order.resize(k);
+  return order;
 }
 
 std::size_t argmax(std::span<const double> xs) noexcept {

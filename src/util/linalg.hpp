@@ -28,6 +28,11 @@ void axpy(float alpha, std::span<const float> x, std::span<float> y) noexcept;
 /// Index of the smallest element; 0 for an empty span.
 [[nodiscard]] std::size_t argmin(std::span<const double> xs) noexcept;
 
+/// Indices of the k smallest elements, ascending with low-index tie-break
+/// (the argmin convention); k is clamped to xs.size().
+[[nodiscard]] std::vector<std::size_t> argsort_top_k(std::span<const double> xs,
+                                                     std::size_t k);
+
 /// Index of the largest element; 0 for an empty span.
 [[nodiscard]] std::size_t argmax(std::span<const double> xs) noexcept;
 

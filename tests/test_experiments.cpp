@@ -27,6 +27,19 @@ TEST(Harness, MakeEngineBuildsEveryMethod) {
   }
 }
 
+TEST(Harness, MakeEngineGoesThroughTheRegistry) {
+  // The enum switch is gone: every Method maps to a registry key and the
+  // string overload builds the same engine.
+  for (Method method : paper_methods()) {
+    const std::string key = method_key(method);
+    EXPECT_TRUE(search::EngineFactory::instance().contains(key)) << key;
+    EXPECT_EQ(make_engine(method, 16, EngineOptions{})->name(),
+              make_engine(key, 16, EngineOptions{})->name());
+  }
+  EXPECT_THROW((void)make_engine("no-such-engine", 16, EngineOptions{}),
+               std::invalid_argument);
+}
+
 TEST(Harness, LshDefaultsToWordLength) {
   const auto engine = make_engine(Method::kTcamLsh, 37, EngineOptions{});
   EXPECT_EQ(engine->name(), "TCAM+LSH (37b)");
@@ -194,7 +207,7 @@ TEST(VirtualInstrument, MeasuredLutStillClassifies) {
                                      [&features](std::size_t cls, Rng& rng) {
                                        return features.sample(cls, rng);
                                      }};
-  const mann::EngineFactory factory = [&measured, &quantizer]() {
+  const mann::IndexFactory factory = [&measured, &quantizer]() {
     auto engine = std::make_unique<McamLutEngine>(measured, 2);
     engine->set_fixed_quantizer(quantizer);
     return engine;

@@ -123,7 +123,7 @@ TEST(Faults, FewShotAccuracyDegradesGracefully) {
                                          return features.sample(cls, rng);
                                        }};
     std::uint64_t instance = 0;
-    const mann::EngineFactory factory = [&, instance]() mutable {
+    const mann::IndexFactory factory = [&, instance]() mutable {
       cam::McamArrayConfig config;
       config.stuck_short_rate = short_rate;
       config.stuck_open_rate = open_rate;

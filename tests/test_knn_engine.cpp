@@ -90,6 +90,42 @@ TEST(ExactNnIndex, KLargerThanSizeClamps) {
   EXPECT_EQ(index.k_nearest(std::vector<float>{0.2f}, 10).size(), 2u);
 }
 
+TEST(ExactNnIndex, KNearestOnEmptyIndexOrZeroKIsEmpty) {
+  // Regression: k_nearest clamps instead of throwing - an empty index (or
+  // k = 0) yields no neighbors, so callers can size k freely.
+  ExactNnIndex empty{distance::metric_by_name("euclidean")};
+  EXPECT_TRUE(empty.k_nearest(std::vector<float>{1.0f}, 3).empty());
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  index.add({0.0f}, 0);
+  EXPECT_TRUE(index.k_nearest(std::vector<float>{1.0f}, 0).empty());
+}
+
+TEST(ExactNnIndex, KNearestTiesBreakByInsertionOrder) {
+  // Regression: duplicate vectors are exact distance ties; the ordering
+  // must be the deterministic insertion order, not partial_sort whim.
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  index.add({1.0f}, 10);
+  index.add({1.0f}, 11);
+  index.add({1.0f}, 12);
+  index.add({5.0f}, 13);
+  const auto neighbors = index.k_nearest(std::vector<float>{1.0f}, 3);
+  ASSERT_EQ(neighbors.size(), 3u);
+  EXPECT_EQ(neighbors[0].index, 0u);
+  EXPECT_EQ(neighbors[1].index, 1u);
+  EXPECT_EQ(neighbors[2].index, 2u);
+}
+
+TEST(ExactNnIndex, ClassifyGuardsDegenerateK) {
+  ExactNnIndex index{distance::metric_by_name("euclidean")};
+  EXPECT_THROW((void)index.classify(std::vector<float>{1.0f}, 1), std::logic_error);
+  index.add({0.0f}, 3);
+  index.add({1.0f}, 4);
+  // k = 0 degenerates to 1-NN instead of voting over nothing.
+  EXPECT_EQ(index.classify(std::vector<float>{0.1f}, 0), 3);
+  // k beyond size clamps.
+  EXPECT_EQ(index.classify(std::vector<float>{0.1f}, 50), 3);
+}
+
 TEST(ExactNnIndex, ClassifyMajorityVote) {
   ExactNnIndex index{distance::metric_by_name("euclidean")};
   index.add({0.0f}, 7);

@@ -4,15 +4,27 @@
 
 #include "data/omniglot_synth.hpp"
 #include "ml/trainer.hpp"
+#include "search/engine.hpp"
 
 #include <gtest/gtest.h>
 
 namespace mcam::mann {
 namespace {
 
-std::unique_ptr<search::NnEngine> make_software_engine() {
+std::unique_ptr<search::NnIndex> make_software_engine() {
   return std::make_unique<search::SoftwareNnEngine>("euclidean");
 }
+
+/// Pass-through embedding for pipeline tests that need exact geometry.
+class IdentityEmbedding final : public ml::EmbeddingSource {
+ public:
+  explicit IdentityEmbedding(std::size_t dim) : dim_(dim) {}
+  std::vector<float> embed(const std::vector<float>& input) override { return input; }
+  [[nodiscard]] std::size_t dim() const override { return dim_; }
+
+ private:
+  std::size_t dim_;
+};
 
 TEST(FeatureMemory, AllShotsStoresEverySupport) {
   FeatureMemory memory{make_software_engine(), StoragePolicy::kAllShots};
@@ -159,6 +171,56 @@ TEST(MannPipeline, EndToEndWithTrainedEmbedding) {
   }
   // Learned embeddings on unseen classes must beat chance (0.2) decisively.
   EXPECT_GT(static_cast<double>(correct) / kQueries, 0.6);
+}
+
+TEST(FeatureMemory, TopKLookupOutvotesOutlier) {
+  FeatureMemory memory{make_software_engine(), StoragePolicy::kAllShots};
+  // Nearest entry is a mislabeled outlier of class 9; the two next-nearest
+  // agree on class 7, so the k=3 majority vote corrects the retrieval.
+  const std::vector<std::vector<float>> support{{0.50f}, {0.60f}, {0.70f}, {5.0f}};
+  const std::vector<int> labels{9, 7, 7, 9};
+  memory.store(support, labels);
+  EXPECT_EQ(memory.lookup(std::vector<float>{0.45f}, 1), 9);
+  EXPECT_EQ(memory.lookup(std::vector<float>{0.45f}, 3), 7);
+  const search::QueryResult retrieved = memory.retrieve(std::vector<float>{0.45f}, 3);
+  ASSERT_EQ(retrieved.neighbors.size(), 3u);
+  EXPECT_EQ(retrieved.neighbors[0].label, 9);
+  EXPECT_EQ(retrieved.label, 7);
+}
+
+TEST(MannPipeline, TopKMajorityVoteCorrectsOutlierNeighbor) {
+  // Satellite acceptance: k > 1 majority-vote classification through the
+  // full pipeline (embedding -> memory -> vote).
+  IdentityEmbedding embedding{1};
+  MannPipeline pipeline{embedding, make_software_engine()};
+  const std::vector<std::vector<float>> support{{0.50f}, {0.60f}, {0.70f}, {5.0f}, {5.1f}};
+  const std::vector<int> labels{9, 7, 7, 9, 9};
+  pipeline.store_support(support, labels);
+  const std::vector<float> query{0.45f};
+  EXPECT_EQ(pipeline.classify(query), 9);      // 1-NN hits the outlier.
+  EXPECT_EQ(pipeline.classify(query, 3), 7);   // Majority vote corrects it.
+  EXPECT_EQ(pipeline.retrieve(query, 3).neighbors.size(), 3u);
+}
+
+TEST(MannPipeline, TopKVoteWorksOnCamBackends) {
+  // The same vote must hold when the memory is a CAM, ranking by matchline
+  // conductance instead of metric distance.
+  IdentityEmbedding embedding{4};
+  auto engine = std::make_unique<search::McamNnEngine>();
+  encoding::UniformQuantizer quantizer = encoding::UniformQuantizer::fit(
+      std::vector<std::vector<float>>{{0.0f, 0.0f, 0.0f, 0.0f}, {8.0f, 8.0f, 8.0f, 8.0f}}, 3);
+  engine->set_fixed_quantizer(quantizer);
+  MannPipeline pipeline{embedding, std::move(engine)};
+  const std::vector<std::vector<float>> support{
+      {1.0f, 1.0f, 1.0f, 1.0f},   // class 9 outlier, nearest to the query
+      {2.0f, 2.0f, 2.0f, 2.0f},   // class 7
+      {2.5f, 2.5f, 2.5f, 2.5f},   // class 7
+      {7.0f, 7.0f, 7.0f, 7.0f}};  // class 9, far away
+  const std::vector<int> labels{9, 7, 7, 9};
+  pipeline.store_support(support, labels);
+  const std::vector<float> query{1.2f, 1.2f, 1.2f, 1.2f};
+  EXPECT_EQ(pipeline.classify(query), 9);
+  EXPECT_EQ(pipeline.classify(query, 3), 7);
 }
 
 TEST(MannPipeline, Validation) {
