@@ -116,7 +116,7 @@ void BM_BatchTopKQuery(benchmark::State& state) {
     for (auto& v : q) v = static_cast<float>(rng.normal());
   }
   search::McamNnEngine engine{};
-  engine.fit(rows, labels);
+  engine.add(rows, labels);
   search::BatchOptions options;
   options.num_threads = threads;
   options.min_shard_size = 1;

@@ -3,7 +3,9 @@
 #include "util/linalg.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
+#include <string>
 
 namespace mcam::cam {
 
@@ -12,16 +14,44 @@ std::vector<std::size_t> rank_by_sensing(std::span<const double> row_conductance
                                          const circuit::MatchlineParams& matchline,
                                          std::size_t word_length,
                                          double sense_clock_period, std::size_t k) {
+  return rank_by_sensing(row_conductances, {}, sensing, matchline, word_length,
+                         sense_clock_period, k);
+}
+
+std::vector<std::size_t> rank_by_sensing(std::span<const double> row_conductances,
+                                         std::span<const std::uint8_t> row_valid,
+                                         SensingMode sensing,
+                                         const circuit::MatchlineParams& matchline,
+                                         std::size_t word_length,
+                                         double sense_clock_period, std::size_t k) {
+  std::vector<double> keys;
   if (sensing == SensingMode::kMatchlineTiming) {
     const circuit::Matchline ml{matchline, word_length};
     const circuit::WinnerTakeAllSense sense{ml, sense_clock_period};
-    std::vector<double> keys = sense.sense(row_conductances).times;
+    keys = sense.sense(row_conductances).times;
     // Slowest discharge = nearest: negate so the ascending argsort yields
-    // descending times with the same low-index tie-break.
+    // descending times with the same low-index tie-break. Each matchline
+    // discharges independently, so tombstoning a row never perturbs the
+    // crossing times of the survivors.
     for (double& t : keys) t = -t;
-    return argsort_top_k(keys, k);
+  } else {
+    keys.assign(row_conductances.begin(), row_conductances.end());
   }
-  return argsort_top_k(row_conductances, k);
+  if (!row_valid.empty()) {
+    // Tombstoned rows are gated off the WTA amplifier: give them an
+    // infinite key so they sort behind every live row, then truncate the
+    // ranking to the live count. Rows beyond a short mask count as valid,
+    // mirroring the empty-mask (all-valid) convention.
+    std::size_t live = keys.size();
+    for (std::size_t r = 0; r < keys.size() && r < row_valid.size(); ++r) {
+      if (!row_valid[r]) {
+        keys[r] = std::numeric_limits<double>::infinity();
+        --live;
+      }
+    }
+    return argsort_top_k(keys, std::min(k, live));
+  }
+  return argsort_top_k(keys, k);
 }
 
 McamArray::McamArray(const McamArrayConfig& config)
@@ -30,6 +60,10 @@ McamArray::McamArray(const McamArrayConfig& config)
 
 std::size_t McamArray::add_row(std::span<const std::uint16_t> levels) {
   if (levels.empty()) throw std::invalid_argument{"McamArray::add_row: empty row"};
+  if (full()) {
+    throw std::length_error{"McamArray::add_row: bank is full (max_rows = " +
+                            std::to_string(config_.max_rows) + ")"};
+  }
   if (word_length_ == 0) {
     word_length_ = levels.size();
   } else if (levels.size() != word_length_) {
@@ -57,6 +91,8 @@ std::size_t McamArray::add_row(std::span<const std::uint16_t> levels) {
     row.push_back(cell);
   }
   rows_.push_back(std::move(row));
+  valid_.push_back(1);
+  ++valid_rows_;
   return rows_.size() - 1;
 }
 
@@ -66,8 +102,23 @@ void McamArray::program(std::span<const std::vector<std::uint16_t>> rows) {
 
 void McamArray::clear() noexcept {
   rows_.clear();
+  valid_.clear();
+  valid_rows_ = 0;
   word_length_ = 0;
   faulty_cells_ = 0;
+}
+
+bool McamArray::invalidate_row(std::size_t i) {
+  if (i >= rows_.size()) throw std::out_of_range{"McamArray::invalidate_row: bad row"};
+  if (!valid_[i]) return false;
+  valid_[i] = 0;
+  --valid_rows_;
+  return true;
+}
+
+bool McamArray::row_valid(std::size_t i) const {
+  if (i >= rows_.size()) throw std::out_of_range{"McamArray::row_valid: bad row"};
+  return valid_[i] != 0;
 }
 
 double McamArray::cell_conductance(const CellState& cell, std::size_t input) const {
@@ -109,7 +160,7 @@ std::vector<double> McamArray::search_conductances(
 }
 
 SearchOutcome McamArray::nearest(std::span<const std::uint16_t> query) const {
-  if (rows_.empty()) throw std::logic_error{"McamArray::nearest: array is empty"};
+  if (valid_rows_ == 0) throw std::logic_error{"McamArray::nearest: array is empty"};
   SearchOutcome outcome;
   outcome.row_conductance = search_conductances(query);
   if (config_.sensing == SensingMode::kMatchlineTiming) {
@@ -117,8 +168,19 @@ SearchOutcome McamArray::nearest(std::span<const std::uint16_t> query) const {
     const circuit::WinnerTakeAllSense sense{ml, config_.sense_clock_period};
     outcome.sense = sense.sense(outcome.row_conductance);
     outcome.row = outcome.sense.winner;
+    if (!valid_[outcome.row]) {
+      // The latched winner was a tombstone (its validity latch gates the
+      // amplifier): the first live row of the latch order wins instead.
+      outcome.row = rank_by_sensing(outcome.row_conductance, valid_, config_.sensing,
+                                    config_.matchline, word_length_,
+                                    config_.sense_clock_period, 1)
+                        .front();
+    }
   } else {
-    outcome.row = argmin(outcome.row_conductance);
+    outcome.row = rank_by_sensing(outcome.row_conductance, valid_, config_.sensing,
+                                  config_.matchline, word_length_,
+                                  config_.sense_clock_period, 1)
+                      .front();
   }
   outcome.conductance = outcome.row_conductance[outcome.row];
   return outcome;
@@ -126,8 +188,9 @@ SearchOutcome McamArray::nearest(std::span<const std::uint16_t> query) const {
 
 std::vector<std::size_t> McamArray::k_nearest(std::span<const std::uint16_t> query,
                                               std::size_t k) const {
-  if (rows_.empty()) throw std::logic_error{"McamArray::k_nearest: array is empty"};
-  return argsort_top_k(search_conductances(query), k);
+  if (valid_rows_ == 0) throw std::logic_error{"McamArray::k_nearest: array is empty"};
+  return rank_by_sensing(search_conductances(query), valid_, SensingMode::kIdealSum,
+                         config_.matchline, word_length_, config_.sense_clock_period, k);
 }
 
 std::vector<std::size_t> McamArray::exact_matches(std::span<const std::uint16_t> query,
@@ -136,7 +199,7 @@ std::vector<std::size_t> McamArray::exact_matches(std::span<const std::uint16_t>
   const double limit = g_match_limit_per_cell * static_cast<double>(word_length_);
   std::vector<std::size_t> matches;
   for (std::size_t r = 0; r < totals.size(); ++r) {
-    if (totals[r] <= limit) matches.push_back(r);
+    if (valid_[r] && totals[r] <= limit) matches.push_back(r);
   }
   return matches;
 }

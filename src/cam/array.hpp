@@ -42,6 +42,11 @@ struct McamArrayConfig {
   double stuck_short_rate = 0.0;  ///< Fraction of cells stuck conducting (ML leaker).
   double stuck_open_rate = 0.0;   ///< Fraction of cells stuck open (never conduct).
   std::uint64_t seed = 1;                           ///< Seed for noise/fault sampling.
+  std::size_t max_rows = 0;  ///< Physical row capacity; 0 = unbounded (legacy).
+                             ///< Real matchlines cap out at ~64-128 cells before
+                             ///< the sense margin collapses (PAPER.md Sec. III),
+                             ///< so production banks are built bounded and the
+                             ///< shard layer tiles them.
 };
 
 /// Result of a nearest-neighbor search in the array.
@@ -67,6 +72,16 @@ struct SearchOutcome {
     const circuit::MatchlineParams& matchline, std::size_t word_length,
     double sense_clock_period, std::size_t k);
 
+/// Masked variant: only rows whose `row_valid` entry is non-zero compete.
+/// An empty mask means every row is valid. Tombstoned rows are modeled as
+/// disconnected from the WTA amplifier (their validity latch gates the
+/// sense input), so the relative order of the surviving rows is exactly
+/// their order in the unmasked ranking. k is clamped to the valid count.
+[[nodiscard]] std::vector<std::size_t> rank_by_sensing(
+    std::span<const double> row_conductances, std::span<const std::uint8_t> row_valid,
+    SensingMode sensing, const circuit::MatchlineParams& matchline,
+    std::size_t word_length, double sense_clock_period, std::size_t k);
+
 /// A programmed MCAM array.
 ///
 /// Programming-time Vth noise (config.vth_sigma) is sampled once per cell
@@ -77,7 +92,8 @@ class McamArray {
   explicit McamArray(const McamArrayConfig& config);
 
   /// Writes one row; `levels` must have one state per cell and every state
-  /// must be < 2^bits. Returns the row index.
+  /// must be < 2^bits. Returns the row index. Throws std::length_error
+  /// when the array is at `config.max_rows` capacity.
   std::size_t add_row(std::span<const std::uint16_t> levels);
 
   /// Writes many rows (each inner vector is one data point).
@@ -85,6 +101,26 @@ class McamArray {
 
   /// Removes all rows (array-level erase).
   void clear() noexcept;
+
+  /// Tombstones row `i`: the row keeps its physical slot (indices of other
+  /// rows are stable and no reprogramming happens) but stops competing in
+  /// nearest / k_nearest / exact_matches. Returns false if the row was
+  /// already invalid; throws std::out_of_range for a bad index.
+  bool invalidate_row(std::size_t i);
+
+  /// True when row `i` has not been tombstoned.
+  [[nodiscard]] bool row_valid(std::size_t i) const;
+
+  /// Number of rows still competing (programmed minus tombstoned).
+  [[nodiscard]] std::size_t num_valid() const noexcept { return valid_rows_; }
+
+  /// Per-row validity mask (1 = live), parallel to the physical rows.
+  [[nodiscard]] std::span<const std::uint8_t> valid_mask() const noexcept { return valid_; }
+
+  /// True when `config.max_rows` is set and every physical slot is used.
+  [[nodiscard]] bool full() const noexcept {
+    return config_.max_rows > 0 && rows_.size() >= config_.max_rows;
+  }
 
   /// Total conductance of every row for `query` [S].
   [[nodiscard]] std::vector<double> search_conductances(
@@ -96,7 +132,8 @@ class McamArray {
 
   /// Top-k search: row indices in increasing-distance order (the order in
   /// which a repeated winner-take-all sense would latch matchlines from
-  /// slowest to fastest). k is clamped to the row count.
+  /// slowest to fastest). Tombstoned rows never appear; k is clamped to
+  /// the valid row count.
   [[nodiscard]] std::vector<std::size_t> k_nearest(std::span<const std::uint16_t> query,
                                                    std::size_t k) const;
 
@@ -140,6 +177,8 @@ class McamArray {
   McamArrayConfig config_;
   ConductanceLut lut_;
   std::vector<std::vector<CellState>> rows_;
+  std::vector<std::uint8_t> valid_;
+  std::size_t valid_rows_ = 0;
   std::size_t word_length_ = 0;
   std::size_t faulty_cells_ = 0;
   Rng rng_;

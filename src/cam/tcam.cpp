@@ -3,6 +3,7 @@
 #include "util/linalg.hpp"
 
 #include <stdexcept>
+#include <string>
 
 namespace mcam::cam {
 
@@ -11,6 +12,10 @@ TcamArray::TcamArray(const TcamArrayConfig& config)
 
 std::size_t TcamArray::add_row(std::span<const Trit> word) {
   if (word.empty()) throw std::invalid_argument{"TcamArray::add_row: empty word"};
+  if (full()) {
+    throw std::length_error{"TcamArray::add_row: bank is full (max_rows = " +
+                            std::to_string(config_.max_rows) + ")"};
+  }
   if (word_length_ == 0) {
     word_length_ = word.size();
   } else if (word.size() != word_length_) {
@@ -28,6 +33,8 @@ std::size_t TcamArray::add_row(std::span<const Trit> word) {
     row.push_back(cell);
   }
   rows_.push_back(std::move(row));
+  valid_.push_back(1);
+  ++valid_rows_;
   return rows_.size() - 1;
 }
 
@@ -40,7 +47,22 @@ std::size_t TcamArray::add_row_bits(std::span<const std::uint8_t> bits) {
 
 void TcamArray::clear() noexcept {
   rows_.clear();
+  valid_.clear();
+  valid_rows_ = 0;
   word_length_ = 0;
+}
+
+bool TcamArray::invalidate_row(std::size_t i) {
+  if (i >= rows_.size()) throw std::out_of_range{"TcamArray::invalidate_row: bad row"};
+  if (!valid_[i]) return false;
+  valid_[i] = 0;
+  --valid_rows_;
+  return true;
+}
+
+bool TcamArray::row_valid(std::size_t i) const {
+  if (i >= rows_.size()) throw std::out_of_range{"TcamArray::row_valid: bad row"};
+  return valid_[i] != 0;
 }
 
 double TcamArray::cell_conductance(const CellState& cell, std::uint8_t input) const {
@@ -97,7 +119,7 @@ std::vector<std::size_t> TcamArray::hamming_distances(
 }
 
 SearchOutcome TcamArray::nearest(std::span<const std::uint8_t> query) const {
-  if (rows_.empty()) throw std::logic_error{"TcamArray::nearest: array is empty"};
+  if (valid_rows_ == 0) throw std::logic_error{"TcamArray::nearest: array is empty"};
   SearchOutcome outcome;
   outcome.row_conductance = search_conductances(query);
   if (config_.sensing == SensingMode::kMatchlineTiming) {
@@ -105,8 +127,17 @@ SearchOutcome TcamArray::nearest(std::span<const std::uint8_t> query) const {
     const circuit::WinnerTakeAllSense sense{ml, config_.sense_clock_period};
     outcome.sense = sense.sense(outcome.row_conductance);
     outcome.row = outcome.sense.winner;
+    if (!valid_[outcome.row]) {
+      outcome.row = rank_by_sensing(outcome.row_conductance, valid_, config_.sensing,
+                                    config_.matchline, word_length_,
+                                    config_.sense_clock_period, 1)
+                        .front();
+    }
   } else {
-    outcome.row = argmin(outcome.row_conductance);
+    outcome.row = rank_by_sensing(outcome.row_conductance, valid_, config_.sensing,
+                                  config_.matchline, word_length_,
+                                  config_.sense_clock_period, 1)
+                      .front();
   }
   outcome.conductance = outcome.row_conductance[outcome.row];
   return outcome;
@@ -118,7 +149,7 @@ std::vector<std::size_t> TcamArray::exact_matches(std::span<const std::uint8_t> 
   const double limit = g_match_limit_per_cell * static_cast<double>(word_length_);
   std::vector<std::size_t> matches;
   for (std::size_t r = 0; r < totals.size(); ++r) {
-    if (totals[r] <= limit) matches.push_back(r);
+    if (valid_[r] && totals[r] <= limit) matches.push_back(r);
   }
   return matches;
 }

@@ -30,6 +30,7 @@ struct TcamArrayConfig {
   double sense_clock_period = 0.0;               ///< Sense clock [s]; 0 = ideal.
   double vth_sigma = 0.0;                        ///< Per-FeFET programming noise [V].
   std::uint64_t seed = 1;                        ///< Seed for programming noise.
+  std::size_t max_rows = 0;  ///< Physical row capacity; 0 = unbounded (legacy).
 };
 
 /// A programmed ternary CAM array.
@@ -37,7 +38,8 @@ class TcamArray {
  public:
   explicit TcamArray(const TcamArrayConfig& config);
 
-  /// Writes one ternary row; returns its index.
+  /// Writes one ternary row; returns its index. Throws std::length_error
+  /// when the array is at `config.max_rows` capacity.
   std::size_t add_row(std::span<const Trit> word);
 
   /// Writes one binary row (no don't-cares).
@@ -45,6 +47,25 @@ class TcamArray {
 
   /// Removes all rows.
   void clear() noexcept;
+
+  /// Tombstones row `i` without reprogramming (indices stay stable); it
+  /// stops competing in nearest / exact_matches. Returns false if already
+  /// invalid; throws std::out_of_range for a bad index.
+  bool invalidate_row(std::size_t i);
+
+  /// True when row `i` has not been tombstoned.
+  [[nodiscard]] bool row_valid(std::size_t i) const;
+
+  /// Number of rows still competing.
+  [[nodiscard]] std::size_t num_valid() const noexcept { return valid_rows_; }
+
+  /// Per-row validity mask (1 = live), parallel to the physical rows.
+  [[nodiscard]] std::span<const std::uint8_t> valid_mask() const noexcept { return valid_; }
+
+  /// True when `config.max_rows` is set and every physical slot is used.
+  [[nodiscard]] bool full() const noexcept {
+    return config_.max_rows > 0 && rows_.size() >= config_.max_rows;
+  }
 
   /// Matchline conductance of every row for a binary `query` [S].
   [[nodiscard]] std::vector<double> search_conductances(
@@ -83,6 +104,8 @@ class TcamArray {
   TcamArrayConfig config_;
   fefet::LevelMap map_;
   std::vector<std::vector<CellState>> rows_;
+  std::vector<std::uint8_t> valid_;
+  std::size_t valid_rows_ = 0;
   std::size_t word_length_ = 0;
   Rng rng_;
 };

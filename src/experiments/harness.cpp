@@ -3,6 +3,7 @@
 #include "encoding/normalize.hpp"
 #include "experiments/lut_engine.hpp"
 #include "search/batch.hpp"
+#include "search/sharded.hpp"
 
 #include <cmath>
 #include <stdexcept>
@@ -45,6 +46,8 @@ search::EngineConfig engine_config(std::size_t num_features, const EngineOptions
   config.sense_clock_period = options.sense_clock_period;
   config.clip_percentile = options.clip_percentile;
   config.seed = options.seed;
+  config.bank_rows = options.bank_rows;
+  config.shard_workers = options.shard_workers;
   return config;
 }
 
@@ -68,7 +71,16 @@ double run_classification(const data::Dataset& dataset, Method method,
   // dominate Euclidean, and shared positive offsets blind cosine),
   // TCAM+LSH z-scores internally, and the MCAM quantizer normalizes per
   // feature by construction. Scalers are fitted on the training split only.
-  std::unique_ptr<search::NnIndex> engine = make_engine(method, dataset.dim(), options);
+  //
+  // Capacity model: with bank_rows set, a training split larger than one
+  // physical bank cannot be programmed into a single array - the run uses
+  // the sharded-* twin of the engine, which tiles banks and merges
+  // per-bank top-k (identical results under kIdealSum).
+  std::string key = method_key(method);
+  if (options.bank_rows > 0 && split.train.features.size() > options.bank_rows) {
+    key = "sharded-" + key;
+  }
+  std::unique_ptr<search::NnIndex> engine = make_engine(key, dataset.dim(), options);
   // The whole test split is served as one batch through the parallel query
   // executor - the production path; results are identical to sequential
   // predict() calls (BatchExecutor guarantees order and determinism).
@@ -129,10 +141,11 @@ mann::FewShotResult run_few_shot(const data::TaskSpec& task, Method method,
       fs_options.eval_classes,
       [&features](std::size_t cls, Rng& rng) { return features.sample(cls, rng); }};
 
+  // One bank = one physical array instance. Every bank (and every episode)
+  // re-seeds its variation sampling, exactly like programming a fresh chip.
   std::uint64_t instance = 0;
-  const mann::IndexFactory factory = [&, instance]() mutable {
+  const search::BankFactory make_bank = [&]() {
     EngineOptions opts = engine_options;
-    // Each episode programs a fresh array: re-seed its variation sampling.
     opts.seed = engine_options.seed + 1000003 * (++instance);
     auto engine = make_engine(method, fs_options.feature_dim, opts);
     if (lsh_scaler) {
@@ -142,6 +155,16 @@ mann::FewShotResult run_few_shot(const data::TaskSpec& task, Method method,
       static_cast<search::McamNnEngine&>(*engine).set_fixed_quantizer(*quantizer);
     }
     return engine;
+  };
+  // With a bank capacity configured, episodes whose support set outgrows
+  // one bank exercise the shard layer's bank allocation; the fixed
+  // encoders keep per-bank scores comparable.
+  const mann::IndexFactory factory = [&]() -> std::unique_ptr<search::NnIndex> {
+    if (engine_options.bank_rows == 0) return make_bank();
+    search::ShardedConfig shard;
+    shard.bank_rows = engine_options.bank_rows;
+    shard.workers = engine_options.shard_workers;
+    return search::make_sharded(make_bank, shard);
   };
 
   return mann::evaluate_few_shot(sampler, task, fs_options.episodes, factory,

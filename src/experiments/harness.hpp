@@ -41,6 +41,11 @@ struct EngineOptions {
   double sense_clock_period = 0.0; ///< Sense clock [s] for kMatchlineTiming.
   double clip_percentile = 0.0;    ///< Quantizer outlier clipping.
   std::uint64_t seed = 7;          ///< Seed for LSH planes / programming noise.
+  std::size_t bank_rows = 0;       ///< CAM bank capacity; 0 = one unbounded array.
+                                   ///< When set, dataset-scale runs shard the
+                                   ///< engine across banks whenever the stored
+                                   ///< rows exceed one bank (search/sharded.hpp).
+  std::size_t shard_workers = 0;   ///< Per-bank fan-out threads; 0 = hw concurrency.
 };
 
 /// The search::EngineConfig equivalent of `options` (for direct registry

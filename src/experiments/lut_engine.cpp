@@ -1,5 +1,6 @@
 #include "experiments/lut_engine.hpp"
 
+#include "cam/array.hpp"
 #include "energy/model.hpp"
 
 #include <algorithm>
@@ -21,41 +22,61 @@ void McamLutEngine::set_fixed_quantizer(encoding::UniformQuantizer quantizer) {
   fixed_quantizer_ = std::move(quantizer);
 }
 
+void McamLutEngine::calibrate(std::span<const std::vector<float>> rows) {
+  if (quantizer_) return;  // Fitted once; later calls are no-ops.
+  if (rows.empty()) throw std::invalid_argument{"McamLutEngine::calibrate: no rows"};
+  quantizer_ = fixed_quantizer_
+                   ? *fixed_quantizer_
+                   : encoding::UniformQuantizer::fit(rows, bits_, clip_percentile_);
+}
+
 void McamLutEngine::add(std::span<const std::vector<float>> rows,
                         std::span<const int> labels) {
   if (rows.size() != labels.size() || rows.empty()) {
     throw std::invalid_argument{"McamLutEngine::add: bad training set"};
   }
-  if (!quantizer_) {
-    quantizer_ = fixed_quantizer_
-                     ? *fixed_quantizer_
-                     : encoding::UniformQuantizer::fit(rows, bits_, clip_percentile_);
-  }
+  calibrate(rows);
   const std::vector<std::vector<std::uint16_t>> quantized = quantizer_->quantize_all(rows);
   stored_.insert(stored_.end(), quantized.begin(), quantized.end());
   labels_.insert(labels_.end(), labels.begin(), labels.end());
+  valid_.insert(valid_.end(), quantized.size(), 1);
+  valid_rows_ += quantized.size();
 }
 
 void McamLutEngine::clear() {
   quantizer_.reset();
   stored_.clear();
   labels_.clear();
+  valid_.clear();
+  valid_rows_ = 0;
+}
+
+bool McamLutEngine::erase(std::size_t id) {
+  if (id >= stored_.size()) throw std::out_of_range{"McamLutEngine::erase: unknown id"};
+  if (!valid_[id]) return false;
+  valid_[id] = 0;
+  --valid_rows_;
+  return true;
 }
 
 search::QueryResult McamLutEngine::query_one(std::span<const float> query,
                                              std::size_t k) const {
-  if (!quantizer_ || stored_.empty()) {
+  if (!quantizer_ || valid_rows_ == 0) {
     throw std::logic_error{"McamLutEngine::query_one before add"};
   }
   const std::vector<std::uint16_t> q = quantizer_->quantize(query);
   std::vector<double> conductances;
   conductances.reserve(stored_.size());
   for (const auto& row : stored_) conductances.push_back(distance_(q, row));
-  const std::vector<std::size_t> order = search::top_k_ascending(conductances, k);
+  const std::vector<std::size_t> order =
+      cam::rank_by_sensing(conductances, valid_, cam::SensingMode::kIdealSum, {},
+                           stored_.front().size(), 0.0,
+                           std::max<std::size_t>(k, 1));
   search::QueryResult result = search::make_query_result(order, conductances, labels_);
+  result.telemetry.candidates = valid_rows_;
   result.telemetry.energy_j =
       energy::ArrayEnergyModel{energy::ArrayParams{}}.mcam_search_energy(
-          stored_.size(), stored_.front().size(), fefet::LevelMap{bits_});
+          valid_rows_, stored_.front().size(), fefet::LevelMap{bits_});
   return result;
 }
 

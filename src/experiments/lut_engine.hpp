@@ -29,8 +29,10 @@ class McamLutEngine final : public search::NnIndex {
   void set_fixed_quantizer(encoding::UniformQuantizer quantizer);
 
   void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  void calibrate(std::span<const std::vector<float>> rows) override;
   void clear() override;
-  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  bool erase(std::size_t id) override;
+  [[nodiscard]] std::size_t size() const override { return valid_rows_; }
   [[nodiscard]] search::QueryResult query_one(std::span<const float> query,
                                               std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
@@ -43,6 +45,8 @@ class McamLutEngine final : public search::NnIndex {
   std::optional<encoding::UniformQuantizer> quantizer_;
   std::vector<std::vector<std::uint16_t>> stored_;
   std::vector<int> labels_;
+  std::vector<std::uint8_t> valid_;
+  std::size_t valid_rows_ = 0;
 };
 
 }  // namespace mcam::experiments

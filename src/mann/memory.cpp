@@ -16,7 +16,8 @@ void FeatureMemory::store(std::span<const std::vector<float>> features,
     throw std::invalid_argument{"FeatureMemory::store: bad support set"};
   }
   if (policy_ == StoragePolicy::kAllShots) {
-    index_->fit(features, labels);
+    index_->clear();
+    index_->add(features, labels);
     return;
   }
   // Prototype policy: average the features of each class.
@@ -36,7 +37,26 @@ void FeatureMemory::store(std::span<const std::vector<float>> features,
     prototypes.push_back(std::move(sum));
     prototype_labels.push_back(label);
   }
-  index_->fit(prototypes, prototype_labels);
+  index_->clear();
+  index_->add(prototypes, prototype_labels);
+}
+
+void FeatureMemory::append(std::span<const std::vector<float>> features,
+                           std::span<const int> labels) {
+  if (policy_ != StoragePolicy::kAllShots) {
+    throw std::logic_error{"FeatureMemory::append: prototype memories cannot stream shots"};
+  }
+  if (features.size() != labels.size() || features.empty()) {
+    throw std::invalid_argument{"FeatureMemory::append: bad support set"};
+  }
+  index_->add(features, labels);
+}
+
+bool FeatureMemory::forget(std::size_t id) {
+  if (policy_ != StoragePolicy::kAllShots) {
+    throw std::logic_error{"FeatureMemory::forget: prototype memories cannot erase shots"};
+  }
+  return index_->erase(id);
 }
 
 int FeatureMemory::lookup(std::span<const float> query, std::size_t k) const {

@@ -29,8 +29,23 @@ class FeatureMemory {
   /// Takes ownership of the search index that realizes the lookups.
   FeatureMemory(std::unique_ptr<search::NnIndex> index, StoragePolicy policy);
 
-  /// Writes the support set (programs the backing array / index).
+  /// Writes the support set (programs the backing array / index),
+  /// replacing anything stored before.
   void store(std::span<const std::vector<float>> features, std::span<const int> labels);
+
+  /// Streams additional support examples into the memory after `store`
+  /// (continual few-shot: new shots arrive without reprogramming the whole
+  /// memory; a sharded index allocates fresh banks as needed). Only valid
+  /// under StoragePolicy::kAllShots - prototypes would need re-averaging.
+  void append(std::span<const std::vector<float>> features, std::span<const int> labels);
+
+  /// Tombstones stored entry `id` (a `Neighbor::index` from `retrieve`),
+  /// e.g. to retire a corrupted or stale shot. Returns false when already
+  /// forgotten. Only valid under StoragePolicy::kAllShots.
+  bool forget(std::size_t id);
+
+  /// Live entries currently stored.
+  [[nodiscard]] std::size_t size() const { return index_->size(); }
 
   /// Majority-vote label over the `k` nearest stored entries (k = 1: the
   /// nearest entry's label).
@@ -42,6 +57,9 @@ class FeatureMemory {
 
   /// Engine name for result tables.
   [[nodiscard]] std::string engine_name() const { return index_->name(); }
+
+  /// The backing index (for telemetry inspection, e.g. shard stats).
+  [[nodiscard]] const search::NnIndex& index() const { return *index_; }
 
   /// Policy in use.
   [[nodiscard]] StoragePolicy policy() const noexcept { return policy_; }

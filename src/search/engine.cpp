@@ -16,13 +16,15 @@ void validate_batch(std::span<const std::vector<float>> rows, std::span<const in
   }
 }
 
-/// cam::rank_by_sensing with the engine's k convention (k = 0 -> 1-NN).
+/// cam::rank_by_sensing with the engine's k convention (k = 0 -> 1-NN) and
+/// the array's validity mask (tombstoned rows never compete).
 std::vector<std::size_t> rank_rows(const std::vector<double>& conductances,
+                                   std::span<const std::uint8_t> valid,
                                    cam::SensingMode sensing,
                                    const circuit::MatchlineParams& matchline_params,
                                    std::size_t word_length, double sense_clock_period,
                                    std::size_t k) {
-  return cam::rank_by_sensing(conductances, sensing, matchline_params, word_length,
+  return cam::rank_by_sensing(conductances, valid, sensing, matchline_params, word_length,
                               sense_clock_period, std::max<std::size_t>(k, 1));
 }
 
@@ -46,6 +48,13 @@ void SoftwareNnEngine::add(std::span<const std::vector<float>> rows,
 
 void SoftwareNnEngine::clear() { index_.reset(); }
 
+bool SoftwareNnEngine::erase(std::size_t id) {
+  if (!index_ || id >= index_->total_rows()) {
+    throw std::out_of_range{"SoftwareNnEngine::erase: unknown id"};
+  }
+  return index_->erase(id);
+}
+
 std::size_t SoftwareNnEngine::size() const { return index_ ? index_->size() : 0; }
 
 QueryResult SoftwareNnEngine::query_one(std::span<const float> query, std::size_t k) const {
@@ -66,23 +75,31 @@ TcamLshEngine::TcamLshEngine(std::size_t signature_bits, std::uint64_t seed,
                              cam::TcamArrayConfig config)
     : signature_bits_(signature_bits), seed_(seed), config_(config) {}
 
+void TcamLshEngine::calibrate(std::span<const std::vector<float>> rows) {
+  if (tcam_) return;  // Encoders are fitted once; later calls are no-ops.
+  if (rows.empty()) throw std::invalid_argument{"TcamLshEngine::calibrate: no rows"};
+  // Calibration: random-hyperplane LSH approximates *cosine* distance
+  // only for centered data, so signatures are computed on z-scored
+  // features. Fitted once, on the fixed scaler's data or this batch.
+  scaler_ = fixed_scaler_ ? *fixed_scaler_ : encoding::FeatureScaler::fit_z_score(rows);
+  lsh_.emplace(rows.front().size(), signature_bits_, seed_);
+  tcam_ = std::make_unique<cam::TcamArray>(config_);
+}
+
 void TcamLshEngine::add(std::span<const std::vector<float>> rows,
                         std::span<const int> labels) {
   validate_batch(rows, labels, "TcamLshEngine::add");
-  if (!tcam_) {
-    // Calibration: random-hyperplane LSH approximates *cosine* distance
-    // only for centered data, so signatures are computed on z-scored
-    // features. Fitted once, on the fixed scaler's data or this batch.
-    scaler_ = fixed_scaler_ ? *fixed_scaler_ : encoding::FeatureScaler::fit_z_score(rows);
-    lsh_.emplace(rows.front().size(), signature_bits_, seed_);
-    tcam_ = std::make_unique<cam::TcamArray>(config_);
-  }
+  calibrate(rows);
   // Encode the whole batch before mutating anything: a bad row (e.g. a
   // dimension mismatch) must leave rows and labels consistent.
   std::vector<std::vector<std::uint8_t>> signatures;
   signatures.reserve(rows.size());
   for (const auto& row : rows) {
     signatures.push_back(lsh_->encode(scaler_->transform(row)).unpack());
+  }
+  if (tcam_->config().max_rows > 0 &&
+      tcam_->num_rows() + signatures.size() > tcam_->config().max_rows) {
+    throw std::length_error{"TcamLshEngine::add: batch exceeds bank capacity"};
   }
   for (const auto& bits : signatures) tcam_->add_row_bits(bits);
   labels_.insert(labels_.end(), labels.begin(), labels.end());
@@ -95,18 +112,27 @@ void TcamLshEngine::clear() {
   labels_.clear();
 }
 
+bool TcamLshEngine::erase(std::size_t id) {
+  if (!tcam_ || id >= tcam_->num_rows()) {
+    throw std::out_of_range{"TcamLshEngine::erase: unknown id"};
+  }
+  return tcam_->invalidate_row(id);
+}
+
 QueryResult TcamLshEngine::query_one(std::span<const float> query, std::size_t k) const {
-  if (!tcam_ || labels_.empty()) {
+  if (!tcam_ || tcam_->num_valid() == 0) {
     throw std::logic_error{"TcamLshEngine::query_one before add"};
   }
   const encoding::Signature sig = lsh_->encode(scaler_->transform(query));
   const std::vector<double> conductances = tcam_->search_conductances(sig.unpack());
   const std::vector<std::size_t> order =
-      rank_rows(conductances, config_.sensing, config_.matchline, tcam_->word_length(),
-                config_.sense_clock_period, k);
+      rank_rows(conductances, tcam_->valid_mask(), config_.sensing, config_.matchline,
+                tcam_->word_length(), config_.sense_clock_period, k);
   QueryResult result = make_query_result(order, conductances, labels_);
-  result.telemetry.energy_j = energy::ArrayEnergyModel{energy::ArrayParams{}}
-                                  .tcam_search_energy(tcam_->num_rows(), tcam_->word_length());
+  result.telemetry.candidates = tcam_->num_valid();
+  result.telemetry.energy_j =
+      energy::ArrayEnergyModel{energy::ArrayParams{}}.tcam_search_energy(
+          tcam_->num_valid(), tcam_->word_length());
   return result;
 }
 
@@ -126,20 +152,27 @@ void McamNnEngine::set_fixed_quantizer(encoding::UniformQuantizer quantizer) {
   fixed_quantizer_ = std::move(quantizer);
 }
 
+void McamNnEngine::calibrate(std::span<const std::vector<float>> rows) {
+  if (array_) return;  // Encoders are fitted once; later calls are no-ops.
+  if (rows.empty()) throw std::invalid_argument{"McamNnEngine::calibrate: no rows"};
+  quantizer_ = fixed_quantizer_ ? *fixed_quantizer_
+                                : encoding::UniformQuantizer::fit(
+                                      rows, config_.level_map.bits(), clip_percentile_);
+  array_ = std::make_unique<cam::McamArray>(config_);
+}
+
 void McamNnEngine::add(std::span<const std::vector<float>> rows,
                        std::span<const int> labels) {
   validate_batch(rows, labels, "McamNnEngine::add");
-  if (!array_) {
-    quantizer_ = fixed_quantizer_ ? *fixed_quantizer_
-                                  : encoding::UniformQuantizer::fit(
-                                        rows, config_.level_map.bits(), clip_percentile_);
-    array_ = std::make_unique<cam::McamArray>(config_);
-  }
+  calibrate(rows);
   // Quantize the whole batch before programming: a bad row must leave the
   // array and labels consistent.
   std::vector<std::vector<std::uint16_t>> levels;
   levels.reserve(rows.size());
   for (const auto& row : rows) levels.push_back(quantizer_->quantize(row));
+  if (config_.max_rows > 0 && array_->num_rows() + levels.size() > config_.max_rows) {
+    throw std::length_error{"McamNnEngine::add: batch exceeds bank capacity"};
+  }
   for (const auto& level_row : levels) array_->add_row(level_row);
   labels_.insert(labels_.end(), labels.begin(), labels.end());
 }
@@ -150,19 +183,27 @@ void McamNnEngine::clear() {
   labels_.clear();
 }
 
+bool McamNnEngine::erase(std::size_t id) {
+  if (!array_ || id >= array_->num_rows()) {
+    throw std::out_of_range{"McamNnEngine::erase: unknown id"};
+  }
+  return array_->invalidate_row(id);
+}
+
 QueryResult McamNnEngine::query_one(std::span<const float> query, std::size_t k) const {
-  if (!array_ || labels_.empty()) {
+  if (!array_ || array_->num_valid() == 0) {
     throw std::logic_error{"McamNnEngine::query_one before add"};
   }
   const std::vector<std::uint16_t> levels = quantizer_->quantize(query);
   const std::vector<double> conductances = array_->search_conductances(levels);
   const std::vector<std::size_t> order =
-      rank_rows(conductances, config_.sensing, config_.matchline, array_->word_length(),
-                config_.sense_clock_period, k);
+      rank_rows(conductances, array_->valid_mask(), config_.sensing, config_.matchline,
+                array_->word_length(), config_.sense_clock_period, k);
   QueryResult result = make_query_result(order, conductances, labels_);
+  result.telemetry.candidates = array_->num_valid();
   result.telemetry.energy_j =
       energy::ArrayEnergyModel{energy::ArrayParams{}}.mcam_search_energy(
-          array_->num_rows(), array_->word_length(), config_.level_map);
+          array_->num_valid(), array_->word_length(), config_.level_map);
   return result;
 }
 

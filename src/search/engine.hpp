@@ -40,6 +40,7 @@ class SoftwareNnEngine final : public NnIndex {
 
   void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
   void clear() override;
+  bool erase(std::size_t id) override;
   [[nodiscard]] std::size_t size() const override;
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
@@ -64,8 +65,12 @@ class TcamLshEngine final : public NnIndex {
   void set_fixed_scaler(encoding::FeatureScaler scaler) { fixed_scaler_ = std::move(scaler); }
 
   void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  void calibrate(std::span<const std::vector<float>> rows) override;
   void clear() override;
-  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  bool erase(std::size_t id) override;
+  [[nodiscard]] std::size_t size() const override {
+    return tcam_ ? tcam_->num_valid() : 0;
+  }
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
@@ -100,8 +105,12 @@ class McamNnEngine final : public NnIndex {
   void set_fixed_quantizer(encoding::UniformQuantizer quantizer);
 
   void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  void calibrate(std::span<const std::vector<float>> rows) override;
   void clear() override;
-  [[nodiscard]] std::size_t size() const override { return labels_.size(); }
+  bool erase(std::size_t id) override;
+  [[nodiscard]] std::size_t size() const override {
+    return array_ ? array_->num_valid() : 0;
+  }
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
   [[nodiscard]] std::string name() const override;

@@ -1,7 +1,10 @@
 #include "search/factory.hpp"
 
+#include "energy/model.hpp"
 #include "search/engine.hpp"
+#include "search/sharded.hpp"
 
+#include <memory>
 #include <stdexcept>
 #include <utility>
 
@@ -16,6 +19,10 @@ cam::McamArrayConfig mcam_array_config(unsigned bits, const EngineConfig& config
   array.sense_clock_period = config.sense_clock_period;
   array.vth_sigma = config.vth_sigma;
   array.seed = config.seed;
+  // bank_rows doubles as the physical matchline bound of one array: a
+  // monolithic engine built with it refuses to outgrow the bank, which is
+  // exactly what the sharded-* keys tile around.
+  array.max_rows = config.bank_rows;
   return array;
 }
 
@@ -32,7 +39,149 @@ EngineFactory::Builder software_builder(std::string metric) {
   };
 }
 
+/// MCAM bits resolved for a base key ("mcam3" -> 3, "mcam" -> config).
+unsigned mcam_bits_for(const std::string& base, const EngineConfig& config) {
+  if (base == "mcam3") return 3;
+  if (base == "mcam2") return 2;
+  return config.mcam_bits;
+}
+
+/// Compaction reprogram-energy model for a sharded wrapper around `base`:
+/// the MCAM pulse-programming model for mcam banks, the TCAM saturation
+/// writes for tcam-lsh (over the signature width), zero for software
+/// backends (no physical array to rewrite).
+std::function<double(std::size_t, std::size_t)> reprogram_model(
+    const std::string& base, const EngineConfig& config) {
+  if (base.rfind("mcam", 0) == 0) {
+    const unsigned bits = mcam_bits_for(base, config);
+    auto programmer = std::make_shared<fefet::PulseProgrammer>(
+        fefet::LevelMap{bits}.programmable_vth_levels(), fefet::PreisachParams{},
+        fefet::VthMap{});
+    return [programmer](std::size_t rows, std::size_t cols) {
+      return energy::ArrayEnergyModel{energy::ArrayParams{}}.mcam_program_energy(
+          rows, cols, *programmer);
+    };
+  }
+  if (base == "tcam-lsh") {
+    const std::size_t signature_bits =
+        config.lsh_bits > 0 ? config.lsh_bits : config.num_features;
+    return [signature_bits](std::size_t rows, std::size_t /*cols*/) {
+      return energy::ArrayEnergyModel{energy::ArrayParams{}}.tcam_program_energy(
+          rows, signature_bits, fefet::PulseScheme{});
+    };
+  }
+  return [](std::size_t, std::size_t) { return 0.0; };
+}
+
+/// Builder for "sharded-<base>": wraps the base builder in a
+/// ShardedNnIndex whose banks inherit the full EngineConfig (including the
+/// bank_rows capacity bound on their arrays).
+EngineFactory::Builder sharded_builder(std::string base) {
+  return [base = std::move(base)](const EngineConfig& config) -> std::unique_ptr<NnIndex> {
+    ShardedConfig shard;
+    shard.bank_rows = config.bank_rows > 0 ? config.bank_rows : ShardedConfig{}.bank_rows;
+    shard.workers = config.shard_workers;
+    shard.reprogram_energy = reprogram_model(base, config);
+    EngineConfig bank_config = config;
+    bank_config.bank_rows = shard.bank_rows;
+    return make_sharded(
+        [base, bank_config] { return EngineFactory::instance().create(base, bank_config); },
+        shard);
+  };
+}
+
+/// Throws the spec-parse error with the known-key list appended.
+[[noreturn]] void throw_spec_error(const std::string& detail) {
+  throw std::invalid_argument{
+      "parse_engine_spec: " + detail +
+      " (known keys: bank_rows, bits, clip_percentile, lsh_bits, num_features, seed, "
+      "sense_clock_period, sensing, shard_workers, vth_sigma)"};
+}
+
+/// Full-consumption numeric parses; anything trailing is malformed.
+std::uint64_t parse_unsigned(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  std::uint64_t parsed = 0;
+  try {
+    parsed = std::stoull(value, &used);
+  } catch (const std::exception&) {
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+  }
+  if (used != value.size() || value.front() == '-') {
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+  }
+  return parsed;
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  std::size_t used = 0;
+  double parsed = 0.0;
+  try {
+    parsed = std::stod(value, &used);
+  } catch (const std::exception&) {
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+  }
+  if (used != value.size()) {
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+  }
+  return parsed;
+}
+
+void apply_spec_override(EngineConfig& config, const std::string& key,
+                         const std::string& value) {
+  if (key == "bits") {
+    config.mcam_bits = static_cast<unsigned>(parse_unsigned(key, value));
+  } else if (key == "bank_rows") {
+    config.bank_rows = static_cast<std::size_t>(parse_unsigned(key, value));
+  } else if (key == "shard_workers") {
+    config.shard_workers = static_cast<std::size_t>(parse_unsigned(key, value));
+  } else if (key == "lsh_bits") {
+    config.lsh_bits = static_cast<std::size_t>(parse_unsigned(key, value));
+  } else if (key == "num_features") {
+    config.num_features = static_cast<std::size_t>(parse_unsigned(key, value));
+  } else if (key == "seed") {
+    config.seed = parse_unsigned(key, value);
+  } else if (key == "vth_sigma") {
+    config.vth_sigma = parse_double(key, value);
+  } else if (key == "clip_percentile") {
+    config.clip_percentile = parse_double(key, value);
+  } else if (key == "sense_clock_period") {
+    config.sense_clock_period = parse_double(key, value);
+  } else if (key == "sensing") {
+    if (value == "ideal") {
+      config.sensing = cam::SensingMode::kIdealSum;
+    } else if (value == "timing") {
+      config.sensing = cam::SensingMode::kMatchlineTiming;
+    } else {
+      throw_spec_error("bad value '" + value + "' for key 'sensing' (ideal|timing)");
+    }
+  } else {
+    throw_spec_error("unknown key '" + key + "'");
+  }
+}
+
 }  // namespace
+
+EngineSpec parse_engine_spec(const std::string& spec, const EngineConfig& base) {
+  EngineSpec parsed;
+  parsed.config = base;
+  const std::size_t colon = spec.find(':');
+  parsed.name = spec.substr(0, colon);
+  if (parsed.name.empty()) throw_spec_error("empty engine name in '" + spec + "'");
+  if (colon == std::string::npos) return parsed;
+  std::size_t pos = colon + 1;
+  while (pos <= spec.size()) {
+    const std::size_t comma = std::min(spec.find(',', pos), spec.size());
+    const std::string item = spec.substr(pos, comma - pos);
+    const std::size_t eq = item.find('=');
+    if (item.empty() || eq == std::string::npos || eq == 0) {
+      throw_spec_error("malformed 'key=value' item '" + item + "' in '" + spec + "'");
+    }
+    apply_spec_override(parsed.config, item.substr(0, eq), item.substr(eq + 1));
+    pos = comma + 1;
+  }
+  return parsed;
+}
 
 EngineFactory::EngineFactory() {
   register_engine("mcam3", mcam_builder(3));
@@ -54,10 +203,18 @@ EngineFactory::EngineFactory() {
     array.sense_clock_period = config.sense_clock_period;
     array.vth_sigma = config.vth_sigma;
     array.seed = config.seed;
+    array.max_rows = config.bank_rows;
     return std::make_unique<TcamLshEngine>(bits, config.seed, array);
   });
   for (const char* metric : {"cosine", "euclidean", "manhattan", "linf"}) {
     register_engine(metric, software_builder(metric));
+  }
+  // Every monolithic builtin gets a bank-tiled twin: sharded-<name> routes
+  // adds into bank_rows-sized banks and merges per-bank top-k (see
+  // search/sharded.hpp for the identity guarantees).
+  for (const char* base : {"mcam3", "mcam2", "mcam", "tcam-lsh", "cosine", "euclidean",
+                           "manhattan", "linf"}) {
+    register_engine(std::string{"sharded-"} + base, sharded_builder(base));
   }
 }
 
@@ -74,6 +231,10 @@ void EngineFactory::register_engine(std::string name, Builder builder) {
 
 std::unique_ptr<NnIndex> EngineFactory::create(const std::string& name,
                                                const EngineConfig& config) const {
+  if (name.find(':') != std::string::npos) {
+    const EngineSpec spec = parse_engine_spec(name, config);
+    return create(spec.name, spec.config);
+  }
   const auto it = builders_.find(name);
   if (it == builders_.end()) {
     std::string known;

@@ -10,6 +10,17 @@
 //   tcam-lsh           - TCAM storing LSH signatures (Hamming search)
 //   cosine, euclidean,
 //   manhattan, linf    - FP32 software linear scan over that metric
+//   sharded-<name>     - any of the above tiled across capacity-bounded
+//                        banks of `config.bank_rows` rows with parallel
+//                        fan-out + hierarchical top-k merge
+//                        (search/sharded.hpp)
+//
+// `create` also accepts spec strings - "name:key=value,..." - so serving
+// and bench configs can select engine geometry without code changes:
+//
+//   create("mcam:bits=2,bank_rows=64")  ==  mcam_bits=2, bank_rows=64
+//
+// Unknown keys throw std::invalid_argument listing the known keys.
 //
 // The registry is process-global; `register_engine` accepts additional
 // builders (e.g. a LUT-backed MCAM bound to a measured conductance table).
@@ -38,7 +49,27 @@ struct EngineConfig {
   double sense_clock_period = 0.0; ///< Sense clock [s] for kMatchlineTiming.
   double clip_percentile = 0.0;    ///< Quantizer outlier clipping.
   std::uint64_t seed = 7;          ///< Seed for LSH planes / programming noise.
+  std::size_t bank_rows = 0;       ///< CAM bank capacity: rows per bank for the
+                                   ///< sharded-* keys (0 = the 64-row default)
+                                   ///< and the physical `max_rows` bound of the
+                                   ///< monolithic CAM arrays (0 = unbounded).
+  std::size_t shard_workers = 0;   ///< Per-bank fan-out threads; 0 = hardware
+                                   ///< concurrency.
 };
+
+/// A parsed "name:key=value,..." engine spec.
+struct EngineSpec {
+  std::string name;     ///< Registry key (the part before ':').
+  EngineConfig config;  ///< `base` with the spec's overrides applied.
+};
+
+/// Parses an engine spec string into the registry key and an EngineConfig.
+/// Known keys: bits (mcam_bits), bank_rows, shard_workers, lsh_bits,
+/// num_features, vth_sigma, clip_percentile, sense_clock_period, seed,
+/// sensing (= "ideal" | "timing"). Unknown keys and malformed values throw
+/// std::invalid_argument listing the known keys.
+[[nodiscard]] EngineSpec parse_engine_spec(const std::string& spec,
+                                           const EngineConfig& base = EngineConfig{});
 
 /// Process-global name -> builder registry.
 class EngineFactory {
@@ -52,7 +83,9 @@ class EngineFactory {
   void register_engine(std::string name, Builder builder);
 
   /// Builds the backend registered under `name`; throws
-  /// std::invalid_argument (listing the known names) when absent.
+  /// std::invalid_argument (listing the known names) when absent. A name
+  /// containing ':' is treated as a "name:key=value,..." spec string whose
+  /// overrides are applied on top of `config` (see parse_engine_spec).
   [[nodiscard]] std::unique_ptr<NnIndex> create(const std::string& name,
                                                 const EngineConfig& config) const;
 

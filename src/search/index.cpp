@@ -62,6 +62,15 @@ QueryResult make_query_result(std::span<const std::size_t> ranked,
   return result;
 }
 
+void NnIndex::calibrate(std::span<const std::vector<float>> /*rows*/) {
+  // Backends without fitted encoders (e.g. the FP32 linear scan) have
+  // nothing to calibrate.
+}
+
+bool NnIndex::erase(std::size_t /*id*/) {
+  throw std::logic_error{name() + ": erase is not supported by this backend"};
+}
+
 std::vector<QueryResult> NnIndex::query(std::span<const std::vector<float>> batch,
                                         std::size_t k) const {
   std::vector<QueryResult> results;

@@ -36,9 +36,11 @@ namespace mcam::search {
 
 /// Per-query execution telemetry.
 struct QueryTelemetry {
-  std::size_t candidates = 0;    ///< Stored rows compared against the query.
+  std::size_t candidates = 0;    ///< Live stored rows compared against the query.
   std::size_t sense_events = 0;  ///< WTA latch events needed for the top-k (CAM engines).
   double energy_j = 0.0;         ///< Estimated search energy (0 when no model applies) [J].
+  std::size_t banks_searched = 1;  ///< CAM banks fanned across (1 for monolithic engines;
+                                   ///< ShardedNnIndex sums its per-bank counters here).
 };
 
 /// Result of one top-k query.
@@ -84,7 +86,25 @@ class NnIndex {
   /// externally installed fixed encoders).
   virtual void clear() = 0;
 
-  /// Number of stored entries.
+  /// Calibrates the backend's encoders (scaler / LSH planes / quantizer
+  /// ranges) on `rows` without storing any of them, exactly as the first
+  /// `add` would. Lets a deployment fix encoder statistics on a base split
+  /// before streaming entries in, and lets the shard layer give every bank
+  /// the encoder the monolithic engine would have fitted. A later `clear`
+  /// drops the calibration again. Default: no-op (backends without fitted
+  /// encoders, e.g. the FP32 software scan, need none).
+  virtual void calibrate(std::span<const std::vector<float>> rows);
+
+  /// Tombstones entry `id` (the insertion-order index reported as
+  /// `Neighbor::index`): it stops being returned by queries and stops
+  /// counting toward `size()`, but remaining ids are stable - CAM backends
+  /// gate the row's validity latch instead of reprogramming the bank.
+  /// Returns false when `id` was already erased; throws std::out_of_range
+  /// for an id that was never added, std::logic_error when the backend
+  /// does not support erasure.
+  virtual bool erase(std::size_t id);
+
+  /// Number of live (added and not erased) entries.
   [[nodiscard]] virtual std::size_t size() const = 0;
 
   /// Top-k search for one query; `k` is clamped to [1, `size()`] (k = 0
@@ -104,11 +124,13 @@ class NnIndex {
   // --- Deprecated NnEngine shims -----------------------------------------
 
   /// Replaces the stored set: `clear()` + `add(rows, labels)`. Prefer `add`.
-  void fit(std::span<const std::vector<float>> rows, std::span<const int> labels);
+  [[deprecated("use clear() + add(rows, labels)")]] void fit(
+      std::span<const std::vector<float>> rows, std::span<const int> labels);
 
   /// Label of the nearest stored entry (= `query_one(query, 1).label`).
   /// Prefer `query` / `query_one`, which also return scores and telemetry.
-  [[nodiscard]] int predict(std::span<const float> query) const;
+  [[deprecated("use query_one(query, 1).label")]] [[nodiscard]] int predict(
+      std::span<const float> query) const;
 
   /// Fraction of `queries` classified correctly with k-NN majority vote.
   [[nodiscard]] double accuracy(std::span<const std::vector<float>> queries,

@@ -17,7 +17,22 @@ std::size_t ExactNnIndex::add(std::vector<float> vector, int label) {
   }
   vectors_.push_back(std::move(vector));
   labels_.push_back(label);
+  valid_.push_back(1);
+  ++valid_rows_;
   return vectors_.size() - 1;
+}
+
+bool ExactNnIndex::erase(std::size_t i) {
+  if (i >= vectors_.size()) throw std::out_of_range{"ExactNnIndex::erase: bad index"};
+  if (!valid_[i]) return false;
+  valid_[i] = 0;
+  --valid_rows_;
+  return true;
+}
+
+bool ExactNnIndex::row_valid(std::size_t i) const {
+  if (i >= vectors_.size()) throw std::out_of_range{"ExactNnIndex::row_valid: bad index"};
+  return valid_[i] != 0;
 }
 
 void ExactNnIndex::add_all(std::span<const std::vector<float>> rows,
@@ -39,24 +54,20 @@ void ExactNnIndex::add_all(std::span<const std::vector<float>> rows,
 }
 
 Neighbor ExactNnIndex::nearest(std::span<const float> query) const {
-  if (vectors_.empty()) throw std::logic_error{"ExactNnIndex::nearest: empty index"};
-  Neighbor best{0, labels_[0], metric_(query, vectors_[0])};
-  for (std::size_t i = 1; i < vectors_.size(); ++i) {
-    const double d = metric_(query, vectors_[i]);
-    if (d < best.distance) best = Neighbor{i, labels_[i], d};
-  }
-  return best;
+  if (valid_rows_ == 0) throw std::logic_error{"ExactNnIndex::nearest: empty index"};
+  const std::vector<Neighbor> top = k_nearest(query, 1);
+  return top.front();
 }
 
 std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
                                               std::size_t k) const {
   // Clamp instead of throwing: k > size() returns everything, and an empty
-  // index (or k = 0) returns no neighbors.
-  if (vectors_.empty() || k == 0) return {};
+  // index (or k = 0) returns no neighbors. Tombstoned rows never compete.
+  if (valid_rows_ == 0 || k == 0) return {};
   std::vector<Neighbor> all;
-  all.reserve(vectors_.size());
+  all.reserve(valid_rows_);
   for (std::size_t i = 0; i < vectors_.size(); ++i) {
-    all.push_back(Neighbor{i, labels_[i], metric_(query, vectors_[i])});
+    if (valid_[i]) all.push_back(Neighbor{i, labels_[i], metric_(query, vectors_[i])});
   }
   k = std::min(k, all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
@@ -69,7 +80,7 @@ std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
 }
 
 int ExactNnIndex::classify(std::span<const float> query, std::size_t k) const {
-  if (vectors_.empty()) throw std::logic_error{"ExactNnIndex::classify: empty index"};
+  if (valid_rows_ == 0) throw std::logic_error{"ExactNnIndex::classify: empty index"};
   // k = 0 would leave no voters; degenerate to 1-NN. Tie-break semantics
   // (votes, then distance sum, then nearer neighbor) live in
   // majority_label, shared with every NnIndex::query_one path.

@@ -8,6 +8,7 @@
 #include "distance/metrics.hpp"
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,18 @@ class ExactNnIndex {
   /// Adds many rows.
   void add_all(std::span<const std::vector<float>> rows, std::span<const int> labels);
 
+  /// Tombstones row `i`: it stops competing in nearest/k_nearest/classify
+  /// and stops counting toward size(), but indices of other rows stay
+  /// stable (mirrors the CAM arrays' validity latches). Returns false when
+  /// already erased; throws std::out_of_range for a bad index.
+  bool erase(std::size_t i);
+
+  /// True when row `i` has not been tombstoned.
+  [[nodiscard]] bool row_valid(std::size_t i) const;
+
+  /// Number of physical rows ever added (tombstones included).
+  [[nodiscard]] std::size_t total_rows() const noexcept { return vectors_.size(); }
+
   /// Nearest stored vector to `query` (throws std::logic_error when empty).
   [[nodiscard]] Neighbor nearest(std::span<const float> query) const;
 
@@ -46,8 +59,8 @@ class ExactNnIndex {
   /// Throws std::logic_error when the index is empty.
   [[nodiscard]] int classify(std::span<const float> query, std::size_t k = 1) const;
 
-  /// Number of stored vectors.
-  [[nodiscard]] std::size_t size() const noexcept { return vectors_.size(); }
+  /// Number of live (non-tombstoned) vectors.
+  [[nodiscard]] std::size_t size() const noexcept { return valid_rows_; }
 
   /// Stored vector `i` (for tests and diagnostics).
   [[nodiscard]] const std::vector<float>& vector_at(std::size_t i) const {
@@ -60,6 +73,8 @@ class ExactNnIndex {
   distance::Metric metric_;
   std::vector<std::vector<float>> vectors_;
   std::vector<int> labels_;
+  std::vector<std::uint8_t> valid_;
+  std::size_t valid_rows_ = 0;
 };
 
 }  // namespace mcam::search

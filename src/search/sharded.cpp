@@ -1,0 +1,251 @@
+#include "search/sharded.hpp"
+
+#include "energy/model.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+namespace mcam::search {
+
+ShardedNnIndex::ShardedNnIndex(BankFactory bank_factory, ShardedConfig config)
+    : bank_factory_(std::move(bank_factory)), config_(config) {
+  if (!bank_factory_) throw std::invalid_argument{"ShardedNnIndex: null bank factory"};
+  if (config_.bank_rows == 0) throw std::invalid_argument{"ShardedNnIndex: zero bank_rows"};
+  if (config_.min_banks_per_worker == 0) config_.min_banks_per_worker = 1;
+}
+
+void ShardedNnIndex::calibrate(std::span<const std::vector<float>> rows) {
+  if (!calibration_rows_.empty()) return;  // Fitted once; later calls are no-ops.
+  if (rows.empty()) throw std::invalid_argument{"ShardedNnIndex::calibrate: no rows"};
+  calibration_rows_.assign(rows.begin(), rows.end());
+  word_length_ = rows.front().size();
+}
+
+ShardedNnIndex::Bank& ShardedNnIndex::new_bank() {
+  Bank bank;
+  bank.engine = bank_factory_();
+  if (!bank.engine) throw std::invalid_argument{"ShardedNnIndex: factory returned null"};
+  // Every bank fits its encoders on the same rows the monolithic engine
+  // would have used, so scores are comparable across banks.
+  bank.engine->calibrate(calibration_rows_);
+  ++stats_.banks_allocated;
+  banks_.push_back(std::move(bank));
+  return banks_.back();
+}
+
+void ShardedNnIndex::add(std::span<const std::vector<float>> rows,
+                         std::span<const int> labels) {
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument{"ShardedNnIndex::add: bad training set"};
+  }
+  // Validate the whole batch up front so routing across banks stays
+  // all-or-nothing, matching the monolithic engines' add contract.
+  const std::size_t width = word_length_ > 0 ? word_length_ : rows.front().size();
+  for (const auto& row : rows) {
+    if (row.size() != width || row.empty()) {
+      throw std::invalid_argument{"ShardedNnIndex::add: dimension mismatch"};
+    }
+  }
+  if (calibration_rows_.empty()) calibrate(rows);
+
+  std::size_t offset = 0;
+  while (offset < rows.size()) {
+    if (banks_.empty() || banks_.back().rows.size() >= config_.bank_rows) new_bank();
+    Bank& bank = banks_.back();
+    const std::size_t space = config_.bank_rows - bank.rows.size();
+    const std::size_t take = std::min(space, rows.size() - offset);
+    bank.engine->add(rows.subspan(offset, take), labels.subspan(offset, take));
+    for (std::size_t i = 0; i < take; ++i) {
+      bank.rows.push_back(rows[offset + i]);
+      bank.labels.push_back(labels[offset + i]);
+      bank.ids.push_back(next_id_++);
+      bank.live.push_back(1);
+    }
+    bank.live_count += take;
+    live_rows_ += take;  // Inside the loop: a throwing bank engine must not
+                         // desync size() from the banks already programmed.
+    offset += take;
+  }
+}
+
+void ShardedNnIndex::clear() {
+  banks_.clear();
+  calibration_rows_.clear();
+  next_id_ = 0;
+  live_rows_ = 0;
+  word_length_ = 0;
+  stats_ = ShardStats{};
+}
+
+std::size_t ShardedNnIndex::bank_of(std::size_t id) const {
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    if (!banks_[b].ids.empty() && banks_[b].ids.back() >= id) return b;
+  }
+  return banks_.size();
+}
+
+bool ShardedNnIndex::erase(std::size_t id) {
+  if (id >= next_id_) throw std::out_of_range{"ShardedNnIndex::erase: unknown id"};
+  const std::size_t b = bank_of(id);
+  if (b == banks_.size()) return false;  // Compacted away: already erased.
+  Bank& bank = banks_[b];
+  const auto it = std::lower_bound(bank.ids.begin(), bank.ids.end(), id);
+  if (it == bank.ids.end() || *it != id) return false;  // Compacted away.
+  const std::size_t slot = static_cast<std::size_t>(it - bank.ids.begin());
+  if (!bank.live[slot]) return false;
+  bank.engine->erase(slot);  // Gate the row's validity latch in the bank.
+  bank.live[slot] = 0;
+  --bank.live_count;
+  --live_rows_;
+  const std::size_t dead = bank.rows.size() - bank.live_count;
+  if (static_cast<double>(dead) >
+      config_.compact_dead_fraction * static_cast<double>(bank.rows.size())) {
+    compact(b);
+  }
+  return true;
+}
+
+void ShardedNnIndex::compact(std::size_t b) {
+  Bank& bank = banks_[b];
+  ++stats_.compactions;
+  if (bank.live_count == 0) {
+    // Nothing to reprogram: release the bank entirely (its ids are gone
+    // for good - global ids are never reused).
+    banks_.erase(banks_.begin() + static_cast<std::ptrdiff_t>(b));
+    return;
+  }
+  Bank fresh;
+  fresh.engine = bank_factory_();
+  if (!fresh.engine) throw std::invalid_argument{"ShardedNnIndex: factory returned null"};
+  fresh.engine->calibrate(calibration_rows_);
+  ++stats_.banks_allocated;
+  for (std::size_t i = 0; i < bank.rows.size(); ++i) {
+    if (!bank.live[i]) continue;
+    fresh.rows.push_back(std::move(bank.rows[i]));
+    fresh.labels.push_back(bank.labels[i]);
+    fresh.ids.push_back(bank.ids[i]);
+    fresh.live.push_back(1);
+  }
+  fresh.live_count = fresh.rows.size();
+  fresh.engine->add(fresh.rows, fresh.labels);
+  stats_.rows_reprogrammed += fresh.rows.size();
+  if (config_.reprogram_energy) {
+    stats_.reprogram_energy_j += config_.reprogram_energy(fresh.rows.size(), word_length_);
+  } else {
+    // Conservative default: the TCAM programming model (per cell, erase
+    // both FeFETs plus one saturation write).
+    stats_.reprogram_energy_j +=
+        energy::ArrayEnergyModel{energy::ArrayParams{}}.tcam_program_energy(
+            fresh.rows.size(), word_length_, fefet::PulseScheme{});
+  }
+  bank = std::move(fresh);
+}
+
+std::size_t ShardedNnIndex::workers_for(std::size_t num_banks) const {
+  if (num_banks == 0) return 0;
+  std::size_t resolved = config_.workers;
+  if (resolved == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    resolved = hw > 0 ? hw : 1;
+  }
+  const std::size_t by_floor = num_banks / config_.min_banks_per_worker;
+  return std::max<std::size_t>(1, std::min(resolved, by_floor));
+}
+
+QueryResult ShardedNnIndex::query_one(std::span<const float> query, std::size_t k) const {
+  if (live_rows_ == 0) throw std::logic_error{"ShardedNnIndex::query_one before add"};
+  const std::size_t kk = std::min(std::max<std::size_t>(k, 1), live_rows_);
+
+  // Banks that still hold live rows; each is asked for its own top-k.
+  std::vector<std::size_t> live_banks;
+  live_banks.reserve(banks_.size());
+  for (std::size_t b = 0; b < banks_.size(); ++b) {
+    if (banks_[b].live_count > 0) live_banks.push_back(b);
+  }
+
+  std::vector<QueryResult> per_bank(live_banks.size());
+  const auto query_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      const Bank& bank = banks_[live_banks[i]];
+      per_bank[i] = bank.engine->query_one(query, std::min(kk, bank.live_count));
+    }
+  };
+  const std::size_t workers = workers_for(live_banks.size());
+  if (workers <= 1) {
+    query_range(0, live_banks.size());
+  } else {
+    // Contiguous bank ranges per worker, exactly the BatchExecutor recipe:
+    // parallelism changes the wall clock, never the merged answer.
+    const std::size_t stride = (live_banks.size() + workers - 1) / workers;
+    std::vector<std::thread> threads;
+    threads.reserve(workers);
+    std::vector<std::exception_ptr> errors(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      threads.emplace_back([&, w] {
+        try {
+          query_range(w * stride, std::min(w * stride + stride, live_banks.size()));
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    for (const std::exception_ptr& error : errors) {
+      if (error) std::rethrow_exception(error);
+    }
+  }
+
+  // Hierarchical merge: repeatedly pop the bank head with the smallest
+  // score, ties to the lower bank index. Within a bank the list is already
+  // the backend's native (latch) order; across banks, global ids increase
+  // with bank index, so the tie-break realizes the WTA low-index
+  // convention and the merged ranking is bit-identical to the monolithic
+  // engine under kIdealSum.
+  QueryResult result;
+  result.neighbors.reserve(kk);
+  std::vector<std::size_t> cursor(per_bank.size(), 0);
+  for (std::size_t picked = 0; picked < kk; ++picked) {
+    std::size_t best = per_bank.size();
+    for (std::size_t i = 0; i < per_bank.size(); ++i) {
+      if (cursor[i] >= per_bank[i].neighbors.size()) continue;
+      if (best == per_bank.size() || per_bank[i].neighbors[cursor[i]].distance <
+                                         per_bank[best].neighbors[cursor[best]].distance) {
+        best = i;
+      }
+    }
+    if (best == per_bank.size()) break;  // Fewer than kk live rows reachable.
+    const Neighbor& local = per_bank[best].neighbors[cursor[best]];
+    const Bank& bank = banks_[live_banks[best]];
+    result.neighbors.push_back(
+        Neighbor{bank.ids[local.index], local.label, local.distance});
+    ++cursor[best];
+  }
+  result.label = majority_label(result.neighbors);
+
+  // Aggregate telemetry: fanning across B banks senses and compares in
+  // every bank, so counters sum (sense_events can exceed k by design).
+  result.telemetry.banks_searched = per_bank.size();
+  for (const QueryResult& bank_result : per_bank) {
+    result.telemetry.candidates += bank_result.telemetry.candidates;
+    result.telemetry.sense_events += bank_result.telemetry.sense_events;
+    result.telemetry.energy_j += bank_result.telemetry.energy_j;
+  }
+  return result;
+}
+
+std::string ShardedNnIndex::name() const {
+  const std::string geometry =
+      std::to_string(banks_.size()) + " banks x " + std::to_string(config_.bank_rows) +
+      " rows";
+  if (banks_.empty()) return "sharded (" + geometry + ")";
+  return "sharded " + banks_.front().engine->name() + " (" + geometry + ")";
+}
+
+std::unique_ptr<NnIndex> make_sharded(BankFactory bank_factory, ShardedConfig config) {
+  return std::make_unique<ShardedNnIndex>(std::move(bank_factory), config);
+}
+
+}  // namespace mcam::search

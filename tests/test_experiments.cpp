@@ -67,6 +67,40 @@ TEST(Harness, ClassificationDeterministicPerSeed) {
                    run_classification(iris, Method::kMcam3, 11));
 }
 
+TEST(Harness, ClassificationShardsWhenTrainExceedsBankCapacity) {
+  // With a bank capacity set, a training split larger than one bank runs
+  // on the sharded-* twin; under kIdealSum the accuracy is *identical* to
+  // the monolithic engine (shard merge is bit-exact), so sharding is a
+  // pure capacity/latency knob, never an accuracy trade.
+  const data::Dataset iris = data::make_iris(3);  // 120 train rows.
+  EngineOptions bounded;
+  bounded.bank_rows = 32;  // 120 rows -> 4 banks.
+  bounded.shard_workers = 2;
+  for (Method method : {Method::kMcam3, Method::kEuclidean, Method::kTcamLsh}) {
+    EXPECT_DOUBLE_EQ(run_classification(iris, method, 11, bounded),
+                     run_classification(iris, method, 11, EngineOptions{}))
+        << method_name(method);
+  }
+}
+
+TEST(Harness, FewShotEpisodesExerciseBankAllocation) {
+  // 5-way 5-shot = 25 support rows; bank_rows = 8 forces every episode
+  // memory across 4 banks. The fixed (base-split) encoders keep per-bank
+  // scores comparable, so accuracy matches the monolithic run exactly
+  // under ideal sensing.
+  FewShotOptions options;
+  options.episodes = 15;
+  const data::TaskSpec task{5, 5, 3};
+  EngineOptions sharded = paper_engine_options();
+  sharded.bank_rows = 8;
+  sharded.shard_workers = 2;
+  const auto banked = run_few_shot(task, Method::kMcam3, options, sharded);
+  const auto monolithic =
+      run_few_shot(task, Method::kMcam3, options, paper_engine_options());
+  EXPECT_DOUBLE_EQ(banked.accuracy, monolithic.accuracy);
+  EXPECT_EQ(banked.queries, monolithic.queries);
+}
+
 TEST(Harness, FewShotSoftwareBeatsChanceMassively) {
   FewShotOptions options;
   options.episodes = 40;
@@ -137,10 +171,10 @@ TEST(LutEngine, AgreesWithArrayEngineWithoutVariation) {
   const data::SplitDataset split = stratified_split(iris, 0.8, 5);
   McamLutEngine lut_engine{lut, 3};
   search::McamNnEngine array_engine{};
-  lut_engine.fit(split.train.features, split.train.labels);
-  array_engine.fit(split.train.features, split.train.labels);
+  lut_engine.add(split.train.features, split.train.labels);
+  array_engine.add(split.train.features, split.train.labels);
   for (const auto& query : split.test.features) {
-    EXPECT_EQ(lut_engine.predict(query), array_engine.predict(query));
+    EXPECT_EQ(lut_engine.query_one(query, 1).label, array_engine.query_one(query, 1).label);
   }
 }
 
@@ -148,7 +182,7 @@ TEST(LutEngine, Validation) {
   const auto lut = cam::ConductanceLut::nominal(fefet::LevelMap{2});
   EXPECT_THROW((McamLutEngine{lut, 3}), std::invalid_argument);
   McamLutEngine engine{lut, 2};
-  EXPECT_THROW((void)engine.predict(std::vector<float>{1.0f}), std::logic_error);
+  EXPECT_THROW((void)engine.query_one(std::vector<float>{1.0f}, 1), std::logic_error);
   EXPECT_THROW(engine.set_fixed_quantizer(
                    encoding::UniformQuantizer::fit(
                        std::vector<std::vector<float>>{{0.0f}, {1.0f}}, 3)),

@@ -65,7 +65,12 @@ void check_query_invariants(const NnIndex& index, std::span<const std::vector<fl
       }
     }
     EXPECT_EQ(seen.size(), result.neighbors.size());
+    // The deprecated shim must stay consistent with the top-1 query for
+    // every backend until it is removed.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
     EXPECT_EQ(index.predict(q), index.query_one(q, 1).label);
+#pragma GCC diagnostic pop
     EXPECT_EQ(result.telemetry.candidates, index.size());
     if (cam_engine) {
       EXPECT_EQ(result.telemetry.sense_events, expect);
@@ -80,7 +85,7 @@ TEST(NnIndexTopK, McamRankingMatchesExactIndexUnderIdealSensing) {
   // engine's own quantized levels) - no variation, ideal sensing.
   const Blobs blobs = make_blobs(12, 4, 8, 0.5, 31);
   McamNnEngine engine{};
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
 
   const distance::McamDistance lut_distance{engine.array().lut()};
   const encoding::UniformQuantizer& quantizer = engine.quantizer();
@@ -108,8 +113,8 @@ TEST(NnIndexTopK, LutEngineAgreesWithArrayEngineTopK) {
   experiments::McamLutEngine lut_engine{
       cam::ConductanceLut::nominal(stack.level_map(3), stack.channel()), 3};
   McamNnEngine array_engine{};
-  lut_engine.fit(blobs.train, blobs.train_labels);
-  array_engine.fit(blobs.train, blobs.train_labels);
+  lut_engine.add(blobs.train, blobs.train_labels);
+  array_engine.add(blobs.train, blobs.train_labels);
   for (const auto& q : blobs.queries) {
     const auto a = lut_engine.query_one(q, 4);
     const auto b = array_engine.query_one(q, 4);
@@ -125,9 +130,9 @@ TEST(NnIndexTopK, InvariantsHoldForEveryBackend) {
   SoftwareNnEngine software{"euclidean"};
   TcamLshEngine tcam{64, 5};
   McamNnEngine mcam{};
-  software.fit(blobs.train, blobs.train_labels);
-  tcam.fit(blobs.train, blobs.train_labels);
-  mcam.fit(blobs.train, blobs.train_labels);
+  software.add(blobs.train, blobs.train_labels);
+  tcam.add(blobs.train, blobs.train_labels);
+  mcam.add(blobs.train, blobs.train_labels);
   for (std::size_t k : {std::size_t{0}, std::size_t{1}, std::size_t{3}, std::size_t{100}}) {
     check_query_invariants(software, blobs.queries, k, false);
     check_query_invariants(tcam, blobs.queries, k, true);
@@ -143,7 +148,7 @@ TEST(NnIndexTopK, TimingSensedTopOneMatchesWtaWinner) {
   config.sensing = cam::SensingMode::kMatchlineTiming;
   config.sense_clock_period = 1e-9;  // Coarse clock: ties are frequent.
   McamNnEngine engine{config};
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   for (const auto& q : blobs.queries) {
     const auto levels = engine.quantizer().quantize(q);
     EXPECT_EQ(engine.query_one(q, 3).neighbors.front().index,
@@ -158,7 +163,7 @@ TEST(NnIndexBatch, BatchEqualsSequentialForAllPaperEngines) {
   McamNnEngine mcam{};
   for (NnIndex* index : {static_cast<NnIndex*>(&software), static_cast<NnIndex*>(&tcam),
                          static_cast<NnIndex*>(&mcam)}) {
-    index->fit(blobs.train, blobs.train_labels);
+    index->add(blobs.train, blobs.train_labels);
     const std::vector<QueryResult> batched = index->query(blobs.queries, 3);
     ASSERT_EQ(batched.size(), blobs.queries.size());
     for (std::size_t i = 0; i < blobs.queries.size(); ++i) {
@@ -176,7 +181,7 @@ TEST(NnIndexBatch, BatchEqualsSequentialForAllPaperEngines) {
 TEST(NnIndexBatch, ParallelExecutorMatchesSequentialAtEveryThreadCount) {
   const Blobs blobs = make_blobs(15, 4, 8, 0.5, 43);
   McamNnEngine engine{};
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   const std::vector<QueryResult> sequential = engine.query(blobs.queries, 2);
   for (std::size_t threads : {1u, 2u, 4u, 7u}) {
     BatchOptions options;
@@ -200,7 +205,7 @@ TEST(NnIndexBatch, ParallelExecutorMatchesSequentialAtEveryThreadCount) {
 TEST(NnIndexBatch, ExecutorPropagatesWorkerExceptions) {
   McamNnEngine engine{};
   const Blobs blobs = make_blobs(4, 2, 8, 0.5, 45);
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   // One malformed query (wrong dimension) inside a parallel batch.
   std::vector<std::vector<float>> batch = blobs.queries;
   batch[2] = {1.0f, 2.0f};
@@ -213,7 +218,7 @@ TEST(NnIndexBatch, ExecutorPropagatesWorkerExceptions) {
 TEST(NnIndexBatch, EmptyBatchYieldsNoResults) {
   McamNnEngine engine{};
   const Blobs blobs = make_blobs(4, 2, 8, 0.5, 47);
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   EXPECT_TRUE(engine.query({}, 3).empty());
   EXPECT_TRUE(BatchExecutor{}.run(engine, {}, 3).empty());
 }
@@ -228,7 +233,7 @@ TEST(EngineFactoryRegistry, RoundTripsEveryRegisteredName) {
     auto index = make_index(name, config);
     ASSERT_NE(index, nullptr) << name;
     EXPECT_FALSE(index->name().empty()) << name;
-    index->fit(blobs.train, blobs.train_labels);
+    index->add(blobs.train, blobs.train_labels);
     EXPECT_EQ(index->size(), blobs.train.size()) << name;
     const QueryResult result = index->query_one(blobs.queries.front(), 3);
     EXPECT_EQ(result.neighbors.size(), 3u) << name;
@@ -291,10 +296,10 @@ TEST(NnIndexIncremental, FailedAddLeavesTheIndexConsistent) {
   const Blobs blobs = make_blobs(6, 2, 8, 0.4, 57);
   McamNnEngine mcam{};
   TcamLshEngine tcam{32, 3};
-  mcam.fit(blobs.train, blobs.train_labels);
-  tcam.fit(blobs.train, blobs.train_labels);
+  mcam.add(blobs.train, blobs.train_labels);
+  tcam.add(blobs.train, blobs.train_labels);
   SoftwareNnEngine software{"euclidean"};
-  software.fit(blobs.train, blobs.train_labels);
+  software.add(blobs.train, blobs.train_labels);
   const std::vector<std::vector<float>> bad_batch{blobs.train.front(), {1.0f, 2.0f}};
   const std::vector<int> bad_labels{0, 1};
   EXPECT_THROW(mcam.add(bad_batch, bad_labels), std::invalid_argument);
@@ -323,21 +328,60 @@ TEST(NnIndexBatch, ShardFloorLimitsWorkerCount) {
   EXPECT_EQ(executor.threads_for(1000), 8u);
 }
 
-TEST(NnIndexIncremental, FitClearsAndRecalibrates) {
+TEST(NnIndexIncremental, ClearThenAddRecalibrates) {
   const Blobs near_origin = make_blobs(8, 2, 8, 0.3, 53);
   McamNnEngine engine{};
-  engine.fit(near_origin.train, near_origin.train_labels);
+  engine.add(near_origin.train, near_origin.train_labels);
   const auto before = engine.quantizer().quantize(near_origin.queries.front());
   // Refit on shifted data: the quantizer must be refitted, not reused.
   std::vector<std::vector<float>> shifted = near_origin.train;
   for (auto& row : shifted) {
     for (auto& v : row) v += 50.0f;
   }
-  engine.fit(shifted, near_origin.train_labels);
+  engine.clear();
+  engine.add(shifted, near_origin.train_labels);
   EXPECT_EQ(engine.size(), shifted.size());
   const auto after = engine.quantizer().quantize(near_origin.queries.front());
   EXPECT_NE(before, after);
 }
+
+TEST(NnIndexIncremental, CalibrateWithoutStoringRows) {
+  // calibrate() fits the encoders exactly as the first add would, but
+  // stores nothing - the deployment path for base-split calibration and
+  // the contract the shard layer relies on for cross-bank comparability.
+  const Blobs blobs = make_blobs(8, 2, 8, 0.4, 59);
+  McamNnEngine calibrated{};
+  calibrated.calibrate(blobs.train);
+  EXPECT_EQ(calibrated.size(), 0u);
+  McamNnEngine reference{};
+  reference.add(blobs.train, blobs.train_labels);
+  // Same quantizer as the engine that calibrated on its first add.
+  EXPECT_EQ(calibrated.quantizer().quantize(blobs.queries.front()),
+            reference.quantizer().quantize(blobs.queries.front()));
+  // A later add streams in without refitting.
+  calibrated.add(blobs.train, blobs.train_labels);
+  EXPECT_EQ(calibrated.size(), blobs.train.size());
+  EXPECT_EQ(calibrated.query_one(blobs.queries.front(), 3).neighbors.front().index,
+            reference.query_one(blobs.queries.front(), 3).neighbors.front().index);
+}
+
+// The deprecated NnEngine shims must keep compiling and behaving until
+// downstream callers finish migrating.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+TEST(NnIndexLegacyShims, FitAndPredictStillWork) {
+  const Blobs blobs = make_blobs(6, 2, 8, 0.4, 61);
+  McamNnEngine engine{};
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_EQ(engine.size(), blobs.train.size());
+  // fit = clear + add: a second fit replaces, not extends.
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_EQ(engine.size(), blobs.train.size());
+  for (const auto& q : blobs.queries) {
+    EXPECT_EQ(engine.predict(q), engine.query_one(q, 1).label);
+  }
+}
+#pragma GCC diagnostic pop
 
 TEST(MajorityVote, OutvotesNearestOutlier) {
   // Nearest neighbor is a mislabeled outlier; ranks 2 and 3 agree.

@@ -152,7 +152,7 @@ TEST(ExactNnIndex, Validation) {
 TEST(SoftwareNnEngine, PerfectOnSeparableBlobs) {
   const Blobs blobs = make_blobs(20, 0.3, 7);
   SoftwareNnEngine engine{"euclidean"};
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   EXPECT_DOUBLE_EQ(engine.accuracy(blobs.test, blobs.test_labels), 1.0);
 }
 
@@ -162,13 +162,13 @@ TEST(SoftwareNnEngine, UnknownMetricThrowsAtConstruction) {
 
 TEST(SoftwareNnEngine, PredictBeforeFitThrows) {
   SoftwareNnEngine engine{"cosine"};
-  EXPECT_THROW((void)engine.predict(std::vector<float>{1.0f}), std::logic_error);
+  EXPECT_THROW((void)engine.query_one(std::vector<float>{1.0f}, 1), std::logic_error);
 }
 
 TEST(McamNnEngine, MatchesSoftwareOnSeparableBlobs) {
   const Blobs blobs = make_blobs(20, 0.3, 9);
   McamNnEngine engine{};
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   EXPECT_GE(engine.accuracy(blobs.test, blobs.test_labels), 0.97);
 }
 
@@ -177,7 +177,7 @@ TEST(McamNnEngine, TwoBitStillSeparatesEasyBlobs) {
   cam::McamArrayConfig config;
   config.level_map = fefet::LevelMap{2};
   McamNnEngine engine{config};
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   EXPECT_GE(engine.accuracy(blobs.test, blobs.test_labels), 0.95);
 }
 
@@ -190,9 +190,9 @@ TEST(McamNnEngine, FixedQuantizerIsUsed) {
   // ranges; the fixed quantizer avoids that.
   const std::vector<std::vector<float>> support{blobs.train[0], blobs.train.back()};
   const std::vector<int> support_labels{0, 1};
-  engine.fit(support, support_labels);
-  EXPECT_EQ(engine.predict(blobs.test[0]), 0);
-  EXPECT_EQ(engine.predict(blobs.test.back()), 1);
+  engine.add(support, support_labels);
+  EXPECT_EQ(engine.query_one(blobs.test[0], 1).label, 0);
+  EXPECT_EQ(engine.query_one(blobs.test.back(), 1).label, 1);
 }
 
 TEST(McamNnEngine, FixedQuantizerBitsMismatchThrows) {
@@ -214,7 +214,7 @@ TEST(McamNnEngine, NameReflectsBits) {
 TEST(TcamLshEngine, SeparatesEasyBlobsWithManyBits) {
   const Blobs blobs = make_blobs(20, 0.3, 17);
   TcamLshEngine engine{256, 23};
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   EXPECT_GE(engine.accuracy(blobs.test, blobs.test_labels), 0.95);
 }
 
@@ -222,8 +222,8 @@ TEST(TcamLshEngine, FewBitsLoseAccuracy) {
   const Blobs blobs = make_blobs(40, 1.2, 19);
   TcamLshEngine wide{512, 23};
   TcamLshEngine narrow{8, 23};
-  wide.fit(blobs.train, blobs.train_labels);
-  narrow.fit(blobs.train, blobs.train_labels);
+  wide.add(blobs.train, blobs.train_labels);
+  narrow.add(blobs.train, blobs.train_labels);
   EXPECT_GT(wide.accuracy(blobs.test, blobs.test_labels),
             narrow.accuracy(blobs.test, blobs.test_labels));
 }
@@ -235,13 +235,13 @@ TEST(TcamLshEngine, NameIncludesBits) {
 
 TEST(TcamLshEngine, PredictBeforeFitThrows) {
   TcamLshEngine engine{64, 1};
-  EXPECT_THROW((void)engine.predict(std::vector<float>{1.0f}), std::logic_error);
+  EXPECT_THROW((void)engine.query_one(std::vector<float>{1.0f}, 1), std::logic_error);
 }
 
 TEST(Engines, AccuracyValidatesSpans) {
   SoftwareNnEngine engine{"euclidean"};
   const Blobs blobs = make_blobs(5, 0.3, 21);
-  engine.fit(blobs.train, blobs.train_labels);
+  engine.add(blobs.train, blobs.train_labels);
   const std::vector<int> short_labels{0};
   EXPECT_THROW((void)engine.accuracy(blobs.test, short_labels), std::invalid_argument);
 }

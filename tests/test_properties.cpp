@@ -163,7 +163,7 @@ TEST_P(EngineBitSweep, SeparableBlobsStaySeparated) {
   cam::McamArrayConfig config;
   config.level_map = fefet::LevelMap{bits};
   search::McamNnEngine engine{config};
-  engine.fit(train, labels);
+  engine.add(train, labels);
   // Even 2 bits separate blobs 12 sigma apart; >= 2 bits must be perfect.
   // 1 bit can only tell 2 of the 4 magnitude-ordered classes apart, so its
   // ceiling is 50% - still double the 25% chance level.
