@@ -116,6 +116,14 @@ bool McamArray::invalidate_row(std::size_t i) {
   return true;
 }
 
+std::vector<std::uint16_t> McamArray::row_levels(std::size_t i) const {
+  if (i >= rows_.size()) throw std::out_of_range{"McamArray::row_levels: bad row"};
+  std::vector<std::uint16_t> levels;
+  levels.reserve(rows_[i].size());
+  for (const CellState& cell : rows_[i]) levels.push_back(cell.level);
+  return levels;
+}
+
 bool McamArray::row_valid(std::size_t i) const {
   if (i >= rows_.size()) throw std::out_of_range{"McamArray::row_valid: bad row"};
   return valid_[i] != 0;

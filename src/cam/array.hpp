@@ -141,6 +141,13 @@ class McamArray {
   /// useful for reporting in the fault-tolerance studies.
   [[nodiscard]] std::size_t num_faulty_cells() const noexcept { return faulty_cells_; }
 
+  /// Programmed level of every cell in row `i` - the snapshot export used
+  /// by bank serialization. Per-cell programming noise and faults are not
+  /// exported: re-adding the same level rows in the same order to a fresh
+  /// array with the same config/seed replays the sampling and rebuilds
+  /// them bit-identically. Throws std::out_of_range for a bad index.
+  [[nodiscard]] std::vector<std::uint16_t> row_levels(std::size_t i) const;
+
   /// Exact-match search: indices of rows whose every cell matches `query`
   /// (total conductance below rows*g_match_limit). Classic CAM behavior.
   [[nodiscard]] std::vector<std::size_t> exact_matches(std::span<const std::uint16_t> query,

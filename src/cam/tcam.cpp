@@ -60,6 +60,14 @@ bool TcamArray::invalidate_row(std::size_t i) {
   return true;
 }
 
+std::vector<Trit> TcamArray::row_trits(std::size_t i) const {
+  if (i >= rows_.size()) throw std::out_of_range{"TcamArray::row_trits: bad row"};
+  std::vector<Trit> word;
+  word.reserve(rows_[i].size());
+  for (const CellState& cell : rows_[i]) word.push_back(cell.trit);
+  return word;
+}
+
 bool TcamArray::row_valid(std::size_t i) const {
   if (i >= rows_.size()) throw std::out_of_range{"TcamArray::row_valid: bad row"};
   return valid_[i] != 0;

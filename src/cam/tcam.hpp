@@ -83,6 +83,11 @@ class TcamArray {
   [[nodiscard]] std::vector<std::size_t> exact_matches(std::span<const std::uint8_t> query,
                                                        double g_match_limit_per_cell) const;
 
+  /// Programmed ternary word of row `i` - the snapshot export used by bank
+  /// serialization (noise is rebuilt by replaying add_row; see
+  /// McamArray::row_levels). Throws std::out_of_range for a bad index.
+  [[nodiscard]] std::vector<Trit> row_trits(std::size_t i) const;
+
   /// Number of programmed rows.
   [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }
   /// Cells per row.

@@ -31,6 +31,17 @@ RandomHyperplaneLsh::RandomHyperplaneLsh(std::size_t num_features, std::size_t n
   for (float& w : hyperplanes_) w = static_cast<float>(rng.normal());
 }
 
+RandomHyperplaneLsh RandomHyperplaneLsh::from_state(std::size_t num_features,
+                                                    std::size_t num_bits,
+                                                    std::vector<float> planes) {
+  if (num_features == 0 || num_bits == 0 || planes.size() != num_bits * num_features) {
+    throw std::invalid_argument{"RandomHyperplaneLsh::from_state: bad plane matrix"};
+  }
+  RandomHyperplaneLsh lsh{num_features, num_bits, /*seed=*/0};
+  lsh.hyperplanes_ = std::move(planes);
+  return lsh;
+}
+
 Signature RandomHyperplaneLsh::encode(std::span<const float> features) const {
   if (features.size() != num_features_) {
     throw std::invalid_argument{"RandomHyperplaneLsh::encode: width mismatch"};

@@ -41,6 +41,15 @@ class RandomHyperplaneLsh {
   /// Draws `num_bits` Gaussian hyperplanes over `num_features` dimensions.
   RandomHyperplaneLsh(std::size_t num_features, std::size_t num_bits, std::uint64_t seed);
 
+  /// Rebuilds an encoder from an exported plane matrix (`hyperplanes()`),
+  /// the snapshot-restore path: signatures are bit-identical to the
+  /// encoder the planes came from, independent of any RNG. Throws
+  /// std::invalid_argument unless planes.size() == num_bits * num_features
+  /// (both positive).
+  [[nodiscard]] static RandomHyperplaneLsh from_state(std::size_t num_features,
+                                                      std::size_t num_bits,
+                                                      std::vector<float> planes);
+
   /// Encodes one real-valued vector into a binary signature.
   [[nodiscard]] Signature encode(std::span<const float> features) const;
 
@@ -52,6 +61,11 @@ class RandomHyperplaneLsh {
   [[nodiscard]] std::size_t num_bits() const noexcept { return num_bits_; }
   /// Input dimensionality.
   [[nodiscard]] std::size_t num_features() const noexcept { return num_features_; }
+  /// Fitted plane matrix, row-major [num_bits x num_features] (the
+  /// serializable calibration state).
+  [[nodiscard]] const std::vector<float>& hyperplanes() const noexcept {
+    return hyperplanes_;
+  }
 
  private:
   std::size_t num_features_;

@@ -63,6 +63,22 @@ FeatureScaler FeatureScaler::fit_z_score(std::span<const std::vector<float>> row
   return scaler;
 }
 
+FeatureScaler FeatureScaler::from_state(std::vector<float> offsets,
+                                        std::vector<float> scales) {
+  if (offsets.empty() || offsets.size() != scales.size()) {
+    throw std::invalid_argument{"FeatureScaler::from_state: bad state size"};
+  }
+  for (float s : scales) {
+    if (s == 0.0f || !std::isfinite(s)) {
+      throw std::invalid_argument{"FeatureScaler::from_state: bad scale"};
+    }
+  }
+  FeatureScaler scaler;
+  scaler.offset_ = std::move(offsets);
+  scaler.scale_ = std::move(scales);
+  return scaler;
+}
+
 std::vector<float> FeatureScaler::transform(std::span<const float> row) const {
   if (row.size() != offset_.size()) {
     throw std::invalid_argument{"FeatureScaler::transform: width mismatch"};

@@ -23,6 +23,14 @@ class FeatureScaler {
   [[nodiscard]] static FeatureScaler fit_z_score(
       std::span<const std::vector<float>> rows);
 
+  /// Rebuilds a scaler from previously fitted state (`offsets()` /
+  /// `scales()`), the snapshot-restore path: the rebuilt scaler transforms
+  /// bit-identically to the one it was exported from. Throws
+  /// std::invalid_argument on mismatched sizes, empty state, or a zero
+  /// scale.
+  [[nodiscard]] static FeatureScaler from_state(std::vector<float> offsets,
+                                                std::vector<float> scales);
+
   /// Applies the scaling to one vector (copies).
   [[nodiscard]] std::vector<float> transform(std::span<const float> row) const;
 

@@ -40,6 +40,26 @@ UniformQuantizer UniformQuantizer::fit(std::span<const std::vector<float>> rows,
   return q;
 }
 
+UniformQuantizer UniformQuantizer::from_state(unsigned bits, std::vector<float> lo,
+                                              std::vector<float> hi) {
+  if (bits < 1 || bits > 16) {
+    throw std::invalid_argument{"UniformQuantizer::from_state: bits in [1,16]"};
+  }
+  if (lo.empty() || lo.size() != hi.size()) {
+    throw std::invalid_argument{"UniformQuantizer::from_state: bad state size"};
+  }
+  for (std::size_t f = 0; f < lo.size(); ++f) {
+    if (!(hi[f] > lo[f])) {
+      throw std::invalid_argument{"UniformQuantizer::from_state: hi <= lo"};
+    }
+  }
+  UniformQuantizer q;
+  q.bits_ = bits;
+  q.lo_ = std::move(lo);
+  q.hi_ = std::move(hi);
+  return q;
+}
+
 std::vector<std::uint16_t> UniformQuantizer::quantize(std::span<const float> row) const {
   if (row.size() != lo_.size()) {
     throw std::invalid_argument{"UniformQuantizer::quantize: width mismatch"};

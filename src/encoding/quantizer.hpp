@@ -24,6 +24,13 @@ class UniformQuantizer {
   [[nodiscard]] static UniformQuantizer fit(std::span<const std::vector<float>> rows,
                                             unsigned bits, double clip_percentile = 0.0);
 
+  /// Rebuilds a quantizer from previously fitted state (`lows()` /
+  /// `highs()`), the snapshot-restore path: quantizes bit-identically to
+  /// the quantizer it was exported from. Throws std::invalid_argument on
+  /// bits outside [1, 16], mismatched sizes, or any hi <= lo.
+  [[nodiscard]] static UniformQuantizer from_state(unsigned bits, std::vector<float> lo,
+                                                   std::vector<float> hi);
+
   /// Quantizes one vector to levels in [0, 2^bits).
   [[nodiscard]] std::vector<std::uint16_t> quantize(std::span<const float> row) const;
 
@@ -43,6 +50,10 @@ class UniformQuantizer {
   }
   /// Number of features.
   [[nodiscard]] std::size_t num_features() const noexcept { return lo_.size(); }
+  /// Fitted per-feature range bottoms (the serializable calibration state).
+  [[nodiscard]] const std::vector<float>& lows() const noexcept { return lo_; }
+  /// Fitted per-feature range tops.
+  [[nodiscard]] const std::vector<float>& highs() const noexcept { return hi_; }
 
  private:
   unsigned bits_ = 0;

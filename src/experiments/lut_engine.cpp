@@ -2,9 +2,11 @@
 
 #include "cam/array.hpp"
 #include "energy/model.hpp"
+#include "serve/io.hpp"
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace mcam::experiments {
 
@@ -82,6 +84,48 @@ search::QueryResult McamLutEngine::query_one(std::span<const float> query,
 
 std::string McamLutEngine::name() const {
   return std::to_string(bits_) + "-bit MCAM (LUT)";
+}
+
+void McamLutEngine::save_state(serve::io::Writer& out) const {
+  // The LUT itself is construction state (measured or simulated table),
+  // not fitted state - the factory spec that rebuilds the engine supplies
+  // it, so only the calibration and the stored rows are persisted.
+  out.str("mcam-lut-v1");
+  out.u8(quantizer_ ? 1 : 0);
+  if (!quantizer_) return;
+  out.u32(quantizer_->bits());
+  out.vec_f32(quantizer_->lows());
+  out.vec_f32(quantizer_->highs());
+  out.u64(stored_.size());
+  for (const auto& row : stored_) out.vec_u16(row);
+  out.vec_u8(valid_);
+  out.vec_i32(labels_);
+}
+
+void McamLutEngine::load_state(serve::io::Reader& in) {
+  serve::io::expect_tag(in, "mcam-lut-v1");
+  clear();
+  if (in.u8() == 0) return;
+  const std::uint32_t bits = in.u32();
+  if (bits != bits_) {
+    throw serve::io::SnapshotError{"quantizer bits mismatch: snapshot has " +
+                                   std::to_string(bits) + ", engine expects " +
+                                   std::to_string(bits_)};
+  }
+  std::vector<float> lo = in.vec_f32();
+  std::vector<float> hi = in.vec_f32();
+  quantizer_ = encoding::UniformQuantizer::from_state(bits, std::move(lo), std::move(hi));
+  const std::size_t num_rows = in.checked_count(in.u64(), 8);
+  stored_.reserve(num_rows);
+  for (std::size_t r = 0; r < num_rows; ++r) stored_.push_back(in.vec_u16());
+  valid_ = in.vec_u8();
+  labels_ = in.vec_i32();
+  if (valid_.size() != num_rows || labels_.size() != num_rows) {
+    throw serve::io::SnapshotError{"inconsistent snapshot payload: lut row/label/valid "
+                                   "counts disagree"};
+  }
+  valid_rows_ = 0;
+  for (std::uint8_t v : valid_) valid_rows_ += v ? 1 : 0;
 }
 
 }  // namespace mcam::experiments

@@ -36,6 +36,8 @@ class McamLutEngine final : public search::NnIndex {
   [[nodiscard]] search::QueryResult query_one(std::span<const float> query,
                                               std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
+  void save_state(serve::io::Writer& out) const override;
+  void load_state(serve::io::Reader& in) override;
 
  private:
   distance::McamDistance distance_;

@@ -1,5 +1,7 @@
 #include "mann/memory.hpp"
 
+#include "serve/io.hpp"
+
 #include <map>
 #include <stdexcept>
 
@@ -66,6 +68,21 @@ int FeatureMemory::lookup(std::span<const float> query, std::size_t k) const {
 search::QueryResult FeatureMemory::retrieve(std::span<const float> query,
                                             std::size_t k) const {
   return index_->query_one(query, k);
+}
+
+void FeatureMemory::save_state(serve::io::Writer& out) const {
+  out.str("mann-memory-v1");
+  out.u8(static_cast<std::uint8_t>(policy_));
+  index_->save_state(out);
+}
+
+void FeatureMemory::load_state(serve::io::Reader& in) {
+  serve::io::expect_tag(in, "mann-memory-v1");
+  const std::uint8_t policy = in.u8();
+  if (policy != static_cast<std::uint8_t>(policy_)) {
+    throw serve::io::SnapshotError{"FeatureMemory policy mismatch in snapshot"};
+  }
+  index_->load_state(in);
 }
 
 }  // namespace mcam::mann

@@ -64,6 +64,15 @@ class FeatureMemory {
   /// Policy in use.
   [[nodiscard]] StoragePolicy policy() const noexcept { return policy_; }
 
+  /// Snapshot passthrough (serve/snapshot.hpp): persists the storage
+  /// policy plus the backing index's full payload, so a programmed
+  /// episode memory restores warm and answers lookups bit-identically.
+  /// `load_state` must be called on a memory whose backing index was
+  /// built from the same factory recipe; a policy mismatch throws
+  /// serve::io::SnapshotError.
+  void save_state(serve::io::Writer& out) const;
+  void load_state(serve::io::Reader& in);
+
  private:
   std::unique_ptr<search::NnIndex> index_;
   StoragePolicy policy_;

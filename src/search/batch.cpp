@@ -6,11 +6,19 @@
 
 namespace mcam::search {
 
+std::size_t resolve_worker_count(std::size_t requested,
+                                 std::size_t hardware_threads) noexcept {
+  if (requested > 0) return requested;
+  return hardware_threads > 1 ? hardware_threads : 1;
+}
+
+std::size_t default_worker_count() noexcept {
+  return resolve_worker_count(0, std::thread::hardware_concurrency());
+}
+
 BatchExecutor::BatchExecutor(BatchOptions options) : options_(options) {
-  if (options_.num_threads == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    options_.num_threads = hw > 0 ? hw : 1;
-  }
+  options_.num_threads = resolve_worker_count(options_.num_threads,
+                                              std::thread::hardware_concurrency());
   if (options_.min_shard_size == 0) options_.min_shard_size = 1;
 }
 

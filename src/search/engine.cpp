@@ -1,13 +1,20 @@
 #include "search/engine.hpp"
 
 #include "energy/model.hpp"
+#include "serve/io.hpp"
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 namespace mcam::search {
 
 namespace {
+
+/// Payload-consistency guard (sizes that must agree after a valid write).
+void require_payload(bool ok, const char* what) {
+  if (!ok) throw serve::io::SnapshotError{std::string{"inconsistent snapshot payload: "} + what};
+}
 
 void validate_batch(std::span<const std::vector<float>> rows, std::span<const int> labels,
                     const char* where) {
@@ -209,6 +216,159 @@ QueryResult McamNnEngine::query_one(std::span<const float> query, std::size_t k)
 
 std::string McamNnEngine::name() const {
   return std::to_string(config_.level_map.bits()) + "-bit MCAM";
+}
+
+// --- Snapshot hooks --------------------------------------------------------
+//
+// Every engine serializes its fitted calibration state plus the *physical*
+// row sequence (tombstones included) and the validity latches. Restore
+// replays the physical writes against a fresh array built from the same
+// config, which reconstructs the per-cell programming noise, injected
+// faults, and RNG position bit-identically (the arrays sample them
+// deterministically per add_row from the config seed), then re-gates the
+// tombstoned latches.
+
+void SoftwareNnEngine::save_state(serve::io::Writer& out) const {
+  out.str("software-v1");
+  out.str(metric_name_);
+  const std::size_t total = index_ ? index_->total_rows() : 0;
+  out.u64(total);
+  std::vector<int> labels(total);
+  std::vector<std::uint8_t> valid(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    out.vec_f32(index_->vector_at(i));
+    labels[i] = index_->label_at(i);
+    valid[i] = index_->row_valid(i) ? 1 : 0;
+  }
+  out.vec_i32(labels);
+  out.vec_u8(valid);
+}
+
+void SoftwareNnEngine::load_state(serve::io::Reader& in) {
+  serve::io::expect_tag(in, "software-v1");
+  const std::string metric = in.str();
+  if (metric != metric_name_) {
+    throw serve::io::SnapshotError{"metric mismatch: snapshot has '" + metric +
+                                   "', engine is '" + metric_name_ + "'"};
+  }
+  clear();
+  // Every serialized row is at least its own u64 length prefix, so raw
+  // counts are validated against the remaining payload before reserving.
+  const std::size_t total = in.checked_count(in.u64(), 8);
+  std::vector<std::vector<float>> rows;
+  rows.reserve(total);
+  for (std::size_t i = 0; i < total; ++i) rows.push_back(in.vec_f32());
+  const std::vector<int> labels = in.vec_i32();
+  const std::vector<std::uint8_t> valid = in.vec_u8();
+  require_payload(labels.size() == total && valid.size() == total,
+                  "software row/label/valid counts disagree");
+  if (total == 0) return;
+  index_.emplace(distance::metric_by_name(metric_name_));
+  index_->add_all(rows, labels);
+  for (std::size_t i = 0; i < valid.size(); ++i) {
+    if (!valid[i]) index_->erase(i);
+  }
+}
+
+void TcamLshEngine::save_state(serve::io::Writer& out) const {
+  out.str("tcam-lsh-v1");
+  out.u8(tcam_ ? 1 : 0);
+  if (!tcam_) return;  // Uncalibrated engine: nothing beyond the tag.
+  out.vec_f32(scaler_->offsets());
+  out.vec_f32(scaler_->scales());
+  out.u64(lsh_->num_features());
+  out.u64(lsh_->num_bits());
+  out.vec_f32(lsh_->hyperplanes());
+  out.u64(tcam_->num_rows());
+  for (std::size_t r = 0; r < tcam_->num_rows(); ++r) {
+    const std::vector<cam::Trit> word = tcam_->row_trits(r);
+    std::vector<std::uint8_t> trits(word.size());
+    for (std::size_t c = 0; c < word.size(); ++c) {
+      trits[c] = static_cast<std::uint8_t>(word[c]);
+    }
+    out.vec_u8(trits);
+  }
+  out.vec_u8(tcam_->valid_mask());
+  out.vec_i32(labels_);
+}
+
+void TcamLshEngine::load_state(serve::io::Reader& in) {
+  serve::io::expect_tag(in, "tcam-lsh-v1");
+  clear();
+  if (in.u8() == 0) return;
+  std::vector<float> offsets = in.vec_f32();
+  std::vector<float> scales = in.vec_f32();
+  scaler_ = encoding::FeatureScaler::from_state(std::move(offsets), std::move(scales));
+  const std::uint64_t lsh_features = in.u64();
+  const std::uint64_t lsh_bits = in.u64();
+  if (lsh_bits != signature_bits_) {
+    throw serve::io::SnapshotError{"LSH width mismatch: snapshot has " +
+                                   std::to_string(lsh_bits) + " bits, engine expects " +
+                                   std::to_string(signature_bits_)};
+  }
+  lsh_ = encoding::RandomHyperplaneLsh::from_state(lsh_features, lsh_bits, in.vec_f32());
+  tcam_ = std::make_unique<cam::TcamArray>(config_);
+  const std::size_t num_rows = in.checked_count(in.u64(), 8);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const std::vector<std::uint8_t> trits = in.vec_u8();
+    std::vector<cam::Trit> word;
+    word.reserve(trits.size());
+    for (std::uint8_t t : trits) {
+      require_payload(t <= static_cast<std::uint8_t>(cam::Trit::kDontCare),
+                      "trit out of range");
+      word.push_back(static_cast<cam::Trit>(t));
+    }
+    tcam_->add_row(word);
+  }
+  const std::vector<std::uint8_t> valid = in.vec_u8();
+  labels_ = in.vec_i32();
+  require_payload(valid.size() == num_rows && labels_.size() == num_rows,
+                  "tcam row/label/valid counts disagree");
+  for (std::size_t r = 0; r < valid.size(); ++r) {
+    if (!valid[r]) tcam_->invalidate_row(r);
+  }
+}
+
+void McamNnEngine::save_state(serve::io::Writer& out) const {
+  out.str("mcam-v1");
+  out.u8(array_ ? 1 : 0);
+  if (!array_) return;  // Uncalibrated engine: nothing beyond the tag.
+  out.u32(quantizer_->bits());
+  out.vec_f32(quantizer_->lows());
+  out.vec_f32(quantizer_->highs());
+  out.u64(array_->num_rows());
+  for (std::size_t r = 0; r < array_->num_rows(); ++r) {
+    out.vec_u16(array_->row_levels(r));
+  }
+  out.vec_u8(array_->valid_mask());
+  out.vec_i32(labels_);
+}
+
+void McamNnEngine::load_state(serve::io::Reader& in) {
+  serve::io::expect_tag(in, "mcam-v1");
+  clear();
+  if (in.u8() == 0) return;
+  const std::uint32_t bits = in.u32();
+  if (bits != config_.level_map.bits()) {
+    throw serve::io::SnapshotError{"quantizer bits mismatch: snapshot has " +
+                                   std::to_string(bits) + ", engine level map has " +
+                                   std::to_string(config_.level_map.bits())};
+  }
+  std::vector<float> lo = in.vec_f32();
+  std::vector<float> hi = in.vec_f32();
+  quantizer_ = encoding::UniformQuantizer::from_state(bits, std::move(lo), std::move(hi));
+  array_ = std::make_unique<cam::McamArray>(config_);
+  const std::size_t num_rows = in.checked_count(in.u64(), 8);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    array_->add_row(in.vec_u16());
+  }
+  const std::vector<std::uint8_t> valid = in.vec_u8();
+  labels_ = in.vec_i32();
+  require_payload(valid.size() == num_rows && labels_.size() == num_rows,
+                  "mcam row/label/valid counts disagree");
+  for (std::size_t r = 0; r < valid.size(); ++r) {
+    if (!valid[r]) array_->invalidate_row(r);
+  }
 }
 
 }  // namespace mcam::search

@@ -45,6 +45,8 @@ class SoftwareNnEngine final : public NnIndex {
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
   [[nodiscard]] std::string name() const override { return metric_name_ + " (FP32)"; }
+  void save_state(serve::io::Writer& out) const override;
+  void load_state(serve::io::Reader& in) override;
 
  private:
   std::string metric_name_;
@@ -74,6 +76,8 @@ class TcamLshEngine final : public NnIndex {
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
+  void save_state(serve::io::Writer& out) const override;
+  void load_state(serve::io::Reader& in) override;
 
   /// The programmed TCAM (for inspection in tests).
   [[nodiscard]] const cam::TcamArray& tcam() const { return *tcam_; }
@@ -114,6 +118,8 @@ class McamNnEngine final : public NnIndex {
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
+  void save_state(serve::io::Writer& out) const override;
+  void load_state(serve::io::Reader& in) override;
 
   /// The programmed MCAM (for inspection in tests).
   [[nodiscard]] const cam::McamArray& array() const { return *array_; }

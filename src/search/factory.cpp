@@ -5,6 +5,7 @@
 #include "search/sharded.hpp"
 
 #include <memory>
+#include <set>
 #include <stdexcept>
 #include <utility>
 
@@ -90,73 +91,77 @@ EngineFactory::Builder sharded_builder(std::string base) {
   };
 }
 
-/// Throws the spec-parse error with the known-key list appended.
-[[noreturn]] void throw_spec_error(const std::string& detail) {
+/// Throws the spec-parse error with the offending spec string and the
+/// known-key list appended, so a bad serving config is diagnosable from
+/// the error alone.
+[[noreturn]] void throw_spec_error(const std::string& detail, const std::string& spec) {
   throw std::invalid_argument{
-      "parse_engine_spec: " + detail +
-      " (known keys: bank_rows, bits, clip_percentile, lsh_bits, num_features, seed, "
+      "parse_engine_spec: " + detail + " in spec '" + spec +
+      "' (known keys: bank_rows, bits, clip_percentile, lsh_bits, num_features, seed, "
       "sense_clock_period, sensing, shard_workers, vth_sigma)"};
 }
 
 /// Full-consumption numeric parses; anything trailing is malformed.
-std::uint64_t parse_unsigned(const std::string& key, const std::string& value) {
+std::uint64_t parse_unsigned(const std::string& key, const std::string& value,
+                             const std::string& spec) {
   std::size_t used = 0;
   std::uint64_t parsed = 0;
   try {
     parsed = std::stoull(value, &used);
   } catch (const std::exception&) {
-    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'", spec);
   }
   if (used != value.size() || value.front() == '-') {
-    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'", spec);
   }
   return parsed;
 }
 
-double parse_double(const std::string& key, const std::string& value) {
+double parse_double(const std::string& key, const std::string& value,
+                    const std::string& spec) {
   std::size_t used = 0;
   double parsed = 0.0;
   try {
     parsed = std::stod(value, &used);
   } catch (const std::exception&) {
-    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'", spec);
   }
   if (used != value.size()) {
-    throw_spec_error("bad value '" + value + "' for key '" + key + "'");
+    throw_spec_error("bad value '" + value + "' for key '" + key + "'", spec);
   }
   return parsed;
 }
 
 void apply_spec_override(EngineConfig& config, const std::string& key,
-                         const std::string& value) {
+                         const std::string& value, const std::string& spec) {
   if (key == "bits") {
-    config.mcam_bits = static_cast<unsigned>(parse_unsigned(key, value));
+    config.mcam_bits = static_cast<unsigned>(parse_unsigned(key, value, spec));
   } else if (key == "bank_rows") {
-    config.bank_rows = static_cast<std::size_t>(parse_unsigned(key, value));
+    config.bank_rows = static_cast<std::size_t>(parse_unsigned(key, value, spec));
   } else if (key == "shard_workers") {
-    config.shard_workers = static_cast<std::size_t>(parse_unsigned(key, value));
+    config.shard_workers = static_cast<std::size_t>(parse_unsigned(key, value, spec));
   } else if (key == "lsh_bits") {
-    config.lsh_bits = static_cast<std::size_t>(parse_unsigned(key, value));
+    config.lsh_bits = static_cast<std::size_t>(parse_unsigned(key, value, spec));
   } else if (key == "num_features") {
-    config.num_features = static_cast<std::size_t>(parse_unsigned(key, value));
+    config.num_features = static_cast<std::size_t>(parse_unsigned(key, value, spec));
   } else if (key == "seed") {
-    config.seed = parse_unsigned(key, value);
+    config.seed = parse_unsigned(key, value, spec);
   } else if (key == "vth_sigma") {
-    config.vth_sigma = parse_double(key, value);
+    config.vth_sigma = parse_double(key, value, spec);
   } else if (key == "clip_percentile") {
-    config.clip_percentile = parse_double(key, value);
+    config.clip_percentile = parse_double(key, value, spec);
   } else if (key == "sense_clock_period") {
-    config.sense_clock_period = parse_double(key, value);
+    config.sense_clock_period = parse_double(key, value, spec);
   } else if (key == "sensing") {
     if (value == "ideal") {
       config.sensing = cam::SensingMode::kIdealSum;
     } else if (value == "timing") {
       config.sensing = cam::SensingMode::kMatchlineTiming;
     } else {
-      throw_spec_error("bad value '" + value + "' for key 'sensing' (ideal|timing)");
+      throw_spec_error("bad value '" + value + "' for key 'sensing' (ideal|timing)", spec);
     }
   } else {
-    throw_spec_error("unknown key '" + key + "'");
+    throw_spec_error("unknown key '" + key + "'", spec);
   }
 }
 
@@ -167,17 +172,28 @@ EngineSpec parse_engine_spec(const std::string& spec, const EngineConfig& base) 
   parsed.config = base;
   const std::size_t colon = spec.find(':');
   parsed.name = spec.substr(0, colon);
-  if (parsed.name.empty()) throw_spec_error("empty engine name in '" + spec + "'");
+  if (parsed.name.empty()) throw_spec_error("empty engine name", spec);
   if (colon == std::string::npos) return parsed;
   std::size_t pos = colon + 1;
+  std::set<std::string> seen;
   while (pos <= spec.size()) {
     const std::size_t comma = std::min(spec.find(',', pos), spec.size());
     const std::string item = spec.substr(pos, comma - pos);
     const std::size_t eq = item.find('=');
     if (item.empty() || eq == std::string::npos || eq == 0) {
-      throw_spec_error("malformed 'key=value' item '" + item + "' in '" + spec + "'");
+      throw_spec_error("malformed 'key=value' item '" + item + "'", spec);
     }
-    apply_spec_override(parsed.config, item.substr(0, eq), item.substr(eq + 1));
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    // A silently ignored repeat or an empty value is almost always a typo
+    // in a serving config; fail loudly instead of last-write-wins.
+    if (value.empty()) {
+      throw_spec_error("empty value for key '" + key + "'", spec);
+    }
+    if (!seen.insert(key).second) {
+      throw_spec_error("duplicate key '" + key + "'", spec);
+    }
+    apply_spec_override(parsed.config, key, value, spec);
     pos = comma + 1;
   }
   return parsed;

@@ -66,8 +66,9 @@ struct EngineSpec {
 /// Parses an engine spec string into the registry key and an EngineConfig.
 /// Known keys: bits (mcam_bits), bank_rows, shard_workers, lsh_bits,
 /// num_features, vth_sigma, clip_percentile, sense_clock_period, seed,
-/// sensing (= "ideal" | "timing"). Unknown keys and malformed values throw
-/// std::invalid_argument listing the known keys.
+/// sensing (= "ideal" | "timing"). Unknown keys, malformed or empty
+/// values, and duplicate keys throw std::invalid_argument naming the
+/// offending spec string and listing the known keys.
 [[nodiscard]] EngineSpec parse_engine_spec(const std::string& spec,
                                            const EngineConfig& base = EngineConfig{});
 

@@ -71,6 +71,14 @@ bool NnIndex::erase(std::size_t /*id*/) {
   throw std::logic_error{name() + ": erase is not supported by this backend"};
 }
 
+void NnIndex::save_state(serve::io::Writer& /*out*/) const {
+  throw std::logic_error{name() + ": snapshots are not supported by this backend"};
+}
+
+void NnIndex::load_state(serve::io::Reader& /*in*/) {
+  throw std::logic_error{name() + ": snapshots are not supported by this backend"};
+}
+
 std::vector<QueryResult> NnIndex::query(std::span<const std::vector<float>> batch,
                                         std::size_t k) const {
   std::vector<QueryResult> results;

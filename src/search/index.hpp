@@ -32,6 +32,11 @@
 #include <string>
 #include <vector>
 
+namespace mcam::serve::io {
+class Writer;
+class Reader;
+}  // namespace mcam::serve::io
+
 namespace mcam::search {
 
 /// Per-query execution telemetry.
@@ -120,6 +125,28 @@ class NnIndex {
 
   /// Human-readable engine name for result tables.
   [[nodiscard]] virtual std::string name() const = 0;
+
+  // --- Snapshot hooks (serve/snapshot.hpp) -------------------------------
+
+  /// Serializes the engine's complete durable state - fitted encoder /
+  /// quantizer calibration, every physical stored row in insertion order,
+  /// labels, and validity latches - such that `load_state` on a freshly
+  /// built engine of the same factory spec restores a *bit-identical*
+  /// index: identical `query`/`query_one` answers under every sensing
+  /// mode, and identical behavior for later `add`s (restoring replays the
+  /// physical row writes, so per-cell programming noise and the RNG
+  /// position are reconstructed exactly). Deliberately NOT persisted:
+  /// telemetry counters (they restart at zero) and raw RNG state (replay
+  /// reconstructs it). Default: throws std::logic_error for backends
+  /// without snapshot support.
+  virtual void save_state(serve::io::Writer& out) const;
+
+  /// Inverse of `save_state`. Must be called on an engine built with the
+  /// same configuration the saved engine had (the snapshot layer embeds
+  /// the factory spec to guarantee this); any existing state is cleared
+  /// first. Throws serve::io::SnapshotError on a malformed payload or an
+  /// engine-type mismatch. Default: throws std::logic_error.
+  virtual void load_state(serve::io::Reader& in);
 
   // --- Deprecated NnEngine shims -----------------------------------------
 

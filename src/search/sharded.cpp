@@ -1,6 +1,8 @@
 #include "search/sharded.hpp"
 
 #include "energy/model.hpp"
+#include "search/batch.hpp"
+#include "serve/io.hpp"
 
 #include <algorithm>
 #include <exception>
@@ -146,11 +148,11 @@ void ShardedNnIndex::compact(std::size_t b) {
 
 std::size_t ShardedNnIndex::workers_for(std::size_t num_banks) const {
   if (num_banks == 0) return 0;
-  std::size_t resolved = config_.workers;
-  if (resolved == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
-    resolved = hw > 0 ? hw : 1;
-  }
+  // Default resolves through the shared clamp: on a single-core (or
+  // unknown-core) host it comes back as 1, and the <= 1 branch of
+  // query_one runs the fan-out inline with no thread spawned at all.
+  const std::size_t resolved =
+      config_.workers > 0 ? config_.workers : default_worker_count();
   const std::size_t by_floor = num_banks / config_.min_banks_per_worker;
   return std::max<std::size_t>(1, std::min(resolved, by_floor));
 }
@@ -242,6 +244,81 @@ std::string ShardedNnIndex::name() const {
       " rows";
   if (banks_.empty()) return "sharded (" + geometry + ")";
   return "sharded " + banks_.front().engine->name() + " (" + geometry + ")";
+}
+
+void ShardedNnIndex::save_state(serve::io::Writer& out) const {
+  out.str("sharded-v1");
+  out.u64(word_length_);
+  out.u64(next_id_);
+  out.u64(calibration_rows_.size());
+  for (const auto& row : calibration_rows_) out.vec_f32(row);
+  out.u64(banks_.size());
+  for (const Bank& bank : banks_) {
+    out.u64(bank.rows.size());
+    for (const auto& row : bank.rows) out.vec_f32(row);
+    out.vec_i32(bank.labels);
+    out.u64(bank.ids.size());
+    for (std::size_t id : bank.ids) out.u64(id);
+    out.vec_u8(bank.live);
+  }
+}
+
+void ShardedNnIndex::load_state(serve::io::Reader& in) {
+  serve::io::expect_tag(in, "sharded-v1");
+  clear();
+  word_length_ = in.u64();
+  const std::uint64_t next_id = in.u64();
+  // Raw counts are validated against the remaining payload (each element
+  // is at least a u64 length prefix) before any reserve.
+  const std::size_t num_calibration = in.checked_count(in.u64(), 8);
+  calibration_rows_.reserve(num_calibration);
+  for (std::size_t i = 0; i < num_calibration; ++i) {
+    calibration_rows_.push_back(in.vec_f32());
+  }
+  const std::size_t num_banks = in.checked_count(in.u64(), 8);
+  if (num_banks > 0 && calibration_rows_.empty()) {
+    throw serve::io::SnapshotError{"sharded snapshot has banks but no calibration rows"};
+  }
+  for (std::size_t b = 0; b < num_banks; ++b) {
+    Bank& bank = new_bank();
+    const std::size_t num_rows = in.checked_count(in.u64(), 8);
+    if (num_rows > config_.bank_rows) {
+      throw serve::io::SnapshotError{"sharded snapshot bank exceeds bank_rows"};
+    }
+    bank.rows.reserve(num_rows);
+    for (std::size_t r = 0; r < num_rows; ++r) bank.rows.push_back(in.vec_f32());
+    bank.labels = in.vec_i32();
+    const std::vector<std::uint64_t> ids = in.vec_u64();
+    bank.ids.assign(ids.begin(), ids.end());
+    bank.live = in.vec_u8();
+    if (bank.labels.size() != num_rows || bank.ids.size() != num_rows ||
+        bank.live.size() != num_rows) {
+      throw serve::io::SnapshotError{"inconsistent snapshot payload: sharded bank "
+                                     "row/label/id/valid counts disagree"};
+    }
+    for (std::size_t r = 0; r + 1 < bank.ids.size(); ++r) {
+      if (bank.ids[r] >= bank.ids[r + 1]) {
+        throw serve::io::SnapshotError{"sharded snapshot ids are not strictly increasing"};
+      }
+    }
+    if (!bank.ids.empty() && bank.ids.back() >= next_id) {
+      throw serve::io::SnapshotError{"sharded snapshot id exceeds next_id"};
+    }
+    // Replay the canonical construction: one add of the physical rows
+    // (programming noise re-samples identically from the bank seed), then
+    // re-gate the tombstoned validity latches.
+    if (!bank.rows.empty()) bank.engine->add(bank.rows, bank.labels);
+    for (std::size_t r = 0; r < bank.live.size(); ++r) {
+      if (bank.live[r]) {
+        ++bank.live_count;
+      } else {
+        bank.engine->erase(r);
+      }
+    }
+    live_rows_ += bank.live_count;
+  }
+  next_id_ = next_id;
+  stats_ = ShardStats{};  // Telemetry counters are not persisted by design.
 }
 
 std::unique_ptr<NnIndex> make_sharded(BankFactory bank_factory, ShardedConfig config) {

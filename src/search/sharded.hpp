@@ -100,6 +100,17 @@ class ShardedNnIndex final : public NnIndex {
                                       std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
 
+  /// Serializes the calibration rows, the id map and every bank's raw
+  /// rows/labels/validity latches. Banks are *not* serialized as engine
+  /// payloads: load_state rebuilds each bank through the factory and
+  /// replays calibrate + add + erase, which is exactly the canonical
+  /// construction of the bank's current state (compaction already reduced
+  /// it to "fresh engine + live adds"), so the restored index answers
+  /// queries bit-identically under both sensing modes. ShardStats
+  /// telemetry deliberately restarts at zero.
+  void save_state(serve::io::Writer& out) const override;
+  void load_state(serve::io::Reader& in) override;
+
   /// Number of banks currently allocated.
   [[nodiscard]] std::size_t num_banks() const noexcept { return banks_.size(); }
   /// Bank `b`'s engine (for tests and diagnostics).

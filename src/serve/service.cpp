@@ -1,0 +1,311 @@
+#include "serve/service.hpp"
+
+#include "search/batch.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace mcam::serve {
+
+namespace {
+
+/// Nearest-rank percentile over an already-sorted sample.
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const double rank = p / 100.0 * static_cast<double>(sorted.size());
+  const auto idx = static_cast<std::size_t>(std::ceil(rank));
+  return sorted[std::min(idx > 0 ? idx - 1 : 0, sorted.size() - 1)];
+}
+
+}  // namespace
+
+bool QueryService::CacheKey::operator==(const CacheKey& other) const {
+  if (k != other.k || query.size() != other.query.size()) return false;
+  for (std::size_t i = 0; i < query.size(); ++i) {
+    if (std::bit_cast<std::uint32_t>(query[i]) !=
+        std::bit_cast<std::uint32_t>(other.query[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t QueryService::CacheKeyHash::operator()(const CacheKey& key) const noexcept {
+  // FNV-1a over the query's float bit patterns and k: bit-exact queries
+  // hash equal, which is the only equality the cache promises.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 0x100000001b3ULL;
+  };
+  mix(key.k);
+  for (float f : key.query) mix(std::bit_cast<std::uint32_t>(f));
+  return static_cast<std::size_t>(hash);
+}
+
+QueryService::QueryService(search::NnIndex& index, QueryServiceConfig config)
+    : index_(index), config_(config), started_(std::chrono::steady_clock::now()) {
+  if (config_.queue_capacity == 0) config_.queue_capacity = 1;
+  if (config_.latency_window == 0) config_.latency_window = 1;
+  config_.workers = config_.workers > 0 ? config_.workers : search::default_worker_count();
+  counters_.workers = config_.workers;
+  latency_window_ms_.assign(config_.latency_window, 0.0);
+  workers_.reserve(config_.workers);
+  for (std::size_t w = 0; w < config_.workers; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+QueryService::~QueryService() { stop(); }
+
+void QueryService::stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+std::future<QueryResponse> QueryService::submit(std::vector<float> query, std::size_t k) {
+  std::promise<QueryResponse> promise;
+  std::future<QueryResponse> future = promise.get_future();
+  const auto submitted = std::chrono::steady_clock::now();
+
+  const auto reject_stopped = [&] {
+    QueryResponse response;
+    response.status = RequestStatus::kShutdown;
+    response.error = "service stopped";
+    promise.set_value(std::move(response));
+  };
+  {
+    // Before the cache probe: a stopped service must answer kShutdown
+    // uniformly, never a (possibly stale, no-longer-invalidated) cache hit.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {
+      reject_stopped();
+      return future;
+    }
+  }
+
+  if (config_.cache_capacity > 0 && try_cache(query, k, promise, submitted)) {
+    return future;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    if (stopping_) {  // stop() raced the cache probe.
+      reject_stopped();
+      return future;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      // Backpressure: reject-with-status, never block and never drop.
+      {
+        std::lock_guard<std::mutex> stats(stats_mutex_);
+        ++counters_.rejected;
+      }
+      QueryResponse response;
+      response.status = RequestStatus::kRejected;
+      response.error = "queue full (" + std::to_string(config_.queue_capacity) + ")";
+      promise.set_value(std::move(response));
+      return future;
+    }
+    queue_.push_back(Request{std::move(query), k, std::move(promise), submitted});
+    {
+      std::lock_guard<std::mutex> stats(stats_mutex_);
+      ++counters_.accepted;
+      counters_.queue_depth_peak = std::max(counters_.queue_depth_peak, queue_.size());
+    }
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+QueryResponse QueryService::query_one(std::vector<float> query, std::size_t k) {
+  return submit(std::move(query), k).get();
+}
+
+void QueryService::add(std::span<const std::vector<float>> rows,
+                       std::span<const int> labels) {
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  // Invalidate even when the index throws: a sharded add can program some
+  // banks before a later bank fails, so any mutation *attempt* must bump
+  // the generation or stale cache entries would outlive a partial change.
+  try {
+    index_.add(rows, labels);
+  } catch (...) {
+    invalidate_cache();
+    throw;
+  }
+  invalidate_cache();
+}
+
+bool QueryService::erase(std::size_t id) {
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  bool erased = false;
+  try {
+    erased = index_.erase(id);
+  } catch (...) {
+    invalidate_cache();  // Unconditional: makes the safety argument one line.
+    throw;
+  }
+  invalidate_cache();
+  return erased;
+}
+
+std::size_t QueryService::size() const {
+  std::shared_lock<std::shared_mutex> lock(index_mutex_);
+  return index_.size();
+}
+
+void QueryService::worker_loop() {
+  for (;;) {
+    Request request;
+    {
+      std::unique_lock<std::mutex> lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and fully drained.
+      request = std::move(queue_.front());
+      queue_.pop_front();
+    }
+
+    QueryResponse response;
+    std::uint64_t generation = 0;
+    try {
+      std::shared_lock<std::shared_mutex> lock(index_mutex_);
+      generation = cache_generation_.load(std::memory_order_acquire);
+      response.result = index_.query_one(request.query, request.k);
+      response.status = RequestStatus::kOk;
+    } catch (const std::exception& error) {
+      response.status = RequestStatus::kFailed;
+      response.error = error.what();
+    }
+
+    if (response.status == RequestStatus::kOk && config_.cache_capacity > 0) {
+      cache_insert(std::move(request.query), request.k, response.result, generation);
+    }
+    record_completion(response.status == RequestStatus::kOk, request.submitted);
+    request.promise.set_value(std::move(response));
+  }
+}
+
+bool QueryService::try_cache(const std::vector<float>& query, std::size_t k,
+                             std::promise<QueryResponse>& promise,
+                             std::chrono::steady_clock::time_point submitted) {
+  CacheKey key{query, k};
+  QueryResponse response;
+  bool hit = false;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    const auto it = cache_.find(key);
+    if (it != cache_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);  // Touch: most recent first.
+      response.result = it->second->second;
+      response.cache_hit = true;
+      response.status = RequestStatus::kOk;
+      hit = true;
+    }
+  }
+  {
+    // One stats acquisition, after the cache lock is released: probes of
+    // unrelated keys never contend on the stats lock through the cache.
+    std::lock_guard<std::mutex> stats(stats_mutex_);
+    ++counters_.cache_lookups;
+    if (hit) {
+      ++counters_.accepted;
+      ++counters_.completed;
+      ++counters_.cache_hits;
+      record_latency_locked(submitted);
+    }
+  }
+  if (!hit) return false;
+  promise.set_value(std::move(response));
+  return true;
+}
+
+void QueryService::cache_insert(std::vector<float> query, std::size_t k,
+                                const search::QueryResult& result,
+                                std::uint64_t generation) {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // A mutation may have invalidated between query execution and this
+  // insert; caching the stale result could serve a tombstoned row later.
+  if (generation != cache_generation_.load(std::memory_order_acquire)) return;
+  CacheKey key{std::move(query), k};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    lru_.splice(lru_.begin(), lru_, it->second);
+    it->second->second = result;
+    return;
+  }
+  lru_.emplace_front(key, result);
+  cache_.emplace(std::move(key), lru_.begin());
+  while (cache_.size() > config_.cache_capacity) {
+    cache_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+void QueryService::invalidate_cache() {
+  cache_generation_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    cache_.clear();
+    lru_.clear();
+  }
+  std::lock_guard<std::mutex> stats(stats_mutex_);
+  ++counters_.invalidations;
+}
+
+void QueryService::record_completion(bool ok,
+                                     std::chrono::steady_clock::time_point submitted) {
+  std::lock_guard<std::mutex> stats(stats_mutex_);
+  if (ok) {
+    ++counters_.completed;
+  } else {
+    ++counters_.failed;
+  }
+  record_latency_locked(submitted);
+}
+
+void QueryService::record_latency_locked(std::chrono::steady_clock::time_point submitted) {
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - submitted)
+                        .count();
+  latency_window_ms_[latency_next_] = ms;
+  latency_next_ = (latency_next_ + 1) % latency_window_ms_.size();
+  latency_count_ = std::min(latency_count_ + 1, latency_window_ms_.size());
+}
+
+ServiceStats QueryService::stats() const {
+  ServiceStats out;
+  {
+    std::lock_guard<std::mutex> stats(stats_mutex_);
+    out = counters_;
+    std::vector<double> sorted(latency_window_ms_.begin(),
+                               latency_window_ms_.begin() +
+                                   static_cast<std::ptrdiff_t>(latency_count_));
+    std::sort(sorted.begin(), sorted.end());
+    out.latency_p50_ms = percentile(sorted, 50.0);
+    out.latency_p95_ms = percentile(sorted, 95.0);
+    out.latency_p99_ms = percentile(sorted, 99.0);
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    out.queue_depth = queue_.size();
+  }
+  out.cache_hit_rate = out.cache_lookups > 0
+                           ? static_cast<double>(out.cache_hits) /
+                                 static_cast<double>(out.cache_lookups)
+                           : 0.0;
+  const double elapsed_s = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - started_)
+                               .count();
+  out.throughput_qps =
+      elapsed_s > 0.0 ? static_cast<double>(out.completed) / elapsed_s : 0.0;
+  return out;
+}
+
+}  // namespace mcam::serve

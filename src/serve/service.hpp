@@ -1,0 +1,194 @@
+// Concurrent query service: the request-serving front end over any
+// NnIndex.
+//
+// A `QueryService` owns a worker pool draining a bounded MPMC request
+// queue. `submit` never blocks the caller: a request either enters the
+// queue (and its future completes when a worker finishes it), is answered
+// straight from the LRU result cache, or - when the queue is full - comes
+// back immediately with RequestStatus::kRejected. That reject-with-status
+// admission control is the backpressure contract: under overload clients
+// see explicit rejections they can retry against, never silent drops or
+// unbounded queueing.
+//
+// Concurrency model: `NnIndex::query_one` is const and touches no mutable
+// state, so queries execute under a shared lock; `add`/`erase` route
+// through the service, take the exclusive lock, bump the cache generation
+// and clear the cache. A worker only inserts a result whose generation
+// still matches, so a query raced by an erase can never resurrect a
+// tombstoned row through the cache. Every accepted request completes with
+// a result identical to calling `index.query_one` directly at that point
+// in the add/erase history.
+//
+// Telemetry: `stats()` returns cumulative counters plus latency
+// percentiles (p50/p95/p99 over a sliding window of completed requests),
+// current/peak queue depth, cache hit rate, and throughput. Counters are
+// process-local and deliberately not persisted by snapshots.
+#pragma once
+
+#include "search/index.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <list>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace mcam::serve {
+
+/// Terminal state of a submitted request.
+enum class RequestStatus : std::uint8_t {
+  kOk = 0,     ///< Completed; `result` is valid.
+  kRejected,   ///< Admission control: the queue was full at submit time.
+  kShutdown,   ///< The service was stopped before the request was accepted.
+  kFailed,     ///< The index threw while executing; `error` has the message.
+};
+
+/// What a request's future resolves to.
+struct QueryResponse {
+  RequestStatus status = RequestStatus::kOk;
+  bool cache_hit = false;           ///< Served from the LRU cache.
+  search::QueryResult result;       ///< Valid when status == kOk.
+  std::string error;                ///< Populated when status == kFailed.
+};
+
+/// Service knobs.
+struct QueryServiceConfig {
+  /// Worker threads; 0 = search::default_worker_count() (hardware
+  /// concurrency, clamped to 1 on single-core hosts).
+  std::size_t workers = 0;
+  /// Bounded request queue; submits past this depth are rejected.
+  std::size_t queue_capacity = 1024;
+  /// LRU result-cache entries; 0 disables the cache.
+  std::size_t cache_capacity = 0;
+  /// Completed-request latencies kept for the percentile window.
+  std::size_t latency_window = 4096;
+};
+
+/// Cumulative service telemetry (all counters since construction).
+struct ServiceStats {
+  std::size_t workers = 0;           ///< Resolved worker-pool size.
+  std::size_t accepted = 0;          ///< Requests queued or cache-served.
+  std::size_t rejected = 0;          ///< Full-queue rejections (reported, never dropped).
+  std::size_t completed = 0;         ///< Futures resolved with kOk.
+  std::size_t failed = 0;            ///< Futures resolved with kFailed.
+  std::size_t cache_lookups = 0;     ///< Cache probes (cache enabled only).
+  std::size_t cache_hits = 0;        ///< Probes answered from the cache.
+  std::size_t invalidations = 0;     ///< Cache clears triggered by add/erase.
+  std::size_t queue_depth = 0;       ///< Requests waiting right now.
+  std::size_t queue_depth_peak = 0;  ///< High-water mark of the queue.
+  double cache_hit_rate = 0.0;       ///< hits / lookups (0 when no lookups).
+  double latency_p50_ms = 0.0;       ///< Submit-to-completion percentiles
+  double latency_p95_ms = 0.0;       ///< over the sliding window.
+  double latency_p99_ms = 0.0;
+  double throughput_qps = 0.0;       ///< Completed requests / wall second.
+};
+
+/// Thread-safe serving front end over one NnIndex.
+class QueryService {
+ public:
+  /// The service borrows `index`; it must outlive the service, and all
+  /// mutations must go through the service's `add`/`erase` (direct
+  /// mutation would bypass the lock and the cache invalidation).
+  explicit QueryService(search::NnIndex& index, QueryServiceConfig config = {});
+
+  /// Stops accepting, drains every accepted request, joins the workers.
+  ~QueryService();
+
+  QueryService(const QueryService&) = delete;
+  QueryService& operator=(const QueryService&) = delete;
+
+  /// Submits one top-k query. Never blocks: the returned future is
+  /// already resolved for cache hits, rejections, and post-stop submits.
+  [[nodiscard]] std::future<QueryResponse> submit(std::vector<float> query, std::size_t k);
+
+  /// Synchronous convenience: `submit(...).get()`.
+  [[nodiscard]] QueryResponse query_one(std::vector<float> query, std::size_t k);
+
+  /// Serialized mutations; both invalidate the result cache atomically
+  /// with the index change.
+  void add(std::span<const std::vector<float>> rows, std::span<const int> labels);
+  bool erase(std::size_t id);
+
+  /// Live entries in the underlying index.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Telemetry snapshot (percentiles computed over the current window).
+  [[nodiscard]] ServiceStats stats() const;
+
+  /// Idempotent: stop accepting, drain accepted requests, join workers.
+  void stop();
+
+ private:
+  struct Request {
+    std::vector<float> query;
+    std::size_t k = 1;
+    std::promise<QueryResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  struct CacheKey {
+    std::vector<float> query;
+    std::size_t k = 1;
+    /// Bit-exact equality, matching the hash: float== would make
+    /// NaN-containing keys unfindable (and +0.0/-0.0 hash-inconsistent),
+    /// corrupting the LRU map.
+    bool operator==(const CacheKey& other) const;
+  };
+  struct CacheKeyHash {
+    std::size_t operator()(const CacheKey& key) const noexcept;
+  };
+  using LruList = std::list<std::pair<CacheKey, search::QueryResult>>;
+
+  void worker_loop();
+  /// Probes the cache; on a hit resolves `promise` and returns true.
+  bool try_cache(const std::vector<float>& query, std::size_t k,
+                 std::promise<QueryResponse>& promise,
+                 std::chrono::steady_clock::time_point submitted);
+  /// Inserts a result computed at cache generation `generation` (skipped
+  /// when a mutation invalidated in between).
+  void cache_insert(std::vector<float> query, std::size_t k,
+                    const search::QueryResult& result, std::uint64_t generation);
+  /// Bumps the generation and clears the cache (call with the exclusive
+  /// index lock held).
+  void invalidate_cache();
+  /// Completion bookkeeping (outcome counter + latency window) under one
+  /// stats acquisition.
+  void record_completion(bool ok, std::chrono::steady_clock::time_point submitted);
+  /// Appends to the latency ring; requires stats_mutex_ held.
+  void record_latency_locked(std::chrono::steady_clock::time_point submitted);
+
+  search::NnIndex& index_;
+  QueryServiceConfig config_;
+
+  mutable std::shared_mutex index_mutex_;  ///< shared = query, exclusive = add/erase.
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Request> queue_;
+  bool stopping_ = false;
+
+  mutable std::mutex cache_mutex_;
+  LruList lru_;
+  std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> cache_;
+  std::atomic<std::uint64_t> cache_generation_{0};
+
+  mutable std::mutex stats_mutex_;
+  ServiceStats counters_;                  ///< Percentiles/derived fields unused here.
+  std::vector<double> latency_window_ms_;  ///< Ring buffer of completion latencies.
+  std::size_t latency_next_ = 0;
+  std::size_t latency_count_ = 0;
+  std::chrono::steady_clock::time_point started_;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mcam::serve

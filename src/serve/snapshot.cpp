@@ -1,0 +1,151 @@
+#include "serve/snapshot.hpp"
+
+#include <array>
+#include <cstdio>
+#include <utility>
+
+namespace mcam::serve {
+
+namespace {
+
+constexpr std::array<std::uint8_t, 8> kMagic = {'M', 'C', 'A', 'M', 'S', 'N', 'A', 'P'};
+constexpr std::size_t kHeaderBytes = 8 + 4 + 4 + 8;
+
+void write_config(io::Writer& out, const search::EngineConfig& config) {
+  out.u64(config.num_features);
+  out.u32(config.mcam_bits);
+  out.u64(config.lsh_bits);
+  out.f64(config.vth_sigma);
+  out.u8(static_cast<std::uint8_t>(config.sensing));
+  out.f64(config.sense_clock_period);
+  out.f64(config.clip_percentile);
+  out.u64(config.seed);
+  out.u64(config.bank_rows);
+  out.u64(config.shard_workers);
+}
+
+search::EngineConfig read_config(io::Reader& in) {
+  search::EngineConfig config;
+  config.num_features = in.u64();
+  config.mcam_bits = in.u32();
+  config.lsh_bits = in.u64();
+  config.vth_sigma = in.f64();
+  const std::uint8_t sensing = in.u8();
+  if (sensing > static_cast<std::uint8_t>(cam::SensingMode::kMatchlineTiming)) {
+    throw io::SnapshotError{"snapshot has unknown sensing mode " + std::to_string(sensing)};
+  }
+  config.sensing = static_cast<cam::SensingMode>(sensing);
+  config.sense_clock_period = in.f64();
+  config.clip_percentile = in.f64();
+  config.seed = in.u64();
+  config.bank_rows = in.u64();
+  config.shard_workers = in.u64();
+  return config;
+}
+
+/// Validates magic/version/length/checksum and returns a reader over the
+/// payload bytes (still backed by `blob`).
+io::Reader checked_payload(std::span<const std::uint8_t> blob, SnapshotInfo& info) {
+  if (blob.size() < kHeaderBytes) {
+    throw io::SnapshotError{"snapshot shorter than its header (" +
+                            std::to_string(blob.size()) + " bytes)"};
+  }
+  for (std::size_t i = 0; i < kMagic.size(); ++i) {
+    if (blob[i] != kMagic[i]) throw io::SnapshotError{"bad snapshot magic"};
+  }
+  io::Reader header{blob.subspan(kMagic.size(), kHeaderBytes - kMagic.size())};
+  info.version = header.u32();
+  if (info.version != kSnapshotVersion) {
+    throw io::SnapshotError{"unsupported snapshot version " + std::to_string(info.version) +
+                            " (this build reads version " +
+                            std::to_string(kSnapshotVersion) + ")"};
+  }
+  info.checksum = header.u32();
+  const std::uint64_t payload_len = header.u64();
+  if (payload_len != blob.size() - kHeaderBytes) {
+    throw io::SnapshotError{"snapshot payload length mismatch (header says " +
+                            std::to_string(payload_len) + ", file has " +
+                            std::to_string(blob.size() - kHeaderBytes) + ")"};
+  }
+  const std::span<const std::uint8_t> payload = blob.subspan(kHeaderBytes);
+  const std::uint32_t crc = io::crc32(payload);
+  if (crc != info.checksum) {
+    throw io::SnapshotError{"snapshot checksum mismatch (corrupted payload)"};
+  }
+  info.payload_bytes = payload.size();
+  return io::Reader{payload};
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save(const search::NnIndex& index, const std::string& name,
+                               const search::EngineConfig& config) {
+  // Normalize spec strings so the embedded recipe is always a bare
+  // registry key + full effective config.
+  const search::EngineSpec spec = search::parse_engine_spec(name, config);
+  io::Writer payload;
+  payload.str(spec.name);
+  write_config(payload, spec.config);
+  index.save_state(payload);
+
+  io::Writer blob;
+  blob.raw(kMagic);
+  blob.u32(kSnapshotVersion);
+  blob.u32(io::crc32(payload.buffer()));
+  blob.u64(payload.size());
+  blob.raw(payload.buffer());
+  return blob.buffer();
+}
+
+SnapshotInfo inspect(std::span<const std::uint8_t> blob) {
+  SnapshotInfo info;
+  io::Reader payload = checked_payload(blob, info);
+  info.engine = payload.str();
+  info.config = read_config(payload);
+  return info;
+}
+
+std::unique_ptr<search::NnIndex> load(std::span<const std::uint8_t> blob) {
+  SnapshotInfo info;
+  io::Reader payload = checked_payload(blob, info);
+  info.engine = payload.str();
+  info.config = read_config(payload);
+  std::unique_ptr<search::NnIndex> index =
+      search::EngineFactory::instance().create(info.engine, info.config);
+  index->load_state(payload);
+  payload.expect_end();
+  return index;
+}
+
+void save_file(const search::NnIndex& index, const std::string& name,
+               const search::EngineConfig& config, const std::string& path) {
+  const std::vector<std::uint8_t> blob = save(index, name, config);
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw io::SnapshotError{"cannot open '" + path + "' for writing"};
+  }
+  const std::size_t written = std::fwrite(blob.data(), 1, blob.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != blob.size() || !flushed) {
+    throw io::SnapshotError{"short write to '" + path + "'"};
+  }
+}
+
+std::unique_ptr<search::NnIndex> load_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw io::SnapshotError{"cannot open '" + path + "' for reading"};
+  }
+  std::vector<std::uint8_t> blob;
+  std::array<std::uint8_t, 64 * 1024> chunk;
+  std::size_t got = 0;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0) {
+    blob.insert(blob.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(got));
+  }
+  const bool read_error = std::ferror(file) != 0;
+  std::fclose(file);
+  if (read_error) throw io::SnapshotError{"read error on '" + path + "'"};
+  return load(blob);
+}
+
+}  // namespace mcam::serve

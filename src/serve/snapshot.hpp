@@ -1,0 +1,79 @@
+// Snapshot persistence: a versioned, checksummed binary image of a
+// calibrated NnIndex, so a server restarts warm in milliseconds instead of
+// re-calibrating encoders and re-programming every CAM bank from scratch.
+//
+// Blob layout (all integers little-endian, serve/io.hpp):
+//
+//   [0,  8)  magic "MCAMSNAP"
+//   [8, 12)  u32 format version (kSnapshotVersion)
+//   [12,16)  u32 CRC-32 (IEEE) of the payload bytes
+//   [16,24)  u64 payload length
+//   [24,...) payload:
+//              str  factory engine name  (e.g. "sharded-mcam3")
+//              ...  EngineConfig fields  (the full effective config)
+//              ...  engine payload       (NnIndex::save_state)
+//
+// The factory name + EngineConfig make the blob self-contained: `load`
+// rebuilds the engine through the EngineFactory registry and hands the
+// engine payload to `load_state`, which restores bit-identical query
+// behavior under both sensing modes (see the save_state contract in
+// search/index.hpp). Magic/version/length/checksum are validated before
+// any engine code sees a byte, so a truncated or corrupted file fails
+// with SnapshotError up front.
+//
+// Deliberately NOT persisted: telemetry counters (ServiceStats,
+// ShardStats, QueryTelemetry - they restart at zero) and raw RNG state
+// (restore replays the physical row writes, which reconstructs the
+// generators exactly).
+#pragma once
+
+#include "search/factory.hpp"
+#include "search/index.hpp"
+#include "serve/io.hpp"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcam::serve {
+
+/// Current snapshot format version.
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Parsed snapshot header + embedded build recipe (no engine state).
+struct SnapshotInfo {
+  std::uint32_t version = 0;       ///< Format version of the blob.
+  std::uint32_t checksum = 0;      ///< CRC-32 of the payload.
+  std::size_t payload_bytes = 0;   ///< Engine payload + spec length.
+  std::string engine;              ///< Factory registry name.
+  search::EngineConfig config;     ///< Effective engine configuration.
+};
+
+/// Serializes `index` into a self-contained snapshot blob. `name` and
+/// `config` must be the factory recipe the index was built with (they are
+/// embedded so `load` can rebuild it); a spec-string `name` is normalized
+/// through parse_engine_spec first.
+[[nodiscard]] std::vector<std::uint8_t> save(const search::NnIndex& index,
+                                             const std::string& name,
+                                             const search::EngineConfig& config = {});
+
+/// Parses and integrity-checks the header without building an engine
+/// (tooling / logging path). Throws io::SnapshotError on bad magic,
+/// unknown version, length mismatch, or checksum failure.
+[[nodiscard]] SnapshotInfo inspect(std::span<const std::uint8_t> blob);
+
+/// Validates the blob, rebuilds the engine from the embedded factory
+/// recipe, and restores its state. The returned index answers queries
+/// bit-identically to the one `save` serialized.
+[[nodiscard]] std::unique_ptr<search::NnIndex> load(std::span<const std::uint8_t> blob);
+
+/// File convenience wrappers. `save_file` writes atomically enough for a
+/// single writer (tmp + rename is the caller's job for multi-writer
+/// setups); `load_file` throws io::SnapshotError when the file cannot be
+/// read.
+void save_file(const search::NnIndex& index, const std::string& name,
+               const search::EngineConfig& config, const std::string& path);
+[[nodiscard]] std::unique_ptr<search::NnIndex> load_file(const std::string& path);
+
+}  // namespace mcam::serve

@@ -1,0 +1,87 @@
+// The deprecated NnEngine shims (fit / predict) must keep compiling and
+// behaving until downstream callers finish migrating. This is the ONE
+// translation unit allowed to call them: every other suite builds with
+// -Werror=deprecated-declarations (see CMakeLists.txt), so a new use of
+// the legacy interface anywhere else fails the build, while the shims'
+// behavior stays pinned here.
+#include "search/engine.hpp"
+#include "search/factory.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+
+namespace mcam::search {
+namespace {
+
+struct Blobs {
+  std::vector<std::vector<float>> train;
+  std::vector<int> train_labels;
+  std::vector<std::vector<float>> queries;
+};
+
+Blobs make_blobs(std::size_t per_class, std::size_t classes, std::size_t dim,
+                 double sigma, std::uint64_t seed) {
+  Blobs blobs;
+  Rng rng{seed};
+  const auto sample = [&](std::size_t cls) {
+    std::vector<float> v(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(rng.normal(static_cast<double>(cls) * 2.0, sigma));
+    }
+    return v;
+  };
+  for (std::size_t cls = 0; cls < classes; ++cls) {
+    for (std::size_t i = 0; i < per_class; ++i) {
+      blobs.train.push_back(sample(cls));
+      blobs.train_labels.push_back(static_cast<int>(cls));
+      blobs.queries.push_back(sample(cls));
+    }
+  }
+  return blobs;
+}
+
+TEST(NnIndexLegacyShims, FitAndPredictStillWork) {
+  const Blobs blobs = make_blobs(6, 2, 8, 0.4, 61);
+  McamNnEngine engine{};
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_EQ(engine.size(), blobs.train.size());
+  // fit = clear + add: a second fit replaces, not extends.
+  engine.fit(blobs.train, blobs.train_labels);
+  EXPECT_EQ(engine.size(), blobs.train.size());
+  for (const auto& q : blobs.queries) {
+    EXPECT_EQ(engine.predict(q), engine.query_one(q, 1).label);
+  }
+}
+
+TEST(NnIndexLegacyShims, PredictMatchesTopOneForEveryBackend) {
+  // The predict shim must stay consistent with the top-1 query for every
+  // registered backend until it is removed.
+  const Blobs blobs = make_blobs(5, 2, 6, 0.5, 67);
+  for (const std::string& name : EngineFactory::instance().registered_names()) {
+    EngineConfig config;
+    config.num_features = 6;
+    config.bank_rows = name.rfind("sharded-", 0) == 0 ? 8 : 0;
+    auto index = make_index(name, config);
+    index->add(blobs.train, blobs.train_labels);
+    for (const auto& q : blobs.queries) {
+      EXPECT_EQ(index->predict(q), index->query_one(q, 1).label) << name;
+    }
+  }
+}
+
+TEST(NnIndexLegacyShims, NnEngineAliasStillNamesTheInterface) {
+  static_assert(std::is_same_v<NnEngine, NnIndex>);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace mcam::search
+
+#pragma GCC diagnostic pop

@@ -65,12 +65,9 @@ void check_query_invariants(const NnIndex& index, std::span<const std::vector<fl
       }
     }
     EXPECT_EQ(seen.size(), result.neighbors.size());
-    // The deprecated shim must stay consistent with the top-1 query for
-    // every backend until it is removed.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-    EXPECT_EQ(index.predict(q), index.query_one(q, 1).label);
-#pragma GCC diagnostic pop
+    // (The deprecated predict shim's top-1 consistency lives in
+    // test_deprecated_shims.cpp so this suite compiles warning-clean
+    // under -Werror=deprecated-declarations.)
     EXPECT_EQ(result.telemetry.candidates, index.size());
     if (cam_engine) {
       EXPECT_EQ(result.telemetry.sense_events, expect);
@@ -364,24 +361,6 @@ TEST(NnIndexIncremental, CalibrateWithoutStoringRows) {
   EXPECT_EQ(calibrated.query_one(blobs.queries.front(), 3).neighbors.front().index,
             reference.query_one(blobs.queries.front(), 3).neighbors.front().index);
 }
-
-// The deprecated NnEngine shims must keep compiling and behaving until
-// downstream callers finish migrating.
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-TEST(NnIndexLegacyShims, FitAndPredictStillWork) {
-  const Blobs blobs = make_blobs(6, 2, 8, 0.4, 61);
-  McamNnEngine engine{};
-  engine.fit(blobs.train, blobs.train_labels);
-  EXPECT_EQ(engine.size(), blobs.train.size());
-  // fit = clear + add: a second fit replaces, not extends.
-  engine.fit(blobs.train, blobs.train_labels);
-  EXPECT_EQ(engine.size(), blobs.train.size());
-  for (const auto& q : blobs.queries) {
-    EXPECT_EQ(engine.predict(q), engine.query_one(q, 1).label);
-  }
-}
-#pragma GCC diagnostic pop
 
 TEST(MajorityVote, OutvotesNearestOutlier) {
   // Nearest neighbor is a mislabeled outlier; ranks 2 and 3 agree.

@@ -1,0 +1,380 @@
+// QueryService invariants: every accepted request completes with results
+// identical to direct query_one, full-queue rejections are reported (never
+// dropped or blocked on), the LRU cache can never serve a tombstoned row
+// after erase (generation-checked inserts), and ServiceStats percentiles /
+// hit rates / queue depths are populated. Also the erase-then-query
+// tombstone property across every path: monolithic backends, sharded
+// backends, and the service cache.
+#include "serve/service.hpp"
+
+#include "search/batch.hpp"
+#include "search/factory.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcam::serve {
+namespace {
+
+using search::EngineConfig;
+using search::NnIndex;
+using search::QueryResult;
+
+struct Data {
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  std::vector<std::vector<float>> queries;
+};
+
+Data make_data(std::size_t n, std::size_t dim, std::size_t num_queries,
+               std::uint64_t seed) {
+  Data data;
+  Rng rng{seed};
+  const auto sample = [&](int cls) {
+    std::vector<float> v(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(rng.normal(cls * 1.3 + (i % 2) * 0.4, 0.6));
+    }
+    return v;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    const int cls = static_cast<int>(r % 3);
+    data.rows.push_back(sample(cls));
+    data.labels.push_back(cls);
+  }
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    data.queries.push_back(sample(static_cast<int>(q % 3)));
+  }
+  return data;
+}
+
+void expect_identical(const QueryResult& served, const QueryResult& direct,
+                      const std::string& context) {
+  EXPECT_EQ(served.label, direct.label) << context;
+  ASSERT_EQ(served.neighbors.size(), direct.neighbors.size()) << context;
+  for (std::size_t i = 0; i < direct.neighbors.size(); ++i) {
+    EXPECT_EQ(served.neighbors[i].index, direct.neighbors[i].index) << context;
+    EXPECT_EQ(served.neighbors[i].distance, direct.neighbors[i].distance) << context;
+  }
+}
+
+/// Wraps an index with an artificial per-query delay so queue-full
+/// rejections are deterministic in the backpressure test.
+class SlowIndex final : public NnIndex {
+ public:
+  SlowIndex(NnIndex& inner, std::chrono::milliseconds delay)
+      : inner_(inner), delay_(delay) {}
+  void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override {
+    inner_.add(rows, labels);
+  }
+  void clear() override { inner_.clear(); }
+  bool erase(std::size_t id) override { return inner_.erase(id); }
+  [[nodiscard]] std::size_t size() const override { return inner_.size(); }
+  [[nodiscard]] QueryResult query_one(std::span<const float> query,
+                                      std::size_t k) const override {
+    std::this_thread::sleep_for(delay_);
+    return inner_.query_one(query, k);
+  }
+  [[nodiscard]] std::string name() const override { return "slow " + inner_.name(); }
+
+ private:
+  NnIndex& inner_;
+  std::chrono::milliseconds delay_;
+};
+
+TEST(QueryService, ConcurrentClientsMatchDirectQueries) {
+  const Data data = make_data(120, 6, 16, 401);
+  EngineConfig config;
+  config.num_features = 6;
+  config.bank_rows = 32;
+  config.shard_workers = 1;  // The service pool is the outer parallel layer.
+  auto index = search::make_index("sharded-mcam3", config);
+  index->add(data.rows, data.labels);
+
+  // Expected answers, computed directly before the service exists.
+  std::vector<QueryResult> expected;
+  expected.reserve(data.queries.size());
+  for (const auto& q : data.queries) expected.push_back(index->query_one(q, 5));
+
+  QueryServiceConfig service_config;
+  service_config.workers = 4;
+  service_config.queue_capacity = 4096;
+  service_config.cache_capacity = 64;
+  QueryService service{*index, service_config};
+
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kPerClient = 40;
+  std::vector<std::thread> clients;
+  std::vector<std::vector<std::future<QueryResponse>>> futures(kClients);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (std::size_t i = 0; i < kPerClient; ++i) {
+        const std::size_t qi = (c * kPerClient + i) % data.queries.size();
+        futures[c].push_back(service.submit(data.queries[qi], 5));
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  std::size_t completed = 0;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    for (std::size_t i = 0; i < futures[c].size(); ++i) {
+      QueryResponse response = futures[c][i].get();
+      ASSERT_EQ(response.status, RequestStatus::kOk) << response.error;
+      const std::size_t qi = (c * kPerClient + i) % data.queries.size();
+      expect_identical(response.result, expected[qi],
+                       "client " + std::to_string(c) + " req " + std::to_string(i));
+      ++completed;
+    }
+  }
+  EXPECT_EQ(completed, kClients * kPerClient);
+
+  // The cache is warm now (workers inserted every distinct result, and 16
+  // keys cannot evict from 64 slots), so sequential repeats must hit and
+  // still match the direct answers.
+  for (std::size_t qi = 0; qi < data.queries.size(); ++qi) {
+    const QueryResponse hit = service.query_one(data.queries[qi], 5);
+    ASSERT_EQ(hit.status, RequestStatus::kOk);
+    EXPECT_TRUE(hit.cache_hit) << "query " << qi;
+    expect_identical(hit.result, expected[qi], "cache hit " + std::to_string(qi));
+  }
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, kClients * kPerClient + data.queries.size());
+  EXPECT_EQ(stats.rejected, 0u);
+  EXPECT_EQ(stats.completed + stats.failed, stats.accepted);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_GE(stats.cache_hits, data.queries.size());
+  EXPECT_GT(stats.cache_hit_rate, 0.0);
+  EXPECT_GE(stats.latency_p95_ms, stats.latency_p50_ms);
+  EXPECT_GE(stats.latency_p99_ms, stats.latency_p95_ms);
+  EXPECT_GT(stats.throughput_qps, 0.0);
+  EXPECT_EQ(stats.workers, 4u);
+}
+
+TEST(QueryService, FullQueueRejectsWithStatusAndAcceptedStillComplete) {
+  const Data data = make_data(40, 4, 8, 403);
+  auto index = search::make_index("euclidean", EngineConfig{});
+  index->add(data.rows, data.labels);
+  SlowIndex slow{*index, std::chrono::milliseconds{20}};
+
+  QueryServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.queue_capacity = 2;
+  QueryService service{slow, service_config};
+
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 12; ++i) {
+    futures.push_back(service.submit(data.queries[i % data.queries.size()], 3));
+  }
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  for (auto& f : futures) {
+    const QueryResponse response = f.get();
+    if (response.status == RequestStatus::kOk) {
+      ++ok;
+      EXPECT_FALSE(response.result.neighbors.empty());
+    } else {
+      ASSERT_EQ(response.status, RequestStatus::kRejected);
+      EXPECT_NE(response.error.find("queue full"), std::string::npos);
+      ++rejected;
+    }
+  }
+  // A 20ms/query worker against an instant submit loop must overflow a
+  // 2-deep queue; every outcome is reported, nothing is dropped.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(ok + rejected, 12u);
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, ok);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_LE(stats.queue_depth_peak, 2u);
+  EXPECT_GE(stats.latency_p50_ms, 0.0);
+}
+
+TEST(QueryService, StopDrainsAcceptedAndRejectsLateSubmits) {
+  const Data data = make_data(30, 4, 4, 405);
+  auto index = search::make_index("manhattan", EngineConfig{});
+  index->add(data.rows, data.labels);
+  SlowIndex slow{*index, std::chrono::milliseconds{5}};
+
+  QueryServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.queue_capacity = 64;
+  service_config.cache_capacity = 8;
+  QueryService service{slow, service_config};
+  std::vector<std::future<QueryResponse>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(service.submit(data.queries[i % data.queries.size()], 1));
+  }
+  service.stop();
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, RequestStatus::kOk);  // Accepted => drained.
+  }
+  // Uniform terminal semantics: even queries sitting in the cache answer
+  // kShutdown after stop (the cache is no longer invalidated, so serving
+  // from it could return stale results).
+  const QueryResponse late = service.query_one(data.queries[0], 1);
+  EXPECT_EQ(late.status, RequestStatus::kShutdown);
+  const QueryResponse cached_late = service.query_one(data.queries[1], 1);
+  EXPECT_EQ(cached_late.status, RequestStatus::kShutdown);
+  EXPECT_FALSE(cached_late.cache_hit);
+}
+
+TEST(QueryService, FailedQueriesReportErrorNotCrash) {
+  auto index = search::make_index("cosine", EngineConfig{});
+  QueryService service{*index, QueryServiceConfig{}};
+  // Querying an empty index throws inside the worker; the future must
+  // resolve to kFailed with the message, and the service must survive.
+  const QueryResponse response = service.query_one({1.0f, 2.0f}, 1);
+  EXPECT_EQ(response.status, RequestStatus::kFailed);
+  EXPECT_FALSE(response.error.empty());
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+TEST(Tombstones, EraseIsNeverServedFromAnyPath) {
+  // Satellite acceptance: erase(id) followed by query_one must never
+  // return the tombstoned row - monolithic, sharded, or service cache.
+  const Data data = make_data(60, 5, 4, 407);
+  for (const std::string& name : search::EngineFactory::instance().registered_names()) {
+    EngineConfig config;
+    config.num_features = 5;
+    config.bank_rows = name.rfind("sharded-", 0) == 0 ? 16 : 0;
+    config.shard_workers = 1;
+    auto index = search::make_index(name, config);
+    index->add(data.rows, data.labels);
+    const std::size_t victim = 11;
+    ASSERT_TRUE(index->erase(victim)) << name;
+    for (const auto& q : data.queries) {
+      const QueryResult result = index->query_one(q, index->size());
+      for (const auto& n : result.neighbors) {
+        EXPECT_NE(n.index, victim) << name << ": tombstoned row served";
+      }
+    }
+  }
+}
+
+TEST(Tombstones, ServiceCacheInvalidatesOnEraseAndAdd) {
+  const Data data = make_data(50, 5, 1, 409);
+  EngineConfig config;
+  config.num_features = 5;
+  config.bank_rows = 16;
+  auto index = search::make_index("sharded-euclidean", config);
+  index->add(data.rows, data.labels);
+
+  QueryServiceConfig service_config;
+  service_config.workers = 2;
+  service_config.cache_capacity = 32;
+  QueryService service{*index, service_config};
+
+  const std::vector<float>& q = data.queries.front();
+  const std::size_t k = data.rows.size();  // Full ranking: every live row.
+  const QueryResponse first = service.query_one(q, k);
+  ASSERT_EQ(first.status, RequestStatus::kOk);
+
+  // Warm the cache, then prove the hit path works pre-erase.
+  const QueryResponse warm = service.query_one(q, k);
+  ASSERT_EQ(warm.status, RequestStatus::kOk);
+  EXPECT_TRUE(warm.cache_hit);
+  expect_identical(warm.result, first.result, "warm hit");
+
+  const std::size_t victim = first.result.neighbors.front().index;
+  EXPECT_TRUE(service.erase(victim));
+  const QueryResponse after = service.query_one(q, k);
+  ASSERT_EQ(after.status, RequestStatus::kOk);
+  EXPECT_FALSE(after.cache_hit) << "erase must invalidate the cache";
+  for (const auto& n : after.result.neighbors) {
+    EXPECT_NE(n.index, victim) << "tombstoned row served from the service";
+  }
+
+  // add() invalidates too: the previously cached (post-erase) result must
+  // be recomputed over the enlarged index.
+  const QueryResponse recached = service.query_one(q, k);
+  EXPECT_TRUE(recached.cache_hit);
+  const Data extra = make_data(8, 5, 0, 411);
+  service.add(extra.rows, extra.labels);
+  const QueryResponse grown = service.query_one(q, k + extra.rows.size());
+  ASSERT_EQ(grown.status, RequestStatus::kOk);
+  EXPECT_FALSE(grown.cache_hit);
+  EXPECT_EQ(grown.result.neighbors.size(), data.rows.size() - 1 + extra.rows.size());
+
+  const ServiceStats stats = service.stats();
+  EXPECT_GE(stats.invalidations, 2u);
+  EXPECT_GT(stats.cache_hits, 0u);
+}
+
+TEST(QueryService, MutationsInterleavedWithConcurrentClientsStaySane) {
+  // Torture loop for the lock/cache interaction (ASan/TSan fodder): half
+  // the threads query, one thread adds and erases. Every response must be
+  // kOk (never a torn read / stale cache crash), and erased victims must
+  // never appear in post-completion results read after the mutator joins.
+  const Data data = make_data(90, 5, 6, 413);
+  EngineConfig config;
+  config.num_features = 5;
+  config.bank_rows = 32;
+  config.shard_workers = 1;
+  auto index = search::make_index("sharded-mcam2", config);
+  index->add(data.rows, data.labels);
+
+  QueryServiceConfig service_config;
+  service_config.workers = 3;
+  service_config.queue_capacity = 4096;
+  service_config.cache_capacity = 16;
+  QueryService service{*index, service_config};
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> clients;
+  std::atomic<std::size_t> served{0};
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&, c] {
+      std::size_t i = 0;
+      while (!stop.load()) {
+        auto response = service.submit(data.queries[(c + i++) % data.queries.size()], 3);
+        const QueryResponse r = response.get();
+        if (r.status == RequestStatus::kOk) served.fetch_add(1);
+      }
+    });
+  }
+  const Data extra = make_data(30, 5, 0, 415);
+  for (std::size_t m = 0; m < extra.rows.size(); ++m) {
+    service.add(std::span{extra.rows}.subspan(m, 1), std::span{extra.labels}.subspan(m, 1));
+    (void)service.erase(m);  // Tombstone the seed rows one by one.
+    std::this_thread::sleep_for(std::chrono::milliseconds{1});
+  }
+  stop.store(true);
+  for (auto& t : clients) t.join();
+  EXPECT_GT(served.load(), 0u);
+
+  // After the dust settles: erased ids 0..29 must be unreachable.
+  const QueryResponse final_state = service.query_one(data.queries[0], service.size());
+  ASSERT_EQ(final_state.status, RequestStatus::kOk);
+  for (const auto& n : final_state.result.neighbors) {
+    EXPECT_GE(n.index, extra.rows.size());
+  }
+}
+
+TEST(WorkerDefaults, SingleCoreResolvesToOneInlineWorker) {
+  // Satellite: defaults clamp to 1 on single-core / unknown hosts so the
+  // spawn-free inline paths run; explicit requests always win.
+  EXPECT_EQ(search::resolve_worker_count(0, 0), 1u);
+  EXPECT_EQ(search::resolve_worker_count(0, 1), 1u);
+  EXPECT_EQ(search::resolve_worker_count(0, 8), 8u);
+  EXPECT_EQ(search::resolve_worker_count(3, 1), 3u);
+  EXPECT_EQ(search::default_worker_count(),
+            search::resolve_worker_count(0, std::thread::hardware_concurrency()));
+  // BatchExecutor resolves its default through the same clamp.
+  search::BatchExecutor executor{};
+  EXPECT_EQ(executor.options().num_threads, search::default_worker_count());
+  EXPECT_EQ(executor.threads_for(1), 1u);  // Below min_shard_size: inline.
+}
+
+}  // namespace
+}  // namespace mcam::serve

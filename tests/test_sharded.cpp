@@ -389,6 +389,35 @@ TEST(EngineSpec, ParsesOverridesAndRejectsUnknownKeys) {
   EXPECT_THROW((void)parse_engine_spec(":bits=2"), std::invalid_argument);
 }
 
+TEST(EngineSpec, RejectsDuplicateKeysAndEmptyValuesNamingTheSpec) {
+  // Last-write-wins on a repeated key (or a silently empty value) is
+  // almost always a typo in a serving config: fail loudly, and name the
+  // offending spec string in the error so it is diagnosable from a log.
+  try {
+    (void)parse_engine_spec("mcam:bits=2,bank_rows=8,bits=3");
+    FAIL() << "duplicate key accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("duplicate key 'bits'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'mcam:bits=2,bank_rows=8,bits=3'"), std::string::npos) << what;
+  }
+  try {
+    (void)parse_engine_spec("mcam:bits=");
+    FAIL() << "empty value accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("empty value for key 'bits'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'mcam:bits='"), std::string::npos) << what;
+  }
+  // The spec string is also named for malformed items and unknown keys.
+  try {
+    (void)parse_engine_spec("mcam:flux=1");
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& error) {
+    EXPECT_NE(std::string{error.what()}.find("in spec 'mcam:flux=1'"), std::string::npos);
+  }
+}
+
 TEST(EngineSpec, FactoryCreatesFromSpecStrings) {
   const Data data = make_data(20, 4, 2, 137);
   EngineConfig config;

@@ -1,0 +1,357 @@
+// Snapshot persistence invariants: for every factory backend (monolithic
+// and sharded, both sensing modes, with programming noise enabled),
+// load(save(idx)) answers queries bit-identically to the original after a
+// randomized add/erase history, later adds behave identically (the replay
+// reconstructs the RNG position), and the header layer rejects corrupted,
+// truncated, mis-versioned and mis-typed blobs before any engine code
+// runs.
+#include "serve/snapshot.hpp"
+
+#include "cam/lut.hpp"
+#include "experiments/lut_engine.hpp"
+#include "mann/memory.hpp"
+#include "search/engine.hpp"
+#include "search/factory.hpp"
+#include "serve/io.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mcam::serve {
+namespace {
+
+using search::EngineConfig;
+using search::NnIndex;
+using search::QueryResult;
+
+struct Data {
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  std::vector<std::vector<float>> queries;
+};
+
+Data make_data(std::size_t n, std::size_t dim, std::size_t num_queries,
+               std::uint64_t seed) {
+  Data data;
+  Rng rng{seed};
+  const auto sample = [&](int cls) {
+    std::vector<float> v(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(rng.normal(cls * 1.4 + (i % 3) * 0.25, 0.7));
+    }
+    return v;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    const int cls = static_cast<int>(r % 4);
+    data.rows.push_back(sample(cls));
+    data.labels.push_back(cls);
+  }
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    data.queries.push_back(sample(static_cast<int>(q % 4)));
+  }
+  return data;
+}
+
+void expect_identical(const QueryResult& restored, const QueryResult& original,
+                      const std::string& context) {
+  EXPECT_EQ(restored.label, original.label) << context;
+  ASSERT_EQ(restored.neighbors.size(), original.neighbors.size()) << context;
+  for (std::size_t i = 0; i < original.neighbors.size(); ++i) {
+    EXPECT_EQ(restored.neighbors[i].index, original.neighbors[i].index)
+        << context << " rank " << i;
+    EXPECT_EQ(restored.neighbors[i].label, original.neighbors[i].label)
+        << context << " rank " << i;
+    EXPECT_EQ(restored.neighbors[i].distance, original.neighbors[i].distance)
+        << context << " rank " << i;  // Exact: same conductances / metrics.
+  }
+  EXPECT_EQ(restored.telemetry.candidates, original.telemetry.candidates) << context;
+}
+
+/// Applies a seeded add/erase history, snapshots, restores, and checks
+/// query identity plus identical behavior of a post-restore add.
+void check_round_trip(const std::string& name, const EngineConfig& config,
+                      std::uint64_t history_seed) {
+  const Data data = make_data(70, 6, 5, 301 + history_seed);
+  const Data extra = make_data(12, 6, 0, 977 + history_seed);
+  auto original = search::make_index(name, config);
+
+  // Randomized history: calibrating add, interleaved erases and adds.
+  Rng history{history_seed};
+  std::size_t added = 0;
+  const auto add_some = [&](std::size_t count) {
+    const std::size_t take = std::min(count, data.rows.size() - added);
+    if (take == 0) return;
+    original->add(std::span{data.rows}.subspan(added, take),
+                  std::span{data.labels}.subspan(added, take));
+    added += take;
+  };
+  add_some(20 + history.index(20));
+  for (int round = 0; round < 3; ++round) {
+    for (int e = 0; e < 4; ++e) {
+      const std::size_t id = history.index(added);
+      try {
+        original->erase(id);
+      } catch (const std::out_of_range&) {
+        // Unreachable: ids < added always exist.
+        FAIL() << "erase threw for a live id";
+      }
+    }
+    add_some(5 + history.index(10));
+  }
+
+  const std::vector<std::uint8_t> blob = save(*original, name, config);
+  auto restored = load(blob);
+  ASSERT_NE(restored, nullptr) << name;
+  EXPECT_EQ(restored->size(), original->size()) << name;
+  EXPECT_EQ(restored->name(), original->name()) << name;
+
+  for (const auto& q : data.queries) {
+    for (std::size_t k : {std::size_t{1}, std::size_t{5}, original->size()}) {
+      expect_identical(restored->query_one(q, k), original->query_one(q, k),
+                       name + " k=" + std::to_string(k));
+    }
+  }
+
+  // Warm-restart contract: streaming more rows into the restored index
+  // behaves exactly like the original (replay reconstructed the per-bank
+  // RNG positions, so programming noise continues identically), and so do
+  // further erases (the id map round-tripped).
+  original->add(extra.rows, extra.labels);
+  restored->add(extra.rows, extra.labels);
+  const std::size_t late_victim = added / 2;
+  EXPECT_EQ(original->erase(late_victim), restored->erase(late_victim)) << name;
+  for (const auto& q : data.queries) {
+    expect_identical(restored->query_one(q, 7), original->query_one(q, 7),
+                     name + " post-restore add/erase");
+  }
+}
+
+TEST(SnapshotRoundTrip, BitIdenticalForEveryFactoryBackendIdealSensing) {
+  std::uint64_t seed = 11;
+  for (const std::string& name : search::EngineFactory::instance().registered_names()) {
+    EngineConfig config;
+    config.num_features = 6;
+    config.vth_sigma = 0.04;  // Exercise the programming-noise replay.
+    // bank_rows bounds the *physical* array for monolithic keys; only the
+    // sharded twins tile past it.
+    config.bank_rows = name.rfind("sharded-", 0) == 0 ? 24 : 0;
+    config.shard_workers = 2;
+    check_round_trip(name, config, seed++);
+  }
+}
+
+TEST(SnapshotRoundTrip, BitIdenticalUnderMatchlineTiming) {
+  std::uint64_t seed = 211;
+  for (const std::string& name :
+       {std::string{"mcam3"}, std::string{"mcam2"}, std::string{"tcam-lsh"},
+        std::string{"sharded-mcam3"}, std::string{"sharded-tcam-lsh"}}) {
+    EngineConfig config;
+    config.num_features = 6;
+    config.vth_sigma = 0.04;
+    config.sensing = cam::SensingMode::kMatchlineTiming;
+    config.sense_clock_period = 1e-10;
+    config.bank_rows = name.rfind("sharded-", 0) == 0 ? 16 : 0;
+    check_round_trip(name, config, seed++);
+  }
+}
+
+TEST(SnapshotRoundTrip, CalibratedEmptyIndexKeepsItsEncoders) {
+  // calibrate-then-snapshot is the deployment path for shipping a fitted
+  // but unpopulated index to serving hosts.
+  const Data data = make_data(40, 5, 3, 71);
+  EngineConfig config;
+  config.num_features = 5;
+  auto original = search::make_index("mcam3", config);
+  original->calibrate(data.rows);
+  const std::vector<std::uint8_t> blob = save(*original, "mcam3", config);
+  auto restored = load(blob);
+  EXPECT_EQ(restored->size(), 0u);
+  original->add(data.rows, data.labels);
+  restored->add(data.rows, data.labels);
+  for (const auto& q : data.queries) {
+    expect_identical(restored->query_one(q, 3), original->query_one(q, 3),
+                     "calibrated-empty");
+  }
+}
+
+TEST(SnapshotRoundTrip, LutEngineRoundTripsThroughDirectHooks) {
+  // McamLutEngine is not a registry builtin (it needs a conductance
+  // table), so its hooks are exercised engine-to-engine.
+  const Data data = make_data(30, 4, 3, 83);
+  const cam::ConductanceLut lut = cam::ConductanceLut::nominal(fefet::LevelMap{2});
+  experiments::McamLutEngine original{lut, 2};
+  original.add(data.rows, data.labels);
+  ASSERT_TRUE(original.erase(3));
+
+  io::Writer out;
+  original.save_state(out);
+  experiments::McamLutEngine restored{lut, 2};
+  io::Reader in{out.buffer()};
+  restored.load_state(in);
+  in.expect_end();
+  EXPECT_EQ(restored.size(), original.size());
+  for (const auto& q : data.queries) {
+    expect_identical(restored.query_one(q, 5), original.query_one(q, 5), "mcam-lut");
+  }
+}
+
+TEST(SnapshotRoundTrip, MannFeatureMemoryRestoresWarm) {
+  // A programmed episode memory persists through the same hooks: the MANN
+  // deployment path for shipping support sets to serving hosts.
+  const Data data = make_data(40, 6, 4, 87);
+  EngineConfig config;
+  config.num_features = 6;
+  config.bank_rows = 16;
+  mann::FeatureMemory original{search::make_index("sharded-mcam2", config),
+                               mann::StoragePolicy::kAllShots};
+  original.store(data.rows, data.labels);
+  ASSERT_TRUE(original.forget(5));
+
+  io::Writer out;
+  original.save_state(out);
+  mann::FeatureMemory restored{search::make_index("sharded-mcam2", config),
+                               mann::StoragePolicy::kAllShots};
+  io::Reader in{out.buffer()};
+  restored.load_state(in);
+  in.expect_end();
+  EXPECT_EQ(restored.size(), original.size());
+  for (const auto& q : data.queries) {
+    expect_identical(restored.retrieve(q, 5), original.retrieve(q, 5), "mann");
+    EXPECT_EQ(restored.lookup(q, 3), original.lookup(q, 3));
+  }
+
+  // Policy mismatch is rejected before any index state changes.
+  mann::FeatureMemory wrong_policy{search::make_index("sharded-mcam2", config),
+                                   mann::StoragePolicy::kPrototype};
+  io::Reader again{out.buffer()};
+  EXPECT_THROW(wrong_policy.load_state(again), io::SnapshotError);
+}
+
+TEST(SnapshotFormat, InspectReportsHeaderAndRecipe) {
+  const Data data = make_data(30, 4, 0, 91);
+  EngineConfig config;
+  config.num_features = 4;
+  config.bank_rows = 8;
+  auto index = search::make_index("sharded-euclidean", config);
+  index->add(data.rows, data.labels);
+  // Spec-string names are normalized into the embedded recipe.
+  const std::vector<std::uint8_t> blob =
+      save(*index, "sharded-euclidean:bank_rows=8", config);
+  const SnapshotInfo info = inspect(blob);
+  EXPECT_EQ(info.version, kSnapshotVersion);
+  EXPECT_EQ(info.engine, "sharded-euclidean");
+  EXPECT_EQ(info.config.bank_rows, 8u);
+  EXPECT_EQ(info.config.num_features, 4u);
+  EXPECT_GT(info.payload_bytes, 0u);
+}
+
+TEST(SnapshotFormat, RejectsCorruptionTruncationAndBadVersion) {
+  const Data data = make_data(25, 4, 0, 93);
+  EngineConfig config;
+  config.num_features = 4;
+  auto index = search::make_index("mcam2", config);
+  index->add(data.rows, data.labels);
+  const std::vector<std::uint8_t> blob = save(*index, "mcam2", config);
+
+  {  // Flipped payload byte -> checksum failure.
+    std::vector<std::uint8_t> bad = blob;
+    bad[bad.size() - 1] ^= 0xFF;
+    EXPECT_THROW((void)load(bad), io::SnapshotError);
+  }
+  {  // Truncation -> length mismatch.
+    std::vector<std::uint8_t> bad{blob.begin(), blob.end() - 5};
+    EXPECT_THROW((void)load(bad), io::SnapshotError);
+  }
+  {  // Bad magic.
+    std::vector<std::uint8_t> bad = blob;
+    bad[0] = 'X';
+    EXPECT_THROW((void)load(bad), io::SnapshotError);
+  }
+  {  // Unknown future version (patch the checksum is not even needed:
+     // version is checked before the payload).
+    std::vector<std::uint8_t> bad = blob;
+    bad[8] = 0x7F;
+    EXPECT_THROW((void)load(bad), io::SnapshotError);
+  }
+  {  // Shorter than the header.
+    const std::vector<std::uint8_t> bad{blob.begin(), blob.begin() + 10};
+    EXPECT_THROW((void)inspect(bad), io::SnapshotError);
+  }
+}
+
+TEST(SnapshotFormat, EnginePayloadTagMismatchIsDetected) {
+  const Data data = make_data(20, 4, 0, 95);
+  search::SoftwareNnEngine software{"euclidean"};
+  software.add(data.rows, data.labels);
+  io::Writer out;
+  software.save_state(out);
+
+  EngineConfig config;
+  config.num_features = 4;
+  auto mcam = search::make_index("mcam3", config);
+  io::Reader in{out.buffer()};
+  EXPECT_THROW(mcam->load_state(in), io::SnapshotError);
+}
+
+TEST(SnapshotFormat, FileRoundTripRestoresWarm) {
+  const Data data = make_data(50, 5, 4, 97);
+  EngineConfig config;
+  config.num_features = 5;
+  config.bank_rows = 16;
+  auto index = search::make_index("sharded-mcam3", config);
+  index->add(data.rows, data.labels);
+  ASSERT_TRUE(index->erase(7));
+
+  const std::string path = ::testing::TempDir() + "mcam_snapshot_test.bin";
+  save_file(*index, "sharded-mcam3", config, path);
+  auto restored = load_file(path);
+  std::remove(path.c_str());
+  EXPECT_EQ(restored->size(), index->size());
+  for (const auto& q : data.queries) {
+    expect_identical(restored->query_one(q, 5), index->query_one(q, 5), "file");
+  }
+}
+
+TEST(SnapshotIo, PrimitivesRoundTripAndBoundsCheck) {
+  io::Writer out;
+  out.u8(7);
+  out.u16(65535);
+  out.u32(0xDEADBEEFu);
+  out.u64(0x0123456789ABCDEFull);
+  out.i32(-42);
+  out.f32(3.25f);
+  out.f64(-1.0 / 3.0);
+  out.str("hello");
+  out.vec_f32(std::vector<float>{1.5f, -2.5f});
+  io::Reader in{out.buffer()};
+  EXPECT_EQ(in.u8(), 7);
+  EXPECT_EQ(in.u16(), 65535);
+  EXPECT_EQ(in.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(in.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(in.i32(), -42);
+  EXPECT_EQ(in.f32(), 3.25f);
+  EXPECT_EQ(in.f64(), -1.0 / 3.0);
+  EXPECT_EQ(in.str(), "hello");
+  EXPECT_EQ(in.vec_f32(), (std::vector<float>{1.5f, -2.5f}));
+  in.expect_end();
+  EXPECT_THROW((void)in.u8(), io::SnapshotError);
+
+  // A absurd length prefix must throw, not allocate.
+  io::Writer evil;
+  evil.u64(~std::uint64_t{0});
+  io::Reader evil_in{evil.buffer()};
+  EXPECT_THROW((void)evil_in.vec_f32(), io::SnapshotError);
+
+  // CRC-32 known-answer ("123456789" -> 0xCBF43926).
+  const std::string check = "123456789";
+  EXPECT_EQ(io::crc32(std::span{reinterpret_cast<const std::uint8_t*>(check.data()),
+                                check.size()}),
+            0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace mcam::serve
