@@ -69,10 +69,33 @@ QueryResult SoftwareNnEngine::query_one(std::span<const float> query, std::size_
     throw std::logic_error{"SoftwareNnEngine::query_one before add"};
   }
   QueryResult result;
-  // k = 0 degenerates to 1-NN; k_nearest clamps the upper end itself.
-  result.neighbors = index_->k_nearest(query, std::max<std::size_t>(k, 1));
+  // k_nearest applies the k-convention itself (k = 0 -> 1-NN, clamped).
+  result.neighbors = index_->k_nearest(query, k);
   result.label = majority_label(result.neighbors);
   result.telemetry.candidates = index_->size();
+  return result;
+}
+
+QueryResult SoftwareNnEngine::query_subset(std::span<const float> query,
+                                           std::span<const std::size_t> ids,
+                                           std::size_t k) const {
+  if (!index_ || index_->size() == 0) {
+    throw std::logic_error{"SoftwareNnEngine::query_subset before add"};
+  }
+  if (ids.empty()) {
+    throw std::invalid_argument{"SoftwareNnEngine::query_subset with no candidates"};
+  }
+  // Distances only for the (deduplicated, live) candidates - the true
+  // sub-linear path; ordering matches the default implementation exactly.
+  std::size_t live_candidates = 0;
+  QueryResult result;
+  result.neighbors = index_->k_nearest_among(query, ids, k, &live_candidates);
+  if (result.neighbors.empty()) {
+    throw std::invalid_argument{"SoftwareNnEngine::query_subset with no live candidates"};
+  }
+  result.label = majority_label(result.neighbors);
+  result.telemetry.candidates = live_candidates;
+  result.telemetry.sense_events = result.neighbors.size();
   return result;
 }
 

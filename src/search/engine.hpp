@@ -44,6 +44,12 @@ class SoftwareNnEngine final : public NnIndex {
   [[nodiscard]] std::size_t size() const override;
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
+  /// Sub-linear rerank: only the candidate rows' distances are evaluated
+  /// (ExactNnIndex::k_nearest_among), bit-identical to the default
+  /// filtered-full-ranking implementation.
+  [[nodiscard]] QueryResult query_subset(std::span<const float> query,
+                                         std::span<const std::size_t> ids,
+                                         std::size_t k) const override;
   [[nodiscard]] std::string name() const override { return metric_name_ + " (FP32)"; }
   void save_state(serve::io::Writer& out) const override;
   void load_state(serve::io::Reader& in) override;

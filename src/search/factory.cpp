@@ -2,6 +2,7 @@
 
 #include "energy/model.hpp"
 #include "search/engine.hpp"
+#include "search/refine.hpp"
 #include "search/sharded.hpp"
 
 #include <memory>
@@ -97,8 +98,9 @@ EngineFactory::Builder sharded_builder(std::string base) {
 [[noreturn]] void throw_spec_error(const std::string& detail, const std::string& spec) {
   throw std::invalid_argument{
       "parse_engine_spec: " + detail + " in spec '" + spec +
-      "' (known keys: bank_rows, bits, clip_percentile, lsh_bits, num_features, seed, "
-      "sense_clock_period, sensing, shard_workers, vth_sigma)"};
+      "' (known keys: bank_rows, bits, candidate_factor, clip_percentile, coarse_bits, "
+      "exhaustive, fine, lsh_bits, num_features, seed, sense_clock_period, sensing, "
+      "shard_workers, vth_sigma)"};
 }
 
 /// Full-consumption numeric parses; anything trailing is malformed.
@@ -152,6 +154,12 @@ void apply_spec_override(EngineConfig& config, const std::string& key,
     config.clip_percentile = parse_double(key, value, spec);
   } else if (key == "sense_clock_period") {
     config.sense_clock_period = parse_double(key, value, spec);
+  } else if (key == "coarse_bits") {
+    config.coarse_bits = static_cast<std::size_t>(parse_unsigned(key, value, spec));
+  } else if (key == "candidate_factor") {
+    config.candidate_factor = static_cast<std::size_t>(parse_unsigned(key, value, spec));
+  } else if (key == "exhaustive") {
+    config.refine_exhaustive = parse_unsigned(key, value, spec) != 0;
   } else if (key == "sensing") {
     if (value == "ideal") {
       config.sensing = cam::SensingMode::kIdealSum;
@@ -184,6 +192,15 @@ EngineSpec parse_engine_spec(const std::string& spec, const EngineConfig& base) 
       throw_spec_error("malformed 'key=value' item '" + item + "'", spec);
     }
     const std::string key = item.substr(0, eq);
+    if (key == "fine") {
+      // The fine stage is itself a spec string whose own key=value items
+      // carry commas, so `fine=` consumes the rest of the spec verbatim
+      // (and therefore must be the last key of the outer spec).
+      const std::string rest = spec.substr(pos + eq + 1);
+      if (rest.empty()) throw_spec_error("empty value for key 'fine'", spec);
+      parsed.config.fine_spec = rest;
+      return parsed;
+    }
     const std::string value = item.substr(eq + 1);
     // A silently ignored repeat or an empty value is almost always a typo
     // in a serving config; fail loudly instead of last-write-wins.
@@ -232,6 +249,40 @@ EngineFactory::EngineFactory() {
                            "manhattan", "linf"}) {
     register_engine(std::string{"sharded-"} + base, sharded_builder(base));
   }
+  // Two-stage pipeline: a coarse TCAM-LSH prefilter in front of any fine
+  // backend named by fine_spec (see search/refine.hpp). The coarse TCAM is
+  // deliberately unbounded and ideal-sensed: it is the candidate
+  // nominator, not the precise ranking, and its add must never fail after
+  // the fine stage accepted the batch.
+  register_engine("refine", [](const EngineConfig& config) -> std::unique_ptr<NnIndex> {
+    if (config.fine_spec.empty()) {
+      throw std::invalid_argument{
+          "EngineFactory: refine needs fine=<spec> (e.g. refine:coarse_bits=64,"
+          "candidate_factor=8,fine=mcam3)"};
+    }
+    EngineConfig stage_config = config;
+    stage_config.fine_spec.clear();  // A nested refine must name its own fine stage.
+    std::unique_ptr<NnIndex> fine =
+        EngineFactory::instance().create(config.fine_spec, stage_config);
+    const std::size_t bits = config.coarse_bits > 0
+                                 ? config.coarse_bits
+                                 : (config.lsh_bits > 0 ? config.lsh_bits
+                                                        : config.num_features);
+    if (bits == 0) {
+      throw std::invalid_argument{
+          "EngineFactory: refine needs coarse_bits, lsh_bits, or num_features"};
+    }
+    cam::TcamArrayConfig coarse_array;
+    coarse_array.vth_sigma = config.vth_sigma;
+    coarse_array.seed = config.seed;
+    auto coarse = std::make_unique<TcamLshEngine>(bits, config.seed, coarse_array);
+    TwoStageConfig two_stage;
+    two_stage.candidate_factor =
+        config.candidate_factor > 0 ? config.candidate_factor : 4;
+    two_stage.exhaustive_fallback = config.refine_exhaustive;
+    return std::make_unique<TwoStageNnIndex>(std::move(coarse), std::move(fine),
+                                             two_stage);
+  });
 }
 
 EngineFactory& EngineFactory::instance() {

@@ -14,13 +14,21 @@
 //                        banks of `config.bank_rows` rows with parallel
 //                        fan-out + hierarchical top-k merge
 //                        (search/sharded.hpp)
+//   refine             - two-stage pipeline (search/refine.hpp): a coarse
+//                        TCAM-LSH Hamming prefilter of `coarse_bits`
+//                        signature bits nominating candidate_factor * k
+//                        candidates, reranked by the `fine_spec` backend
+//                        (any of the above, monolithic or sharded)
 //
 // `create` also accepts spec strings - "name:key=value,..." - so serving
 // and bench configs can select engine geometry without code changes:
 //
 //   create("mcam:bits=2,bank_rows=64")  ==  mcam_bits=2, bank_rows=64
+//   create("refine:coarse_bits=64,candidate_factor=8,fine=sharded-mcam:bits=2")
 //
-// Unknown keys throw std::invalid_argument listing the known keys.
+// Unknown keys throw std::invalid_argument listing the known keys. The
+// `fine=` key consumes the rest of the spec (nested fine specs carry
+// their own commas), so it must come last.
 //
 // The registry is process-global; `register_engine` accepts additional
 // builders (e.g. a LUT-backed MCAM bound to a measured conductance table).
@@ -55,6 +63,14 @@ struct EngineConfig {
                                    ///< monolithic CAM arrays (0 = unbounded).
   std::size_t shard_workers = 0;   ///< Per-bank fan-out threads; 0 = hardware
                                    ///< concurrency.
+  std::size_t coarse_bits = 0;     ///< "refine": coarse TCAM-LSH signature bits
+                                   ///< (0 = lsh_bits, then num_features).
+  std::size_t candidate_factor = 0;  ///< "refine": coarse candidates nominated per
+                                     ///< requested k (0 = the default of 4).
+  bool refine_exhaustive = false;  ///< "refine": bypass the coarse stage; answers
+                                   ///< are bit-identical to the fine backend alone.
+  std::string fine_spec;           ///< "refine": factory spec of the fine (rerank)
+                                   ///< stage; may itself be a full spec string.
 };
 
 /// A parsed "name:key=value,..." engine spec.
@@ -66,9 +82,11 @@ struct EngineSpec {
 /// Parses an engine spec string into the registry key and an EngineConfig.
 /// Known keys: bits (mcam_bits), bank_rows, shard_workers, lsh_bits,
 /// num_features, vth_sigma, clip_percentile, sense_clock_period, seed,
-/// sensing (= "ideal" | "timing"). Unknown keys, malformed or empty
-/// values, and duplicate keys throw std::invalid_argument naming the
-/// offending spec string and listing the known keys.
+/// sensing (= "ideal" | "timing"), coarse_bits, candidate_factor,
+/// exhaustive (0|1, refine_exhaustive), and fine (fine_spec; consumes the
+/// rest of the spec, so it must come last). Unknown keys, malformed or
+/// empty values, and duplicate keys throw std::invalid_argument naming
+/// the offending spec string and listing the known keys.
 [[nodiscard]] EngineSpec parse_engine_spec(const std::string& spec,
                                            const EngineConfig& base = EngineConfig{});
 

@@ -6,6 +6,7 @@
 #include <limits>
 #include <map>
 #include <stdexcept>
+#include <unordered_set>
 
 namespace mcam::search {
 
@@ -77,6 +78,41 @@ void NnIndex::save_state(serve::io::Writer& /*out*/) const {
 
 void NnIndex::load_state(serve::io::Reader& /*in*/) {
   throw std::logic_error{name() + ": snapshots are not supported by this backend"};
+}
+
+QueryResult NnIndex::query_subset(std::span<const float> query,
+                                  std::span<const std::size_t> ids, std::size_t k) const {
+  if (size() == 0) throw std::logic_error{name() + ": query_subset before add"};
+  if (ids.empty()) throw std::invalid_argument{name() + ": query_subset with no candidates"};
+  // Generic rerank: the backend's full native ranking (which is
+  // prefix-consistent in k for every engine - the sort keys never depend
+  // on k), filtered to the candidate set. Overrides may scan only the
+  // candidates, but must reproduce exactly this ranking.
+  const QueryResult full = query_one(query, size());
+  const std::unordered_set<std::size_t> wanted(ids.begin(), ids.end());
+  const std::size_t kk = std::max<std::size_t>(k, 1);
+  QueryResult result;
+  std::size_t live_candidates = 0;  // Tombstoned ids never appear in `full`.
+  for (const Neighbor& neighbor : full.neighbors) {
+    if (wanted.find(neighbor.index) == wanted.end()) continue;
+    ++live_candidates;
+    if (result.neighbors.size() < kk) result.neighbors.push_back(neighbor);
+  }
+  if (result.neighbors.empty()) {
+    throw std::invalid_argument{name() + ": query_subset with no live candidates"};
+  }
+  result.label = majority_label(result.neighbors);
+  result.telemetry = full.telemetry;
+  result.telemetry.candidates = live_candidates;
+  result.telemetry.sense_events = result.neighbors.size();
+  // Only the candidate matchlines are precharged and sensed; the array
+  // energy models are linear in rows, so charge the candidate fraction.
+  if (full.telemetry.candidates > 0) {
+    result.telemetry.energy_j = full.telemetry.energy_j *
+                                (static_cast<double>(live_candidates) /
+                                 static_cast<double>(full.telemetry.candidates));
+  }
+  return result;
 }
 
 std::vector<QueryResult> NnIndex::query(std::span<const std::vector<float>> batch,

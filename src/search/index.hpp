@@ -46,6 +46,10 @@ struct QueryTelemetry {
   double energy_j = 0.0;         ///< Estimated search energy (0 when no model applies) [J].
   std::size_t banks_searched = 1;  ///< CAM banks fanned across (1 for monolithic engines;
                                    ///< ShardedNnIndex sums its per-bank counters here).
+  std::size_t coarse_candidates = 0;  ///< Rows compared in a coarse prefilter stage
+                                      ///< (TwoStageNnIndex only; 0 elsewhere).
+  std::size_t fine_candidates = 0;    ///< Rows reranked by the precise stage
+                                      ///< (TwoStageNnIndex only; 0 elsewhere).
 };
 
 /// Result of one top-k query.
@@ -112,9 +116,15 @@ class NnIndex {
   /// Number of live (added and not erased) entries.
   [[nodiscard]] virtual std::size_t size() const = 0;
 
-  /// Top-k search for one query; `k` is clamped to [1, `size()`] (k = 0
-  /// degenerates to 1-NN). Throws std::logic_error before any data is
-  /// added.
+  /// Top-k search for one query. Throws std::logic_error before any data
+  /// is added.
+  ///
+  /// k-convention (the single contract for every entry point - query_one,
+  /// query, query_subset, ExactNnIndex::k_nearest, and the QueryService
+  /// cache key): `k` is clamped to [1, size()]. In particular k = 0 is
+  /// normalized to 1 (1-NN), never an empty result - the same logical
+  /// query must produce the same answer (and the same cache entry) whether
+  /// the caller spelled it k = 0 or k = 1.
   [[nodiscard]] virtual QueryResult query_one(std::span<const float> query,
                                               std::size_t k) const = 0;
 
@@ -122,6 +132,26 @@ class NnIndex {
   /// path). Result `i` corresponds to `batch[i]`.
   [[nodiscard]] std::vector<QueryResult> query(std::span<const std::vector<float>> batch,
                                                std::size_t k) const;
+
+  /// Top-k search restricted to the candidate rows in `ids` (global
+  /// insertion-order ids, the `Neighbor::index` convention). This is the
+  /// rerank primitive of the two-stage pipeline (search/refine.hpp): a
+  /// coarse prefilter picks `ids`, and only those matchlines are
+  /// precharged and sensed in the precise stage. Duplicate, tombstoned,
+  /// or never-added ids are ignored; throws std::invalid_argument when no
+  /// live candidate remains and std::logic_error before any data is added.
+  ///
+  /// Contract: the returned ranking is the backend's native ranking
+  /// filtered to `ids` - when `ids` covers every live row the result is
+  /// bit-identical to `query_one(query, k)`. Telemetry counts only the
+  /// live candidates (`candidates`), and `energy_j` charges only their
+  /// matchlines (the array energy models are linear in rows, so the
+  /// full-search energy is scaled by the candidate fraction). The default
+  /// implementation filters the full native ranking; backends may
+  /// override with a genuinely sub-linear scan (SoftwareNnEngine does).
+  [[nodiscard]] virtual QueryResult query_subset(std::span<const float> query,
+                                                 std::span<const std::size_t> ids,
+                                                 std::size_t k) const;
 
   /// Human-readable engine name for result tables.
   [[nodiscard]] virtual std::string name() const = 0;

@@ -59,17 +59,13 @@ Neighbor ExactNnIndex::nearest(std::span<const float> query) const {
   return top.front();
 }
 
-std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
-                                              std::size_t k) const {
-  // Clamp instead of throwing: k > size() returns everything, and an empty
-  // index (or k = 0) returns no neighbors. Tombstoned rows never compete.
-  if (valid_rows_ == 0 || k == 0) return {};
-  std::vector<Neighbor> all;
-  all.reserve(valid_rows_);
-  for (std::size_t i = 0; i < vectors_.size(); ++i) {
-    if (valid_[i]) all.push_back(Neighbor{i, labels_[i], metric_(query, vectors_[i])});
-  }
-  k = std::min(k, all.size());
+namespace {
+
+/// Shared ranking tail of k_nearest / k_nearest_among: ascending distance,
+/// insertion-order tie-break, k clamped to [1, candidates].
+std::vector<Neighbor> rank_candidates(std::vector<Neighbor> all, std::size_t k) {
+  if (all.empty()) return all;
+  k = std::min(std::max<std::size_t>(k, 1), all.size());
   std::partial_sort(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(k), all.end(),
                     [](const Neighbor& a, const Neighbor& b) {
                       if (a.distance != b.distance) return a.distance < b.distance;
@@ -79,12 +75,50 @@ std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
   return all;
 }
 
+}  // namespace
+
+std::vector<Neighbor> ExactNnIndex::k_nearest(std::span<const float> query,
+                                              std::size_t k) const {
+  // Clamp instead of throwing: k follows the NnIndex k-convention
+  // (k = 0 -> 1-NN, k > size() -> everything) and an empty index returns
+  // no neighbors. Tombstoned rows never compete.
+  if (valid_rows_ == 0) return {};
+  std::vector<Neighbor> all;
+  all.reserve(valid_rows_);
+  for (std::size_t i = 0; i < vectors_.size(); ++i) {
+    if (valid_[i]) all.push_back(Neighbor{i, labels_[i], metric_(query, vectors_[i])});
+  }
+  return rank_candidates(std::move(all), k);
+}
+
+std::vector<Neighbor> ExactNnIndex::k_nearest_among(std::span<const float> query,
+                                                    std::span<const std::size_t> ids,
+                                                    std::size_t k,
+                                                    std::size_t* live_candidates) const {
+  // Work is proportional to the candidate set, never the index: dedup the
+  // ids themselves (O(c log c)) and evaluate distances only for the live
+  // survivors - this is the genuinely sub-linear rerank path of the
+  // two-stage pipeline. The candidate order before ranking is irrelevant:
+  // rank_candidates orders by (distance, index) deterministically.
+  std::vector<std::size_t> unique_ids(ids.begin(), ids.end());
+  std::sort(unique_ids.begin(), unique_ids.end());
+  unique_ids.erase(std::unique(unique_ids.begin(), unique_ids.end()), unique_ids.end());
+  std::vector<Neighbor> candidates;
+  candidates.reserve(unique_ids.size());
+  for (std::size_t id : unique_ids) {
+    if (id >= vectors_.size() || !valid_[id]) continue;
+    candidates.push_back(Neighbor{id, labels_[id], metric_(query, vectors_[id])});
+  }
+  if (live_candidates != nullptr) *live_candidates = candidates.size();
+  return rank_candidates(std::move(candidates), k);
+}
+
 int ExactNnIndex::classify(std::span<const float> query, std::size_t k) const {
   if (valid_rows_ == 0) throw std::logic_error{"ExactNnIndex::classify: empty index"};
-  // k = 0 would leave no voters; degenerate to 1-NN. Tie-break semantics
-  // (votes, then distance sum, then nearer neighbor) live in
+  // k_nearest applies the k-convention (k = 0 -> 1-NN) itself. Tie-break
+  // semantics (votes, then distance sum, then nearer neighbor) live in
   // majority_label, shared with every NnIndex::query_one path.
-  return majority_label(k_nearest(query, std::max<std::size_t>(k, 1)));
+  return majority_label(k_nearest(query, k));
 }
 
 }  // namespace mcam::search

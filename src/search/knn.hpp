@@ -49,10 +49,24 @@ class ExactNnIndex {
   [[nodiscard]] Neighbor nearest(std::span<const float> query) const;
 
   /// The `k` nearest neighbors, sorted by increasing distance with a
-  /// deterministic insertion-order tie-break. `k` is clamped to `size()`:
-  /// an empty index or k = 0 yields an empty vector (never throws).
+  /// deterministic insertion-order tie-break. `k` follows the one NnIndex
+  /// k-convention (search/index.hpp): clamped to [1, size()], so k = 0
+  /// degenerates to 1-NN exactly as every `query_one` does. An empty
+  /// index yields an empty vector (never throws).
   [[nodiscard]] std::vector<Neighbor> k_nearest(std::span<const float> query,
                                                 std::size_t k) const;
+
+  /// The `k` nearest among the candidate rows in `ids` only (the rerank
+  /// primitive behind NnIndex::query_subset): same ordering, tie-break,
+  /// and k-convention as `k_nearest`, but only the named rows have their
+  /// distances evaluated. Duplicate, tombstoned, and out-of-range ids are
+  /// ignored; an empty surviving candidate set yields an empty vector.
+  /// When `live_candidates` is non-null it receives the number of unique
+  /// live ids that competed (the query_subset telemetry, reported from
+  /// the same single scan).
+  [[nodiscard]] std::vector<Neighbor> k_nearest_among(
+      std::span<const float> query, std::span<const std::size_t> ids, std::size_t k,
+      std::size_t* live_candidates = nullptr) const;
 
   /// Majority vote among the `k` nearest (`k` clamped to [1, size()]);
   /// ties break to the smaller distance sum, then to the nearer neighbor.

@@ -1,0 +1,117 @@
+#include "search/refine.hpp"
+
+#include "serve/io.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace mcam::search {
+
+TwoStageNnIndex::TwoStageNnIndex(std::unique_ptr<NnIndex> coarse,
+                                 std::unique_ptr<NnIndex> fine, TwoStageConfig config)
+    : coarse_(std::move(coarse)), fine_(std::move(fine)), config_(config) {
+  if (!coarse_ || !fine_) throw std::invalid_argument{"TwoStageNnIndex: null stage"};
+  if (config_.candidate_factor == 0) {
+    throw std::invalid_argument{"TwoStageNnIndex: zero candidate_factor"};
+  }
+}
+
+void TwoStageNnIndex::add(std::span<const std::vector<float>> rows,
+                          std::span<const int> labels) {
+  // Fine first: its capacity/validation errors must leave the coarse
+  // stage untouched so the id spaces never drift apart. The coarse TCAM
+  // is unbounded (the factory builds it with max_rows = 0), so its add
+  // cannot fail after the fine stage accepted the same batch.
+  fine_->add(rows, labels);
+  coarse_->add(rows, labels);
+}
+
+void TwoStageNnIndex::calibrate(std::span<const std::vector<float>> rows) {
+  fine_->calibrate(rows);
+  coarse_->calibrate(rows);
+}
+
+void TwoStageNnIndex::clear() {
+  fine_->clear();
+  coarse_->clear();
+}
+
+bool TwoStageNnIndex::erase(std::size_t id) {
+  const bool fine_erased = fine_->erase(id);
+  const bool coarse_erased = coarse_->erase(id);
+  if (fine_erased != coarse_erased) {
+    // Unreachable when all mutations route through this index; a drifted
+    // id space would silently serve rows one stage considers dead.
+    throw std::logic_error{"TwoStageNnIndex: stages disagree on erase(" +
+                           std::to_string(id) + ")"};
+  }
+  return fine_erased;
+}
+
+QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t k) const {
+  if (fine_->size() == 0) throw std::logic_error{"TwoStageNnIndex::query_one before add"};
+  const std::size_t kk = std::min(std::max<std::size_t>(k, 1), fine_->size());
+  if (config_.exhaustive_fallback) {
+    // Oracle path: the fine backend alone, verbatim (result and
+    // telemetry), so callers can A/B the pipeline against ground truth.
+    QueryResult result = fine_->query_one(query, kk);
+    result.telemetry.fine_candidates = result.telemetry.candidates;
+    return result;
+  }
+
+  // Stage 1: nominate the candidate_factor * k most-matching signatures.
+  const std::size_t want =
+      std::min(std::max(kk * config_.candidate_factor, kk), coarse_->size());
+  const QueryResult nominated = coarse_->query_one(query, want);
+  std::vector<std::size_t> ids;
+  ids.reserve(nominated.neighbors.size());
+  for (const Neighbor& neighbor : nominated.neighbors) ids.push_back(neighbor.index);
+
+  // Stage 2: precise rerank of the candidates only.
+  QueryResult result = fine_->query_subset(query, ids, kk);
+  result.telemetry.coarse_candidates = nominated.telemetry.candidates;
+  result.telemetry.fine_candidates = result.telemetry.candidates;
+  result.telemetry.candidates =
+      result.telemetry.coarse_candidates + result.telemetry.fine_candidates;
+  result.telemetry.sense_events += nominated.telemetry.sense_events;
+  result.telemetry.energy_j += nominated.telemetry.energy_j;
+  result.telemetry.banks_searched += nominated.telemetry.banks_searched;
+  return result;
+}
+
+std::string TwoStageNnIndex::name() const {
+  return "two-stage " + coarse_->name() + " -> " + fine_->name();
+}
+
+void TwoStageNnIndex::save_state(serve::io::Writer& out) const {
+  out.str("two-stage-v1");
+  out.u64(config_.candidate_factor);
+  out.u8(config_.exhaustive_fallback ? 1 : 0);
+  coarse_->save_state(out);
+  fine_->save_state(out);
+}
+
+void TwoStageNnIndex::load_state(serve::io::Reader& in) {
+  serve::io::expect_tag(in, "two-stage-v1");
+  const std::uint64_t factor = in.u64();
+  const std::uint8_t exhaustive = in.u8();
+  if (factor != config_.candidate_factor ||
+      (exhaustive != 0) != config_.exhaustive_fallback) {
+    throw serve::io::SnapshotError{
+        "two-stage config mismatch: snapshot has candidate_factor=" +
+        std::to_string(factor) + " exhaustive=" + std::to_string(exhaustive) +
+        ", engine has candidate_factor=" + std::to_string(config_.candidate_factor) +
+        " exhaustive=" + std::to_string(config_.exhaustive_fallback ? 1 : 0)};
+  }
+  coarse_->load_state(in);
+  fine_->load_state(in);
+}
+
+std::unique_ptr<NnIndex> make_two_stage(std::unique_ptr<NnIndex> coarse,
+                                        std::unique_ptr<NnIndex> fine,
+                                        TwoStageConfig config) {
+  return std::make_unique<TwoStageNnIndex>(std::move(coarse), std::move(fine), config);
+}
+
+}  // namespace mcam::search

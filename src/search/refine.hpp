@@ -1,0 +1,107 @@
+// Two-stage NN pipeline: a cheap TCAM-LSH Hamming prefilter in front of a
+// precise rerank stage.
+//
+// The paper's MCAM answers every query by charging *every* stored row's
+// matchline - exact, but at production scale the hot path should not pay
+// O(N) precise compares per query. SEE-MCAM and FeReX scale multi-bit
+// FeFET search with the same coarse-to-fine recipe this index implements:
+//
+//  1. coarse stage: binary LSH signatures in a TCAM. One Hamming search
+//     (a far cheaper array than the multi-bit MCAM) nominates the
+//     `candidate_factor * k` most-matching rows.
+//  2. fine stage: any NnIndex backend (monolithic or sharded, MCAM or
+//     software) reranks *only those candidates* via `query_subset` - only
+//     the candidate matchlines are precharged and sensed, so the precise
+//     stage's compare count and energy shrink by ~N / (candidate_factor*k).
+//
+// Both stages see the same add/erase/calibrate stream, so they share the
+// global insertion-order id space; a tombstoned row disappears from both
+// and can never be nominated or reranked.
+//
+// Recall is governed by `candidate_factor` (and the coarse signature
+// width): the fine stage can only return rows the coarse stage nominated,
+// so the pipeline trades recall for candidates compared
+// (bench_recall_qps sweeps the frontier). Setting `exhaustive_fallback`
+// bypasses the coarse stage entirely - queries are answered by the fine
+// backend alone, bit-identically, which is both the correctness oracle in
+// tests and the escape hatch for recall-critical deployments. With
+// `candidate_factor * k >= size()` the coarse stage nominates every live
+// row and the rerank is likewise bit-identical to the fine backend.
+//
+// Built via the factory as `refine:coarse_bits=...,candidate_factor=...,
+// fine=<spec>` (the `fine=` key consumes the rest of the spec, so the
+// fine stage can itself be a full spec, e.g. `fine=sharded-mcam:bits=2`).
+#pragma once
+
+#include "search/index.hpp"
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace mcam::search {
+
+/// Two-stage pipeline knobs.
+struct TwoStageConfig {
+  /// Coarse candidates nominated per requested k (clamped to the live row
+  /// count). Larger = better recall, more precise-stage compares.
+  std::size_t candidate_factor = 4;
+  /// Bypass the coarse stage: answer every query with the fine backend
+  /// alone (bit-identical to not wrapping it at all).
+  bool exhaustive_fallback = false;
+};
+
+/// Composite NnIndex: coarse prefilter stage + precise rerank stage.
+class TwoStageNnIndex final : public NnIndex {
+ public:
+  /// `coarse` nominates candidates (built as a TcamLshEngine by the
+  /// factory, but any NnIndex whose Neighbor ids share the insertion-order
+  /// convention works); `fine` answers. Throws std::invalid_argument on a
+  /// null stage or a zero candidate_factor.
+  TwoStageNnIndex(std::unique_ptr<NnIndex> coarse, std::unique_ptr<NnIndex> fine,
+                  TwoStageConfig config = TwoStageConfig{});
+
+  /// Routes the batch into the fine stage first (its bank-capacity errors
+  /// must leave the coarse stage untouched), then the coarse stage.
+  void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+  /// Calibrates both stages' encoders on the same rows.
+  void calibrate(std::span<const std::vector<float>> rows) override;
+  void clear() override;
+  /// Tombstones `id` in both stages so it can never be nominated again.
+  bool erase(std::size_t id) override;
+  [[nodiscard]] std::size_t size() const override { return fine_->size(); }
+
+  /// Coarse top-(candidate_factor * k) Hamming candidates, reranked by the
+  /// fine stage. Telemetry: `coarse_candidates` / `fine_candidates` report
+  /// the per-stage compare counts, `candidates` their sum, and `energy_j`
+  /// the combined (TCAM search + candidate-gated fine search) energy.
+  [[nodiscard]] QueryResult query_one(std::span<const float> query,
+                                      std::size_t k) const override;
+  [[nodiscard]] std::string name() const override;
+
+  /// Serializes both stages' payloads; restore rebuilds them through the
+  /// embedded factory recipe and is bit-identical (see the save_state
+  /// contract in search/index.hpp).
+  void save_state(serve::io::Writer& out) const override;
+  void load_state(serve::io::Reader& in) override;
+
+  /// The stages (for tests and diagnostics).
+  [[nodiscard]] const NnIndex& coarse() const noexcept { return *coarse_; }
+  [[nodiscard]] const NnIndex& fine() const noexcept { return *fine_; }
+  /// Pipeline configuration in use.
+  [[nodiscard]] const TwoStageConfig& config() const noexcept { return config_; }
+
+ private:
+  std::unique_ptr<NnIndex> coarse_;
+  std::unique_ptr<NnIndex> fine_;
+  TwoStageConfig config_;
+};
+
+/// Wraps the stages in a TwoStageNnIndex (convenience mirroring
+/// make_index / make_sharded).
+[[nodiscard]] std::unique_ptr<NnIndex> make_two_stage(std::unique_ptr<NnIndex> coarse,
+                                                      std::unique_ptr<NnIndex> fine,
+                                                      TwoStageConfig config = TwoStageConfig{});
+
+}  // namespace mcam::search

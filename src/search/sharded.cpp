@@ -82,21 +82,32 @@ void ShardedNnIndex::clear() {
   stats_ = ShardStats{};
 }
 
-std::size_t ShardedNnIndex::bank_of(std::size_t id) const {
+ShardedNnIndex::Location ShardedNnIndex::locate(std::size_t id) const {
+  // Bank id ranges are disjoint and ascending (ids are handed out in
+  // insertion order and dropped banks keep the order), so the first bank
+  // whose max id reaches `id` is the only candidate; the exact membership
+  // probe distinguishes a live slot from an id compacted out of that
+  // bank's range.
   for (std::size_t b = 0; b < banks_.size(); ++b) {
-    if (!banks_[b].ids.empty() && banks_[b].ids.back() >= id) return b;
+    const Bank& bank = banks_[b];
+    if (bank.ids.empty() || bank.ids.back() < id) continue;
+    const auto it = std::lower_bound(bank.ids.begin(), bank.ids.end(), id);
+    if (it != bank.ids.end() && *it == id) {
+      return Location{b, static_cast<std::size_t>(it - bank.ids.begin())};
+    }
+    break;
   }
-  return banks_.size();
+  return Location{banks_.size(), 0};
 }
+
+std::size_t ShardedNnIndex::bank_of(std::size_t id) const { return locate(id).bank; }
 
 bool ShardedNnIndex::erase(std::size_t id) {
   if (id >= next_id_) throw std::out_of_range{"ShardedNnIndex::erase: unknown id"};
-  const std::size_t b = bank_of(id);
-  if (b == banks_.size()) return false;  // Compacted away: already erased.
-  Bank& bank = banks_[b];
-  const auto it = std::lower_bound(bank.ids.begin(), bank.ids.end(), id);
-  if (it == bank.ids.end() || *it != id) return false;  // Compacted away.
-  const std::size_t slot = static_cast<std::size_t>(it - bank.ids.begin());
+  const Location where = locate(id);
+  if (where.bank == banks_.size()) return false;  // Compacted away: already erased.
+  Bank& bank = banks_[where.bank];
+  const std::size_t slot = where.slot;
   if (!bank.live[slot]) return false;
   bank.engine->erase(slot);  // Gate the row's validity latch in the bank.
   bank.live[slot] = 0;
@@ -105,7 +116,7 @@ bool ShardedNnIndex::erase(std::size_t id) {
   const std::size_t dead = bank.rows.size() - bank.live_count;
   if (static_cast<double>(dead) >
       config_.compact_dead_fraction * static_cast<double>(bank.rows.size())) {
-    compact(b);
+    compact(where.bank);
   }
   return true;
 }

@@ -113,6 +113,12 @@ class ShardedNnIndex final : public NnIndex {
 
   /// Number of banks currently allocated.
   [[nodiscard]] std::size_t num_banks() const noexcept { return banks_.size(); }
+  /// Current bank index holding global `id`, or num_banks() when the id's
+  /// slot is gone (compacted away, or its emptied bank was released).
+  /// Bank indices shift when an emptied bank is dropped - this is the
+  /// id -> bank mapping `erase` resolves through, exposed so tests can
+  /// pin the whole-bank-release edge cases.
+  [[nodiscard]] std::size_t bank_of(std::size_t id) const;
   /// Bank `b`'s engine (for tests and diagnostics).
   [[nodiscard]] const NnIndex& bank(std::size_t b) const { return *banks_.at(b).engine; }
   /// Cumulative mutation telemetry.
@@ -138,8 +144,14 @@ class ShardedNnIndex final : public NnIndex {
   Bank& new_bank();
   /// Reprograms bank `b` with only its live rows (or drops it when empty).
   void compact(std::size_t b);
-  /// Bank index holding global `id`, or banks_.size() when unknown.
-  [[nodiscard]] std::size_t bank_of(std::size_t id) const;
+  /// Where global `id` lives: bank index + slot within it. `bank ==
+  /// banks_.size()` when the slot is gone (compacted away or its bank
+  /// released); the one id -> location probe behind bank_of and erase.
+  struct Location {
+    std::size_t bank = 0;
+    std::size_t slot = 0;
+  };
+  [[nodiscard]] Location locate(std::size_t id) const;
   /// Resolved worker count for `num_banks` banks.
   [[nodiscard]] std::size_t workers_for(std::size_t num_banks) const;
 

@@ -8,17 +8,12 @@
 
 namespace mcam::serve {
 
-namespace {
-
-/// Nearest-rank percentile over an already-sorted sample.
-double percentile(const std::vector<double>& sorted, double p) {
+double nearest_rank_percentile(std::span<const double> sorted, double p) noexcept {
   if (sorted.empty()) return 0.0;
   const double rank = p / 100.0 * static_cast<double>(sorted.size());
   const auto idx = static_cast<std::size_t>(std::ceil(rank));
   return sorted[std::min(idx > 0 ? idx - 1 : 0, sorted.size() - 1)];
 }
-
-}  // namespace
 
 bool QueryService::CacheKey::operator==(const CacheKey& other) const {
   if (k != other.k || query.size() != other.query.size()) return false;
@@ -71,6 +66,23 @@ void QueryService::stop() {
 }
 
 std::future<QueryResponse> QueryService::submit(std::vector<float> query, std::size_t k) {
+  // One k-convention everywhere (search/index.hpp): k = 0 is 1-NN.
+  k = std::max<std::size_t>(k, 1);
+  std::size_t cache_k = k;
+  if (config_.cache_capacity > 0) {
+    // The *cache key* additionally clamps k to the index size, so every
+    // spelling of the same logical query (k = 0 vs 1, or any two k's past
+    // the index size) shares one entry. Only the key is clamped - the
+    // request executes with the raw k and the engine clamps at execution
+    // time, so a query racing a concurrent add still returns a
+    // serially-correct answer. This submit-time clamp feeds only the
+    // probe (stale at worst = a miss); the insert key is re-derived by
+    // the worker from the execution-time size, under the same lock that
+    // samples the cache generation, so a key can never disagree with the
+    // result cached under it.
+    std::shared_lock<std::shared_mutex> lock(index_mutex_);
+    if (index_.size() > 0) cache_k = std::min(cache_k, index_.size());
+  }
   std::promise<QueryResponse> promise;
   std::future<QueryResponse> future = promise.get_future();
   const auto submitted = std::chrono::steady_clock::now();
@@ -91,7 +103,7 @@ std::future<QueryResponse> QueryService::submit(std::vector<float> query, std::s
     }
   }
 
-  if (config_.cache_capacity > 0 && try_cache(query, k, promise, submitted)) {
+  if (config_.cache_capacity > 0 && try_cache(query, cache_k, promise, submitted)) {
     return future;
   }
 
@@ -174,9 +186,14 @@ void QueryService::worker_loop() {
 
     QueryResponse response;
     std::uint64_t generation = 0;
+    std::size_t cache_k = request.k;
     try {
       std::shared_lock<std::shared_mutex> lock(index_mutex_);
       generation = cache_generation_.load(std::memory_order_acquire);
+      // The insert key clamps k to the size the query actually executed
+      // against - read under the same lock as the generation, so the key
+      // always matches the cached result's neighbor count.
+      if (index_.size() > 0) cache_k = std::min(cache_k, index_.size());
       response.result = index_.query_one(request.query, request.k);
       response.status = RequestStatus::kOk;
     } catch (const std::exception& error) {
@@ -185,7 +202,7 @@ void QueryService::worker_loop() {
     }
 
     if (response.status == RequestStatus::kOk && config_.cache_capacity > 0) {
-      cache_insert(std::move(request.query), request.k, response.result, generation);
+      cache_insert(std::move(request.query), cache_k, response.result, generation);
     }
     record_completion(response.status == RequestStatus::kOk, request.submitted);
     request.promise.set_value(std::move(response));
@@ -288,9 +305,9 @@ ServiceStats QueryService::stats() const {
                                latency_window_ms_.begin() +
                                    static_cast<std::ptrdiff_t>(latency_count_));
     std::sort(sorted.begin(), sorted.end());
-    out.latency_p50_ms = percentile(sorted, 50.0);
-    out.latency_p95_ms = percentile(sorted, 95.0);
-    out.latency_p99_ms = percentile(sorted, 99.0);
+    out.latency_p50_ms = nearest_rank_percentile(sorted, 50.0);
+    out.latency_p95_ms = nearest_rank_percentile(sorted, 95.0);
+    out.latency_p99_ms = nearest_rank_percentile(sorted, 99.0);
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);

@@ -36,6 +36,7 @@
 #include <list>
 #include <mutex>
 #include <shared_mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -43,6 +44,13 @@
 #include <vector>
 
 namespace mcam::serve {
+
+/// Nearest-rank percentile over an already-sorted sample (the estimator
+/// behind ServiceStats' latency percentiles): the smallest element whose
+/// rank is >= ceil(p/100 * n). Returns 0 for an empty sample; with one
+/// sample every percentile is that sample. Exposed so the window-boundary
+/// behavior (exact fill, tiny windows, wraparound) is testable directly.
+[[nodiscard]] double nearest_rank_percentile(std::span<const double> sorted, double p) noexcept;
 
 /// Terminal state of a submitted request.
 enum class RequestStatus : std::uint8_t {
@@ -108,6 +116,12 @@ class QueryService {
 
   /// Submits one top-k query. Never blocks: the returned future is
   /// already resolved for cache hits, rejections, and post-stop submits.
+  /// The cache key uses `k` normalized to the NnIndex k-convention
+  /// (clamped to [1, size()], search/index.hpp), so the same logical
+  /// query never occupies two cache entries under k = 0 vs k = 1 or two
+  /// k's past the index size; execution itself passes the raw k through
+  /// and lets the engine clamp at execution time, which keeps answers
+  /// serially correct when a submit races a mutation.
   [[nodiscard]] std::future<QueryResponse> submit(std::vector<float> query, std::size_t k);
 
   /// Synchronous convenience: `submit(...).get()`.
@@ -130,7 +144,10 @@ class QueryService {
  private:
   struct Request {
     std::vector<float> query;
-    std::size_t k = 1;
+    std::size_t k = 1;  ///< Raw k (>= 1); engines clamp to size at execution,
+                        ///< and the worker derives the cache-key clamp from
+                        ///< the execution-time size under the same lock that
+                        ///< samples the cache generation.
     std::promise<QueryResponse> promise;
     std::chrono::steady_clock::time_point submitted;
   };

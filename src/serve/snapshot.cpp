@@ -22,6 +22,10 @@ void write_config(io::Writer& out, const search::EngineConfig& config) {
   out.u64(config.seed);
   out.u64(config.bank_rows);
   out.u64(config.shard_workers);
+  out.u64(config.coarse_bits);
+  out.u64(config.candidate_factor);
+  out.u8(config.refine_exhaustive ? 1 : 0);
+  out.str(config.fine_spec);
 }
 
 search::EngineConfig read_config(io::Reader& in) {
@@ -40,6 +44,10 @@ search::EngineConfig read_config(io::Reader& in) {
   config.seed = in.u64();
   config.bank_rows = in.u64();
   config.shard_workers = in.u64();
+  config.coarse_bits = in.u64();
+  config.candidate_factor = in.u64();
+  config.refine_exhaustive = in.u8() != 0;
+  config.fine_spec = in.str();
   return config;
 }
 

@@ -38,8 +38,10 @@
 
 namespace mcam::serve {
 
-/// Current snapshot format version.
-inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Current snapshot format version. v2 extended the embedded EngineConfig
+/// with the two-stage ("refine") fields: coarse_bits, candidate_factor,
+/// refine_exhaustive, fine_spec.
+inline constexpr std::uint32_t kSnapshotVersion = 2;
 
 /// Parsed snapshot header + embedded build recipe (no engine state).
 struct SnapshotInfo {

@@ -84,11 +84,20 @@ Histogram::Histogram(double lo, double hi, std::size_t bins) : lo_(lo), hi_(hi),
 }
 
 void Histogram::add(double x) noexcept {
-  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
-  auto idx = static_cast<long long>(std::floor(t));
-  idx = std::clamp<long long>(idx, 0, static_cast<long long>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
   ++total_;
+  if (!(x >= lo_)) {  // NaN counts as underflow rather than poisoning a bin.
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const double t = (x - lo_) / (hi_ - lo_) * static_cast<double>(counts_.size());
+  // In-range by the guards above; min() only absorbs FP rounding at hi.
+  const auto idx =
+      std::min(static_cast<std::size_t>(t), counts_.size() - 1);
+  ++counts_[idx];
 }
 
 void Histogram::add_all(std::span<const double> xs) noexcept {
@@ -110,6 +119,10 @@ std::string Histogram::to_ascii(std::size_t max_bar_width) const {
     char buf[32];
     std::snprintf(buf, sizeof(buf), "%8.4f", bin_center(i));
     out << buf << " |" << std::string(bar, '#') << " " << counts_[i] << "\n";
+  }
+  if (underflow_ > 0 || overflow_ > 0) {
+    out << "  out-of-range: " << underflow_ << " underflow (< " << lo_ << "), "
+        << overflow_ << " overflow (>= " << hi_ << ")\n";
   }
   return out.str();
 }

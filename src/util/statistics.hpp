@@ -56,7 +56,10 @@ class RunningStats {
 [[nodiscard]] double proportion_ci95(double p_hat, std::size_t n) noexcept;
 
 /// Fixed-width histogram over [lo, hi) with `bins` equal bins.
-/// Out-of-range samples are clamped into the first/last bin.
+/// Out-of-range samples are counted separately (underflow below lo,
+/// overflow at or above hi) instead of being clamped into the edge bins -
+/// clamping silently inflated the tails of the Fig. 5 / Fig. 8 variation
+/// sweeps whenever a sample escaped the plotted range.
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -72,11 +75,17 @@ class Histogram {
   [[nodiscard]] double bin_center(std::size_t i) const noexcept;
   /// Number of bins.
   [[nodiscard]] std::size_t bins() const noexcept { return counts_.size(); }
-  /// Total samples added.
+  /// Total samples added, out-of-range ones included.
   [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  /// Samples below lo (never mixed into bin 0).
+  [[nodiscard]] std::size_t underflow() const noexcept { return underflow_; }
+  /// Samples at or above hi (never mixed into the last bin).
+  [[nodiscard]] std::size_t overflow() const noexcept { return overflow_; }
 
   /// Renders a compact ASCII bar chart (one line per bin), used by the
-  /// variation bench to print the Fig. 5 histograms.
+  /// variation bench to print the Fig. 5 histograms. Out-of-range counts
+  /// are reported on a trailing line so a truncated plotting range is
+  /// visible instead of masquerading as fat tails.
   [[nodiscard]] std::string to_ascii(std::size_t max_bar_width = 50) const;
 
  private:
@@ -84,6 +93,8 @@ class Histogram {
   double hi_;
   std::vector<std::size_t> counts_;
   std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
 };
 
 /// Least-squares fit of y = a + b*x. Returns {a, b}. Requires >= 2 points.

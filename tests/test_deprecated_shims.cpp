@@ -68,6 +68,7 @@ TEST(NnIndexLegacyShims, PredictMatchesTopOneForEveryBackend) {
     EngineConfig config;
     config.num_features = 6;
     config.bank_rows = name.rfind("sharded-", 0) == 0 ? 8 : 0;
+    if (name == "refine") config.fine_spec = "euclidean";
     auto index = make_index(name, config);
     index->add(blobs.train, blobs.train_labels);
     for (const auto& q : blobs.queries) {

@@ -227,7 +227,9 @@ TEST(EngineFactoryRegistry, RoundTripsEveryRegisteredName) {
   EngineConfig config;
   config.num_features = 8;
   for (const std::string& name : EngineFactory::instance().registered_names()) {
-    auto index = make_index(name, config);
+    EngineConfig engine_config = config;
+    if (name == "refine") engine_config.fine_spec = "euclidean";
+    auto index = make_index(name, engine_config);
     ASSERT_NE(index, nullptr) << name;
     EXPECT_FALSE(index->name().empty()) << name;
     index->add(blobs.train, blobs.train_labels);

@@ -90,14 +90,21 @@ TEST(ExactNnIndex, KLargerThanSizeClamps) {
   EXPECT_EQ(index.k_nearest(std::vector<float>{0.2f}, 10).size(), 2u);
 }
 
-TEST(ExactNnIndex, KNearestOnEmptyIndexOrZeroKIsEmpty) {
-  // Regression: k_nearest clamps instead of throwing - an empty index (or
-  // k = 0) yields no neighbors, so callers can size k freely.
+TEST(ExactNnIndex, KNearestFollowsTheOneKConvention) {
+  // Regression (k-convention drift): every query_one normalized k = 0 to
+  // 1-NN while k_nearest returned {} - so the same logical query could
+  // produce two different answers (and two service-cache entries) under
+  // k = 0 and k = 1. One contract now (search/index.hpp): k is clamped to
+  // [1, size()], and only an empty index yields no neighbors.
   ExactNnIndex empty{distance::metric_by_name("euclidean")};
   EXPECT_TRUE(empty.k_nearest(std::vector<float>{1.0f}, 3).empty());
   ExactNnIndex index{distance::metric_by_name("euclidean")};
   index.add({0.0f}, 0);
-  EXPECT_TRUE(index.k_nearest(std::vector<float>{1.0f}, 0).empty());
+  const auto zero_k = index.k_nearest(std::vector<float>{1.0f}, 0);
+  const auto one_k = index.k_nearest(std::vector<float>{1.0f}, 1);
+  ASSERT_EQ(zero_k.size(), 1u);
+  EXPECT_EQ(zero_k.front().index, one_k.front().index);
+  EXPECT_EQ(zero_k.front().distance, one_k.front().distance);
 }
 
 TEST(ExactNnIndex, KNearestTiesBreakByInsertionOrder) {

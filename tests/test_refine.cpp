@@ -1,0 +1,381 @@
+// Two-stage pipeline invariants (search/refine.hpp): with the exhaustive
+// fallback on - or with candidate_factor large enough that the coarse
+// stage nominates every live row - TwoStageNnIndex is bit-identical to
+// its fine backend alone, for every factory backend; query_subset
+// overrides match the default filtered-full-ranking implementation;
+// erase routes into both stages; the refine:* spec syntax (fine= consumes
+// the rest of the spec) parses and round-trips through snapshots and the
+// QueryService; telemetry reports coarse/fine candidate counts and the
+// combined energy. Plus the one-k-convention property (k = 0 == k = 1)
+// across every registered backend.
+#include "search/refine.hpp"
+
+#include "cam/lut.hpp"
+#include "energy/model.hpp"
+#include "experiments/lut_engine.hpp"
+#include "search/engine.hpp"
+#include "search/factory.hpp"
+#include "search/sharded.hpp"
+#include "serve/service.hpp"
+#include "serve/snapshot.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mcam::search {
+namespace {
+
+struct Data {
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  std::vector<std::vector<float>> queries;
+};
+
+Data make_data(std::size_t n, std::size_t dim, std::size_t num_queries,
+               std::uint64_t seed) {
+  Data data;
+  Rng rng{seed};
+  const auto sample = [&](int cls) {
+    std::vector<float> v(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(rng.normal(cls * 1.5 + (i % 3) * 0.3, 0.8));
+    }
+    return v;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    const int cls = static_cast<int>(r % 4);
+    data.rows.push_back(sample(cls));
+    data.labels.push_back(cls);
+  }
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    data.queries.push_back(sample(static_cast<int>(q % 4)));
+  }
+  return data;
+}
+
+void expect_identical(const QueryResult& two_stage, const QueryResult& fine_alone,
+                      const std::string& context) {
+  EXPECT_EQ(two_stage.label, fine_alone.label) << context;
+  ASSERT_EQ(two_stage.neighbors.size(), fine_alone.neighbors.size()) << context;
+  for (std::size_t i = 0; i < fine_alone.neighbors.size(); ++i) {
+    EXPECT_EQ(two_stage.neighbors[i].index, fine_alone.neighbors[i].index)
+        << context << " rank " << i;
+    EXPECT_EQ(two_stage.neighbors[i].label, fine_alone.neighbors[i].label)
+        << context << " rank " << i;
+    EXPECT_EQ(two_stage.neighbors[i].distance, fine_alone.neighbors[i].distance)
+        << context << " rank " << i;  // Exact: same conductances / metrics.
+  }
+}
+
+/// Every backend key the registry offers monolithically.
+const std::vector<std::string>& backend_keys() {
+  static const std::vector<std::string> keys{
+      "mcam3", "mcam2", "mcam", "tcam-lsh", "cosine", "euclidean", "manhattan", "linf"};
+  return keys;
+}
+
+TEST(TwoStageIdentity, ExhaustiveFallbackIsBitIdenticalPerFactoryBackend) {
+  // Acceptance: with the fallback on, the pipeline answers with the fine
+  // backend alone - result AND telemetry verbatim - for every backend.
+  const Data data = make_data(80, 8, 5, 211);
+  for (const std::string& key : backend_keys()) {
+    EngineConfig config;
+    config.num_features = 8;
+    auto fine_alone = make_index(key, config);
+    EngineConfig refine_config = config;
+    refine_config.fine_spec = key;
+    refine_config.coarse_bits = 16;
+    refine_config.candidate_factor = 2;
+    refine_config.refine_exhaustive = true;
+    auto two_stage = make_index("refine", refine_config);
+
+    fine_alone->add(data.rows, data.labels);
+    two_stage->add(data.rows, data.labels);
+    EXPECT_EQ(two_stage->size(), fine_alone->size()) << key;
+
+    for (const auto& q : data.queries) {
+      for (std::size_t k : {std::size_t{1}, std::size_t{7}, std::size_t{80}}) {
+        const QueryResult ours = two_stage->query_one(q, k);
+        const QueryResult theirs = fine_alone->query_one(q, k);
+        expect_identical(ours, theirs, key + " fallback k=" + std::to_string(k));
+        EXPECT_EQ(ours.telemetry.candidates, theirs.telemetry.candidates) << key;
+        EXPECT_EQ(ours.telemetry.energy_j, theirs.telemetry.energy_j) << key;
+        EXPECT_EQ(ours.telemetry.coarse_candidates, 0u) << key;
+      }
+    }
+  }
+}
+
+TEST(TwoStageIdentity, FullCandidateSetIsBitIdenticalPerFactoryBackend) {
+  // Acceptance: with candidate_factor high enough the coarse stage
+  // nominates every live row, and the rerank (query_subset) must
+  // reproduce the fine backend's native ranking exactly - including for a
+  // sharded fine stage and after erases.
+  const Data data = make_data(60, 8, 4, 223);
+  for (const std::string& key : backend_keys()) {
+    for (const bool sharded_fine : {false, true}) {
+      const std::string fine_key = sharded_fine ? "sharded-" + key : key;
+      EngineConfig config;
+      config.num_features = 8;
+      config.bank_rows = sharded_fine ? 16 : 0;
+      config.shard_workers = 1;
+      auto fine_alone = make_index(fine_key, config);
+      EngineConfig refine_config = config;
+      refine_config.fine_spec = fine_key;
+      refine_config.coarse_bits = 24;
+      refine_config.candidate_factor = 1000;  // Nominates every live row.
+      auto two_stage = make_index("refine", refine_config);
+
+      fine_alone->add(data.rows, data.labels);
+      two_stage->add(data.rows, data.labels);
+      for (std::size_t id : {std::size_t{3}, std::size_t{17}, std::size_t{42}}) {
+        EXPECT_EQ(fine_alone->erase(id), two_stage->erase(id)) << fine_key;
+      }
+
+      for (const auto& q : data.queries) {
+        for (std::size_t k : {std::size_t{1}, std::size_t{5}, std::size_t{57}}) {
+          expect_identical(two_stage->query_one(q, k), fine_alone->query_one(q, k),
+                           fine_key + " full-candidates k=" + std::to_string(k));
+        }
+      }
+    }
+  }
+}
+
+TEST(TwoStageQuery, SubsetOverrideMatchesDefaultImplementation) {
+  // SoftwareNnEngine overrides query_subset with a candidates-only scan;
+  // it must be bit-identical (result and telemetry) to the generic
+  // filtered-full-ranking default, which McamNnEngine exercises here via
+  // an equivalent-ranking metric check on the same candidate set.
+  const Data data = make_data(50, 6, 4, 229);
+  SoftwareNnEngine engine{"euclidean"};
+  engine.add(data.rows, data.labels);
+  ASSERT_TRUE(engine.erase(7));
+  const std::vector<std::size_t> ids{1, 7, 3, 3, 11, 29, 44, 49, 999};  // dup/dead/bogus
+  for (const auto& q : data.queries) {
+    const QueryResult fast = engine.query_subset(q, ids, 4);
+    const QueryResult slow = engine.NnIndex::query_subset(q, ids, 4);
+    expect_identical(fast, slow, "software subset override");
+    EXPECT_EQ(fast.telemetry.candidates, slow.telemetry.candidates);
+    EXPECT_EQ(fast.telemetry.candidates, 6u);  // 7 erased, 3 duped, 999 unknown.
+    EXPECT_EQ(fast.telemetry.sense_events, slow.telemetry.sense_events);
+  }
+  // Degenerate candidate sets fail loudly instead of returning nothing.
+  EXPECT_THROW((void)engine.query_subset(data.queries[0], {}, 3), std::invalid_argument);
+  const std::vector<std::size_t> dead{7};
+  EXPECT_THROW((void)engine.query_subset(data.queries[0], dead, 3), std::invalid_argument);
+}
+
+TEST(TwoStageQuery, SubsetEnergyChargesOnlyTheCandidateFraction) {
+  const Data data = make_data(40, 6, 1, 233);
+  EngineConfig config;
+  config.num_features = 6;
+  auto mcam = make_index("mcam3", config);
+  mcam->add(data.rows, data.labels);
+  const QueryResult full = mcam->query_one(data.queries[0], 4);
+  const std::vector<std::size_t> ids{0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const QueryResult subset = mcam->query_subset(data.queries[0], ids, 4);
+  EXPECT_EQ(subset.telemetry.candidates, 10u);
+  EXPECT_GT(subset.telemetry.energy_j, 0.0);
+  // The MCAM search energy model is linear in rows: 10/40 of the full pay.
+  EXPECT_NEAR(subset.telemetry.energy_j, full.telemetry.energy_j * 10.0 / 40.0,
+              1e-12 * full.telemetry.energy_j);
+}
+
+TEST(TwoStageMutation, EraseRoutesIntoBothStagesAndTombstonesNominations) {
+  // An erased row must be gone from the coarse nominations too: with
+  // candidate_factor = 1 and k = 1, serving a stale coarse hit would
+  // surface immediately as a dead id in the answer.
+  const Data data = make_data(30, 6, 6, 239);
+  EngineConfig config;
+  config.num_features = 6;
+  config.fine_spec = "mcam3";
+  config.coarse_bits = 32;
+  config.candidate_factor = 1;
+  auto index = make_index("refine", config);
+  index->add(data.rows, data.labels);
+
+  const auto& two_stage = dynamic_cast<const TwoStageNnIndex&>(*index);
+  EXPECT_EQ(two_stage.coarse().size(), 30u);
+  EXPECT_EQ(two_stage.fine().size(), 30u);
+
+  std::set<std::size_t> erased;
+  Rng rng{17};
+  for (int e = 0; e < 12; ++e) {
+    const std::size_t id = rng.index(30);
+    EXPECT_EQ(index->erase(id), erased.insert(id).second);
+  }
+  EXPECT_EQ(index->size(), 30 - erased.size());
+  EXPECT_EQ(two_stage.coarse().size(), index->size());
+  for (const auto& q : data.queries) {
+    const QueryResult result = index->query_one(q, 3);
+    for (const Neighbor& n : result.neighbors) {
+      EXPECT_FALSE(erased.count(n.index)) << "tombstoned id " << n.index << " served";
+    }
+  }
+  EXPECT_THROW((void)index->erase(30), std::out_of_range);
+  // clear() empties both stages; the next add recalibrates both.
+  index->clear();
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_EQ(two_stage.coarse().size(), 0u);
+  index->add(data.rows, data.labels);
+  EXPECT_EQ(index->size(), 30u);
+}
+
+TEST(TwoStageTelemetry, ReportsPerStageCandidatesAndCombinedEnergy) {
+  // Geometry where the prefilter pays off in the energy model: a narrow
+  // (8-bit) binary TCAM sweep plus 20 reranked multi-bit matchlines vs
+  // charging all 120 of the 32-cell MCAM's matchlines.
+  const Data data = make_data(120, 32, 3, 241);
+  EngineConfig config;
+  config.num_features = 32;
+  config.fine_spec = "mcam3";
+  config.coarse_bits = 8;
+  config.candidate_factor = 4;
+  auto index = make_index("refine", config);
+  index->add(data.rows, data.labels);
+
+  EngineConfig fine_config;
+  fine_config.num_features = 32;
+  auto fine_alone = make_index("mcam3", fine_config);
+  fine_alone->add(data.rows, data.labels);
+
+  const double coarse_energy =
+      energy::ArrayEnergyModel{energy::ArrayParams{}}.tcam_search_energy(120, 8);
+  for (const auto& q : data.queries) {
+    const QueryTelemetry t = index->query_one(q, 5).telemetry;
+    EXPECT_EQ(t.coarse_candidates, 120u);  // The TCAM still scans every row...
+    EXPECT_EQ(t.fine_candidates, 20u);     // ...but the MCAM reranks only 4*5.
+    EXPECT_EQ(t.candidates, 140u);
+    EXPECT_EQ(t.banks_searched, 2u);
+
+    // Combined energy = full TCAM sweep + candidate-gated MCAM search.
+    const QueryTelemetry exhaustive = fine_alone->query_one(q, 5).telemetry;
+    const double expected = coarse_energy + exhaustive.energy_j * 20.0 / 120.0;
+    EXPECT_NEAR(t.energy_j, expected, 1e-9 * expected);
+    // And it is the measurable win of the whole exercise.
+    EXPECT_LT(t.energy_j, 0.7 * exhaustive.energy_j);
+  }
+}
+
+TEST(TwoStageSpec, FineKeyConsumesTheRestOfTheSpec) {
+  const EngineSpec spec = parse_engine_spec(
+      "refine:coarse_bits=64,candidate_factor=8,fine=sharded-mcam:bits=2,bank_rows=16");
+  EXPECT_EQ(spec.name, "refine");
+  EXPECT_EQ(spec.config.coarse_bits, 64u);
+  EXPECT_EQ(spec.config.candidate_factor, 8u);
+  // Everything after fine= belongs to the nested spec, commas included.
+  EXPECT_EQ(spec.config.fine_spec, "sharded-mcam:bits=2,bank_rows=16");
+
+  const EngineSpec exhaustive = parse_engine_spec("refine:exhaustive=1,fine=euclidean");
+  EXPECT_TRUE(exhaustive.config.refine_exhaustive);
+  EXPECT_EQ(exhaustive.config.fine_spec, "euclidean");
+
+  EXPECT_THROW((void)parse_engine_spec("refine:fine="), std::invalid_argument);
+  EXPECT_THROW((void)parse_engine_spec("refine:candidate_factor=banana,fine=mcam3"),
+               std::invalid_argument);
+  // A refine engine without a fine stage is a configuration error.
+  EngineConfig config;
+  config.num_features = 4;
+  EXPECT_THROW((void)make_index("refine", config), std::invalid_argument);
+  EXPECT_THROW((void)make_index("refine:coarse_bits=16", config), std::invalid_argument);
+}
+
+TEST(TwoStageSpec, BuildsNestedShardedFineStageFromOneSpecString) {
+  const Data data = make_data(70, 6, 3, 251);
+  EngineConfig config;
+  config.num_features = 6;
+  auto index = make_index(
+      "refine:coarse_bits=32,candidate_factor=1000,fine=sharded-mcam:bits=2,bank_rows=16",
+      config);
+  index->add(data.rows, data.labels);
+  EXPECT_NE(index->name().find("two-stage"), std::string::npos);
+  EXPECT_NE(index->name().find("2-bit MCAM"), std::string::npos);
+
+  auto fine_alone = make_index("sharded-mcam:bits=2,bank_rows=16", config);
+  fine_alone->add(data.rows, data.labels);
+  for (const auto& q : data.queries) {
+    expect_identical(index->query_one(q, 5), fine_alone->query_one(q, 5),
+                     "nested sharded fine stage");
+  }
+}
+
+TEST(TwoStageServing, SnapshotRoundTripsThroughQueryService) {
+  // Acceptance: a refine:* index snapshot-restores through the service
+  // with identical answers.
+  const std::string spec =
+      "refine:coarse_bits=48,candidate_factor=4,fine=sharded-mcam3:bank_rows=24";
+  const Data data = make_data(90, 6, 6, 257);
+  EngineConfig config;
+  config.num_features = 6;
+  auto original = make_index(spec, config);
+  original->add(data.rows, data.labels);
+  for (std::size_t id : {std::size_t{4}, std::size_t{40}, std::size_t{77}}) {
+    ASSERT_TRUE(original->erase(id));
+  }
+
+  const std::vector<std::uint8_t> blob = serve::save(*original, spec, config);
+  const serve::SnapshotInfo info = serve::inspect(blob);
+  EXPECT_EQ(info.engine, "refine");
+  EXPECT_EQ(info.config.coarse_bits, 48u);
+  EXPECT_EQ(info.config.candidate_factor, 4u);
+  EXPECT_EQ(info.config.fine_spec, "sharded-mcam3:bank_rows=24");
+
+  auto restored = serve::load(blob);
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->size(), original->size());
+
+  serve::QueryServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.cache_capacity = 8;
+  serve::QueryService service{*restored, service_config};
+  for (const auto& q : data.queries) {
+    const serve::QueryResponse response = service.query_one(q, 5);
+    ASSERT_EQ(response.status, serve::RequestStatus::kOk);
+    expect_identical(response.result, original->query_one(q, 5), "served restore");
+  }
+  // Mutations through the service keep both stages in sync post-restore.
+  ASSERT_TRUE(service.erase(50));
+  const serve::QueryResponse after = service.query_one(data.queries[0], restored->size());
+  ASSERT_EQ(after.status, serve::RequestStatus::kOk);
+  for (const Neighbor& n : after.result.neighbors) EXPECT_NE(n.index, 50u);
+}
+
+TEST(KConvention, ZeroKEqualsOneKForEveryRegisteredBackend) {
+  // The k-convention satellite: k = 0 normalizes to 1-NN identically for
+  // all five backends, the sharded twins, and the two-stage pipeline.
+  const Data data = make_data(40, 6, 4, 263);
+  for (const std::string& name : EngineFactory::instance().registered_names()) {
+    EngineConfig config;
+    config.num_features = 6;
+    config.bank_rows = name.rfind("sharded-", 0) == 0 ? 8 : 0;
+    config.shard_workers = 1;
+    if (name == "refine") config.fine_spec = "euclidean";
+    auto index = make_index(name, config);
+    index->add(data.rows, data.labels);
+    for (const auto& q : data.queries) {
+      expect_identical(index->query_one(q, 0), index->query_one(q, 1),
+                       name + " k=0 vs k=1");
+      EXPECT_EQ(index->query_one(q, 0).neighbors.size(), 1u) << name;
+    }
+  }
+  // The LUT engine is not a registry builtin (it needs a conductance
+  // table) but is the fifth backend bound by the same contract.
+  experiments::McamLutEngine lut_engine{
+      cam::ConductanceLut::nominal(fefet::LevelMap{2}), 2};
+  lut_engine.add(data.rows, data.labels);
+  for (const auto& q : data.queries) {
+    expect_identical(lut_engine.query_one(q, 0), lut_engine.query_one(q, 1),
+                     "mcam-lut k=0 vs k=1");
+  }
+}
+
+}  // namespace
+}  // namespace mcam::search

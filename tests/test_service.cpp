@@ -249,6 +249,7 @@ TEST(Tombstones, EraseIsNeverServedFromAnyPath) {
     config.num_features = 5;
     config.bank_rows = name.rfind("sharded-", 0) == 0 ? 16 : 0;
     config.shard_workers = 1;
+    if (name == "refine") config.fine_spec = "euclidean";
     auto index = search::make_index(name, config);
     index->add(data.rows, data.labels);
     const std::size_t victim = 11;
@@ -358,6 +359,131 @@ TEST(QueryService, MutationsInterleavedWithConcurrentClientsStaySane) {
   ASSERT_EQ(final_state.status, RequestStatus::kOk);
   for (const auto& n : final_state.result.neighbors) {
     EXPECT_GE(n.index, extra.rows.size());
+  }
+}
+
+TEST(KConvention, CacheNormalizesZeroKToOneNn) {
+  // Satellite (k-convention drift): the cache key includes k, so without
+  // normalization the same logical query was cached twice - and answered
+  // twice - under k = 0 and k = 1. The probe now sees one key.
+  const Data data = make_data(30, 4, 1, 431);
+  EngineConfig config;
+  config.num_features = 4;
+  auto index = search::make_index("euclidean", config);
+  index->add(data.rows, data.labels);
+
+  QueryServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.cache_capacity = 8;
+  QueryService service{*index, service_config};
+
+  const QueryResponse via_zero = service.query_one(data.queries[0], 0);
+  ASSERT_EQ(via_zero.status, RequestStatus::kOk);
+  EXPECT_FALSE(via_zero.cache_hit);
+  ASSERT_EQ(via_zero.result.neighbors.size(), 1u);  // k = 0 -> 1-NN.
+
+  const QueryResponse via_one = service.query_one(data.queries[0], 1);
+  ASSERT_EQ(via_one.status, RequestStatus::kOk);
+  EXPECT_TRUE(via_one.cache_hit) << "k=0 and k=1 must share one cache entry";
+  expect_identical(via_one.result, via_zero.result, "k=0/k=1 cache unification");
+
+  // The upper bound normalizes too: any k past size() is the same
+  // logical full-index query and must share one cache entry.
+  const QueryResponse via_forty = service.query_one(data.queries[0], 40);
+  ASSERT_EQ(via_forty.status, RequestStatus::kOk);
+  EXPECT_FALSE(via_forty.cache_hit);
+  EXPECT_EQ(via_forty.result.neighbors.size(), 30u);
+  const QueryResponse via_thirty_one = service.query_one(data.queries[0], 31);
+  ASSERT_EQ(via_thirty_one.status, RequestStatus::kOk);
+  EXPECT_TRUE(via_thirty_one.cache_hit) << "k>size must normalize to one cache entry";
+  expect_identical(via_thirty_one.result, via_forty.result, "k>size cache unification");
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.cache_lookups, 4u);
+  EXPECT_EQ(stats.cache_hits, 2u);
+}
+
+TEST(LatencyWindow, NearestRankPercentileBoundaries) {
+  // The estimator behind ServiceStats percentiles, pinned at the window
+  // boundaries the sliding window actually produces.
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile({}, 99.0), 0.0);  // Empty window.
+  // One sample: every percentile is that sample.
+  const std::vector<double> one{7.5};
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(one, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(one, 99.0), 7.5);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(one, 0.0), 7.5);
+  // Two samples: p50 is the first (rank ceil(1.0) = 1), p99 the second
+  // (rank ceil(1.98) = 2) - nearest-rank never interpolates.
+  const std::vector<double> two{1.0, 9.0};
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(two, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(two, 51.0), 9.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(two, 95.0), 9.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(two, 99.0), 9.0);
+  // Exactly full window: every rank reachable, p100 = max, p0 = min.
+  const std::vector<double> four{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(four, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(four, 25.0), 1.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(four, 26.0), 2.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(four, 75.0), 3.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(four, 99.0), 4.0);
+  EXPECT_DOUBLE_EQ(nearest_rank_percentile(four, 100.0), 4.0);
+}
+
+TEST(LatencyWindow, TinyWindowsAndExactFillAndWraparound) {
+  const Data data = make_data(20, 4, 3, 433);
+  EngineConfig config;
+  config.num_features = 4;
+  auto index = search::make_index("euclidean", config);
+  index->add(data.rows, data.labels);
+
+  {
+    // Window of 1: the percentiles collapse onto the single retained
+    // sample, p50 == p95 == p99, even after many completions overwrite it.
+    QueryServiceConfig service_config;
+    service_config.workers = 1;
+    service_config.latency_window = 1;
+    QueryService service{*index, service_config};
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_EQ(service.query_one(data.queries[0], 2).status, RequestStatus::kOk);
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, 5u);
+    EXPECT_GT(stats.latency_p50_ms, 0.0);
+    EXPECT_DOUBLE_EQ(stats.latency_p50_ms, stats.latency_p95_ms);
+    EXPECT_DOUBLE_EQ(stats.latency_p95_ms, stats.latency_p99_ms);
+  }
+  {
+    // Window of 2 at exact fill (latency_count_ == window): both samples
+    // participate, p50 = the smaller, p99 = the larger.
+    QueryServiceConfig service_config;
+    service_config.workers = 1;
+    service_config.latency_window = 2;
+    QueryService service{*index, service_config};
+    ASSERT_EQ(service.query_one(data.queries[0], 2).status, RequestStatus::kOk);
+    ASSERT_EQ(service.query_one(data.queries[1], 2).status, RequestStatus::kOk);
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, 2u);
+    EXPECT_GT(stats.latency_p50_ms, 0.0);
+    EXPECT_LE(stats.latency_p50_ms, stats.latency_p95_ms);
+    EXPECT_DOUBLE_EQ(stats.latency_p95_ms, stats.latency_p99_ms);
+  }
+  {
+    // Wraparound: more completions than the window; the ring overwrites
+    // the oldest samples, the count saturates at the window size, and the
+    // percentile invariants keep holding (no stale zero-initialized slots
+    // drag p50 to 0 once the window has been filled).
+    QueryServiceConfig service_config;
+    service_config.workers = 1;
+    service_config.latency_window = 4;
+    QueryService service{*index, service_config};
+    for (int i = 0; i < 11; ++i) {
+      ASSERT_EQ(service.query_one(data.queries[i % 3], 3).status, RequestStatus::kOk);
+    }
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, 11u);
+    EXPECT_GT(stats.latency_p50_ms, 0.0);
+    EXPECT_LE(stats.latency_p50_ms, stats.latency_p95_ms);
+    EXPECT_LE(stats.latency_p95_ms, stats.latency_p99_ms);
   }
 }
 

@@ -11,6 +11,7 @@
 #include "search/batch.hpp"
 #include "search/engine.hpp"
 #include "search/factory.hpp"
+#include "serve/io.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
@@ -229,6 +230,110 @@ TEST(ShardedMutation, CompactionReprogramsAndDropsEmptyBanks) {
   for (const Neighbor& n : result.neighbors) EXPECT_GE(n.index, 4u);
   // Erasing a compacted-away id reports "already erased", not an error.
   EXPECT_FALSE(index.erase(2));
+}
+
+TEST(ShardedMutation, WholeBankReleaseKeepsIdMappingEraseAndQueriesCorrect) {
+  // Regression for the whole-bank release path: compact() erases an
+  // emptied bank from banks_, shifting every later bank index. The
+  // id -> bank mapping, erase semantics, queries, and a snapshot
+  // round-trip must all stay correct for ids both older and newer than
+  // the released bank.
+  const Data data = make_data(24, 4, 2, 151);
+  EngineConfig config;
+  config.num_features = 4;
+  config.bank_rows = 8;  // Banks: ids [0,8), [8,16), [16,24).
+  config.shard_workers = 1;
+  auto index = make_index("sharded-euclidean", config);
+  index->add(data.rows, data.labels);
+  auto& sharded = dynamic_cast<ShardedNnIndex&>(*index);
+  ASSERT_EQ(sharded.num_banks(), 3u);
+  EXPECT_EQ(sharded.bank_of(3), 0u);
+  EXPECT_EQ(sharded.bank_of(12), 1u);
+  EXPECT_EQ(sharded.bank_of(20), 2u);
+
+  // Erase the middle bank to empty: it must be released outright.
+  for (std::size_t id = 8; id < 16; ++id) EXPECT_TRUE(index->erase(id));
+  ASSERT_EQ(sharded.num_banks(), 2u);
+  EXPECT_EQ(index->size(), 16u);
+
+  // The mapping re-resolves across the shifted bank indices: older ids
+  // stay in bank 0, newer ids now live at bank index 1, released ids map
+  // nowhere.
+  EXPECT_EQ(sharded.bank_of(3), 0u);
+  for (std::size_t id = 8; id < 16; ++id) {
+    EXPECT_EQ(sharded.bank_of(id), sharded.num_banks()) << id;
+  }
+  EXPECT_EQ(sharded.bank_of(20), 1u);
+
+  // Erase semantics across the shift: released ids report "already
+  // erased" (never out_of_range, never a mis-mapped live row); older and
+  // newer ids still tombstone exactly once.
+  EXPECT_FALSE(index->erase(12));
+  EXPECT_TRUE(index->erase(2));
+  EXPECT_FALSE(index->erase(2));
+  EXPECT_TRUE(index->erase(21));
+  EXPECT_FALSE(index->erase(21));
+  EXPECT_THROW((void)index->erase(24), std::out_of_range);
+  EXPECT_EQ(index->size(), 14u);
+
+  // Queries only ever surface surviving ids, identical to a monolithic
+  // engine with the same erase history.
+  auto monolithic = make_index("euclidean", EngineConfig{});
+  monolithic->add(data.rows, data.labels);
+  for (std::size_t id : {std::size_t{8},  std::size_t{9},  std::size_t{10},
+                         std::size_t{11}, std::size_t{12}, std::size_t{13},
+                         std::size_t{14}, std::size_t{15}, std::size_t{2},
+                         std::size_t{21}}) {
+    ASSERT_TRUE(monolithic->erase(id));
+  }
+  for (const auto& q : data.queries) {
+    expect_identical(index->query_one(q, 14), monolithic->query_one(q, 14),
+                     "post-release query");
+  }
+
+  // And the state snapshot-restores with the released bank still gone.
+  serve::io::Writer writer;
+  index->save_state(writer);
+  auto restored = make_index("sharded-euclidean", config);
+  serve::io::Reader reader{writer.buffer()};
+  restored->load_state(reader);
+  auto& restored_sharded = dynamic_cast<ShardedNnIndex&>(*restored);
+  EXPECT_EQ(restored_sharded.num_banks(), 2u);
+  EXPECT_EQ(restored_sharded.bank_of(3), 0u);
+  EXPECT_EQ(restored_sharded.bank_of(12), restored_sharded.num_banks());
+  EXPECT_EQ(restored_sharded.bank_of(20), 1u);
+  EXPECT_FALSE(restored->erase(12));
+  for (const auto& q : data.queries) {
+    expect_identical(restored->query_one(q, 14), index->query_one(q, 14),
+                     "post-release restore");
+  }
+  // Ids keep growing monotonically past the released bank after restore.
+  restored->add(std::span{data.rows}.subspan(0, 2), std::span{data.labels}.subspan(0, 2));
+  EXPECT_EQ(restored_sharded.bank_of(24), restored_sharded.num_banks() - 1);
+  EXPECT_EQ(restored->size(), 16u);
+}
+
+TEST(ShardedMutation, BankOfDistinguishesCompactedIdsInsideASurvivingBank) {
+  // bank_of must not report a bank that merely *spans* the id: an id
+  // compacted out of a surviving bank's range maps nowhere.
+  const Data data = make_data(8, 4, 1, 157);
+  ShardedConfig config;
+  config.bank_rows = 4;
+  config.workers = 1;
+  config.compact_dead_fraction = 0.5;
+  ShardedNnIndex index{[] { return std::make_unique<SoftwareNnEngine>("euclidean"); },
+                       config};
+  index.add(data.rows, data.labels);
+  // Kill 3 of bank 0's rows; the bank compacts down to survivor id 3.
+  EXPECT_TRUE(index.erase(0));
+  EXPECT_TRUE(index.erase(1));
+  EXPECT_TRUE(index.erase(2));
+  ASSERT_EQ(index.stats().compactions, 1u);
+  EXPECT_EQ(index.bank_of(3), 0u);
+  for (std::size_t id : {std::size_t{0}, std::size_t{1}, std::size_t{2}}) {
+    EXPECT_EQ(index.bank_of(id), index.num_banks()) << id;
+  }
+  EXPECT_EQ(index.bank_of(5), 1u);
 }
 
 TEST(ShardedMerge, EqualScoresAcrossBanksResolveToLowerGlobalId) {

@@ -140,6 +140,9 @@ TEST(SnapshotRoundTrip, BitIdenticalForEveryFactoryBackendIdealSensing) {
     // sharded twins tile past it.
     config.bank_rows = name.rfind("sharded-", 0) == 0 ? 24 : 0;
     config.shard_workers = 2;
+    // The two-stage pipeline rides the same loop: both stages (coarse
+    // TCAM planes + the noisy MCAM fine stage) must replay bit-identically.
+    if (name == "refine") config.fine_spec = "mcam3";
     check_round_trip(name, config, seed++);
   }
 }

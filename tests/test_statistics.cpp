@@ -97,15 +97,34 @@ TEST(Statistics, ProportionCi) {
   EXPECT_DOUBLE_EQ(proportion_ci95(0.5, 0), 0.0);
 }
 
-TEST(Histogram, BinsAndClamping) {
+TEST(Histogram, OutOfRangeSamplesCountSeparatelyNotInEdgeBins) {
+  // Regression: out-of-range samples used to be clamped into the first /
+  // last bin, silently inflating the tails of the Fig. 5 / Fig. 8
+  // variation sweeps; they are tallied as underflow / overflow instead.
   Histogram h{0.0, 10.0, 10};
-  h.add(0.5);   // bin 0
-  h.add(9.5);   // bin 9
-  h.add(-5.0);  // clamped to bin 0
-  h.add(15.0);  // clamped to bin 9
+  h.add(0.5);    // bin 0
+  h.add(9.5);    // bin 9
+  h.add(-5.0);   // underflow, NOT bin 0
+  h.add(15.0);   // overflow, NOT bin 9
+  h.add(10.0);   // hi is exclusive: overflow too
+  h.add(0.0);    // lo is inclusive: bin 0
   EXPECT_EQ(h.count(0), 2u);
-  EXPECT_EQ(h.count(9), 2u);
-  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.count(9), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 6u);  // total() still counts every sample added.
+}
+
+TEST(Histogram, AsciiReportsOutOfRangeCounts) {
+  Histogram h{0.0, 1.0, 2};
+  h.add(0.5);
+  EXPECT_EQ(h.to_ascii().find("out-of-range"), std::string::npos);
+  h.add(-1.0);
+  h.add(2.0);
+  h.add(3.0);
+  const std::string art = h.to_ascii();
+  EXPECT_NE(art.find("out-of-range: 1 underflow"), std::string::npos) << art;
+  EXPECT_NE(art.find("2 overflow"), std::string::npos) << art;
 }
 
 TEST(Histogram, BinCenters) {
