@@ -1,6 +1,7 @@
 #include "search/engine.hpp"
 
 #include "energy/model.hpp"
+#include "search/trit_serde.hpp"
 #include "serve/io.hpp"
 
 #include <algorithm>
@@ -10,11 +11,6 @@
 namespace mcam::search {
 
 namespace {
-
-/// Payload-consistency guard (sizes that must agree after a valid write).
-void require_payload(bool ok, const char* what) {
-  if (!ok) throw serve::io::SnapshotError{std::string{"inconsistent snapshot payload: "} + what};
-}
 
 void validate_batch(std::span<const std::vector<float>> rows, std::span<const int> labels,
                     const char* where) {
@@ -283,7 +279,7 @@ void SoftwareNnEngine::load_state(serve::io::Reader& in) {
   for (std::size_t i = 0; i < total; ++i) rows.push_back(in.vec_f32());
   const std::vector<int> labels = in.vec_i32();
   const std::vector<std::uint8_t> valid = in.vec_u8();
-  require_payload(labels.size() == total && valid.size() == total,
+  serve::io::require_payload(labels.size() == total && valid.size() == total,
                   "software row/label/valid counts disagree");
   if (total == 0) return;
   index_.emplace(distance::metric_by_name(metric_name_));
@@ -302,15 +298,7 @@ void TcamLshEngine::save_state(serve::io::Writer& out) const {
   out.u64(lsh_->num_features());
   out.u64(lsh_->num_bits());
   out.vec_f32(lsh_->hyperplanes());
-  out.u64(tcam_->num_rows());
-  for (std::size_t r = 0; r < tcam_->num_rows(); ++r) {
-    const std::vector<cam::Trit> word = tcam_->row_trits(r);
-    std::vector<std::uint8_t> trits(word.size());
-    for (std::size_t c = 0; c < word.size(); ++c) {
-      trits[c] = static_cast<std::uint8_t>(word[c]);
-    }
-    out.vec_u8(trits);
-  }
+  detail::write_tcam_rows(out, *tcam_);
   out.vec_u8(tcam_->valid_mask());
   out.vec_i32(labels_);
 }
@@ -331,21 +319,10 @@ void TcamLshEngine::load_state(serve::io::Reader& in) {
   }
   lsh_ = encoding::RandomHyperplaneLsh::from_state(lsh_features, lsh_bits, in.vec_f32());
   tcam_ = std::make_unique<cam::TcamArray>(config_);
-  const std::size_t num_rows = in.checked_count(in.u64(), 8);
-  for (std::size_t r = 0; r < num_rows; ++r) {
-    const std::vector<std::uint8_t> trits = in.vec_u8();
-    std::vector<cam::Trit> word;
-    word.reserve(trits.size());
-    for (std::uint8_t t : trits) {
-      require_payload(t <= static_cast<std::uint8_t>(cam::Trit::kDontCare),
-                      "trit out of range");
-      word.push_back(static_cast<cam::Trit>(t));
-    }
-    tcam_->add_row(word);
-  }
+  const std::size_t num_rows = detail::read_tcam_rows(in, *tcam_, signature_bits_);
   const std::vector<std::uint8_t> valid = in.vec_u8();
   labels_ = in.vec_i32();
-  require_payload(valid.size() == num_rows && labels_.size() == num_rows,
+  serve::io::require_payload(valid.size() == num_rows && labels_.size() == num_rows,
                   "tcam row/label/valid counts disagree");
   for (std::size_t r = 0; r < valid.size(); ++r) {
     if (!valid[r]) tcam_->invalidate_row(r);
@@ -387,7 +364,7 @@ void McamNnEngine::load_state(serve::io::Reader& in) {
   }
   const std::vector<std::uint8_t> valid = in.vec_u8();
   labels_ = in.vec_i32();
-  require_payload(valid.size() == num_rows && labels_.size() == num_rows,
+  serve::io::require_payload(valid.size() == num_rows && labels_.size() == num_rows,
                   "mcam row/label/valid counts disagree");
   for (std::size_t r = 0; r < valid.size(); ++r) {
     if (!valid[r]) array_->invalidate_row(r);

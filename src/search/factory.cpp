@@ -4,6 +4,7 @@
 #include "search/engine.hpp"
 #include "search/refine.hpp"
 #include "search/sharded.hpp"
+#include "sig/model.hpp"
 
 #include <memory>
 #include <set>
@@ -99,8 +100,8 @@ EngineFactory::Builder sharded_builder(std::string base) {
   throw std::invalid_argument{
       "parse_engine_spec: " + detail + " in spec '" + spec +
       "' (known keys: bank_rows, bits, candidate_factor, clip_percentile, coarse_bits, "
-      "exhaustive, fine, lsh_bits, num_features, seed, sense_clock_period, sensing, "
-      "shard_workers, vth_sigma)"};
+      "exhaustive, fine, lsh_bits, num_features, probes, seed, sense_clock_period, "
+      "sensing, shard_workers, sig, vth_sigma)"};
 }
 
 /// Full-consumption numeric parses; anything trailing is malformed.
@@ -160,6 +161,12 @@ void apply_spec_override(EngineConfig& config, const std::string& key,
     config.candidate_factor = static_cast<std::size_t>(parse_unsigned(key, value, spec));
   } else if (key == "exhaustive") {
     config.refine_exhaustive = parse_unsigned(key, value, spec) != 0;
+  } else if (key == "probes") {
+    config.probes = static_cast<std::size_t>(parse_unsigned(key, value, spec));
+  } else if (key == "sig") {
+    // Validated against the signature-model registry when the refine
+    // engine is built (the registry is open, so parse time is too early).
+    config.sig_model = value;
   } else if (key == "sensing") {
     if (value == "ideal") {
       config.sensing = cam::SensingMode::kIdealSum;
@@ -249,11 +256,12 @@ EngineFactory::EngineFactory() {
                            "manhattan", "linf"}) {
     register_engine(std::string{"sharded-"} + base, sharded_builder(base));
   }
-  // Two-stage pipeline: a coarse TCAM-LSH prefilter in front of any fine
+  // Two-stage pipeline: a coarse signature prefilter in front of any fine
   // backend named by fine_spec (see search/refine.hpp). The coarse TCAM is
   // deliberately unbounded and ideal-sensed: it is the candidate
   // nominator, not the precise ranking, and its add must never fail after
-  // the fine stage accepted the batch.
+  // the fine stage accepted the batch. Signatures come from the sig_model
+  // key of the signature-model registry (sig/model.hpp; default random).
   register_engine("refine", [](const EngineConfig& config) -> std::unique_ptr<NnIndex> {
     if (config.fine_spec.empty()) {
       throw std::invalid_argument{
@@ -272,16 +280,23 @@ EngineFactory::EngineFactory() {
       throw std::invalid_argument{
           "EngineFactory: refine needs coarse_bits, lsh_bits, or num_features"};
     }
+    sig::SignatureModelConfig model_config;
+    model_config.num_bits = bits;
+    model_config.seed = config.seed;
+    // Unknown sig-model names throw here, listing the registered models.
+    std::unique_ptr<sig::SignatureModel> model =
+        sig::SignatureModelFactory::instance().create(
+            config.sig_model.empty() ? "random" : config.sig_model, model_config);
     cam::TcamArrayConfig coarse_array;
     coarse_array.vth_sigma = config.vth_sigma;
     coarse_array.seed = config.seed;
-    auto coarse = std::make_unique<TcamLshEngine>(bits, config.seed, coarse_array);
     TwoStageConfig two_stage;
     two_stage.candidate_factor =
         config.candidate_factor > 0 ? config.candidate_factor : 4;
     two_stage.exhaustive_fallback = config.refine_exhaustive;
-    return std::make_unique<TwoStageNnIndex>(std::move(coarse), std::move(fine),
-                                             two_stage);
+    two_stage.probes = config.probes > 0 ? config.probes : 1;
+    return std::make_unique<TwoStageNnIndex>(std::move(model), coarse_array,
+                                             std::move(fine), two_stage);
   });
 }
 

@@ -15,10 +15,13 @@
 //                        fan-out + hierarchical top-k merge
 //                        (search/sharded.hpp)
 //   refine             - two-stage pipeline (search/refine.hpp): a coarse
-//                        TCAM-LSH Hamming prefilter of `coarse_bits`
-//                        signature bits nominating candidate_factor * k
-//                        candidates, reranked by the `fine_spec` backend
-//                        (any of the above, monolithic or sharded)
+//                        signature TCAM of `coarse_bits` bits - signatures
+//                        from the `sig_model` key of the signature-model
+//                        registry (sig/model.hpp: random | trained | itq),
+//                        swept `probes` times per query (multi-probe) -
+//                        nominating candidate_factor * k candidates,
+//                        reranked by the `fine_spec` backend (any of the
+//                        above, monolithic or sharded)
 //
 // `create` also accepts spec strings - "name:key=value,..." - so serving
 // and bench configs can select engine geometry without code changes:
@@ -71,6 +74,11 @@ struct EngineConfig {
                                    ///< are bit-identical to the fine backend alone.
   std::string fine_spec;           ///< "refine": factory spec of the fine (rerank)
                                    ///< stage; may itself be a full spec string.
+  std::string sig_model;           ///< "refine": coarse signature model registry key
+                                   ///< (sig::SignatureModelFactory - "random",
+                                   ///< "trained", "itq"; empty = "random").
+  std::size_t probes = 0;          ///< "refine": coarse multi-probe sweeps per query
+                                   ///< (0 = the single-probe default of 1).
 };
 
 /// A parsed "name:key=value,..." engine spec.
@@ -83,10 +91,12 @@ struct EngineSpec {
 /// Known keys: bits (mcam_bits), bank_rows, shard_workers, lsh_bits,
 /// num_features, vth_sigma, clip_percentile, sense_clock_period, seed,
 /// sensing (= "ideal" | "timing"), coarse_bits, candidate_factor,
-/// exhaustive (0|1, refine_exhaustive), and fine (fine_spec; consumes the
-/// rest of the spec, so it must come last). Unknown keys, malformed or
-/// empty values, and duplicate keys throw std::invalid_argument naming
-/// the offending spec string and listing the known keys.
+/// exhaustive (0|1, refine_exhaustive), sig (sig_model; validated against
+/// the signature-model registry when the refine engine is built), probes,
+/// and fine (fine_spec; consumes the rest of the spec, so it must come
+/// last). Unknown keys, malformed or empty values, and duplicate keys
+/// throw std::invalid_argument naming the offending spec string and
+/// listing the known keys.
 [[nodiscard]] EngineSpec parse_engine_spec(const std::string& spec,
                                            const EngineConfig& base = EngineConfig{});
 

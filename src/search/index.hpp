@@ -46,10 +46,20 @@ struct QueryTelemetry {
   double energy_j = 0.0;         ///< Estimated search energy (0 when no model applies) [J].
   std::size_t banks_searched = 1;  ///< CAM banks fanned across (1 for monolithic engines;
                                    ///< ShardedNnIndex sums its per-bank counters here).
-  std::size_t coarse_candidates = 0;  ///< Rows compared in a coarse prefilter stage
+  std::size_t coarse_candidates = 0;  ///< Rows compared in a coarse prefilter stage,
+                                      ///< summed over every probe sweep
                                       ///< (TwoStageNnIndex only; 0 elsewhere).
   std::size_t fine_candidates = 0;    ///< Rows reranked by the precise stage
                                       ///< (TwoStageNnIndex only; 0 elsewhere).
+  double coarse_margin = 0.0;  ///< Matchline-conductance gap [S] between the best
+                               ///< row excluded from the coarse nomination and the
+                               ///< last row nominated - the per-query confidence
+                               ///< signal behind adaptive candidate budgets. 0 when
+                               ///< every live row was nominated or no coarse stage
+                               ///< ran (TwoStageNnIndex only).
+  std::size_t probes_used = 0;  ///< Coarse multi-probe Hamming sweeps executed
+                                ///< (TwoStageNnIndex only; 0 when the coarse stage
+                                ///< did not run, e.g. exhaustive fallback).
 };
 
 /// Result of one top-k query.

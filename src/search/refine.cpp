@@ -1,6 +1,9 @@
 #include "search/refine.hpp"
 
+#include "energy/model.hpp"
+#include "search/trit_serde.hpp"
 #include "serve/io.hpp"
+#include "sig/multiprobe.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -8,38 +11,100 @@
 
 namespace mcam::search {
 
-TwoStageNnIndex::TwoStageNnIndex(std::unique_ptr<NnIndex> coarse,
+TwoStageNnIndex::TwoStageNnIndex(std::unique_ptr<sig::SignatureModel> model,
+                                 cam::TcamArrayConfig coarse_config,
                                  std::unique_ptr<NnIndex> fine, TwoStageConfig config)
-    : coarse_(std::move(coarse)), fine_(std::move(fine)), config_(config) {
-  if (!coarse_ || !fine_) throw std::invalid_argument{"TwoStageNnIndex: null stage"};
+    : model_(std::move(model)),
+      coarse_config_(coarse_config),
+      fine_(std::move(fine)),
+      config_(config) {
+  if (!model_) throw std::invalid_argument{"TwoStageNnIndex: null signature model"};
+  if (!fine_) throw std::invalid_argument{"TwoStageNnIndex: null fine stage"};
   if (config_.candidate_factor == 0) {
     throw std::invalid_argument{"TwoStageNnIndex: zero candidate_factor"};
   }
+  if (coarse_config_.max_rows != 0) {
+    // The add contract depends on the coarse add never failing after the
+    // fine stage accepted a batch: a bounded coarse TCAM could throw
+    // mid-batch and leave the stages permanently desynchronized (fine
+    // rows the coarse stage can never nominate). Capacity lives in the
+    // fine stage / shard layer; the coarse TCAM is the cheap index over
+    // it.
+    throw std::invalid_argument{
+        "TwoStageNnIndex: the coarse TCAM must be unbounded (max_rows = 0)"};
+  }
+  config_.probes = std::max<std::size_t>(config_.probes, 1);
+}
+
+const cam::TcamArray& TwoStageNnIndex::coarse_tcam() const {
+  if (!tcam_) throw std::logic_error{"TwoStageNnIndex::coarse_tcam before calibration"};
+  return *tcam_;
+}
+
+void TwoStageNnIndex::ensure_coarse(std::span<const std::vector<float>> rows) {
+  if (tcam_) return;  // Fit-once; later calls are no-ops.
+  if (rows.empty()) throw std::invalid_argument{"TwoStageNnIndex::calibrate: no rows"};
+  // Signatures approximate distances only for centered data, so the model
+  // sees z-scored features - the same preprocessing the legacy TCAM-LSH
+  // coarse stage applied, which keeps `random` bit-compatible with it.
+  scaler_ = encoding::FeatureScaler::fit_z_score(rows);
+  model_->fit(scaler_->transform_all(rows));
+  tcam_ = std::make_unique<cam::TcamArray>(coarse_config_);
 }
 
 void TwoStageNnIndex::add(std::span<const std::vector<float>> rows,
                           std::span<const int> labels) {
-  // Fine first: its capacity/validation errors must leave the coarse
-  // stage untouched so the id spaces never drift apart. The coarse TCAM
-  // is unbounded (the factory builds it with max_rows = 0), so its add
-  // cannot fail after the fine stage accepted the same batch.
-  fine_->add(rows, labels);
-  coarse_->add(rows, labels);
+  // Ordering keeps the stages' id spaces in lockstep through every
+  // failure: validate the batch shape, calibrate the coarse side (pure
+  // fitting - no rows stored, and rolled back below if this batch ends
+  // up rejected), encode the whole batch (a width mismatch against
+  // fitted encoders throws here, before EITHER stage stored anything),
+  // commit the fine stage (its capacity errors leave the coarse TCAM
+  // unprogrammed), and only then program the coarse rows - which cannot
+  // fail, because the TCAM is unbounded (enforced by the constructor)
+  // and the signatures already encoded.
+  if (rows.size() != labels.size() || rows.empty()) {
+    throw std::invalid_argument{"TwoStageNnIndex::add: bad training set"};
+  }
+  const bool calibrating = tcam_ == nullptr;
+  ensure_coarse(rows);
+  try {
+    std::vector<std::vector<std::uint8_t>> signatures;
+    signatures.reserve(rows.size());
+    for (const auto& row : rows) {
+      signatures.push_back(model_->encode_bits(scaler_->transform(row)));
+    }
+    fine_->add(rows, labels);
+    for (const auto& bits : signatures) tcam_->add_row_bits(bits);
+  } catch (...) {
+    if (calibrating) {
+      // The rejected batch must not leave encoders trained on rows that
+      // were never stored (fit-once would pin them forever).
+      tcam_.reset();
+      scaler_.reset();
+      model_->reset();
+    }
+    throw;
+  }
 }
 
 void TwoStageNnIndex::calibrate(std::span<const std::vector<float>> rows) {
   fine_->calibrate(rows);
-  coarse_->calibrate(rows);
+  ensure_coarse(rows);
 }
 
 void TwoStageNnIndex::clear() {
   fine_->clear();
-  coarse_->clear();
+  tcam_.reset();
+  scaler_.reset();
+  model_->reset();
 }
 
 bool TwoStageNnIndex::erase(std::size_t id) {
   const bool fine_erased = fine_->erase(id);
-  const bool coarse_erased = coarse_->erase(id);
+  const bool coarse_erased = tcam_ && id < tcam_->num_rows()
+                                 ? tcam_->invalidate_row(id)
+                                 : false;
   if (fine_erased != coarse_erased) {
     // Unreachable when all mutations route through this index; a drifted
     // id space would silently serve rows one stage considers dead.
@@ -60,40 +125,161 @@ QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t
     return result;
   }
 
-  // Stage 1: nominate the candidate_factor * k most-matching signatures.
-  const std::size_t want =
-      std::min(std::max(kk * config_.candidate_factor, kk), coarse_->size());
-  const QueryResult nominated = coarse_->query_one(query, want);
-  std::vector<std::size_t> ids;
-  ids.reserve(nominated.neighbors.size());
-  for (const Neighbor& neighbor : nominated.neighbors) ids.push_back(neighbor.index);
+  // Stage 1: sweep the coarse TCAM once per probe signature and keep each
+  // row's best (minimum-conductance) match, then nominate the
+  // candidate_factor * k most-matching rows.
+  const std::size_t live = tcam_->num_valid();
+  const std::size_t want = std::min(std::max(kk * config_.candidate_factor, kk), live);
+  const std::vector<float> scaled = scaler_->transform(query);
+  // One projection pass serves both roles: sig::signature_bits(margins)
+  // is the query signature (the same rule encode_bits applied to the
+  // stored rows), and the margins order the multi-probe flips.
+  const std::vector<float> margins = model_->project(scaled);
+  const std::vector<std::uint8_t> query_bits = sig::signature_bits(margins);
+  std::vector<double> best = tcam_->search_conductances(query_bits);
+  std::size_t probes_used = 1;
+  if (config_.probes > 1) {
+    const std::vector<std::vector<std::size_t>> flip_sets =
+        sig::MultiProbe::sequence(margins, config_.probes);
+    for (std::size_t p = 1; p < flip_sets.size(); ++p) {
+      std::vector<std::uint8_t> probe_bits = query_bits;
+      for (std::size_t bit : flip_sets[p]) probe_bits[bit] ^= 1u;
+      const std::vector<double> swept = tcam_->search_conductances(probe_bits);
+      for (std::size_t r = 0; r < best.size(); ++r) best[r] = std::min(best[r], swept[r]);
+      ++probes_used;
+    }
+  }
+  // Rank one past the cut so the nomination margin - the conductance gap
+  // between the last nominated row and the best excluded one, the
+  // adaptive-candidate_factor signal - falls out of the same sweep.
+  const std::vector<std::size_t> ranked = cam::rank_by_sensing(
+      best, tcam_->valid_mask(), coarse_config_.sensing, coarse_config_.matchline,
+      tcam_->word_length(), coarse_config_.sense_clock_period,
+      std::min(want + 1, live));
+  double coarse_margin = 0.0;
+  if (ranked.size() > want && want > 0) {
+    coarse_margin = std::max(0.0, best[ranked[want]] - best[ranked[want - 1]]);
+  }
+  const std::vector<std::size_t> ids(ranked.begin(),
+                                     ranked.begin() + static_cast<std::ptrdiff_t>(
+                                                          std::min(want, ranked.size())));
 
   // Stage 2: precise rerank of the candidates only.
   QueryResult result = fine_->query_subset(query, ids, kk);
-  result.telemetry.coarse_candidates = nominated.telemetry.candidates;
+  result.telemetry.coarse_candidates = live * probes_used;
   result.telemetry.fine_candidates = result.telemetry.candidates;
   result.telemetry.candidates =
       result.telemetry.coarse_candidates + result.telemetry.fine_candidates;
-  result.telemetry.sense_events += nominated.telemetry.sense_events;
-  result.telemetry.energy_j += nominated.telemetry.energy_j;
-  result.telemetry.banks_searched += nominated.telemetry.banks_searched;
+  result.telemetry.sense_events += ids.size();
+  result.telemetry.energy_j +=
+      static_cast<double>(probes_used) *
+      energy::ArrayEnergyModel{energy::ArrayParams{}}.tcam_search_energy(
+          live, tcam_->word_length());
+  result.telemetry.banks_searched += 1;
+  result.telemetry.coarse_margin = coarse_margin;
+  result.telemetry.probes_used = probes_used;
   return result;
 }
 
 std::string TwoStageNnIndex::name() const {
-  return "two-stage " + coarse_->name() + " -> " + fine_->name();
+  std::string coarse = "two-stage " + model_->key() + "-sig (" +
+                       std::to_string(model_->num_bits()) + "b";
+  if (config_.probes > 1) coarse += ", " + std::to_string(config_.probes) + "p";
+  return coarse + ") -> " + fine_->name();
 }
 
 void TwoStageNnIndex::save_state(serve::io::Writer& out) const {
-  out.str("two-stage-v1");
+  out.str("two-stage-v2");
   out.u64(config_.candidate_factor);
   out.u8(config_.exhaustive_fallback ? 1 : 0);
-  coarse_->save_state(out);
+  out.u64(config_.probes);
+  out.str(model_->key());
+  out.u8(tcam_ ? 1 : 0);
+  if (tcam_) {
+    out.vec_f32(scaler_->offsets());
+    out.vec_f32(scaler_->scales());
+    out.u64(model_->num_features());
+    out.u64(model_->num_bits());
+    out.vec_f32(model_->planes());
+    out.vec_f32(model_->thresholds());
+    detail::write_tcam_rows(out, *tcam_);
+    out.vec_u8(tcam_->valid_mask());
+  }
   fine_->save_state(out);
 }
 
+void TwoStageNnIndex::load_coarse(serve::io::Reader& in, bool legacy) {
+  // Both formats share this layout: scaler state, model dimensions,
+  // planes, [thresholds - v2+ only, legacy "tcam-lsh-v1" is implicitly
+  // zero-thresholded], TCAM rows, validity mask, [per-row labels -
+  // legacy only, discarded]. One reader keeps the v2 and v3 restore
+  // paths from drifting apart.
+  std::vector<float> offsets = in.vec_f32();
+  std::vector<float> scales = in.vec_f32();
+  scaler_ = encoding::FeatureScaler::from_state(std::move(offsets), std::move(scales));
+  const std::uint64_t model_features = in.u64();
+  const std::uint64_t model_bits = in.u64();
+  serve::io::require_payload(model_features == scaler_->num_features(),
+                             "signature-model width disagrees with the scaler");
+  if (model_bits != model_->num_bits()) {
+    throw serve::io::SnapshotError{"coarse signature width mismatch: snapshot has " +
+                                   std::to_string(model_bits) + " bits, engine expects " +
+                                   std::to_string(model_->num_bits())};
+  }
+  std::vector<float> planes = in.vec_f32();
+  std::vector<float> thresholds = legacy
+                                      ? std::vector<float>(model_->num_bits(), 0.0f)
+                                      : in.vec_f32();
+  try {
+    model_->install_state(model_features, std::move(planes), std::move(thresholds));
+  } catch (const std::invalid_argument& error) {
+    throw serve::io::SnapshotError{std::string{"bad signature-model state: "} +
+                                   error.what()};
+  }
+  tcam_ = std::make_unique<cam::TcamArray>(coarse_config_);
+  const std::size_t num_rows = detail::read_tcam_rows(in, *tcam_, model_->num_bits());
+  const std::vector<std::uint8_t> valid = in.vec_u8();
+  serve::io::require_payload(valid.size() == num_rows,
+                             "two-stage coarse valid count disagrees");
+  if (legacy) {
+    const std::vector<int> labels = in.vec_i32();  // Legacy per-row labels; unused.
+    serve::io::require_payload(labels.size() == num_rows,
+                               "two-stage coarse label count disagrees");
+  }
+  for (std::size_t r = 0; r < valid.size(); ++r) {
+    if (!valid[r]) tcam_->invalidate_row(r);
+  }
+}
+
+void TwoStageNnIndex::load_legacy_coarse(serve::io::Reader& in) {
+  // Pre-signature-model payload (snapshot format v2): the coarse stage
+  // was a TcamLshEngine, so its state is scaler + LSH planes + TCAM rows
+  // + per-row labels. It restores as a `random` model with zero
+  // thresholds - bit-identical signatures by construction.
+  if (model_->key() != "random") {
+    throw serve::io::SnapshotError{
+        "legacy two-stage payload encodes random-hyperplane signatures, but this "
+        "engine was built with sig=" +
+        model_->key()};
+  }
+  if (config_.probes != 1) {
+    throw serve::io::SnapshotError{
+        "legacy two-stage payload predates multi-probe, but this engine was built "
+        "with probes=" +
+        std::to_string(config_.probes)};
+  }
+  serve::io::expect_tag(in, "tcam-lsh-v1");
+  if (in.u8() == 0) return;  // Uncalibrated coarse stage.
+  load_coarse(in, /*legacy=*/true);
+}
+
 void TwoStageNnIndex::load_state(serve::io::Reader& in) {
-  serve::io::expect_tag(in, "two-stage-v1");
+  const std::string tag = in.str();
+  if (tag != "two-stage-v1" && tag != "two-stage-v2") {
+    throw serve::io::SnapshotError{"engine payload tag mismatch: expected "
+                                   "'two-stage-v1' or 'two-stage-v2', found '" +
+                                   tag + "'"};
+  }
   const std::uint64_t factor = in.u64();
   const std::uint8_t exhaustive = in.u8();
   if (factor != config_.candidate_factor ||
@@ -104,14 +290,43 @@ void TwoStageNnIndex::load_state(serve::io::Reader& in) {
         ", engine has candidate_factor=" + std::to_string(config_.candidate_factor) +
         " exhaustive=" + std::to_string(config_.exhaustive_fallback ? 1 : 0)};
   }
-  coarse_->load_state(in);
+  // Drop any existing coarse state before restoring (load_state contract).
+  tcam_.reset();
+  scaler_.reset();
+  model_->reset();
+  if (tag == "two-stage-v1") {
+    load_legacy_coarse(in);
+    fine_->load_state(in);
+    serve::io::require_payload(tcam_ != nullptr || fine_->size() == 0,
+                               "populated fine stage without a coarse stage");
+    return;
+  }
+  const std::uint64_t probes = in.u64();
+  if (probes != config_.probes) {
+    throw serve::io::SnapshotError{
+        "two-stage config mismatch: snapshot has probes=" + std::to_string(probes) +
+        ", engine has probes=" + std::to_string(config_.probes)};
+  }
+  const std::string model_key = in.str();
+  if (model_key != model_->key()) {
+    throw serve::io::SnapshotError{"signature model mismatch: snapshot has '" +
+                                   model_key + "', engine was built with '" +
+                                   model_->key() + "'"};
+  }
+  if (in.u8() != 0) load_coarse(in, /*legacy=*/false);
   fine_->load_state(in);
+  // A blob claiming no coarse calibration while the fine stage holds rows
+  // would crash the first query (null TCAM); fail at load time instead.
+  serve::io::require_payload(tcam_ != nullptr || fine_->size() == 0,
+                             "populated fine stage without a coarse stage");
 }
 
-std::unique_ptr<NnIndex> make_two_stage(std::unique_ptr<NnIndex> coarse,
+std::unique_ptr<NnIndex> make_two_stage(std::unique_ptr<sig::SignatureModel> model,
+                                        cam::TcamArrayConfig coarse_config,
                                         std::unique_ptr<NnIndex> fine,
                                         TwoStageConfig config) {
-  return std::make_unique<TwoStageNnIndex>(std::move(coarse), std::move(fine), config);
+  return std::make_unique<TwoStageNnIndex>(std::move(model), coarse_config,
+                                           std::move(fine), config);
 }
 
 }  // namespace mcam::search

@@ -1,14 +1,22 @@
-// Two-stage NN pipeline: a cheap TCAM-LSH Hamming prefilter in front of a
-// precise rerank stage.
+// Two-stage NN pipeline: a cheap coarse-signature Hamming prefilter in
+// front of a precise rerank stage.
 //
 // The paper's MCAM answers every query by charging *every* stored row's
 // matchline - exact, but at production scale the hot path should not pay
 // O(N) precise compares per query. SEE-MCAM and FeReX scale multi-bit
 // FeFET search with the same coarse-to-fine recipe this index implements:
 //
-//  1. coarse stage: binary LSH signatures in a TCAM. One Hamming search
-//     (a far cheaper array than the multi-bit MCAM) nominates the
-//     `candidate_factor * k` most-matching rows.
+//  1. coarse stage: binary signatures in a TCAM. The signatures come from
+//     a pluggable sig::SignatureModel ("random" hyperplane LSH, "trained"
+//     variance-balanced projections, or "itq" rotation-quantized PCA -
+//     sig/model.hpp), fitted on the calibration rows inside `calibrate`.
+//     One Hamming sweep (a far cheaper array than the multi-bit MCAM)
+//     nominates the `candidate_factor * k` most-matching rows; with
+//     `probes > 1` the sweep repeats for the multi-probe sequence
+//     (sig/multiprobe.hpp) - neighboring signatures obtained by flipping
+//     the query's lowest-margin bits - and each row keeps its best match
+//     across probes, recovering recall at small candidate budgets without
+//     widening the TCAM.
 //  2. fine stage: any NnIndex backend (monolithic or sharded, MCAM or
 //     software) reranks *only those candidates* via `query_subset` - only
 //     the candidate matchlines are precharged and sensed, so the precise
@@ -16,27 +24,31 @@
 //
 // Both stages see the same add/erase/calibrate stream, so they share the
 // global insertion-order id space; a tombstoned row disappears from both
-// and can never be nominated or reranked.
+// and can never be nominated (by any probe) or reranked.
 //
-// Recall is governed by `candidate_factor` (and the coarse signature
-// width): the fine stage can only return rows the coarse stage nominated,
-// so the pipeline trades recall for candidates compared
-// (bench_recall_qps sweeps the frontier). Setting `exhaustive_fallback`
-// bypasses the coarse stage entirely - queries are answered by the fine
-// backend alone, bit-identically, which is both the correctness oracle in
-// tests and the escape hatch for recall-critical deployments. With
-// `candidate_factor * k >= size()` the coarse stage nominates every live
-// row and the rerank is likewise bit-identical to the fine backend.
+// Recall is governed by `candidate_factor`, the signature model, and
+// `probes` (bench_recall_qps sweeps the frontier per model). Setting
+// `exhaustive_fallback` bypasses the coarse stage entirely - queries are
+// answered by the fine backend alone, bit-identically, which is both the
+// correctness oracle in tests and the escape hatch for recall-critical
+// deployments. With `candidate_factor * k >= size()` the coarse stage
+// nominates every live row and the rerank is likewise bit-identical to
+// the fine backend.
 //
 // Built via the factory as `refine:coarse_bits=...,candidate_factor=...,
-// fine=<spec>` (the `fine=` key consumes the rest of the spec, so the
-// fine stage can itself be a full spec, e.g. `fine=sharded-mcam:bits=2`).
+// sig=...,probes=...,fine=<spec>` (the `fine=` key consumes the rest of
+// the spec, so the fine stage can itself be a full spec, e.g.
+// `fine=sharded-mcam:bits=2`).
 #pragma once
 
+#include "cam/tcam.hpp"
+#include "encoding/normalize.hpp"
 #include "search/index.hpp"
+#include "sig/model.hpp"
 
 #include <cstddef>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -50,58 +62,90 @@ struct TwoStageConfig {
   /// Bypass the coarse stage: answer every query with the fine backend
   /// alone (bit-identical to not wrapping it at all).
   bool exhaustive_fallback = false;
+  /// Total coarse Hamming sweeps per query (>= 1): sweep 1 uses the query
+  /// signature, later sweeps the multi-probe flip sequence. Each sweep
+  /// charges the TCAM once; rows keep their best match across sweeps.
+  std::size_t probes = 1;
 };
 
-/// Composite NnIndex: coarse prefilter stage + precise rerank stage.
+/// Composite NnIndex: coarse signature prefilter + precise rerank stage.
 class TwoStageNnIndex final : public NnIndex {
  public:
-  /// `coarse` nominates candidates (built as a TcamLshEngine by the
-  /// factory, but any NnIndex whose Neighbor ids share the insertion-order
-  /// convention works); `fine` answers. Throws std::invalid_argument on a
-  /// null stage or a zero candidate_factor.
-  TwoStageNnIndex(std::unique_ptr<NnIndex> coarse, std::unique_ptr<NnIndex> fine,
+  /// `model` turns (z-scored) features into coarse signatures and is
+  /// fitted inside `calibrate`; `coarse_config` builds the signature
+  /// TCAM; `fine` answers. Throws std::invalid_argument on a null model
+  /// or fine stage, a zero candidate_factor, or a capacity-bounded
+  /// coarse config (max_rows != 0): the coarse add must never fail after
+  /// the fine stage accepted a batch, or the stages' id spaces would
+  /// drift apart - capacity belongs to the fine stage / shard layer.
+  TwoStageNnIndex(std::unique_ptr<sig::SignatureModel> model,
+                  cam::TcamArrayConfig coarse_config, std::unique_ptr<NnIndex> fine,
                   TwoStageConfig config = TwoStageConfig{});
 
   /// Routes the batch into the fine stage first (its bank-capacity errors
-  /// must leave the coarse stage untouched), then the coarse stage.
+  /// must leave the coarse stage untouched), then encodes every row
+  /// through the signature model into the coarse TCAM.
   void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
-  /// Calibrates both stages' encoders on the same rows.
+  /// Calibrates the fine stage's encoders and fits the coarse scaler +
+  /// signature model on the same rows (fit-once; `clear` drops it).
   void calibrate(std::span<const std::vector<float>> rows) override;
   void clear() override;
   /// Tombstones `id` in both stages so it can never be nominated again.
   bool erase(std::size_t id) override;
   [[nodiscard]] std::size_t size() const override { return fine_->size(); }
 
-  /// Coarse top-(candidate_factor * k) Hamming candidates, reranked by the
-  /// fine stage. Telemetry: `coarse_candidates` / `fine_candidates` report
-  /// the per-stage compare counts, `candidates` their sum, and `energy_j`
-  /// the combined (TCAM search + candidate-gated fine search) energy.
+  /// Coarse top-(candidate_factor * k) candidates over the best-of-probes
+  /// Hamming match, reranked by the fine stage. Telemetry:
+  /// `coarse_candidates` / `fine_candidates` report the per-stage compare
+  /// counts (coarse counts every probe sweep), `candidates` their sum,
+  /// `probes_used` the sweeps executed, `coarse_margin` the conductance
+  /// gap at the nomination cut, and `energy_j` the combined
+  /// (probes * TCAM sweep + candidate-gated fine search) energy.
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
   [[nodiscard]] std::string name() const override;
 
-  /// Serializes both stages' payloads; restore rebuilds them through the
-  /// embedded factory recipe and is bit-identical (see the save_state
-  /// contract in search/index.hpp).
+  /// Serializes the coarse scaler / signature-model planes / TCAM rows and
+  /// the fine stage's payload; restore rebuilds them bit-identically (see
+  /// the save_state contract in search/index.hpp). `load_state` also
+  /// accepts the pre-signature-model "two-stage-v1" payload (snapshot
+  /// format v2), restoring it as a `random` model with probes = 1.
   void save_state(serve::io::Writer& out) const override;
   void load_state(serve::io::Reader& in) override;
 
-  /// The stages (for tests and diagnostics).
-  [[nodiscard]] const NnIndex& coarse() const noexcept { return *coarse_; }
+  /// The signature model (for tests and diagnostics).
+  [[nodiscard]] const sig::SignatureModel& signature_model() const noexcept {
+    return *model_;
+  }
+  /// The coarse signature TCAM; throws std::logic_error before calibration.
+  [[nodiscard]] const cam::TcamArray& coarse_tcam() const;
+  /// The fine (rerank) stage.
   [[nodiscard]] const NnIndex& fine() const noexcept { return *fine_; }
   /// Pipeline configuration in use.
   [[nodiscard]] const TwoStageConfig& config() const noexcept { return config_; }
 
  private:
-  std::unique_ptr<NnIndex> coarse_;
+  /// Fits the coarse side (scaler, model, TCAM) once; no-op when fitted.
+  void ensure_coarse(std::span<const std::vector<float>> rows);
+  /// Restores the calibrated coarse block shared by both payload formats
+  /// (`legacy` = the "tcam-lsh-v1" layout: implicit zero thresholds,
+  /// trailing per-row labels).
+  void load_coarse(serve::io::Reader& in, bool legacy);
+  /// Restores the legacy "two-stage-v1" (TcamLshEngine-shaped) payload.
+  void load_legacy_coarse(serve::io::Reader& in);
+
+  std::unique_ptr<sig::SignatureModel> model_;
+  cam::TcamArrayConfig coarse_config_;
   std::unique_ptr<NnIndex> fine_;
   TwoStageConfig config_;
+  std::optional<encoding::FeatureScaler> scaler_;
+  std::unique_ptr<cam::TcamArray> tcam_;
 };
 
 /// Wraps the stages in a TwoStageNnIndex (convenience mirroring
 /// make_index / make_sharded).
-[[nodiscard]] std::unique_ptr<NnIndex> make_two_stage(std::unique_ptr<NnIndex> coarse,
-                                                      std::unique_ptr<NnIndex> fine,
-                                                      TwoStageConfig config = TwoStageConfig{});
+[[nodiscard]] std::unique_ptr<NnIndex> make_two_stage(
+    std::unique_ptr<sig::SignatureModel> model, cam::TcamArrayConfig coarse_config,
+    std::unique_ptr<NnIndex> fine, TwoStageConfig config = TwoStageConfig{});
 
 }  // namespace mcam::search

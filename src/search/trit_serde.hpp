@@ -1,0 +1,65 @@
+// Shared snapshot convention for TCAM row payloads: u64 row count, then
+// one length-prefixed byte vector of trits per row. Every TCAM-backed
+// engine payload (TcamLshEngine's "tcam-lsh-v1", TwoStageNnIndex's
+// "two-stage-v1"/"two-stage-v2" coarse block) uses exactly this shape, so
+// the encode/decode - including the trit range validation - lives in one
+// place and cannot drift between writers and readers.
+#pragma once
+
+#include "cam/tcam.hpp"
+#include "serve/io.hpp"
+
+#include <cstdint>
+#include <exception>
+#include <string>
+#include <vector>
+
+namespace mcam::search::detail {
+
+/// Writes every programmed row of `tcam` (tombstones included - validity
+/// is serialized separately) as trit bytes.
+inline void write_tcam_rows(serve::io::Writer& out, const cam::TcamArray& tcam) {
+  out.u64(tcam.num_rows());
+  for (std::size_t r = 0; r < tcam.num_rows(); ++r) {
+    const std::vector<cam::Trit> word = tcam.row_trits(r);
+    std::vector<std::uint8_t> trits(word.size());
+    for (std::size_t c = 0; c < word.size(); ++c) {
+      trits[c] = static_cast<std::uint8_t>(word[c]);
+    }
+    out.vec_u8(trits);
+  }
+}
+
+/// Reads rows written by write_tcam_rows back into a fresh `tcam`
+/// (replaying add_row reconstructs programming noise bit-identically).
+/// Every row must be exactly `expected_cols` trits wide - the signature
+/// width the engine was built with - so a width mismatch (or any add_row
+/// rejection, e.g. a corrupted count overflowing a bounded array) fails
+/// at load time as serve::io::SnapshotError instead of surfacing as
+/// per-query std::invalid_argument at serve time. Returns the number of
+/// rows restored.
+inline std::size_t read_tcam_rows(serve::io::Reader& in, cam::TcamArray& tcam,
+                                  std::size_t expected_cols) {
+  const std::size_t num_rows = in.checked_count(in.u64(), 8);
+  for (std::size_t r = 0; r < num_rows; ++r) {
+    const std::vector<std::uint8_t> trits = in.vec_u8();
+    serve::io::require_payload(trits.size() == expected_cols,
+                               "tcam row width disagrees with the signature width");
+    std::vector<cam::Trit> word;
+    word.reserve(trits.size());
+    for (std::uint8_t t : trits) {
+      serve::io::require_payload(t <= static_cast<std::uint8_t>(cam::Trit::kDontCare),
+                                 "trit out of range");
+      word.push_back(static_cast<cam::Trit>(t));
+    }
+    try {
+      tcam.add_row(word);
+    } catch (const std::exception& error) {
+      throw serve::io::SnapshotError{std::string{"inconsistent snapshot payload: "} +
+                                     error.what()};
+    }
+  }
+  return num_rows;
+}
+
+}  // namespace mcam::search::detail

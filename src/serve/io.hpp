@@ -29,6 +29,15 @@ class SnapshotError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Payload-consistency guard shared by every load_state implementation:
+/// sizes/invariants that must agree after a valid write throw
+/// SnapshotError (with the uniform prefix) when they do not. Takes a
+/// C-string so hot load loops (e.g. per-trit range checks) allocate
+/// nothing on the success path.
+inline void require_payload(bool ok, const char* what) {
+  if (!ok) throw SnapshotError{std::string{"inconsistent snapshot payload: "} + what};
+}
+
 /// Appends little-endian primitives to a growable byte buffer.
 class Writer {
  public:

@@ -46,6 +46,7 @@ QueryService::QueryService(search::NnIndex& index, QueryServiceConfig config)
   config_.workers = config_.workers > 0 ? config_.workers : search::default_worker_count();
   counters_.workers = config_.workers;
   latency_window_ms_.assign(config_.latency_window, 0.0);
+  margin_window_.assign(config_.latency_window, 0.0);
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -204,7 +205,8 @@ void QueryService::worker_loop() {
     if (response.status == RequestStatus::kOk && config_.cache_capacity > 0) {
       cache_insert(std::move(request.query), cache_k, response.result, generation);
     }
-    record_completion(response.status == RequestStatus::kOk, request.submitted);
+    record_completion(response.status == RequestStatus::kOk, request.submitted,
+                      response.status == RequestStatus::kOk ? &response.result : nullptr);
     request.promise.set_value(std::move(response));
   }
 }
@@ -277,7 +279,8 @@ void QueryService::invalidate_cache() {
 }
 
 void QueryService::record_completion(bool ok,
-                                     std::chrono::steady_clock::time_point submitted) {
+                                     std::chrono::steady_clock::time_point submitted,
+                                     const search::QueryResult* result) {
   std::lock_guard<std::mutex> stats(stats_mutex_);
   if (ok) {
     ++counters_.completed;
@@ -285,6 +288,25 @@ void QueryService::record_completion(bool ok,
     ++counters_.failed;
   }
   record_latency_locked(submitted);
+  // Coarse nomination margins (two-stage indexes only): the per-query
+  // confidence distribution an adaptive candidate_factor policy would
+  // consume. Only executed sweeps with a genuine nomination cut are
+  // recorded: cache hits replay a result without charging the coarse
+  // TCAM, and a query whose candidate budget covered every live row
+  // reports margin 0 meaning "nothing was excluded", not "zero
+  // confidence" - pooling those zeros would read as low confidence
+  // exactly when recall is already perfect. The cut test derives from
+  // the telemetry itself: fine_candidates equals the nominated count and
+  // coarse_candidates = live_rows * probes_used, so a cut existed iff
+  // nominated < live.
+  if (result != nullptr && result->telemetry.probes_used > 0 &&
+      result->telemetry.fine_candidates * result->telemetry.probes_used <
+          result->telemetry.coarse_candidates) {
+    ++counters_.coarse_margin_queries;
+    margin_window_[margin_next_] = result->telemetry.coarse_margin;
+    margin_next_ = (margin_next_ + 1) % margin_window_.size();
+    margin_count_ = std::min(margin_count_ + 1, margin_window_.size());
+  }
 }
 
 void QueryService::record_latency_locked(std::chrono::steady_clock::time_point submitted) {
@@ -308,6 +330,17 @@ ServiceStats QueryService::stats() const {
     out.latency_p50_ms = nearest_rank_percentile(sorted, 50.0);
     out.latency_p95_ms = nearest_rank_percentile(sorted, 95.0);
     out.latency_p99_ms = nearest_rank_percentile(sorted, 99.0);
+    std::vector<double> margins(margin_window_.begin(),
+                                margin_window_.begin() +
+                                    static_cast<std::ptrdiff_t>(margin_count_));
+    std::sort(margins.begin(), margins.end());
+    out.coarse_margin_p50 = nearest_rank_percentile(margins, 50.0);
+    out.coarse_margin_p95 = nearest_rank_percentile(margins, 95.0);
+    if (!margins.empty()) {
+      double sum = 0.0;
+      for (double m : margins) sum += m;
+      out.coarse_margin_mean = sum / static_cast<double>(margins.size());
+    }
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);

@@ -98,6 +98,16 @@ struct ServiceStats {
   double latency_p95_ms = 0.0;       ///< over the sliding window.
   double latency_p99_ms = 0.0;
   double throughput_qps = 0.0;       ///< Completed requests / wall second.
+  std::size_t coarse_margin_queries = 0;  ///< Executed queries whose coarse stage
+                                          ///< actually cut the candidate set
+                                          ///< (two-stage indexes; cache hits run no
+                                          ///< sweep, and queries whose budget covered
+                                          ///< every live row have no cut to measure -
+                                          ///< neither is counted).
+  double coarse_margin_mean = 0.0;  ///< Mean / percentiles of
+  double coarse_margin_p50 = 0.0;   ///< QueryTelemetry::coarse_margin [S] over the
+  double coarse_margin_p95 = 0.0;   ///< sliding window - the margin distribution an
+                                    ///< adaptive candidate_factor policy would read.
 };
 
 /// Thread-safe serving front end over one NnIndex.
@@ -177,9 +187,11 @@ class QueryService {
   /// Bumps the generation and clears the cache (call with the exclusive
   /// index lock held).
   void invalidate_cache();
-  /// Completion bookkeeping (outcome counter + latency window) under one
-  /// stats acquisition.
-  void record_completion(bool ok, std::chrono::steady_clock::time_point submitted);
+  /// Completion bookkeeping (outcome counter + latency window + coarse
+  /// margin window) under one stats acquisition. `result` is the executed
+  /// query's result when ok (null for failures and cache hits).
+  void record_completion(bool ok, std::chrono::steady_clock::time_point submitted,
+                         const search::QueryResult* result = nullptr);
   /// Appends to the latency ring; requires stats_mutex_ held.
   void record_latency_locked(std::chrono::steady_clock::time_point submitted);
 
@@ -203,6 +215,9 @@ class QueryService {
   std::vector<double> latency_window_ms_;  ///< Ring buffer of completion latencies.
   std::size_t latency_next_ = 0;
   std::size_t latency_count_ = 0;
+  std::vector<double> margin_window_;  ///< Ring of coarse nomination margins [S].
+  std::size_t margin_next_ = 0;
+  std::size_t margin_count_ = 0;
   std::chrono::steady_clock::time_point started_;
 
   std::vector<std::thread> workers_;

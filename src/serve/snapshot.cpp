@@ -26,9 +26,11 @@ void write_config(io::Writer& out, const search::EngineConfig& config) {
   out.u64(config.candidate_factor);
   out.u8(config.refine_exhaustive ? 1 : 0);
   out.str(config.fine_spec);
+  out.str(config.sig_model);
+  out.u64(config.probes);
 }
 
-search::EngineConfig read_config(io::Reader& in) {
+search::EngineConfig read_config(io::Reader& in, std::uint32_t version) {
   search::EngineConfig config;
   config.num_features = in.u64();
   config.mcam_bits = in.u32();
@@ -48,6 +50,17 @@ search::EngineConfig read_config(io::Reader& in) {
   config.candidate_factor = in.u64();
   config.refine_exhaustive = in.u8() != 0;
   config.fine_spec = in.str();
+  if (version >= 3) {
+    config.sig_model = in.str();
+    config.probes = in.u64();
+  } else {
+    // v2 predates the signature-model subsystem: those blobs were written
+    // by the random-hyperplane single-probe coarse stage, which is what
+    // the empty-string/0 defaults rebuild (refine resolves them to
+    // sig_model = "random", probes = 1).
+    config.sig_model.clear();
+    config.probes = 0;
+  }
   return config;
 }
 
@@ -63,9 +76,10 @@ io::Reader checked_payload(std::span<const std::uint8_t> blob, SnapshotInfo& inf
   }
   io::Reader header{blob.subspan(kMagic.size(), kHeaderBytes - kMagic.size())};
   info.version = header.u32();
-  if (info.version != kSnapshotVersion) {
+  if (info.version < kMinSnapshotVersion || info.version > kSnapshotVersion) {
     throw io::SnapshotError{"unsupported snapshot version " + std::to_string(info.version) +
-                            " (this build reads version " +
+                            " (this build reads versions " +
+                            std::to_string(kMinSnapshotVersion) + ".." +
                             std::to_string(kSnapshotVersion) + ")"};
   }
   info.checksum = header.u32();
@@ -109,7 +123,7 @@ SnapshotInfo inspect(std::span<const std::uint8_t> blob) {
   SnapshotInfo info;
   io::Reader payload = checked_payload(blob, info);
   info.engine = payload.str();
-  info.config = read_config(payload);
+  info.config = read_config(payload, info.version);
   return info;
 }
 
@@ -117,7 +131,7 @@ std::unique_ptr<search::NnIndex> load(std::span<const std::uint8_t> blob) {
   SnapshotInfo info;
   io::Reader payload = checked_payload(blob, info);
   info.engine = payload.str();
-  info.config = read_config(payload);
+  info.config = read_config(payload, info.version);
   std::unique_ptr<search::NnIndex> index =
       search::EngineFactory::instance().create(info.engine, info.config);
   index->load_state(payload);

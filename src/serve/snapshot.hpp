@@ -40,8 +40,16 @@ namespace mcam::serve {
 
 /// Current snapshot format version. v2 extended the embedded EngineConfig
 /// with the two-stage ("refine") fields: coarse_bits, candidate_factor,
-/// refine_exhaustive, fine_spec.
-inline constexpr std::uint32_t kSnapshotVersion = 2;
+/// refine_exhaustive, fine_spec. v3 appended the signature-model fields
+/// (sig_model, probes) and persists trained signature projections inside
+/// the two-stage engine payload. `load` still reads v2 blobs: the missing
+/// config fields default to the pre-v3 behavior (sig_model = "random",
+/// probes = 1), and the two-stage engine restores the legacy coarse
+/// payload bit-identically.
+inline constexpr std::uint32_t kSnapshotVersion = 3;
+
+/// Oldest snapshot format version `load`/`inspect` still accept.
+inline constexpr std::uint32_t kMinSnapshotVersion = 2;
 
 /// Parsed snapshot header + embedded build recipe (no engine state).
 struct SnapshotInfo {

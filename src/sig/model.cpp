@@ -1,0 +1,527 @@
+#include "sig/model.hpp"
+
+#include "ml/tensor.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace mcam::sig {
+
+namespace {
+
+constexpr std::size_t kPowerIterations = 64;   ///< Per principal direction.
+constexpr std::size_t kItqIterations = 24;     ///< Binarize/rotate alternations.
+constexpr std::size_t kJacobiSweeps = 30;      ///< Symmetric eigensolver cap.
+
+std::vector<float> feature_mean(std::span<const std::vector<float>> rows) {
+  std::vector<float> mean(rows.front().size(), 0.0f);
+  for (const auto& row : rows) {
+    for (std::size_t i = 0; i < mean.size(); ++i) mean[i] += row[i];
+  }
+  const float inv_n = 1.0f / static_cast<float>(rows.size());
+  for (float& m : mean) m *= inv_n;
+  return mean;
+}
+
+/// Covariance of the calibration rows [f x f] on the ml::Tensor substrate.
+ml::Tensor covariance(std::span<const std::vector<float>> rows,
+                      std::span<const float> mean) {
+  const std::size_t f = mean.size();
+  ml::Tensor cov({f, f});
+  for (const auto& row : rows) {
+    for (std::size_t a = 0; a < f; ++a) {
+      const float da = row[a] - mean[a];
+      for (std::size_t b = a; b < f; ++b) {
+        cov.at(a, b) += da * (row[b] - mean[b]);
+      }
+    }
+  }
+  const float inv_n = 1.0f / static_cast<float>(rows.size());
+  for (std::size_t a = 0; a < f; ++a) {
+    for (std::size_t b = a; b < f; ++b) {
+      cov.at(a, b) *= inv_n;
+      cov.at(b, a) = cov.at(a, b);
+    }
+  }
+  return cov;
+}
+
+float vector_norm(std::span<const float> v) {
+  float sum = 0.0f;
+  for (float x : v) sum += x * x;
+  return std::sqrt(sum);
+}
+
+/// Top principal directions of `cov` by power iteration with deflation
+/// (re-orthogonalized against the directions already found, so numerical
+/// drift cannot resurrect a deflated component). Deterministic: the start
+/// vectors come from the seeded rng. Eigenvalues are clamped to >= 0.
+void principal_directions(ml::Tensor cov, std::size_t count, Rng& rng,
+                          std::vector<std::vector<float>>& directions,
+                          std::vector<float>& eigenvalues) {
+  const std::size_t f = cov.shape().front();
+  directions.clear();
+  eigenvalues.clear();
+  for (std::size_t j = 0; j < count; ++j) {
+    std::vector<float> v(f);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    std::vector<float> w(f);
+    for (std::size_t iter = 0; iter < kPowerIterations; ++iter) {
+      // Project out the directions already extracted, then apply cov.
+      for (const auto& prev : directions) {
+        float proj = 0.0f;
+        for (std::size_t i = 0; i < f; ++i) proj += prev[i] * v[i];
+        for (std::size_t i = 0; i < f; ++i) v[i] -= proj * prev[i];
+      }
+      for (std::size_t a = 0; a < f; ++a) {
+        float sum = 0.0f;
+        for (std::size_t b = 0; b < f; ++b) sum += cov.at(a, b) * v[b];
+        w[a] = sum;
+      }
+      const float norm = vector_norm(w);
+      if (norm < 1e-20f) break;  // Null space: keep the current v.
+      for (std::size_t i = 0; i < f; ++i) v[i] = w[i] / norm;
+    }
+    const float norm = vector_norm(v);
+    if (norm < 1e-20f) {
+      // Degenerate start (or exhausted spectrum): fall back to a basis
+      // vector so the direction is still deterministic and unit-length.
+      std::fill(v.begin(), v.end(), 0.0f);
+      v[j % f] = 1.0f;
+    } else {
+      for (float& x : v) x /= norm;
+    }
+    float lambda = 0.0f;
+    for (std::size_t a = 0; a < f; ++a) {
+      float sum = 0.0f;
+      for (std::size_t b = 0; b < f; ++b) sum += cov.at(a, b) * v[b];
+      lambda += v[a] * sum;
+    }
+    lambda = std::max(lambda, 0.0f);
+    for (std::size_t a = 0; a < f; ++a) {
+      for (std::size_t b = 0; b < f; ++b) {
+        cov.at(a, b) -= lambda * v[a] * v[b];
+      }
+    }
+    directions.push_back(std::move(v));
+    eigenvalues.push_back(lambda);
+  }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric matrix: on return
+/// `sym` holds the eigenvalues on its diagonal and `rotation` the
+/// eigenvectors as columns. Deterministic sweep order and early exit.
+void jacobi_eigen(ml::Tensor& sym, ml::Tensor& rotation) {
+  const std::size_t m = sym.shape().front();
+  rotation = ml::Tensor({m, m});
+  for (std::size_t i = 0; i < m; ++i) rotation.at(i, i) = 1.0f;
+  for (std::size_t sweep = 0; sweep < kJacobiSweeps; ++sweep) {
+    float off = 0.0f;
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) off += std::abs(sym.at(p, q));
+    }
+    if (off < 1e-10f) return;
+    for (std::size_t p = 0; p < m; ++p) {
+      for (std::size_t q = p + 1; q < m; ++q) {
+        const float apq = sym.at(p, q);
+        if (std::abs(apq) < 1e-12f) continue;
+        const float app = sym.at(p, p);
+        const float aqq = sym.at(q, q);
+        const float theta = 0.5f * std::atan2(2.0f * apq, app - aqq);
+        const float c = std::cos(theta);
+        const float s = std::sin(theta);
+        for (std::size_t i = 0; i < m; ++i) {
+          const float aip = sym.at(i, p);
+          const float aiq = sym.at(i, q);
+          sym.at(i, p) = c * aip + s * aiq;
+          sym.at(i, q) = -s * aip + c * aiq;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          const float api = sym.at(p, i);
+          const float aqi = sym.at(q, i);
+          sym.at(p, i) = c * api + s * aqi;
+          sym.at(q, i) = -s * api + c * aqi;
+        }
+        for (std::size_t i = 0; i < m; ++i) {
+          const float rip = rotation.at(i, p);
+          const float riq = rotation.at(i, q);
+          rotation.at(i, p) = c * rip + s * riq;
+          rotation.at(i, q) = -s * rip + c * riq;
+        }
+      }
+    }
+  }
+}
+
+/// Nearest orthogonal matrix to M (polar factor): R = M (M^T M)^{-1/2},
+/// the orthogonal-Procrustes solution the ITQ rotation update needs.
+/// Falls back to the identity when M is (numerically) zero.
+ml::Tensor polar_orthogonal(const ml::Tensor& m_mat) {
+  const std::size_t m = m_mat.shape().front();
+  ml::Tensor sym({m, m});
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a; b < m; ++b) {
+      float sum = 0.0f;
+      for (std::size_t i = 0; i < m; ++i) sum += m_mat.at(i, a) * m_mat.at(i, b);
+      sym.at(a, b) = sum;
+      sym.at(b, a) = sum;
+    }
+  }
+  ml::Tensor eigvecs;
+  jacobi_eigen(sym, eigvecs);
+  float max_eig = 0.0f;
+  for (std::size_t i = 0; i < m; ++i) max_eig = std::max(max_eig, sym.at(i, i));
+  ml::Tensor result({m, m});
+  if (max_eig <= 0.0f) {
+    for (std::size_t i = 0; i < m; ++i) result.at(i, i) = 1.0f;
+    return result;
+  }
+  // R = M * Q * diag(1/sqrt(lambda)) * Q^T, with tiny eigenvalues floored
+  // so a rank-deficient M still yields a finite (near-orthogonal) factor.
+  std::vector<float> inv_sqrt(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    inv_sqrt[i] = 1.0f / std::sqrt(std::max(sym.at(i, i), 1e-12f * max_eig));
+  }
+  ml::Tensor scaled({m, m});  // Q * diag * Q^T.
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      float sum = 0.0f;
+      for (std::size_t k = 0; k < m; ++k) {
+        sum += eigvecs.at(a, k) * inv_sqrt[k] * eigvecs.at(b, k);
+      }
+      scaled.at(a, b) = sum;
+    }
+  }
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = 0; b < m; ++b) {
+      float sum = 0.0f;
+      for (std::size_t k = 0; k < m; ++k) sum += m_mat.at(a, k) * scaled.at(k, b);
+      result.at(a, b) = sum;
+    }
+  }
+  return result;
+}
+
+/// Seeded random orthogonal matrix (Gaussian + Gram-Schmidt columns).
+ml::Tensor random_rotation(std::size_t m, Rng& rng) {
+  ml::Tensor rot({m, m});
+  for (std::size_t col = 0; col < m; ++col) {
+    std::vector<float> v(m);
+    for (float& x : v) x = static_cast<float>(rng.normal());
+    for (std::size_t prev = 0; prev < col; ++prev) {
+      float proj = 0.0f;
+      for (std::size_t i = 0; i < m; ++i) proj += rot.at(i, prev) * v[i];
+      for (std::size_t i = 0; i < m; ++i) v[i] -= proj * rot.at(i, prev);
+    }
+    const float norm = vector_norm(v);
+    if (norm < 1e-12f) {
+      std::fill(v.begin(), v.end(), 0.0f);
+      v[col] = 1.0f;
+    } else {
+      for (float& x : v) x /= norm;
+    }
+    for (std::size_t i = 0; i < m; ++i) rot.at(i, col) = v[i];
+  }
+  return rot;
+}
+
+void require_calibration(std::span<const std::vector<float>> rows, const char* who) {
+  if (rows.empty() || rows.front().empty()) {
+    throw std::invalid_argument{std::string{who} + ": empty calibration set"};
+  }
+}
+
+}  // namespace
+
+// --- SignatureModel base -----------------------------------------------------
+
+SignatureModel::SignatureModel(const SignatureModelConfig& config) : config_(config) {
+  if (config_.num_bits == 0) {
+    throw std::invalid_argument{"SignatureModel: num_bits must be positive"};
+  }
+}
+
+void SignatureModel::reset() noexcept {
+  num_features_ = 0;
+  planes_.clear();
+  thresholds_.clear();
+}
+
+void SignatureModel::install_state(std::size_t num_features, std::vector<float> planes,
+                                   std::vector<float> thresholds) {
+  if (num_features == 0 || planes.size() != config_.num_bits * num_features ||
+      thresholds.size() != config_.num_bits) {
+    throw std::invalid_argument{"SignatureModel::install_state: bad state shape"};
+  }
+  num_features_ = num_features;
+  planes_ = std::move(planes);
+  thresholds_ = std::move(thresholds);
+}
+
+std::vector<std::uint8_t> signature_bits(std::span<const float> margins) {
+  std::vector<std::uint8_t> bits(margins.size());
+  for (std::size_t b = 0; b < margins.size(); ++b) {
+    bits[b] = margins[b] >= 0.0f ? 1 : 0;
+  }
+  return bits;
+}
+
+encoding::Signature SignatureModel::encode(std::span<const float> features) const {
+  // Derived from project() + signature_bits so every signature consumer
+  // shares one projection loop and one sign rule. Bit-compat with the
+  // legacy LSH encoder holds because `proj - t >= 0` and `proj >= t`
+  // agree bit-for-bit in IEEE arithmetic (and t = 0 makes the margin
+  // exactly the projection), which tests/test_sig.cpp pins against
+  // RandomHyperplaneLsh.
+  const std::vector<std::uint8_t> bits = encode_bits(features);
+  encoding::Signature sig;
+  sig.bits = config_.num_bits;
+  sig.words.assign((config_.num_bits + 63) / 64, 0);
+  for (std::size_t b = 0; b < config_.num_bits; ++b) {
+    if (bits[b]) sig.words[b / 64] |= (std::uint64_t{1} << (b % 64));
+  }
+  return sig;
+}
+
+std::vector<std::uint8_t> SignatureModel::encode_bits(
+    std::span<const float> features) const {
+  return signature_bits(project(features));
+}
+
+std::vector<float> SignatureModel::project(std::span<const float> features) const {
+  if (!fitted()) throw std::logic_error{"SignatureModel::project before fit"};
+  if (features.size() != num_features_) {
+    throw std::invalid_argument{"SignatureModel::project: width mismatch"};
+  }
+  // The one projection loop: same accumulation order as
+  // RandomHyperplaneLsh::encode (the v2-snapshot compatibility contract).
+  std::vector<float> margins(config_.num_bits);
+  for (std::size_t b = 0; b < config_.num_bits; ++b) {
+    const float* plane = &planes_[b * num_features_];
+    float projection = 0.0f;
+    for (std::size_t f = 0; f < num_features_; ++f) projection += plane[f] * features[f];
+    margins[b] = projection - thresholds_[b];
+  }
+  return margins;
+}
+
+// --- random ------------------------------------------------------------------
+
+RandomSignatureModel::RandomSignatureModel(const SignatureModelConfig& config)
+    : SignatureModel(config) {}
+
+void RandomSignatureModel::fit(std::span<const std::vector<float>> rows) {
+  if (fitted()) return;
+  require_calibration(rows, "RandomSignatureModel::fit");
+  // Delegate the plane draw to RandomHyperplaneLsh so the signatures are
+  // bit-identical to the legacy coarse stage at the same seed.
+  const encoding::RandomHyperplaneLsh lsh{rows.front().size(), num_bits(),
+                                          config().seed};
+  install_state(rows.front().size(), lsh.hyperplanes(),
+                std::vector<float>(num_bits(), 0.0f));
+}
+
+// --- trained -----------------------------------------------------------------
+
+TrainedSignatureModel::TrainedSignatureModel(const SignatureModelConfig& config)
+    : SignatureModel(config) {}
+
+void TrainedSignatureModel::fit(std::span<const std::vector<float>> rows) {
+  if (fitted()) return;
+  require_calibration(rows, "TrainedSignatureModel::fit");
+  const std::size_t f = rows.front().size();
+  const std::size_t bits = num_bits();
+  const std::vector<float> mean = feature_mean(rows);
+  Rng rng{config().seed};
+
+  const std::size_t num_dirs = std::min(bits, f);
+  std::vector<std::vector<float>> directions;
+  std::vector<float> eigenvalues;
+  principal_directions(covariance(rows, mean), num_dirs, rng, directions, eigenvalues);
+
+  // Variance-balanced bit apportionment: each direction's share of the
+  // signature is proportional to its spread (sqrt eigenvalue), assigned
+  // by largest remainder so the counts sum to num_bits exactly. A flat
+  // spectrum degenerates to an even split.
+  std::vector<float> shares(num_dirs);
+  float total_share = 0.0f;
+  for (std::size_t j = 0; j < num_dirs; ++j) {
+    shares[j] = std::sqrt(std::max(eigenvalues[j], 0.0f));
+    total_share += shares[j];
+  }
+  std::vector<std::size_t> counts(num_dirs, 0);
+  if (total_share <= 0.0f) {
+    for (std::size_t b = 0; b < bits; ++b) ++counts[b % num_dirs];
+  } else {
+    std::vector<float> fractions(num_dirs);
+    std::size_t assigned = 0;
+    for (std::size_t j = 0; j < num_dirs; ++j) {
+      const float exact = static_cast<float>(bits) * shares[j] / total_share;
+      counts[j] = static_cast<std::size_t>(exact);
+      fractions[j] = exact - static_cast<float>(counts[j]);
+      assigned += counts[j];
+    }
+    std::vector<std::size_t> order(num_dirs);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return fractions[a] > fractions[b];
+    });
+    for (std::size_t r = 0; assigned < bits; ++r) ++counts[order[r % num_dirs]], ++assigned;
+  }
+
+  // Each direction's bits threshold at evenly spaced quantiles of the
+  // calibration projections, so every bit splits the data into balanced
+  // cells instead of slicing at an arbitrary offset.
+  std::vector<float> planes;
+  planes.reserve(bits * f);
+  std::vector<float> thresholds;
+  thresholds.reserve(bits);
+  for (std::size_t j = 0; j < num_dirs; ++j) {
+    if (counts[j] == 0) continue;
+    std::vector<float> projections;
+    projections.reserve(rows.size());
+    for (const auto& row : rows) {
+      float p = 0.0f;
+      for (std::size_t i = 0; i < f; ++i) p += directions[j][i] * row[i];
+      projections.push_back(p);
+    }
+    std::sort(projections.begin(), projections.end());
+    for (std::size_t t = 1; t <= counts[j]; ++t) {
+      const std::size_t idx =
+          std::min(t * projections.size() / (counts[j] + 1), projections.size() - 1);
+      planes.insert(planes.end(), directions[j].begin(), directions[j].end());
+      thresholds.push_back(projections[idx]);
+    }
+  }
+  install_state(f, std::move(planes), std::move(thresholds));
+}
+
+// --- itq ---------------------------------------------------------------------
+
+ItqSignatureModel::ItqSignatureModel(const SignatureModelConfig& config)
+    : SignatureModel(config) {}
+
+void ItqSignatureModel::fit(std::span<const std::vector<float>> rows) {
+  if (fitted()) return;
+  require_calibration(rows, "ItqSignatureModel::fit");
+  const std::size_t n = rows.size();
+  const std::size_t f = rows.front().size();
+  const std::size_t bits = num_bits();
+  const std::vector<float> mean = feature_mean(rows);
+  Rng rng{config().seed};
+
+  // PCA basis; when the signature is wider than the feature space the
+  // principal directions are cycled, and the learned rotation is what
+  // decorrelates the duplicated projections into distinct bits.
+  const std::size_t num_dirs = std::min(bits, f);
+  std::vector<std::vector<float>> directions;
+  std::vector<float> eigenvalues;
+  principal_directions(covariance(rows, mean), num_dirs, rng, directions, eigenvalues);
+
+  ml::Tensor v_mat({n, bits});  // Centered rows in the (cycled) PCA basis.
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t b = 0; b < bits; ++b) {
+      const std::vector<float>& dir = directions[b % num_dirs];
+      float p = 0.0f;
+      for (std::size_t c = 0; c < f; ++c) p += dir[c] * (rows[i][c] - mean[c]);
+      v_mat.at(i, b) = p;
+    }
+  }
+
+  // ITQ alternation: binarize (B = sign(V R)), then re-solve the
+  // orthogonal rotation minimizing ||B - V R||_F (Procrustes: the polar
+  // factor of V^T B). Deterministic for a fixed seed.
+  ml::Tensor rotation = random_rotation(bits, rng);
+  std::vector<float> rotated(bits);
+  for (std::size_t iter = 0; iter < kItqIterations; ++iter) {
+    ml::Tensor m_mat({bits, bits});  // V^T sign(V R), accumulated row-wise.
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t b = 0; b < bits; ++b) {
+        float sum = 0.0f;
+        for (std::size_t j = 0; j < bits; ++j) sum += v_mat.at(i, j) * rotation.at(j, b);
+        rotated[b] = sum >= 0.0f ? 1.0f : -1.0f;
+      }
+      for (std::size_t j = 0; j < bits; ++j) {
+        const float vij = v_mat.at(i, j);
+        for (std::size_t b = 0; b < bits; ++b) m_mat.at(j, b) += vij * rotated[b];
+      }
+    }
+    rotation = polar_orthogonal(m_mat);
+  }
+
+  // Collapse PCA + rotation + centering into the uniform linear shape:
+  // plane_b = sum_j R[j][b] dir_{j % d}, threshold_b = plane_b . mean.
+  std::vector<float> planes(bits * f, 0.0f);
+  std::vector<float> thresholds(bits, 0.0f);
+  for (std::size_t b = 0; b < bits; ++b) {
+    float* plane = &planes[b * f];
+    for (std::size_t j = 0; j < bits; ++j) {
+      const float weight = rotation.at(j, b);
+      const std::vector<float>& dir = directions[j % num_dirs];
+      for (std::size_t c = 0; c < f; ++c) plane[c] += weight * dir[c];
+    }
+    float t = 0.0f;
+    for (std::size_t c = 0; c < f; ++c) t += plane[c] * mean[c];
+    thresholds[b] = t;
+  }
+  install_state(f, std::move(planes), std::move(thresholds));
+}
+
+// --- registry ----------------------------------------------------------------
+
+SignatureModelFactory::SignatureModelFactory() {
+  register_model("random", [](const SignatureModelConfig& config) {
+    return std::unique_ptr<SignatureModel>{new RandomSignatureModel{config}};
+  });
+  register_model("trained", [](const SignatureModelConfig& config) {
+    return std::unique_ptr<SignatureModel>{new TrainedSignatureModel{config}};
+  });
+  register_model("itq", [](const SignatureModelConfig& config) {
+    return std::unique_ptr<SignatureModel>{new ItqSignatureModel{config}};
+  });
+}
+
+SignatureModelFactory& SignatureModelFactory::instance() {
+  static SignatureModelFactory factory;
+  return factory;
+}
+
+void SignatureModelFactory::register_model(std::string name, Builder builder) {
+  if (name.empty()) throw std::invalid_argument{"SignatureModelFactory: empty name"};
+  if (!builder) {
+    throw std::invalid_argument{"SignatureModelFactory: null builder for " + name};
+  }
+  builders_[std::move(name)] = std::move(builder);
+}
+
+std::unique_ptr<SignatureModel> SignatureModelFactory::create(
+    const std::string& name, const SignatureModelConfig& config) const {
+  const auto it = builders_.find(name);
+  if (it == builders_.end()) {
+    std::string known;
+    for (const auto& [key, builder] : builders_) {
+      if (!known.empty()) known += ", ";
+      known += key;
+    }
+    throw std::invalid_argument{"SignatureModelFactory: unknown signature model '" +
+                                name + "' (known: " + known + ")"};
+  }
+  return it->second(config);
+}
+
+bool SignatureModelFactory::contains(const std::string& name) const {
+  return builders_.find(name) != builders_.end();
+}
+
+std::vector<std::string> SignatureModelFactory::registered_names() const {
+  std::vector<std::string> names;
+  names.reserve(builders_.size());
+  for (const auto& [name, builder] : builders_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mcam::sig

@@ -1,0 +1,82 @@
+#include "sig/multiprobe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace mcam::sig {
+
+namespace {
+
+/// A candidate flip set over the margin-sorted bit list: `sorted_bits`
+/// are indices into that list (not original bit positions), kept sorted
+/// ascending so the lexicographic tie-break is well-defined.
+struct Candidate {
+  double cost = 0.0;
+  std::vector<std::size_t> sorted_bits;
+};
+
+struct CandidateGreater {
+  bool operator()(const Candidate& a, const Candidate& b) const {
+    if (a.cost != b.cost) return a.cost > b.cost;
+    return a.sorted_bits > b.sorted_bits;  // Deterministic tie order.
+  }
+};
+
+}  // namespace
+
+std::vector<std::vector<std::size_t>> MultiProbe::sequence(
+    std::span<const float> margins, std::size_t max_probes) {
+  max_probes = std::max<std::size_t>(max_probes, 1);
+  std::vector<std::vector<std::size_t>> probes;
+  probes.reserve(max_probes);
+  probes.push_back({});  // Probe 0: the signature itself.
+  if (max_probes == 1 || margins.empty()) return probes;
+
+  // Margin-sorted bit list, cheapest flips first (ties -> lower bit index
+  // so the sequence is deterministic for symmetric margins).
+  std::vector<std::size_t> order(margins.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(margins[a]) < std::abs(margins[b]);
+  });
+  if (order.size() > kMaxFlipBits) order.resize(kMaxFlipBits);
+  std::vector<double> costs(order.size());
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    costs[i] = std::abs(static_cast<double>(margins[order[i]]));
+  }
+
+  // Best-first enumeration (Lv et al.): from the set whose largest element
+  // is j, "extend" appends j+1 and "shift" replaces j with j+1. Starting
+  // from {0} this yields every non-empty subset exactly once, in
+  // nondecreasing summed-cost order because the bit list is cost-sorted.
+  std::priority_queue<Candidate, std::vector<Candidate>, CandidateGreater> heap;
+  heap.push(Candidate{costs[0], {0}});
+  while (probes.size() < max_probes && !heap.empty()) {
+    Candidate best = heap.top();
+    heap.pop();
+
+    // Emit: map the set back to original bit positions, sorted ascending.
+    std::vector<std::size_t> flips;
+    flips.reserve(best.sorted_bits.size());
+    for (std::size_t idx : best.sorted_bits) flips.push_back(order[idx]);
+    std::sort(flips.begin(), flips.end());
+    probes.push_back(std::move(flips));
+
+    const std::size_t last = best.sorted_bits.back();
+    if (last + 1 < order.size()) {
+      Candidate extend = best;
+      extend.cost += costs[last + 1];
+      extend.sorted_bits.push_back(last + 1);
+      heap.push(std::move(extend));
+      Candidate shift = std::move(best);
+      shift.cost += costs[last + 1] - costs[last];
+      shift.sorted_bits.back() = last + 1;
+      heap.push(std::move(shift));
+    }
+  }
+  return probes;
+}
+
+}  // namespace mcam::sig

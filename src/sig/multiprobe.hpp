@@ -1,0 +1,44 @@
+// Multi-probe sequence generation for the coarse signature stage.
+//
+// A single Hamming sweep ranks rows against one query signature; when a
+// query lands near a hyperplane, the corresponding bit is a coin flip and
+// the true neighbors sit one bit away. Multi-probe LSH (Lv et al., VLDB
+// 2007) recovers them without widening the TCAM: probe *neighboring*
+// signatures obtained by flipping the query's least-confident bits, in
+// increasing order of flipped confidence mass. Each probe is one more TCAM
+// sweep; the pipeline keeps, per row, the best (minimum-conductance) match
+// across every probe, so a row that mismatches only on uncertain bits is
+// nominated as if those bits had matched.
+//
+// The flip sets are derived from the per-bit margins a SignatureModel
+// reports (sig/model.hpp): |margin| is the distance to the deciding
+// hyperplane, so the cheapest probes flip the smallest-|margin| bits
+// first. Enumeration is the classic best-first expansion over the
+// margin-sorted bit list and is fully deterministic (ties break
+// lexicographically on the flip set).
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mcam::sig {
+
+/// Generates the probe sequence for one query.
+class MultiProbe {
+ public:
+  /// Lowest-|margin| bits considered for flipping; caps the search
+  /// frontier (2^kMaxFlipBits candidate sets dwarf any real probe budget).
+  static constexpr std::size_t kMaxFlipBits = 24;
+
+  /// The first `max_probes` flip sets in increasing summed-|margin| order.
+  /// Element 0 is always the empty set (the unperturbed signature); each
+  /// later element lists the bit indices (into `margins`) to flip for that
+  /// probe, sorted ascending. Returns fewer than `max_probes` sets when
+  /// the signature has fewer distinct subsets to offer. `max_probes == 0`
+  /// is treated as 1.
+  [[nodiscard]] static std::vector<std::vector<std::size_t>> sequence(
+      std::span<const float> margins, std::size_t max_probes);
+};
+
+}  // namespace mcam::sig

@@ -203,7 +203,7 @@ TEST(TwoStageMutation, EraseRoutesIntoBothStagesAndTombstonesNominations) {
   index->add(data.rows, data.labels);
 
   const auto& two_stage = dynamic_cast<const TwoStageNnIndex&>(*index);
-  EXPECT_EQ(two_stage.coarse().size(), 30u);
+  EXPECT_EQ(two_stage.coarse_tcam().num_valid(), 30u);
   EXPECT_EQ(two_stage.fine().size(), 30u);
 
   std::set<std::size_t> erased;
@@ -213,7 +213,7 @@ TEST(TwoStageMutation, EraseRoutesIntoBothStagesAndTombstonesNominations) {
     EXPECT_EQ(index->erase(id), erased.insert(id).second);
   }
   EXPECT_EQ(index->size(), 30 - erased.size());
-  EXPECT_EQ(two_stage.coarse().size(), index->size());
+  EXPECT_EQ(two_stage.coarse_tcam().num_valid(), index->size());
   for (const auto& q : data.queries) {
     const QueryResult result = index->query_one(q, 3);
     for (const Neighbor& n : result.neighbors) {
@@ -221,12 +221,15 @@ TEST(TwoStageMutation, EraseRoutesIntoBothStagesAndTombstonesNominations) {
     }
   }
   EXPECT_THROW((void)index->erase(30), std::out_of_range);
-  // clear() empties both stages; the next add recalibrates both.
+  // clear() empties both stages (the coarse TCAM and the fitted signature
+  // model are dropped entirely); the next add recalibrates both.
   index->clear();
   EXPECT_EQ(index->size(), 0u);
-  EXPECT_EQ(two_stage.coarse().size(), 0u);
+  EXPECT_FALSE(two_stage.signature_model().fitted());
+  EXPECT_THROW((void)two_stage.coarse_tcam(), std::logic_error);
   index->add(data.rows, data.labels);
   EXPECT_EQ(index->size(), 30u);
+  EXPECT_EQ(two_stage.coarse_tcam().num_valid(), 30u);
 }
 
 TEST(TwoStageTelemetry, ReportsPerStageCandidatesAndCombinedEnergy) {
@@ -255,6 +258,8 @@ TEST(TwoStageTelemetry, ReportsPerStageCandidatesAndCombinedEnergy) {
     EXPECT_EQ(t.fine_candidates, 20u);     // ...but the MCAM reranks only 4*5.
     EXPECT_EQ(t.candidates, 140u);
     EXPECT_EQ(t.banks_searched, 2u);
+    EXPECT_EQ(t.probes_used, 1u);       // Single-probe default.
+    EXPECT_GE(t.coarse_margin, 0.0);    // Gap at the nomination cut.
 
     // Combined energy = full TCAM sweep + candidate-gated MCAM search.
     const QueryTelemetry exhaustive = fine_alone->query_one(q, 5).telemetry;
@@ -267,10 +272,13 @@ TEST(TwoStageTelemetry, ReportsPerStageCandidatesAndCombinedEnergy) {
 
 TEST(TwoStageSpec, FineKeyConsumesTheRestOfTheSpec) {
   const EngineSpec spec = parse_engine_spec(
-      "refine:coarse_bits=64,candidate_factor=8,fine=sharded-mcam:bits=2,bank_rows=16");
+      "refine:coarse_bits=64,candidate_factor=8,sig=trained,probes=4,"
+      "fine=sharded-mcam:bits=2,bank_rows=16");
   EXPECT_EQ(spec.name, "refine");
   EXPECT_EQ(spec.config.coarse_bits, 64u);
   EXPECT_EQ(spec.config.candidate_factor, 8u);
+  EXPECT_EQ(spec.config.sig_model, "trained");
+  EXPECT_EQ(spec.config.probes, 4u);
   // Everything after fine= belongs to the nested spec, commas included.
   EXPECT_EQ(spec.config.fine_spec, "sharded-mcam:bits=2,bank_rows=16");
 
@@ -286,6 +294,235 @@ TEST(TwoStageSpec, FineKeyConsumesTheRestOfTheSpec) {
   config.num_features = 4;
   EXPECT_THROW((void)make_index("refine", config), std::invalid_argument);
   EXPECT_THROW((void)make_index("refine:coarse_bits=16", config), std::invalid_argument);
+}
+
+TEST(TwoStageSpec, SigAndProbesKeyErrorPaths) {
+  EngineConfig config;
+  config.num_features = 4;
+
+  // Nested fine= specs keep their own sig=/probes= keys: the outer spec
+  // stops parsing at fine=, so the nested pipeline gets its own model.
+  const EngineSpec nested = parse_engine_spec(
+      "refine:sig=itq,probes=2,fine=refine:sig=trained,probes=8,fine=euclidean");
+  EXPECT_EQ(nested.config.sig_model, "itq");
+  EXPECT_EQ(nested.config.probes, 2u);
+  EXPECT_EQ(nested.config.fine_spec, "refine:sig=trained,probes=8,fine=euclidean");
+  const EngineSpec inner = parse_engine_spec(nested.config.fine_spec);
+  EXPECT_EQ(inner.config.sig_model, "trained");
+  EXPECT_EQ(inner.config.probes, 8u);
+  EXPECT_EQ(inner.config.fine_spec, "euclidean");
+  // And the whole nested pipeline builds end to end.
+  const Data data = make_data(30, 4, 2, 271);
+  auto nested_index = make_index(
+      "refine:coarse_bits=16,sig=itq,probes=2,"
+      "fine=refine:coarse_bits=16,sig=trained,probes=8,candidate_factor=1000,"
+      "fine=euclidean",
+      config);
+  nested_index->add(data.rows, data.labels);
+  EXPECT_EQ(nested_index->query_one(data.queries[0], 3).neighbors.size(), 3u);
+
+  // Unknown sig-model names throw with the known-model list.
+  try {
+    (void)make_index("refine:coarse_bits=16,sig=banana,fine=euclidean", config);
+    FAIL() << "unknown sig model accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("banana"), std::string::npos) << what;
+    EXPECT_NE(what.find("itq"), std::string::npos) << what;
+    EXPECT_NE(what.find("random"), std::string::npos) << what;
+    EXPECT_NE(what.find("trained"), std::string::npos) << what;
+  }
+
+  // Unknown keys still list the spec vocabulary, now including sig/probes.
+  try {
+    (void)parse_engine_spec("refine:sigg=itq,fine=euclidean");
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    EXPECT_NE(what.find("sig"), std::string::npos) << what;
+    EXPECT_NE(what.find("probes"), std::string::npos) << what;
+  }
+
+  // Duplicate-key rejection covers the new keys.
+  EXPECT_THROW((void)parse_engine_spec("refine:sig=itq,sig=trained,fine=euclidean"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_engine_spec("refine:probes=2,probes=4,fine=euclidean"),
+               std::invalid_argument);
+  // Malformed and empty values for the new keys fail loudly.
+  EXPECT_THROW((void)parse_engine_spec("refine:probes=two,fine=euclidean"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_engine_spec("refine:sig=,fine=euclidean"),
+               std::invalid_argument);
+}
+
+TEST(TwoStageMultiProbe, RecoversRecallAndNeverServesTombstones) {
+  // Multi-probe sweeps flip the query's lowest-margin signature bits; the
+  // candidate set can only grow toward the true neighbors, and erased rows
+  // must be invisible to every probe.
+  const Data data = make_data(200, 8, 10, 281);
+  EngineConfig config;
+  config.num_features = 8;
+  const auto truth = make_index("euclidean", config);
+  truth->add(data.rows, data.labels);
+
+  double single_recall = 0.0;
+  double multi_recall = 0.0;
+  for (const std::size_t probes : {std::size_t{1}, std::size_t{8}}) {
+    auto index = make_index("refine:coarse_bits=12,candidate_factor=2,probes=" +
+                                std::to_string(probes) + ",fine=euclidean",
+                            config);
+    index->add(data.rows, data.labels);
+    double recall = 0.0;
+    for (const auto& q : data.queries) {
+      const QueryResult result = index->query_one(q, 5);
+      EXPECT_EQ(result.telemetry.probes_used, probes);
+      EXPECT_EQ(result.telemetry.coarse_candidates, 200u * probes);
+      std::set<std::size_t> expected;
+      for (const Neighbor& n : truth->query_one(q, 5).neighbors) expected.insert(n.index);
+      for (const Neighbor& n : result.neighbors) recall += expected.count(n.index);
+    }
+    (probes == 1 ? single_recall : multi_recall) = recall;
+  }
+  // 8 probes over 12-bit signatures at factor 2 must not lose recall (on
+  // this seed they strictly gain).
+  EXPECT_GE(multi_recall, single_recall);
+
+  // Tombstoned rows never surface through any probe.
+  auto index = make_index("refine:coarse_bits=12,candidate_factor=1,probes=8,fine=euclidean",
+                          config);
+  index->add(data.rows, data.labels);
+  std::set<std::size_t> erased;
+  for (std::size_t id = 0; id < 200; id += 3) {
+    ASSERT_TRUE(index->erase(id));
+    erased.insert(id);
+  }
+  for (const auto& q : data.queries) {
+    for (const Neighbor& n : index->query_one(q, 4).neighbors) {
+      EXPECT_FALSE(erased.count(n.index)) << "tombstoned id " << n.index;
+    }
+  }
+}
+
+TEST(TwoStageConstruction, RejectsBoundedCoarseConfig) {
+  // A capacity-bounded coarse TCAM could throw mid-batch after the fine
+  // stage accepted the rows, desynchronizing the stages forever - so the
+  // constructor refuses it up front.
+  sig::SignatureModelConfig model_config;
+  model_config.num_bits = 8;
+  cam::TcamArrayConfig bounded;
+  bounded.max_rows = 4;
+  EXPECT_THROW((void)make_two_stage(
+                   sig::SignatureModelFactory::instance().create("random", model_config),
+                   bounded, std::make_unique<SoftwareNnEngine>("euclidean")),
+               std::invalid_argument);
+  // Unbounded builds fine.
+  auto index = make_two_stage(
+      sig::SignatureModelFactory::instance().create("random", model_config),
+      cam::TcamArrayConfig{}, std::make_unique<SoftwareNnEngine>("euclidean"));
+  const Data data = make_data(20, 4, 1, 307);
+  index->add(data.rows, data.labels);
+  EXPECT_EQ(index->query_one(data.queries[0], 2).neighbors.size(), 2u);
+}
+
+TEST(TwoStageMutation, RejectedFirstBatchDoesNotPinTheCalibration) {
+  // A first add rejected by the fine stage (capacity) must not leave the
+  // coarse encoders fitted to rows that were never stored - fit-once
+  // would pin that calibration forever.
+  const Data data = make_data(12, 6, 2, 313);
+  sig::SignatureModelConfig model_config;
+  model_config.num_bits = 16;
+  cam::TcamArrayConfig bounded_fine;
+  bounded_fine.max_rows = 4;
+  auto index = make_two_stage(
+      sig::SignatureModelFactory::instance().create("trained", model_config),
+      cam::TcamArrayConfig{}, std::make_unique<TcamLshEngine>(16, 7, bounded_fine));
+  const auto& two_stage = dynamic_cast<const TwoStageNnIndex&>(*index);
+  EXPECT_THROW(index->add(data.rows, data.labels), std::length_error);
+  EXPECT_EQ(index->size(), 0u);
+  EXPECT_FALSE(two_stage.signature_model().fitted());
+  EXPECT_THROW((void)two_stage.coarse_tcam(), std::logic_error);
+  // A batch that fits calibrates on ITS rows and works normally.
+  index->add(std::span{data.rows}.subspan(0, 4), std::span{data.labels}.subspan(0, 4));
+  EXPECT_EQ(index->size(), 4u);
+  EXPECT_EQ(two_stage.coarse_tcam().num_valid(), 4u);
+  EXPECT_EQ(index->query_one(data.queries[0], 2).neighbors.size(), 2u);
+}
+
+TEST(TwoStageMutation, FailedAddLeavesBothStagesUntouched) {
+  // A batch that cannot be encoded (width mismatch against the fitted
+  // encoders) must be rejected before EITHER stage stores anything -
+  // otherwise the id spaces drift apart forever.
+  const Data data = make_data(30, 6, 2, 311);
+  EngineConfig config;
+  config.num_features = 6;
+  config.fine_spec = "euclidean";
+  config.coarse_bits = 16;
+  auto index = make_index("refine", config);
+  index->add(data.rows, data.labels);
+  const auto& two_stage = dynamic_cast<const TwoStageNnIndex&>(*index);
+
+  const std::vector<std::vector<float>> narrow(4, std::vector<float>(5, 0.1f));
+  const std::vector<int> narrow_labels(4, 0);
+  EXPECT_THROW(index->add(narrow, narrow_labels), std::invalid_argument);
+  EXPECT_EQ(index->size(), 30u);
+  EXPECT_EQ(two_stage.coarse_tcam().num_valid(), 30u);
+  // The index keeps working: adds, erases, and queries stay in lockstep.
+  index->add(std::span{data.rows}.subspan(0, 2), std::span{data.labels}.subspan(0, 2));
+  EXPECT_EQ(index->size(), 32u);
+  EXPECT_EQ(two_stage.coarse_tcam().num_valid(), 32u);
+  EXPECT_TRUE(index->erase(31));
+  for (const auto& q : data.queries) {
+    EXPECT_EQ(index->query_one(q, 3).neighbors.size(), 3u);
+  }
+}
+
+TEST(TwoStageMargin, ReportsTheNominationCutGap) {
+  const Data data = make_data(60, 6, 4, 283);
+  EngineConfig config;
+  config.num_features = 6;
+  config.fine_spec = "euclidean";
+  config.coarse_bits = 24;
+  config.candidate_factor = 2;
+  auto index = make_index("refine", config);
+  index->add(data.rows, data.labels);
+  for (const auto& q : data.queries) {
+    const QueryTelemetry t = index->query_one(q, 3).telemetry;
+    EXPECT_GE(t.coarse_margin, 0.0);
+    EXPECT_EQ(t.probes_used, 1u);
+  }
+  // When every live row is nominated there is no cut, hence no margin.
+  const QueryTelemetry all = index->query_one(data.queries[0], 60).telemetry;
+  EXPECT_EQ(all.coarse_margin, 0.0);
+  EXPECT_EQ(all.fine_candidates, 60u);
+  // The exhaustive fallback runs no coarse sweep at all.
+  config.refine_exhaustive = true;
+  auto fallback = make_index("refine", config);
+  fallback->add(data.rows, data.labels);
+  const QueryTelemetry bypass = fallback->query_one(data.queries[0], 3).telemetry;
+  EXPECT_EQ(bypass.probes_used, 0u);
+  EXPECT_EQ(bypass.coarse_margin, 0.0);
+}
+
+TEST(TwoStageIdentity, LearnedModelsStillExactWhenNominatingEveryRow) {
+  // The signature model only picks candidates; with candidate_factor
+  // covering every live row the pipeline must stay bit-identical to the
+  // fine backend for the trained and itq models too (and multi-probe).
+  const Data data = make_data(50, 6, 4, 293);
+  EngineConfig config;
+  config.num_features = 6;
+  auto fine_alone = make_index("mcam2", config);
+  fine_alone->add(data.rows, data.labels);
+  for (const char* sig : {"trained", "itq"}) {
+    auto index = make_index(std::string{"refine:coarse_bits=16,candidate_factor=1000,"
+                                        "probes=4,sig="} +
+                                sig + ",fine=mcam2",
+                            config);
+    index->add(data.rows, data.labels);
+    for (const auto& q : data.queries) {
+      expect_identical(index->query_one(q, 5), fine_alone->query_one(q, 5),
+                       std::string{"learned full-candidates sig="} + sig);
+    }
+  }
 }
 
 TEST(TwoStageSpec, BuildsNestedShardedFineStageFromOneSpecString) {
@@ -308,10 +545,12 @@ TEST(TwoStageSpec, BuildsNestedShardedFineStageFromOneSpecString) {
 }
 
 TEST(TwoStageServing, SnapshotRoundTripsThroughQueryService) {
-  // Acceptance: a refine:* index snapshot-restores through the service
-  // with identical answers.
+  // Acceptance: a refine:* index with a trained signature model and
+  // multi-probe snapshot-restores through the service with identical
+  // answers (the fitted projections persist bit-exactly in format v3).
   const std::string spec =
-      "refine:coarse_bits=48,candidate_factor=4,fine=sharded-mcam3:bank_rows=24";
+      "refine:coarse_bits=48,candidate_factor=4,sig=trained,probes=4,"
+      "fine=sharded-mcam3:bank_rows=24";
   const Data data = make_data(90, 6, 6, 257);
   EngineConfig config;
   config.num_features = 6;
@@ -324,13 +563,24 @@ TEST(TwoStageServing, SnapshotRoundTripsThroughQueryService) {
   const std::vector<std::uint8_t> blob = serve::save(*original, spec, config);
   const serve::SnapshotInfo info = serve::inspect(blob);
   EXPECT_EQ(info.engine, "refine");
+  EXPECT_EQ(info.version, serve::kSnapshotVersion);
   EXPECT_EQ(info.config.coarse_bits, 48u);
   EXPECT_EQ(info.config.candidate_factor, 4u);
+  EXPECT_EQ(info.config.sig_model, "trained");
+  EXPECT_EQ(info.config.probes, 4u);
   EXPECT_EQ(info.config.fine_spec, "sharded-mcam3:bank_rows=24");
 
   auto restored = serve::load(blob);
   ASSERT_NE(restored, nullptr);
   EXPECT_EQ(restored->size(), original->size());
+  // The trained projections and thresholds restore bit-exactly.
+  const auto& original_model =
+      dynamic_cast<const TwoStageNnIndex&>(*original).signature_model();
+  const auto& restored_model =
+      dynamic_cast<const TwoStageNnIndex&>(*restored).signature_model();
+  EXPECT_EQ(restored_model.key(), "trained");
+  EXPECT_EQ(restored_model.planes(), original_model.planes());
+  EXPECT_EQ(restored_model.thresholds(), original_model.thresholds());
 
   serve::QueryServiceConfig service_config;
   service_config.workers = 1;

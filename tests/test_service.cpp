@@ -403,6 +403,66 @@ TEST(KConvention, CacheNormalizesZeroKToOneNn) {
   EXPECT_EQ(stats.cache_hits, 2u);
 }
 
+TEST(CoarseMarginStats, ServiceObservesTheMarginDistribution) {
+  // The two-stage pipeline reports a coarse nomination margin per
+  // executed query; the service aggregates it so an adaptive
+  // candidate_factor policy has a distribution to read. Cache hits replay
+  // results without sweeping the TCAM, so they must not be counted.
+  const Data data = make_data(60, 6, 4, 431);
+  EngineConfig config;
+  config.num_features = 6;
+  config.fine_spec = "euclidean";
+  config.coarse_bits = 24;
+  config.candidate_factor = 2;
+  auto index = search::make_index("refine", config);
+  index->add(data.rows, data.labels);
+
+  QueryServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.cache_capacity = 8;
+  QueryService service{*index, service_config};
+  for (const auto& q : data.queries) {
+    const QueryResponse response = service.query_one(q, 3);
+    ASSERT_EQ(response.status, RequestStatus::kOk);
+    EXPECT_EQ(response.result.telemetry.probes_used, 1u);
+  }
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coarse_margin_queries, data.queries.size());
+  EXPECT_GE(stats.coarse_margin_mean, 0.0);
+  EXPECT_GE(stats.coarse_margin_p95, stats.coarse_margin_p50);
+  const std::size_t executed = stats.coarse_margin_queries;
+
+  // A repeat of the same query is a cache hit: counted as completed, but
+  // no new margin sample.
+  const QueryResponse hit = service.query_one(data.queries[0], 3);
+  ASSERT_EQ(hit.status, RequestStatus::kOk);
+  ASSERT_TRUE(hit.cache_hit);
+  stats = service.stats();
+  EXPECT_EQ(stats.coarse_margin_queries, executed);
+
+  // A query whose candidate budget covers every live row sweeps but has
+  // no nomination cut - its margin 0 means "nothing excluded", not "zero
+  // confidence", and must not dilute the distribution.
+  const QueryResponse all = service.query_one(data.queries[1], 60);
+  ASSERT_EQ(all.status, RequestStatus::kOk);
+  EXPECT_EQ(all.result.telemetry.probes_used, 1u);
+  EXPECT_EQ(all.result.telemetry.fine_candidates, 60u);
+  stats = service.stats();
+  EXPECT_EQ(stats.coarse_margin_queries, executed);
+
+  // An index without a coarse stage never contributes margin samples.
+  auto flat = search::make_index("euclidean", EngineConfig{});
+  flat->add(data.rows, data.labels);
+  QueryService flat_service{*flat, service_config};
+  for (const auto& q : data.queries) {
+    ASSERT_EQ(flat_service.query_one(q, 3).status, RequestStatus::kOk);
+  }
+  const ServiceStats flat_stats = flat_service.stats();
+  EXPECT_EQ(flat_stats.coarse_margin_queries, 0u);
+  EXPECT_EQ(flat_stats.coarse_margin_mean, 0.0);
+  EXPECT_EQ(flat_stats.coarse_margin_p95, 0.0);
+}
+
 TEST(LatencyWindow, NearestRankPercentileBoundaries) {
   // The estimator behind ServiceStats percentiles, pinned at the window
   // boundaries the sliding window actually produces.

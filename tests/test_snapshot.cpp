@@ -13,6 +13,7 @@
 #include "search/engine.hpp"
 #include "search/factory.hpp"
 #include "serve/io.hpp"
+#include "snapshot_v2_fixtures.hpp"
 #include "util/rng.hpp"
 
 #include <gtest/gtest.h>
@@ -280,6 +281,11 @@ TEST(SnapshotFormat, RejectsCorruptionTruncationAndBadVersion) {
     bad[8] = 0x7F;
     EXPECT_THROW((void)load(bad), io::SnapshotError);
   }
+  {  // v1 predates the backward-compat floor.
+    std::vector<std::uint8_t> bad = blob;
+    bad[8] = 0x01;
+    EXPECT_THROW((void)load(bad), io::SnapshotError);
+  }
   {  // Shorter than the header.
     const std::vector<std::uint8_t> bad{blob.begin(), blob.begin() + 10};
     EXPECT_THROW((void)inspect(bad), io::SnapshotError);
@@ -316,6 +322,86 @@ TEST(SnapshotFormat, FileRoundTripRestoresWarm) {
   EXPECT_EQ(restored->size(), index->size());
   for (const auto& q : data.queries) {
     expect_identical(restored->query_one(q, 5), index->query_one(q, 5), "file");
+  }
+}
+
+/// Builds the post-v3 twin of a captured v2 fixture blob: the same spec,
+/// data, and erase history, executed by current code.
+std::unique_ptr<NnIndex> build_fixture_twin(const std::string& spec,
+                                            const v2fixture::FixtureData& data) {
+  EngineConfig config;
+  config.num_features = 6;
+  auto twin = search::make_index(spec, config);
+  twin->add(data.rows, data.labels);
+  for (std::size_t id : v2fixture::v2_fixture_erased()) {
+    if (!twin->erase(id)) throw std::logic_error{"fixture erase diverged"};
+  }
+  return twin;
+}
+
+TEST(SnapshotCompat, CapturedV2RefineBlobLoadsAsRandomSingleProbe) {
+  // Backward compatibility against genuine v2 bytes (captured at snapshot
+  // version 2, before the signature-model subsystem): the blob loads, the
+  // missing config fields default to the pre-v3 behavior, and the
+  // restored pipeline answers bit-identically to the same history
+  // replayed by current code (the `random` model is bit-compatible with
+  // the legacy TCAM-LSH coarse stage).
+  const std::span<const unsigned char> bytes{v2fixture::kRefineBlob};
+  const SnapshotInfo info = inspect(bytes);
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.engine, "refine");
+  EXPECT_EQ(info.config.coarse_bits, 24u);
+  EXPECT_EQ(info.config.candidate_factor, 3u);
+  EXPECT_EQ(info.config.fine_spec, "sharded-mcam3:bank_rows=16");
+  EXPECT_TRUE(info.config.sig_model.empty());  // v2 default -> "random".
+  EXPECT_EQ(info.config.probes, 0u);           // v2 default -> 1 probe.
+
+  auto restored = load(bytes);
+  ASSERT_NE(restored, nullptr);
+  const v2fixture::FixtureData data = v2fixture::v2_fixture_data();
+  auto twin = build_fixture_twin(
+      "refine:coarse_bits=24,candidate_factor=3,fine=sharded-mcam3:bank_rows=16", data);
+  EXPECT_EQ(restored->size(), twin->size());
+  for (const auto& q : data.queries) {
+    for (std::size_t k : {std::size_t{1}, std::size_t{5}, twin->size()}) {
+      expect_identical(restored->query_one(q, k), twin->query_one(q, k),
+                       "v2 refine blob k=" + std::to_string(k));
+    }
+  }
+  // The restored index keeps mutating correctly (both stages in sync).
+  ASSERT_TRUE(restored->erase(10));
+  ASSERT_TRUE(twin->erase(10));
+  expect_identical(restored->query_one(data.queries[0], 4),
+                   twin->query_one(data.queries[0], 4), "v2 refine post-load erase");
+  // And re-saving writes the current version, which round-trips again.
+  EngineConfig config;
+  config.num_features = 6;
+  const std::vector<std::uint8_t> resaved =
+      save(*restored, "refine:coarse_bits=24,candidate_factor=3,fine=sharded-mcam3:bank_rows=16",
+           config);
+  EXPECT_EQ(inspect(resaved).version, kSnapshotVersion);
+  auto reloaded = load(resaved);
+  expect_identical(reloaded->query_one(data.queries[1], 3),
+                   restored->query_one(data.queries[1], 3), "v2 -> v3 re-save");
+}
+
+TEST(SnapshotCompat, CapturedV2ShardedBlobStillLoads) {
+  // Non-refine v2 blobs ride the same compat path: only the header and
+  // the embedded config layout changed, not the engine payloads.
+  const std::span<const unsigned char> bytes{v2fixture::kShardedBlob};
+  const SnapshotInfo info = inspect(bytes);
+  EXPECT_EQ(info.version, 2u);
+  EXPECT_EQ(info.engine, "sharded-mcam3");
+  EXPECT_EQ(info.config.bank_rows, 16u);
+
+  auto restored = load(bytes);
+  ASSERT_NE(restored, nullptr);
+  const v2fixture::FixtureData data = v2fixture::v2_fixture_data();
+  auto twin = build_fixture_twin("sharded-mcam3:bank_rows=16", data);
+  EXPECT_EQ(restored->size(), twin->size());
+  for (const auto& q : data.queries) {
+    expect_identical(restored->query_one(q, 5), twin->query_one(q, 5),
+                     "v2 sharded blob");
   }
 }
 

@@ -1,7 +1,11 @@
 #include "cam/tcam.hpp"
 
+#include "sig/multiprobe.hpp"
+
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <set>
 #include <vector>
 
 namespace mcam::cam {
@@ -126,6 +130,107 @@ TEST(TcamArray, ClearResets) {
   EXPECT_EQ(tcam.num_rows(), 0u);
   tcam.add_row_bits(bits({1, 1, 1}));
   EXPECT_EQ(tcam.word_length(), 3u);
+}
+
+TEST(TcamArray, MultiProbeSweepMatchesFlippedHammingDistances) {
+  // Each multi-probe flip mask perturbs the query signature; the TCAM
+  // sweep for that probe must rank by the Hamming distance to the flipped
+  // query, and the per-row best across probes must equal the analytic
+  // min-over-probes distance.
+  TcamArray tcam{TcamArrayConfig{}};
+  Rng rng{13};
+  std::vector<std::vector<std::uint8_t>> rows;
+  for (int r = 0; r < 12; ++r) {
+    std::vector<std::uint8_t> word(10);
+    for (auto& b : word) b = rng.bernoulli(0.5) ? 1 : 0;
+    rows.push_back(word);
+    tcam.add_row_bits(word);
+  }
+  std::vector<std::uint8_t> query(10);
+  std::vector<float> margins(10);
+  for (std::size_t i = 0; i < 10; ++i) {
+    query[i] = rng.bernoulli(0.5) ? 1 : 0;
+    margins[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  const auto probes = sig::MultiProbe::sequence(margins, 6);
+  ASSERT_EQ(probes.size(), 6u);
+  std::vector<std::size_t> best_distance(12, SIZE_MAX);
+  std::vector<double> best_conductance(12, 1e30);
+  for (const auto& flips : probes) {
+    std::vector<std::uint8_t> probe_query = query;
+    for (std::size_t bit : flips) probe_query[bit] ^= 1u;
+    const auto g = tcam.search_conductances(probe_query);
+    const auto d = tcam.hamming_distances(probe_query);
+    for (std::size_t i = 0; i < 12; ++i) {
+      // Per-probe electrical ordering still tracks Hamming distance.
+      for (std::size_t j = 0; j < 12; ++j) {
+        if (d[i] < d[j]) EXPECT_LT(g[i], g[j]);
+      }
+      best_distance[i] = std::min(best_distance[i], d[i]);
+      best_conductance[i] = std::min(best_conductance[i], g[i]);
+    }
+  }
+  // Best-of-probes conductance orders rows exactly like the analytic
+  // min-over-probes Hamming distance.
+  for (std::size_t i = 0; i < 12; ++i) {
+    for (std::size_t j = 0; j < 12; ++j) {
+      if (best_distance[i] < best_distance[j]) {
+        EXPECT_LT(best_conductance[i], best_conductance[j]);
+      }
+    }
+  }
+}
+
+TEST(TcamArray, TombstonedRowsNeverNominatedAcrossAnyProbe) {
+  // Validity latches gate the ranking, not the sweep: a tombstoned row
+  // still has a conductance, but it must never appear in the nomination,
+  // no matter which probe would have matched it best.
+  TcamArray tcam{TcamArrayConfig{}};
+  Rng rng{29};
+  for (int r = 0; r < 16; ++r) {
+    std::vector<std::uint8_t> word(8);
+    for (auto& b : word) b = rng.bernoulli(0.5) ? 1 : 0;
+    tcam.add_row_bits(word);
+  }
+  std::set<std::size_t> dead;
+  for (std::size_t id : {std::size_t{0}, std::size_t{5}, std::size_t{6},
+                         std::size_t{11}, std::size_t{15}}) {
+    ASSERT_TRUE(tcam.invalidate_row(id));
+    dead.insert(id);
+  }
+  EXPECT_EQ(tcam.num_valid(), 11u);
+
+  std::vector<std::uint8_t> query(8);
+  std::vector<float> margins(8);
+  for (std::size_t i = 0; i < 8; ++i) {
+    query[i] = rng.bernoulli(0.5) ? 1 : 0;
+    margins[i] = static_cast<float>(rng.normal(0.0, 1.0));
+  }
+  // The pipeline's best-of-probes reduction: min conductance per row.
+  const auto probes = sig::MultiProbe::sequence(margins, 8);
+  std::vector<double> best = tcam.search_conductances(query);
+  for (std::size_t p = 1; p < probes.size(); ++p) {
+    std::vector<std::uint8_t> probe_query = query;
+    for (std::size_t bit : probes[p]) probe_query[bit] ^= 1u;
+    const auto g = tcam.search_conductances(probe_query);
+    for (std::size_t i = 0; i < best.size(); ++i) best[i] = std::min(best[i], g[i]);
+  }
+  for (std::size_t k = 1; k <= 11; ++k) {
+    const auto ranked = rank_by_sensing(best, tcam.valid_mask(), SensingMode::kIdealSum,
+                                        circuit::MatchlineParams{}, tcam.word_length(),
+                                        0.0, k);
+    EXPECT_EQ(ranked.size(), k);
+    for (std::size_t row : ranked) {
+      EXPECT_FALSE(dead.count(row)) << "tombstoned row " << row << " nominated at k=" << k;
+    }
+  }
+  // k past the valid count clamps to the survivors - dead rows never
+  // backfill the nomination.
+  const auto all = rank_by_sensing(best, tcam.valid_mask(), SensingMode::kIdealSum,
+                                   circuit::MatchlineParams{}, tcam.word_length(), 0.0,
+                                   16);
+  EXPECT_EQ(all.size(), 11u);
+  for (std::size_t row : all) EXPECT_FALSE(dead.count(row));
 }
 
 TEST(TcamArray, ProgrammingNoiseKeepsSmallDistanceOrdering) {
