@@ -12,6 +12,7 @@
 #include "search/factory.hpp"
 #include "serve/service.hpp"
 #include "serve/snapshot.hpp"
+#include "store/collection.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 
@@ -19,6 +20,7 @@
 #include <chrono>
 #include <cstdio>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -164,5 +166,37 @@ int main() {
   }
   std::printf("\nServed %zu queries (%zu rejected under backpressure) with zero failures\n",
               ok.load(), rejected.load());
+
+  // 6. Snapshot inspection: a filterable collection's v4 snapshot carries
+  //    the full build recipe (including the two-stage signature fields)
+  //    plus the collection name and metadata summary - all readable via
+  //    serve::inspect without restoring an engine.
+  store::Collection collection{
+      "demo", "refine:coarse_bits=32,tag_bits=16,probes=2,sig=trained,fine=euclidean",
+      config};
+  std::vector<std::vector<std::string>> tags(kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    tags[r] = {std::string("class=") + std::to_string(r % 8)};
+  }
+  collection.add(rows, labels, tags);
+  const std::vector<std::uint8_t> collection_blob = collection.snapshot();
+  const serve::SnapshotInfo store_info = serve::inspect(collection_blob);
+  std::printf(
+      "\nCollection snapshot (format v%u): engine '%s'\n"
+      "  sig model '%s', probes %zu, tag band %zu bits, fine spec '%s'\n"
+      "  store block: collection '%s', %llu metadata rows, %llu interned tags\n",
+      store_info.version, store_info.engine.c_str(), store_info.config.sig_model.c_str(),
+      store_info.config.probes, store_info.config.tag_bits,
+      store_info.config.fine_spec.c_str(), store_info.collection.c_str(),
+      static_cast<unsigned long long>(store_info.metadata_rows),
+      static_cast<unsigned long long>(store_info.metadata_tags));
+  if (!store_info.has_store || store_info.collection != "demo" ||
+      store_info.metadata_rows != kRows || store_info.metadata_tags != 8 ||
+      store_info.config.tag_bits != 16 || store_info.config.probes != 2 ||
+      store_info.config.sig_model != "trained" ||
+      store_info.config.fine_spec != "euclidean") {
+    std::fprintf(stderr, "FAIL: inspect lost the collection/config summary\n");
+    return 1;
+  }
   return 0;
 }

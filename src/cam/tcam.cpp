@@ -107,6 +107,44 @@ std::vector<double> TcamArray::search_conductances(
   return totals;
 }
 
+std::vector<double> TcamArray::search_conductances(std::span<const Trit> query) const {
+  if (query.size() != word_length_) {
+    throw std::invalid_argument{"TcamArray::search: query length mismatch"};
+  }
+  std::vector<double> totals;
+  totals.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    double g_total = 0.0;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (query[i] == Trit::kDontCare) continue;  // Both search lines low.
+      g_total += cell_conductance(row[i], query[i] == Trit::kOne ? 1 : 0);
+    }
+    totals.push_back(g_total);
+  }
+  return totals;
+}
+
+std::vector<std::uint8_t> TcamArray::ternary_match_mask(
+    std::span<const Trit> query) const {
+  if (query.size() != word_length_) {
+    throw std::invalid_argument{"TcamArray::ternary_match_mask: query length mismatch"};
+  }
+  std::vector<std::uint8_t> mask;
+  mask.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    std::uint8_t match = 1;
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      if (query[i] == Trit::kDontCare || row[i].trit == Trit::kDontCare) continue;
+      if (row[i].trit != query[i]) {
+        match = 0;
+        break;
+      }
+    }
+    mask.push_back(match);
+  }
+  return mask;
+}
+
 std::vector<std::size_t> TcamArray::hamming_distances(
     std::span<const std::uint8_t> query) const {
   if (query.size() != word_length_) {

@@ -71,6 +71,26 @@ class TcamArray {
   [[nodiscard]] std::vector<double> search_conductances(
       std::span<const std::uint8_t> query) const;
 
+  /// Matchline conductance of every row for a *ternary* query [S]: a
+  /// kDontCare query position drives both search lines low, so neither
+  /// FeFET of any cell in that column can turn on and the column
+  /// contributes exactly zero to every matchline. On a query without
+  /// don't-cares this is numerically identical to the binary overload -
+  /// the masked columns simply drop out of the Hamming sum.
+  [[nodiscard]] std::vector<double> search_conductances(
+      std::span<const Trit> query) const;
+
+  /// Per-row ternary match mask (1 = row compatible with `query`): a row
+  /// matches when every position where *both* the query and the stored
+  /// cell are definite (not kDontCare) stores the same bit. This is the
+  /// in-array predicate gate of the tag-band filter: the mismatch of any
+  /// required band bit discharges the matchline far past the match limit,
+  /// so the row drops out of the nomination before any ranking happens.
+  /// Tombstoned rows still report their stored pattern (combine with
+  /// valid_mask(), as rank_by_sensing does).
+  [[nodiscard]] std::vector<std::uint8_t> ternary_match_mask(
+      std::span<const Trit> query) const;
+
   /// Ideal Hamming distance of every row from `query` (don't-care cells
   /// match both values). Reference result for the electrical path.
   [[nodiscard]] std::vector<std::size_t> hamming_distances(

@@ -100,8 +100,8 @@ EngineFactory::Builder sharded_builder(std::string base) {
   throw std::invalid_argument{
       "parse_engine_spec: " + detail + " in spec '" + spec +
       "' (known keys: bank_rows, bits, candidate_factor, clip_percentile, coarse_bits, "
-      "exhaustive, fine, lsh_bits, num_features, probes, seed, sense_clock_period, "
-      "sensing, shard_workers, sig, vth_sigma)"};
+      "exhaustive, filter, fine, lsh_bits, num_features, probes, seed, "
+      "sense_clock_period, sensing, shard_workers, sig, tag_bits, vth_sigma)"};
 }
 
 /// Full-consumption numeric parses; anything trailing is malformed.
@@ -167,6 +167,14 @@ void apply_spec_override(EngineConfig& config, const std::string& key,
     // Validated against the signature-model registry when the refine
     // engine is built (the registry is open, so parse time is too early).
     config.sig_model = value;
+  } else if (key == "tag_bits") {
+    config.tag_bits = static_cast<std::size_t>(parse_unsigned(key, value, spec));
+  } else if (key == "filter") {
+    if (value != "band" && value != "post" && value != "auto") {
+      throw_spec_error("bad value '" + value + "' for key 'filter' (band|post|auto)",
+                       spec);
+    }
+    config.filter_policy = value;
   } else if (key == "sensing") {
     if (value == "ideal") {
       config.sensing = cam::SensingMode::kIdealSum;
@@ -295,6 +303,7 @@ EngineFactory::EngineFactory() {
         config.candidate_factor > 0 ? config.candidate_factor : 4;
     two_stage.exhaustive_fallback = config.refine_exhaustive;
     two_stage.probes = config.probes > 0 ? config.probes : 1;
+    two_stage.tag_bits = config.tag_bits;
     return std::make_unique<TwoStageNnIndex>(std::move(model), coarse_array,
                                              std::move(fine), two_stage);
   });

@@ -79,6 +79,15 @@ struct EngineConfig {
                                    ///< "trained", "itq"; empty = "random").
   std::size_t probes = 0;          ///< "refine": coarse multi-probe sweeps per query
                                    ///< (0 = the single-probe default of 1).
+  std::size_t tag_bits = 0;        ///< "refine": coarse TCAM cells reserved for the
+                                   ///< metadata tag band (search/refine.hpp;
+                                   ///< 0 = no band).
+  std::string filter_policy;       ///< Filtered-query routing for the store layer
+                                   ///< (store/collection.hpp): "band" forces the
+                                   ///< TCAM-pushed tag band, "post" forces the
+                                   ///< query_subset post-filter, "auto"/empty picks
+                                   ///< by predicate selectivity. Ignored by the
+                                   ///< engines themselves.
 };
 
 /// A parsed "name:key=value,..." engine spec.
@@ -93,10 +102,11 @@ struct EngineSpec {
 /// sensing (= "ideal" | "timing"), coarse_bits, candidate_factor,
 /// exhaustive (0|1, refine_exhaustive), sig (sig_model; validated against
 /// the signature-model registry when the refine engine is built), probes,
-/// and fine (fine_spec; consumes the rest of the spec, so it must come
-/// last). Unknown keys, malformed or empty values, and duplicate keys
-/// throw std::invalid_argument naming the offending spec string and
-/// listing the known keys.
+/// tag_bits (metadata tag band width), filter (= "band" | "post" |
+/// "auto", filter_policy), and fine (fine_spec; consumes the rest of the
+/// spec, so it must come last). Unknown keys, malformed or empty values,
+/// and duplicate keys throw std::invalid_argument naming the offending
+/// spec string and listing the known keys.
 [[nodiscard]] EngineSpec parse_engine_spec(const std::string& spec,
                                            const EngineConfig& base = EngineConfig{});
 

@@ -60,6 +60,11 @@ struct QueryTelemetry {
   std::size_t probes_used = 0;  ///< Coarse multi-probe Hamming sweeps executed
                                 ///< (TwoStageNnIndex only; 0 when the coarse stage
                                 ///< did not run, e.g. exhaustive fallback).
+  std::size_t filtered_out = 0;  ///< Live rows a metadata predicate excluded before
+                                 ///< the precise stage - in-array via the coarse tag
+                                 ///< band (query_filtered) or up front by the
+                                 ///< post-filter candidate list (store::Collection).
+                                 ///< 0 for unfiltered queries.
 };
 
 /// Result of one top-k query.

@@ -54,6 +54,31 @@ void TwoStageNnIndex::ensure_coarse(std::span<const std::vector<float>> rows) {
 
 void TwoStageNnIndex::add(std::span<const std::vector<float>> rows,
                           std::span<const int> labels) {
+  add_rows(rows, labels, {});
+}
+
+void TwoStageNnIndex::add_tagged(std::span<const std::vector<float>> rows,
+                                 std::span<const int> labels,
+                                 std::span<const std::vector<std::uint8_t>> bands) {
+  if (config_.tag_bits == 0) {
+    throw std::invalid_argument{
+        "TwoStageNnIndex::add_tagged: pipeline has no tag band (tag_bits = 0)"};
+  }
+  if (bands.size() != rows.size()) {
+    throw std::invalid_argument{"TwoStageNnIndex::add_tagged: one band bitmap per row"};
+  }
+  for (const auto& band : bands) {
+    if (band.size() != config_.tag_bits) {
+      throw std::invalid_argument{"TwoStageNnIndex::add_tagged: band bitmap must be " +
+                                  std::to_string(config_.tag_bits) + " bits wide"};
+    }
+  }
+  add_rows(rows, labels, bands);
+}
+
+void TwoStageNnIndex::add_rows(std::span<const std::vector<float>> rows,
+                               std::span<const int> labels,
+                               std::span<const std::vector<std::uint8_t>> bands) {
   // Ordering keeps the stages' id spaces in lockstep through every
   // failure: validate the batch shape, calibrate the coarse side (pure
   // fitting - no rows stored, and rolled back below if this batch ends
@@ -69,13 +94,23 @@ void TwoStageNnIndex::add(std::span<const std::vector<float>> rows,
   const bool calibrating = tcam_ == nullptr;
   ensure_coarse(rows);
   try {
-    std::vector<std::vector<std::uint8_t>> signatures;
-    signatures.reserve(rows.size());
-    for (const auto& row : rows) {
-      signatures.push_back(model_->encode_bits(scaler_->transform(row)));
+    std::vector<std::vector<cam::Trit>> words;
+    words.reserve(rows.size());
+    for (std::size_t r = 0; r < rows.size(); ++r) {
+      const std::vector<std::uint8_t> bits = model_->encode_bits(scaler_->transform(rows[r]));
+      std::vector<cam::Trit> word;
+      word.reserve(coarse_word_bits());
+      for (std::uint8_t b : bits) word.push_back(b ? cam::Trit::kOne : cam::Trit::kZero);
+      // Band cells are definite bits, never don't-care: an untagged row
+      // stores all zeros, so it can never satisfy a band filter.
+      for (std::size_t t = 0; t < config_.tag_bits; ++t) {
+        const bool set = !bands.empty() && bands[r][t] != 0;
+        word.push_back(set ? cam::Trit::kOne : cam::Trit::kZero);
+      }
+      words.push_back(std::move(word));
     }
     fine_->add(rows, labels);
-    for (const auto& bits : signatures) tcam_->add_row_bits(bits);
+    for (const auto& word : words) tcam_->add_row(word);
   } catch (...) {
     if (calibrating) {
       // The rejected batch must not leave encoders trained on rows that
@@ -114,6 +149,44 @@ bool TwoStageNnIndex::erase(std::size_t id) {
   return fine_erased;
 }
 
+std::pair<std::vector<double>, std::size_t> TwoStageNnIndex::coarse_sweep(
+    std::span<const float> query) const {
+  // Sweep the coarse TCAM once per probe signature and keep each row's
+  // best (minimum-conductance) match. The tag band - if any - is swept as
+  // kDontCare on every probe: both search lines low, zero contribution,
+  // so the ranking is by pure signature distance regardless of the rows'
+  // stored bitmaps (band *eligibility* is a separate mask, not a ranking
+  // term).
+  const std::vector<float> scaled = scaler_->transform(query);
+  // One projection pass serves both roles: sig::signature_bits(margins)
+  // is the query signature (the same rule encode_bits applied to the
+  // stored rows), and the margins order the multi-probe flips.
+  const std::vector<float> margins = model_->project(scaled);
+  const std::vector<std::uint8_t> query_bits = sig::signature_bits(margins);
+  std::vector<cam::Trit> word(coarse_word_bits(), cam::Trit::kDontCare);
+  for (std::size_t b = 0; b < query_bits.size(); ++b) {
+    word[b] = query_bits[b] ? cam::Trit::kOne : cam::Trit::kZero;
+  }
+  std::vector<double> best = tcam_->search_conductances(std::span<const cam::Trit>{word});
+  std::size_t probes_used = 1;
+  if (config_.probes > 1) {
+    const std::vector<std::vector<std::size_t>> flip_sets =
+        sig::MultiProbe::sequence(margins, config_.probes);
+    for (std::size_t p = 1; p < flip_sets.size(); ++p) {
+      std::vector<cam::Trit> probe_word = word;
+      for (std::size_t bit : flip_sets[p]) {
+        probe_word[bit] =
+            probe_word[bit] == cam::Trit::kOne ? cam::Trit::kZero : cam::Trit::kOne;
+      }
+      const std::vector<double> swept =
+          tcam_->search_conductances(std::span<const cam::Trit>{probe_word});
+      for (std::size_t r = 0; r < best.size(); ++r) best[r] = std::min(best[r], swept[r]);
+      ++probes_used;
+    }
+  }
+  return {std::move(best), probes_used};
+}
+
 QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t k) const {
   if (fine_->size() == 0) throw std::logic_error{"TwoStageNnIndex::query_one before add"};
   const std::size_t kk = std::min(std::max<std::size_t>(k, 1), fine_->size());
@@ -125,30 +198,11 @@ QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t
     return result;
   }
 
-  // Stage 1: sweep the coarse TCAM once per probe signature and keep each
-  // row's best (minimum-conductance) match, then nominate the
+  // Stage 1: best-of-probes coarse match, then nominate the
   // candidate_factor * k most-matching rows.
   const std::size_t live = tcam_->num_valid();
   const std::size_t want = std::min(std::max(kk * config_.candidate_factor, kk), live);
-  const std::vector<float> scaled = scaler_->transform(query);
-  // One projection pass serves both roles: sig::signature_bits(margins)
-  // is the query signature (the same rule encode_bits applied to the
-  // stored rows), and the margins order the multi-probe flips.
-  const std::vector<float> margins = model_->project(scaled);
-  const std::vector<std::uint8_t> query_bits = sig::signature_bits(margins);
-  std::vector<double> best = tcam_->search_conductances(query_bits);
-  std::size_t probes_used = 1;
-  if (config_.probes > 1) {
-    const std::vector<std::vector<std::size_t>> flip_sets =
-        sig::MultiProbe::sequence(margins, config_.probes);
-    for (std::size_t p = 1; p < flip_sets.size(); ++p) {
-      std::vector<std::uint8_t> probe_bits = query_bits;
-      for (std::size_t bit : flip_sets[p]) probe_bits[bit] ^= 1u;
-      const std::vector<double> swept = tcam_->search_conductances(probe_bits);
-      for (std::size_t r = 0; r < best.size(); ++r) best[r] = std::min(best[r], swept[r]);
-      ++probes_used;
-    }
-  }
+  const auto [best, probes_used] = coarse_sweep(query);
   // Rank one past the cut so the nomination margin - the conductance gap
   // between the last nominated row and the best excluded one, the
   // adaptive-candidate_factor signal - falls out of the same sweep.
@@ -181,18 +235,116 @@ QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t
   return result;
 }
 
+QueryResult TwoStageNnIndex::query_subset(std::span<const float> query,
+                                          std::span<const std::size_t> ids,
+                                          std::size_t k) const {
+  // The caller fixed the candidate set, so there is nothing to nominate:
+  // the fine backend's ranking over `ids` is exactly what query_one
+  // converges to at a full candidate budget.
+  QueryResult result = fine_->query_subset(query, ids, k);
+  result.telemetry.fine_candidates = result.telemetry.candidates;
+  return result;
+}
+
+std::optional<QueryResult> TwoStageNnIndex::query_filtered(
+    std::span<const float> query, std::size_t k,
+    std::span<const std::uint8_t> required_band,
+    const std::function<bool(std::size_t)>& verify) const {
+  if (config_.tag_bits == 0) {
+    throw std::invalid_argument{
+        "TwoStageNnIndex::query_filtered: pipeline has no tag band (tag_bits = 0)"};
+  }
+  if (required_band.size() != config_.tag_bits) {
+    throw std::invalid_argument{"TwoStageNnIndex::query_filtered: band must be " +
+                                std::to_string(config_.tag_bits) + " bits wide"};
+  }
+  if (fine_->size() == 0) {
+    throw std::logic_error{"TwoStageNnIndex::query_filtered before add"};
+  }
+  if (config_.exhaustive_fallback) {
+    throw std::logic_error{
+        "TwoStageNnIndex::query_filtered: exhaustive fallback bypasses the coarse "
+        "stage - use query_subset with the predicate's candidate list"};
+  }
+
+  // Band gate: exact kOne trits at the required slots, kDontCare across
+  // the signature and the unconstrained band cells. A row missing any
+  // required bit mismatches in-array and is never nominated.
+  std::vector<cam::Trit> band_query(coarse_word_bits(), cam::Trit::kDontCare);
+  for (std::size_t b = 0; b < config_.tag_bits; ++b) {
+    if (required_band[b] != 0) {
+      band_query[model_->num_bits() + b] = cam::Trit::kOne;
+    }
+  }
+  const std::vector<std::uint8_t> band_match =
+      tcam_->ternary_match_mask(std::span<const cam::Trit>{band_query});
+  const std::span<const std::uint8_t> valid = tcam_->valid_mask();
+  std::vector<std::uint8_t> eligible(band_match.size(), 0);
+  std::size_t eligible_count = 0;
+  for (std::size_t r = 0; r < band_match.size(); ++r) {
+    eligible[r] = static_cast<std::uint8_t>(valid[r] != 0 && band_match[r] != 0);
+    eligible_count += eligible[r];
+  }
+  const std::size_t live = tcam_->num_valid();
+  if (eligible_count == 0) return std::nullopt;
+
+  const std::size_t kk = std::min(std::max<std::size_t>(k, 1), fine_->size());
+  const std::size_t want =
+      std::min(std::max(kk * config_.candidate_factor, kk), eligible_count);
+  const auto [best, probes_used] = coarse_sweep(query);
+  const std::vector<std::size_t> ranked = cam::rank_by_sensing(
+      best, eligible, coarse_config_.sensing, coarse_config_.matchline,
+      tcam_->word_length(), coarse_config_.sense_clock_period,
+      std::min(want + 1, eligible_count));
+  double coarse_margin = 0.0;
+  if (ranked.size() > want && want > 0) {
+    coarse_margin = std::max(0.0, best[ranked[want]] - best[ranked[want - 1]]);
+  }
+  // The band is a Bloom-style presence map, so a nominated row may carry
+  // the required bits via colliding tags; the caller's exact predicate
+  // check prunes those before any fine matchline is charged.
+  std::vector<std::size_t> verified;
+  verified.reserve(std::min(want, ranked.size()));
+  for (std::size_t i = 0; i < std::min(want, ranked.size()); ++i) {
+    if (!verify || verify(ranked[i])) verified.push_back(ranked[i]);
+  }
+  if (verified.empty()) return std::nullopt;
+
+  QueryResult result = fine_->query_subset(query, verified, kk);
+  result.telemetry.coarse_candidates = live * probes_used;
+  result.telemetry.fine_candidates = result.telemetry.candidates;
+  result.telemetry.candidates =
+      result.telemetry.coarse_candidates + result.telemetry.fine_candidates;
+  result.telemetry.sense_events += verified.size();
+  result.telemetry.energy_j +=
+      static_cast<double>(probes_used) *
+      energy::ArrayEnergyModel{energy::ArrayParams{}}.tcam_search_energy(
+          live, tcam_->word_length());
+  result.telemetry.banks_searched += 1;
+  result.telemetry.coarse_margin = coarse_margin;
+  result.telemetry.probes_used = probes_used;
+  result.telemetry.filtered_out = live - eligible_count;
+  return result;
+}
+
 std::string TwoStageNnIndex::name() const {
   std::string coarse = "two-stage " + model_->key() + "-sig (" +
                        std::to_string(model_->num_bits()) + "b";
   if (config_.probes > 1) coarse += ", " + std::to_string(config_.probes) + "p";
+  if (config_.tag_bits > 0) coarse += ", " + std::to_string(config_.tag_bits) + "t";
   return coarse + ") -> " + fine_->name();
 }
 
 void TwoStageNnIndex::save_state(serve::io::Writer& out) const {
-  out.str("two-stage-v2");
+  // A band-less pipeline writes the exact "two-stage-v2" bytes it always
+  // did, so pre-band snapshots and new band-less snapshots stay mutually
+  // readable; only a pipeline actually built with a tag band needs the
+  // "two-stage-v3" layout (one extra u64, wider TCAM rows).
+  out.str(config_.tag_bits > 0 ? "two-stage-v3" : "two-stage-v2");
   out.u64(config_.candidate_factor);
   out.u8(config_.exhaustive_fallback ? 1 : 0);
   out.u64(config_.probes);
+  if (config_.tag_bits > 0) out.u64(config_.tag_bits);
   out.str(model_->key());
   out.u8(tcam_ ? 1 : 0);
   if (tcam_) {
@@ -237,7 +389,7 @@ void TwoStageNnIndex::load_coarse(serve::io::Reader& in, bool legacy) {
                                    error.what()};
   }
   tcam_ = std::make_unique<cam::TcamArray>(coarse_config_);
-  const std::size_t num_rows = detail::read_tcam_rows(in, *tcam_, model_->num_bits());
+  const std::size_t num_rows = detail::read_tcam_rows(in, *tcam_, coarse_word_bits());
   const std::vector<std::uint8_t> valid = in.vec_u8();
   serve::io::require_payload(valid.size() == num_rows,
                              "two-stage coarse valid count disagrees");
@@ -275,10 +427,15 @@ void TwoStageNnIndex::load_legacy_coarse(serve::io::Reader& in) {
 
 void TwoStageNnIndex::load_state(serve::io::Reader& in) {
   const std::string tag = in.str();
-  if (tag != "two-stage-v1" && tag != "two-stage-v2") {
+  if (tag != "two-stage-v1" && tag != "two-stage-v2" && tag != "two-stage-v3") {
     throw serve::io::SnapshotError{"engine payload tag mismatch: expected "
-                                   "'two-stage-v1' or 'two-stage-v2', found '" +
+                                   "'two-stage-v1'..'two-stage-v3', found '" +
                                    tag + "'"};
+  }
+  if (tag != "two-stage-v3" && config_.tag_bits != 0) {
+    throw serve::io::SnapshotError{
+        "two-stage payload has no tag band, but this engine was built with tag_bits=" +
+        std::to_string(config_.tag_bits)};
   }
   const std::uint64_t factor = in.u64();
   const std::uint8_t exhaustive = in.u8();
@@ -306,6 +463,14 @@ void TwoStageNnIndex::load_state(serve::io::Reader& in) {
     throw serve::io::SnapshotError{
         "two-stage config mismatch: snapshot has probes=" + std::to_string(probes) +
         ", engine has probes=" + std::to_string(config_.probes)};
+  }
+  if (tag == "two-stage-v3") {
+    const std::uint64_t band = in.u64();
+    if (band != config_.tag_bits) {
+      throw serve::io::SnapshotError{
+          "two-stage config mismatch: snapshot has tag_bits=" + std::to_string(band) +
+          ", engine has tag_bits=" + std::to_string(config_.tag_bits)};
+    }
   }
   const std::string model_key = in.str();
   if (model_key != model_->key()) {

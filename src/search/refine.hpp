@@ -47,9 +47,12 @@
 #include "sig/model.hpp"
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace mcam::search {
@@ -66,6 +69,14 @@ struct TwoStageConfig {
   /// signature, later sweeps the multi-probe flip sequence. Each sweep
   /// charges the TCAM once; rows keep their best match across sweeps.
   std::size_t probes = 1;
+  /// Coarse TCAM cells reserved for metadata tags, appended after the
+  /// signature bits: row r stores a binary tag-presence bitmap there
+  /// (add_tagged; plain add stores all zeros), and a filtered query
+  /// (query_filtered) writes exact kOne trits at its required band slots
+  /// and kDontCare everywhere else, so rows missing a required tag bit
+  /// mismatch in-array and drop out of the nomination. 0 = no band
+  /// (bit-identical to the pre-band pipeline).
+  std::size_t tag_bits = 0;
 };
 
 /// Composite NnIndex: coarse signature prefilter + precise rerank stage.
@@ -84,8 +95,18 @@ class TwoStageNnIndex final : public NnIndex {
 
   /// Routes the batch into the fine stage first (its bank-capacity errors
   /// must leave the coarse stage untouched), then encodes every row
-  /// through the signature model into the coarse TCAM.
+  /// through the signature model into the coarse TCAM. With tag_bits > 0
+  /// the band cells are programmed all-zero: an untagged row never
+  /// satisfies any band filter.
   void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
+
+  /// `add` with one tag-band presence bitmap per row (each exactly
+  /// tag_bits wide, one byte per band cell, nonzero = set). Same ordering
+  /// and rollback guarantees as `add`. Throws std::invalid_argument when
+  /// the pipeline was built without a tag band or a bitmap has the wrong
+  /// width.
+  void add_tagged(std::span<const std::vector<float>> rows, std::span<const int> labels,
+                  std::span<const std::vector<std::uint8_t>> bands);
   /// Calibrates the fine stage's encoders and fits the coarse scaler +
   /// signature model on the same rows (fit-once; `clear` drops it).
   void calibrate(std::span<const std::vector<float>> rows) override;
@@ -103,12 +124,49 @@ class TwoStageNnIndex final : public NnIndex {
   /// (probes * TCAM sweep + candidate-gated fine search) energy.
   [[nodiscard]] QueryResult query_one(std::span<const float> query,
                                       std::size_t k) const override;
+
+  /// Rerank primitive: delegates straight to the fine stage. When the
+  /// caller has already fixed the candidate set there is nothing for the
+  /// coarse stage to nominate, and the fine backend *is* the pipeline's
+  /// precise ranking (the documented candidate_factor * k >= size()
+  /// limit of query_one) - so this override is both the contract-faithful
+  /// and the sub-linear implementation, and it is what the store layer's
+  /// post-filter fallback rides on.
+  [[nodiscard]] QueryResult query_subset(std::span<const float> query,
+                                         std::span<const std::size_t> ids,
+                                         std::size_t k) const override;
+
+  /// Filtered top-k: the coarse sweep runs with exact kOne trits at the
+  /// band slots set in `required_band` (tag_bits wide, nonzero = the row
+  /// must have that bit) and kDontCare across the rest of the band, so
+  /// only rows whose stored bitmap covers every required slot compete;
+  /// `verify` (exact metadata check, may be empty) then prunes band
+  /// hash-collision false positives from the nominated candidates before
+  /// the fine rerank. Ranking among eligible rows is by plain signature
+  /// conductance - band cells contribute zero - so at a candidate budget
+  /// covering every eligible row the result is bit-identical to the fine
+  /// backend's ranking post-filtered to predicate-satisfying rows.
+  /// Returns std::nullopt when no eligible row exists or `verify` rejects
+  /// every nominated candidate (the caller falls back to post-filtering);
+  /// telemetry reports the in-array exclusions as `filtered_out`. Throws
+  /// std::invalid_argument when the pipeline has no tag band or
+  /// `required_band` has the wrong width, std::logic_error before add or
+  /// under exhaustive_fallback (no coarse stage runs - the caller's
+  /// post-filter path is the only one).
+  [[nodiscard]] std::optional<QueryResult> query_filtered(
+      std::span<const float> query, std::size_t k,
+      std::span<const std::uint8_t> required_band,
+      const std::function<bool(std::size_t)>& verify) const;
+
   [[nodiscard]] std::string name() const override;
 
   /// Serializes the coarse scaler / signature-model planes / TCAM rows and
   /// the fine stage's payload; restore rebuilds them bit-identically (see
-  /// the save_state contract in search/index.hpp). `load_state` also
-  /// accepts the pre-signature-model "two-stage-v1" payload (snapshot
+  /// the save_state contract in search/index.hpp). A pipeline without a
+  /// tag band writes the exact "two-stage-v2" payload it always did; with
+  /// tag_bits > 0 the payload tag is "two-stage-v3" (same layout plus the
+  /// band width, and the TCAM rows are signature + band wide). `load_state`
+  /// also accepts the pre-signature-model "two-stage-v1" payload (snapshot
   /// format v2), restoring it as a `random` model with probes = 1.
   void save_state(serve::io::Writer& out) const override;
   void load_state(serve::io::Reader& in) override;
@@ -123,10 +181,23 @@ class TwoStageNnIndex final : public NnIndex {
   [[nodiscard]] const NnIndex& fine() const noexcept { return *fine_; }
   /// Pipeline configuration in use.
   [[nodiscard]] const TwoStageConfig& config() const noexcept { return config_; }
+  /// Coarse cells reserved for the metadata tag band (0 = none).
+  [[nodiscard]] std::size_t tag_bits() const noexcept { return config_.tag_bits; }
 
  private:
   /// Fits the coarse side (scaler, model, TCAM) once; no-op when fitted.
   void ensure_coarse(std::span<const std::vector<float>> rows);
+  /// Signature bits + tag band: the coarse TCAM word width.
+  [[nodiscard]] std::size_t coarse_word_bits() const noexcept {
+    return model_->num_bits() + config_.tag_bits;
+  }
+  /// Shared add path: `bands` is empty (all-zero band) or one bitmap per row.
+  void add_rows(std::span<const std::vector<float>> rows, std::span<const int> labels,
+                std::span<const std::vector<std::uint8_t>> bands);
+  /// Best-of-probes coarse conductances for `query` with the whole tag
+  /// band masked out (kDontCare), plus the number of sweeps executed.
+  [[nodiscard]] std::pair<std::vector<double>, std::size_t> coarse_sweep(
+      std::span<const float> query) const;
   /// Restores the calibrated coarse block shared by both payload formats
   /// (`legacy` = the "tcam-lsh-v1" layout: implicit zero thresholds,
   /// trailing per-row labels).

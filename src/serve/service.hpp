@@ -108,6 +108,20 @@ struct ServiceStats {
   double coarse_margin_p50 = 0.0;   ///< QueryTelemetry::coarse_margin [S] over the
   double coarse_margin_p95 = 0.0;   ///< sliding window - the margin distribution an
                                     ///< adaptive candidate_factor policy would read.
+  std::size_t filtered_queries = 0;    ///< Completed queries that carried a metadata
+                                       ///< predicate. Filled by the store layer's
+                                       ///< per-collection stats
+                                       ///< (store::CollectionManager); QueryService
+                                       ///< itself serves unfiltered queries and
+                                       ///< leaves the filter fields zero.
+  std::size_t band_queries = 0;        ///< ... answered via the TCAM-pushed tag band.
+  std::size_t post_filter_queries = 0; ///< ... answered via the query_subset
+                                       ///< post-filter fallback.
+  double filter_selectivity_mean = 0.0;  ///< Mean predicate selectivity
+                                         ///< (matching / live rows) over the
+                                         ///< filtered queries - the signal the
+                                         ///< band-vs-post routing threshold is
+                                         ///< tuned against.
 };
 
 /// Thread-safe serving front end over one NnIndex.

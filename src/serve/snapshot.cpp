@@ -28,6 +28,8 @@ void write_config(io::Writer& out, const search::EngineConfig& config) {
   out.str(config.fine_spec);
   out.str(config.sig_model);
   out.u64(config.probes);
+  out.u64(config.tag_bits);
+  out.str(config.filter_policy);
 }
 
 search::EngineConfig read_config(io::Reader& in, std::uint32_t version) {
@@ -61,7 +63,33 @@ search::EngineConfig read_config(io::Reader& in, std::uint32_t version) {
     config.sig_model.clear();
     config.probes = 0;
   }
+  if (version >= 4) {
+    config.tag_bits = in.u64();
+    config.filter_policy = in.str();
+  } else {
+    // Pre-v4 blobs predate filtered search: no tag band, auto policy.
+    config.tag_bits = 0;
+    config.filter_policy.clear();
+  }
   return config;
+}
+
+/// Reads the v4 optional store block (header summary + opaque payload)
+/// into `info`/`store`; pre-v4 payloads have no block byte at all.
+void read_store_block(io::Reader& in, SnapshotInfo& info, StoreBlock* store) {
+  if (info.version < 4) return;
+  if (in.u8() == 0) return;
+  info.has_store = true;
+  info.collection = in.str();
+  info.metadata_rows = in.u64();
+  info.metadata_tags = in.u64();
+  std::vector<std::uint8_t> payload = in.vec_u8();
+  if (store != nullptr) {
+    store->collection = info.collection;
+    store->metadata_rows = info.metadata_rows;
+    store->metadata_tags = info.metadata_tags;
+    store->payload = std::move(payload);
+  }
 }
 
 /// Validates magic/version/length/checksum and returns a reader over the
@@ -100,14 +128,24 @@ io::Reader checked_payload(std::span<const std::uint8_t> blob, SnapshotInfo& inf
 
 }  // namespace
 
-std::vector<std::uint8_t> save(const search::NnIndex& index, const std::string& name,
-                               const search::EngineConfig& config) {
+namespace {
+
+std::vector<std::uint8_t> save_impl(const search::NnIndex& index, const std::string& name,
+                                    const search::EngineConfig& config,
+                                    const StoreBlock* store) {
   // Normalize spec strings so the embedded recipe is always a bare
   // registry key + full effective config.
   const search::EngineSpec spec = search::parse_engine_spec(name, config);
   io::Writer payload;
   payload.str(spec.name);
   write_config(payload, spec.config);
+  payload.u8(store != nullptr ? 1 : 0);
+  if (store != nullptr) {
+    payload.str(store->collection);
+    payload.u64(store->metadata_rows);
+    payload.u64(store->metadata_tags);
+    payload.vec_u8(store->payload);
+  }
   index.save_state(payload);
 
   io::Writer blob;
@@ -119,24 +157,51 @@ std::vector<std::uint8_t> save(const search::NnIndex& index, const std::string& 
   return blob.buffer();
 }
 
+std::unique_ptr<search::NnIndex> load_impl(std::span<const std::uint8_t> blob,
+                                           StoreBlock* store, SnapshotInfo* info_out) {
+  SnapshotInfo info;
+  io::Reader payload = checked_payload(blob, info);
+  info.engine = payload.str();
+  info.config = read_config(payload, info.version);
+  read_store_block(payload, info, store);
+  std::unique_ptr<search::NnIndex> index =
+      search::EngineFactory::instance().create(info.engine, info.config);
+  index->load_state(payload);
+  payload.expect_end();
+  if (info_out != nullptr) *info_out = info;
+  return index;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save(const search::NnIndex& index, const std::string& name,
+                               const search::EngineConfig& config) {
+  return save_impl(index, name, config, nullptr);
+}
+
+std::vector<std::uint8_t> save(const search::NnIndex& index, const std::string& name,
+                               const search::EngineConfig& config,
+                               const StoreBlock& store) {
+  return save_impl(index, name, config, &store);
+}
+
 SnapshotInfo inspect(std::span<const std::uint8_t> blob) {
   SnapshotInfo info;
   io::Reader payload = checked_payload(blob, info);
   info.engine = payload.str();
   info.config = read_config(payload, info.version);
+  read_store_block(payload, info, nullptr);
   return info;
 }
 
 std::unique_ptr<search::NnIndex> load(std::span<const std::uint8_t> blob) {
-  SnapshotInfo info;
-  io::Reader payload = checked_payload(blob, info);
-  info.engine = payload.str();
-  info.config = read_config(payload, info.version);
-  std::unique_ptr<search::NnIndex> index =
-      search::EngineFactory::instance().create(info.engine, info.config);
-  index->load_state(payload);
-  payload.expect_end();
-  return index;
+  return load_impl(blob, nullptr, nullptr);
+}
+
+std::unique_ptr<search::NnIndex> load_with_store(std::span<const std::uint8_t> blob,
+                                                 StoreBlock& store, SnapshotInfo* info) {
+  store = StoreBlock{};
+  return load_impl(blob, &store, info);
 }
 
 void save_file(const search::NnIndex& index, const std::string& name,

@@ -11,6 +11,10 @@
 //   [24,...) payload:
 //              str  factory engine name  (e.g. "sharded-mcam3")
 //              ...  EngineConfig fields  (the full effective config)
+//              u8   store block present  (v4+; 0 in plain engine snapshots)
+//              ...  store block          (v4+, optional: collection name,
+//                                         metadata row/tag counts, opaque
+//                                         metadata image - store layer)
 //              ...  engine payload       (NnIndex::save_state)
 //
 // The factory name + EngineConfig make the blob self-contained: `load`
@@ -42,14 +46,28 @@ namespace mcam::serve {
 /// with the two-stage ("refine") fields: coarse_bits, candidate_factor,
 /// refine_exhaustive, fine_spec. v3 appended the signature-model fields
 /// (sig_model, probes) and persists trained signature projections inside
-/// the two-stage engine payload. `load` still reads v2 blobs: the missing
-/// config fields default to the pre-v3 behavior (sig_model = "random",
-/// probes = 1), and the two-stage engine restores the legacy coarse
+/// the two-stage engine payload. v4 appended the filtered-search config
+/// fields (tag_bits, filter_policy) and an optional *store block* between
+/// the config and the engine payload - the per-collection name + metadata
+/// image the store layer (store/collection.hpp) persists alongside the
+/// engine. `load` still reads v2/v3 blobs: the missing config fields
+/// default to the pre-v4 behavior (no tag band, auto filter policy, no
+/// store block), and the two-stage engine restores the legacy coarse
 /// payload bit-identically.
-inline constexpr std::uint32_t kSnapshotVersion = 3;
+inline constexpr std::uint32_t kSnapshotVersion = 4;
 
 /// Oldest snapshot format version `load`/`inspect` still accept.
 inline constexpr std::uint32_t kMinSnapshotVersion = 2;
+
+/// Per-collection state the store layer embeds in a v4 snapshot, opaque
+/// to the snapshot layer except for the summary fields `inspect` surfaces
+/// (the payload is store::MetadataStore serialization).
+struct StoreBlock {
+  std::string collection;             ///< Collection name.
+  std::uint64_t metadata_rows = 0;    ///< Metadata records (live + tombstoned).
+  std::uint64_t metadata_tags = 0;    ///< Distinct interned tag strings.
+  std::vector<std::uint8_t> payload;  ///< Opaque metadata image.
+};
 
 /// Parsed snapshot header + embedded build recipe (no engine state).
 struct SnapshotInfo {
@@ -58,6 +76,10 @@ struct SnapshotInfo {
   std::size_t payload_bytes = 0;   ///< Engine payload + spec length.
   std::string engine;              ///< Factory registry name.
   search::EngineConfig config;     ///< Effective engine configuration.
+  bool has_store = false;          ///< v4 store block present.
+  std::string collection;          ///< Collection name (store block only).
+  std::uint64_t metadata_rows = 0; ///< Metadata records (store block only).
+  std::uint64_t metadata_tags = 0; ///< Distinct tags (store block only).
 };
 
 /// Serializes `index` into a self-contained snapshot blob. `name` and
@@ -68,6 +90,14 @@ struct SnapshotInfo {
                                              const std::string& name,
                                              const search::EngineConfig& config = {});
 
+/// `save` with a store block: the collection name + metadata image ride
+/// inside the same checksummed payload, between the config and the engine
+/// state (the store layer's persistence path).
+[[nodiscard]] std::vector<std::uint8_t> save(const search::NnIndex& index,
+                                             const std::string& name,
+                                             const search::EngineConfig& config,
+                                             const StoreBlock& store);
+
 /// Parses and integrity-checks the header without building an engine
 /// (tooling / logging path). Throws io::SnapshotError on bad magic,
 /// unknown version, length mismatch, or checksum failure.
@@ -77,6 +107,13 @@ struct SnapshotInfo {
 /// recipe, and restores its state. The returned index answers queries
 /// bit-identically to the one `save` serialized.
 [[nodiscard]] std::unique_ptr<search::NnIndex> load(std::span<const std::uint8_t> blob);
+
+/// `load` that also hands back the store block (cleared to defaults when
+/// the blob carries none - check `info->has_store`) and, when `info` is
+/// non-null, the parsed header/recipe. The store layer restores a whole
+/// Collection from this.
+[[nodiscard]] std::unique_ptr<search::NnIndex> load_with_store(
+    std::span<const std::uint8_t> blob, StoreBlock& store, SnapshotInfo* info = nullptr);
 
 /// File convenience wrappers. `save_file` writes atomically enough for a
 /// single writer (tmp + rename is the caller's job for multi-writer

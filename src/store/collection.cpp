@@ -1,0 +1,230 @@
+#include "store/collection.hpp"
+
+#include "serve/io.hpp"
+
+#include <array>
+#include <cstdio>
+#include <stdexcept>
+#include <utility>
+
+namespace mcam::store {
+
+namespace {
+
+constexpr const char* kCollectionPayloadTag = "store-collection-v1";
+
+}  // namespace
+
+FilterPolicy parse_filter_policy(const std::string& value) {
+  if (value.empty() || value == "auto") return FilterPolicy::kAuto;
+  if (value == "band") return FilterPolicy::kBand;
+  if (value == "post") return FilterPolicy::kPost;
+  throw std::invalid_argument{"unknown filter policy '" + value +
+                              "' (expected auto | band | post)"};
+}
+
+Collection::Collection(std::string name, const std::string& spec,
+                       const search::EngineConfig& base, CollectionOptions options)
+    : name_(std::move(name)), options_(options) {
+  if (name_.empty()) throw std::invalid_argument{"Collection: empty name"};
+  spec_ = search::parse_engine_spec(spec, base);
+  engine_ = search::make_index(spec_.name, spec_.config);
+  two_stage_ = dynamic_cast<search::TwoStageNnIndex*>(engine_.get());
+  policy_ = parse_filter_policy(spec_.config.filter_policy);
+}
+
+bool Collection::band_capable() const noexcept {
+  return two_stage_ != nullptr && two_stage_->tag_bits() > 0 &&
+         !two_stage_->config().exhaustive_fallback;
+}
+
+void Collection::calibrate(std::span<const std::vector<float>> rows) {
+  engine_->calibrate(rows);
+}
+
+std::size_t Collection::add(std::span<const std::vector<float>> rows,
+                            std::span<const int> labels) {
+  return add(rows, labels, {}, {});
+}
+
+std::size_t Collection::add(std::span<const std::vector<float>> rows,
+                            std::span<const int> labels,
+                            std::span<const std::vector<std::string>> tags,
+                            std::span<const std::uint64_t> expires_at) {
+  if (!tags.empty() && tags.size() != rows.size()) {
+    throw std::invalid_argument{"Collection::add: one tag list per row required"};
+  }
+  if (!expires_at.empty() && expires_at.size() != rows.size()) {
+    throw std::invalid_argument{"Collection::add: one expiry tick per row required"};
+  }
+  // Metadata first: it is the cheap, infallible side, and truncate() undoes
+  // it exactly if the engine rejects the batch (bank capacity, bad shape).
+  const std::size_t first = meta_.rows();
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    meta_.append(tags.empty() ? std::span<const std::string>{} : std::span(tags[r]),
+                 expires_at.empty() ? 0 : expires_at[r]);
+  }
+  try {
+    if (band_capable()) {
+      const std::size_t width = two_stage_->tag_bits();
+      std::vector<std::vector<std::uint8_t>> bands;
+      bands.reserve(rows.size());
+      for (std::size_t r = 0; r < rows.size(); ++r) {
+        bands.push_back(meta_.band_bits(first + r, width));
+      }
+      two_stage_->add_tagged(rows, labels, bands);
+    } else {
+      engine_->add(rows, labels);
+    }
+  } catch (...) {
+    meta_.truncate(first);
+    throw;
+  }
+  ++generation_;
+  return first;
+}
+
+bool Collection::erase(std::size_t id) {
+  // The engine is authoritative for the erase contract (out_of_range on a
+  // never-added id must fire before the metadata mirror moves).
+  if (!engine_->erase(id)) return false;
+  meta_.mark_erased(id);
+  ++generation_;
+  return true;
+}
+
+std::size_t Collection::expire(std::uint64_t now) {
+  const std::vector<std::size_t> due = meta_.expired_ids(now);
+  for (std::size_t id : due) erase(id);
+  return due.size();
+}
+
+CollectionQueryResult Collection::query(std::span<const float> query, std::size_t k,
+                                        const Predicate& predicate) const {
+  CollectionQueryResult out;
+  if (predicate.empty()) {
+    out.result = engine_->query_one(query, k);
+    return out;
+  }
+  const std::size_t live = meta_.live();
+  const std::vector<std::size_t> matching = meta_.matching_ids(predicate);
+  if (matching.empty()) {
+    throw std::invalid_argument{"Collection::query: no live row matches " +
+                                predicate.to_string()};
+  }
+  out.selectivity =
+      live == 0 ? 0.0 : static_cast<double>(matching.size()) / static_cast<double>(live);
+  const bool push_band = band_capable() && policy_ != FilterPolicy::kPost &&
+                         (policy_ == FilterPolicy::kBand ||
+                          out.selectivity <= options_.band_selectivity_limit);
+  if (push_band) {
+    const auto band = meta_.band_query(predicate, two_stage_->tag_bits());
+    if (band) {  // Every predicate tag is interned (matching is non-empty).
+      const auto verify = [this, &predicate](std::size_t id) {
+        return meta_.matches(id, predicate);
+      };
+      if (auto result = two_stage_->query_filtered(query, k, *band, verify)) {
+        out.result = *std::move(result);
+        out.path = FilterPath::kBand;
+        return out;
+      }
+    }
+  }
+  out.result = engine_->query_subset(query, matching, k);
+  out.result.telemetry.filtered_out = live - matching.size();
+  out.path = FilterPath::kPostFilter;
+  return out;
+}
+
+std::vector<std::uint8_t> Collection::snapshot() const {
+  serve::io::Writer payload;
+  payload.str(kCollectionPayloadTag);
+  payload.u64(generation_);
+  meta_.save(payload);
+
+  serve::StoreBlock block;
+  block.collection = name_;
+  block.metadata_rows = meta_.rows();
+  block.metadata_tags = meta_.tag_count();
+  block.payload = payload.buffer();
+  return serve::save(*engine_, spec_.name, spec_.config, block);
+}
+
+void Collection::save_file(const std::string& path) const {
+  detail::write_file(path, snapshot());
+}
+
+std::unique_ptr<Collection> Collection::restore(std::span<const std::uint8_t> blob,
+                                                CollectionOptions options) {
+  serve::StoreBlock block;
+  serve::SnapshotInfo info;
+  std::unique_ptr<search::NnIndex> engine = serve::load_with_store(blob, block, &info);
+  if (!info.has_store) {
+    throw serve::io::SnapshotError{
+        "snapshot carries no store block (a plain engine snapshot is not a collection)"};
+  }
+
+  auto collection = std::unique_ptr<Collection>(new Collection());
+  collection->name_ = block.collection;
+  collection->spec_.name = info.engine;
+  collection->spec_.config = info.config;
+  collection->options_ = options;
+  collection->engine_ = std::move(engine);
+  collection->two_stage_ =
+      dynamic_cast<search::TwoStageNnIndex*>(collection->engine_.get());
+  collection->policy_ = parse_filter_policy(info.config.filter_policy);
+
+  serve::io::Reader in(block.payload);
+  serve::io::expect_tag(in, kCollectionPayloadTag);
+  collection->generation_ = in.u64();
+  collection->meta_.load(in);
+  in.expect_end();
+
+  serve::io::require_payload(collection->meta_.rows() == block.metadata_rows,
+                             "store block row count mismatch");
+  serve::io::require_payload(collection->meta_.tag_count() == block.metadata_tags,
+                             "store block tag count mismatch");
+  serve::io::require_payload(collection->meta_.live() == collection->engine_->size(),
+                             "metadata live count disagrees with engine");
+  return collection;
+}
+
+std::unique_ptr<Collection> Collection::load_file(const std::string& path,
+                                                  CollectionOptions options) {
+  return restore(detail::read_file(path), options);
+}
+
+namespace detail {
+
+void write_file(const std::string& path, std::span<const std::uint8_t> bytes) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    throw serve::io::SnapshotError{"cannot open '" + path + "' for writing"};
+  }
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), file);
+  const bool flushed = std::fclose(file) == 0;
+  if (written != bytes.size() || !flushed) {
+    throw serve::io::SnapshotError{"short write to '" + path + "'"};
+  }
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    throw serve::io::SnapshotError{"cannot open '" + path + "' for reading"};
+  }
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 64 * 1024> chunk;
+  std::size_t got = 0;
+  while ((got = std::fread(chunk.data(), 1, chunk.size(), file)) > 0) {
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + static_cast<std::ptrdiff_t>(got));
+  }
+  const bool clean = std::ferror(file) == 0;
+  std::fclose(file);
+  if (!clean) throw serve::io::SnapshotError{"read error on '" + path + "'"};
+  return bytes;
+}
+
+}  // namespace detail
+
+}  // namespace mcam::store

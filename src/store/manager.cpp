@@ -1,0 +1,402 @@
+#include "store/manager.hpp"
+
+#include "search/batch.hpp"
+#include "serve/io.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <stdexcept>
+#include <utility>
+
+namespace mcam::store {
+
+namespace {
+
+constexpr char kManifestMagic[8] = {'M', 'C', 'A', 'M', 'M', 'A', 'N', 'I'};
+constexpr std::uint32_t kManifestVersion = 1;
+constexpr const char* kManifestName = "MANIFEST";
+
+[[nodiscard]] StoreResponse immediate(serve::RequestStatus status, std::string error = {}) {
+  StoreResponse response;
+  response.status = status;
+  response.error = std::move(error);
+  return response;
+}
+
+}  // namespace
+
+CollectionManager::CollectionManager(ManagerConfig config) : config_(config) {
+  if (config_.queue_capacity == 0) {
+    throw std::invalid_argument{"CollectionManager: queue_capacity must be > 0"};
+  }
+  if (config_.collection_queue_cap == 0) {
+    throw std::invalid_argument{"CollectionManager: collection_queue_cap must be > 0"};
+  }
+  resolved_workers_ =
+      config_.workers != 0 ? config_.workers : search::default_worker_count();
+  workers_.reserve(resolved_workers_);
+  for (std::size_t w = 0; w < resolved_workers_; ++w) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+CollectionManager::~CollectionManager() { stop(); }
+
+void CollectionManager::create_collection(const std::string& name,
+                                          const std::string& spec,
+                                          const search::EngineConfig& base) {
+  // Build outside the registry lock (factory work can be heavy), then
+  // insert-or-throw.
+  auto entry = std::make_shared<Entry>();
+  entry->name = name;
+  entry->collection =
+      std::make_unique<Collection>(name, spec, base, config_.collection_options);
+  entry->counters.workers = resolved_workers_;
+  entry->started = std::chrono::steady_clock::now();
+
+  std::unique_lock lock(registry_mutex_);
+  if (!entries_.emplace(name, std::move(entry)).second) {
+    throw std::invalid_argument{"CollectionManager: collection '" + name +
+                                "' already exists"};
+  }
+}
+
+bool CollectionManager::drop_collection(const std::string& name) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::unique_lock lock(registry_mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    entry = it->second;
+    entries_.erase(it);
+  }
+  // Queued tasks still hold the entry; null the collection under the
+  // exclusive lock so they resolve kShutdown instead of touching freed
+  // engine state.
+  std::unique_lock lock(entry->mutex);
+  entry->collection.reset();
+  return true;
+}
+
+std::vector<std::string> CollectionManager::collection_names() const {
+  std::shared_lock lock(registry_mutex_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;  // std::map iterates sorted.
+}
+
+bool CollectionManager::contains(const std::string& name) const {
+  return find_entry(name) != nullptr;
+}
+
+std::size_t CollectionManager::collection_count() const {
+  std::shared_lock lock(registry_mutex_);
+  return entries_.size();
+}
+
+void CollectionManager::calibrate(const std::string& name,
+                                  std::span<const std::vector<float>> rows) {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::unique_lock lock(entry->mutex);
+  entry->collection->calibrate(rows);
+}
+
+std::size_t CollectionManager::add(const std::string& name,
+                                   std::span<const std::vector<float>> rows,
+                                   std::span<const int> labels) {
+  return add(name, rows, labels, {}, {});
+}
+
+std::size_t CollectionManager::add(const std::string& name,
+                                   std::span<const std::vector<float>> rows,
+                                   std::span<const int> labels,
+                                   std::span<const std::vector<std::string>> tags,
+                                   std::span<const std::uint64_t> expires_at) {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::unique_lock lock(entry->mutex);
+  return entry->collection->add(rows, labels, tags, expires_at);
+}
+
+bool CollectionManager::erase(const std::string& name, std::size_t id) {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::unique_lock lock(entry->mutex);
+  return entry->collection->erase(id);
+}
+
+std::size_t CollectionManager::expire(const std::string& name, std::uint64_t now) {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::unique_lock lock(entry->mutex);
+  return entry->collection->expire(now);
+}
+
+std::size_t CollectionManager::expire_all(std::uint64_t now) {
+  std::size_t expired = 0;
+  for (const std::string& name : collection_names()) {
+    const std::shared_ptr<Entry> entry = find_entry(name);
+    if (!entry) continue;  // Dropped between listing and lookup.
+    std::unique_lock lock(entry->mutex);
+    if (entry->collection) expired += entry->collection->expire(now);
+  }
+  return expired;
+}
+
+std::size_t CollectionManager::size(const std::string& name) const {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::shared_lock lock(entry->mutex);
+  return entry->collection->size();
+}
+
+std::uint64_t CollectionManager::generation(const std::string& name) const {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::shared_lock lock(entry->mutex);
+  return entry->collection->generation();
+}
+
+std::future<StoreResponse> CollectionManager::submit(const std::string& name,
+                                                     std::vector<float> query,
+                                                     std::size_t k, Predicate predicate) {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+
+  Task task;
+  task.entry = entry;
+  task.query = std::move(query);
+  task.k = k;
+  task.predicate = std::move(predicate);
+  task.submitted = std::chrono::steady_clock::now();
+  std::future<StoreResponse> future = task.promise.get_future();
+
+  {
+    std::lock_guard lock(queue_mutex_);
+    if (stopping_) {
+      task.promise.set_value(immediate(serve::RequestStatus::kShutdown));
+      return future;
+    }
+    const bool queue_full = queue_.size() >= config_.queue_capacity;
+    const bool tenant_full =
+        entry->queued.load(std::memory_order_relaxed) >= config_.collection_queue_cap;
+    if (queue_full || tenant_full) {
+      {
+        std::lock_guard stats(entry->stats_mutex);
+        ++entry->counters.rejected;
+      }
+      task.promise.set_value(immediate(serve::RequestStatus::kRejected));
+      return future;
+    }
+    entry->queued.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard stats(entry->stats_mutex);
+      ++entry->counters.accepted;
+      entry->counters.queue_depth_peak =
+          std::max(entry->counters.queue_depth_peak,
+                   entry->queued.load(std::memory_order_relaxed));
+    }
+    queue_.push_back(std::move(task));
+  }
+  queue_cv_.notify_one();
+  return future;
+}
+
+StoreResponse CollectionManager::query_one(const std::string& name,
+                                           std::vector<float> query, std::size_t k,
+                                           Predicate predicate) {
+  return submit(name, std::move(query), k, std::move(predicate)).get();
+}
+
+void CollectionManager::worker_loop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock lock(queue_mutex_);
+      queue_cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    execute(task);
+    task.entry->queued.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void CollectionManager::execute(Task& task) const {
+  StoreResponse response;
+  {
+    std::shared_lock lock(task.entry->mutex);
+    if (!task.entry->collection) {
+      response = immediate(serve::RequestStatus::kShutdown);
+    } else {
+      try {
+        response.result = task.entry->collection->query(task.query, task.k, task.predicate);
+      } catch (const std::exception& error) {
+        response = immediate(serve::RequestStatus::kFailed, error.what());
+      }
+    }
+  }
+  record_completion(*task.entry, response.status == serve::RequestStatus::kOk, response,
+                    task.submitted);
+  task.promise.set_value(std::move(response));
+}
+
+void CollectionManager::record_completion(Entry& entry, bool ok,
+                                          const StoreResponse& response,
+                                          std::chrono::steady_clock::time_point submitted) {
+  const double latency_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                submitted)
+          .count();
+  std::lock_guard lock(entry.stats_mutex);
+  if (ok) {
+    ++entry.counters.completed;
+  } else {
+    ++entry.counters.failed;
+  }
+  if (entry.latency_ms.size() < kLatencyWindow) {
+    entry.latency_ms.push_back(latency_ms);
+  } else {
+    entry.latency_ms[entry.latency_next] = latency_ms;
+  }
+  entry.latency_next = (entry.latency_next + 1) % kLatencyWindow;
+  entry.latency_count = std::min(entry.latency_count + 1, kLatencyWindow);
+  if (ok && response.result.path != FilterPath::kNone) {
+    ++entry.counters.filtered_queries;
+    if (response.result.path == FilterPath::kBand) {
+      ++entry.counters.band_queries;
+    } else {
+      ++entry.counters.post_filter_queries;
+    }
+    entry.selectivity_sum += response.result.selectivity;
+  }
+}
+
+serve::ServiceStats CollectionManager::stats(const std::string& name) const {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::lock_guard lock(entry->stats_mutex);
+  serve::ServiceStats stats = entry->counters;
+  stats.workers = resolved_workers_;
+  stats.queue_depth = entry->queued.load(std::memory_order_relaxed);
+
+  std::vector<double> sorted(entry->latency_ms.begin(),
+                             entry->latency_ms.begin() +
+                                 static_cast<std::ptrdiff_t>(entry->latency_count));
+  std::sort(sorted.begin(), sorted.end());
+  stats.latency_p50_ms = serve::nearest_rank_percentile(sorted, 50.0);
+  stats.latency_p95_ms = serve::nearest_rank_percentile(sorted, 95.0);
+  stats.latency_p99_ms = serve::nearest_rank_percentile(sorted, 99.0);
+
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - entry->started)
+          .count();
+  stats.throughput_qps = elapsed > 0.0 ? static_cast<double>(stats.completed) / elapsed : 0.0;
+  stats.filter_selectivity_mean =
+      stats.filtered_queries > 0
+          ? entry->selectivity_sum / static_cast<double>(stats.filtered_queries)
+          : 0.0;
+  return stats;
+}
+
+std::size_t CollectionManager::save(const std::string& dir) const {
+  std::filesystem::create_directories(dir);
+
+  std::vector<std::shared_ptr<Entry>> entries;
+  {
+    std::shared_lock lock(registry_mutex_);
+    entries.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) entries.push_back(entry);
+  }
+
+  serve::io::Writer manifest;
+  manifest.raw(std::span(reinterpret_cast<const std::uint8_t*>(kManifestMagic),
+                         sizeof(kManifestMagic)));
+  manifest.u32(kManifestVersion);
+  manifest.u64(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const std::string filename = "collection_" + std::to_string(i) + ".snap";
+    const std::shared_ptr<Entry>& entry = entries[i];
+    std::shared_lock lock(entry->mutex);
+    if (!entry->collection) {
+      throw std::invalid_argument{"CollectionManager::save: collection '" + entry->name +
+                                  "' was dropped mid-save"};
+    }
+    entry->collection->save_file(dir + "/" + filename);
+    manifest.str(entry->name);
+    manifest.str(filename);
+  }
+  detail::write_file(dir + "/" + kManifestName, manifest.buffer());
+  return entries.size();
+}
+
+std::size_t CollectionManager::load(const std::string& dir) {
+  const std::vector<std::uint8_t> bytes = detail::read_file(dir + "/" + kManifestName);
+  if (bytes.size() < sizeof(kManifestMagic) ||
+      std::memcmp(bytes.data(), kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    throw serve::io::SnapshotError{"bad manifest magic in '" + dir + "'"};
+  }
+  serve::io::Reader in(
+      std::span<const std::uint8_t>(bytes).subspan(sizeof(kManifestMagic)));
+  const std::uint32_t version = in.u32();
+  if (version != kManifestVersion) {
+    throw serve::io::SnapshotError{"unknown manifest version " + std::to_string(version)};
+  }
+  const std::size_t count = in.checked_count(in.u64(), 16);
+  std::size_t loaded = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string name = in.str();
+    const std::string filename = in.str();
+    serve::io::require_payload(!name.empty(), "empty collection name in manifest");
+    serve::io::require_payload(!filename.empty(), "empty snapshot filename in manifest");
+    serve::io::require_payload(filename.find('/') == std::string::npos &&
+                                   filename.find("..") == std::string::npos,
+                               "manifest filename escapes the snapshot directory");
+
+    std::unique_ptr<Collection> collection =
+        Collection::load_file(dir + "/" + filename, config_.collection_options);
+    serve::io::require_payload(collection->collection_name() == name,
+                               "manifest name disagrees with snapshot store block");
+
+    auto entry = std::make_shared<Entry>();
+    entry->name = name;
+    entry->collection = std::move(collection);
+    entry->counters.workers = resolved_workers_;
+    entry->started = std::chrono::steady_clock::now();
+
+    std::unique_lock lock(registry_mutex_);
+    if (!entries_.emplace(name, std::move(entry)).second) {
+      throw std::invalid_argument{"CollectionManager::load: collection '" + name +
+                                  "' already exists"};
+    }
+    ++loaded;
+  }
+  in.expect_end();
+  return loaded;
+}
+
+std::shared_ptr<CollectionManager::Entry> CollectionManager::find_entry(
+    const std::string& name) const {
+  std::shared_lock lock(registry_mutex_);
+  const auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second;
+}
+
+std::shared_ptr<CollectionManager::Entry> CollectionManager::require_entry(
+    const std::string& name) const {
+  std::shared_ptr<Entry> entry = find_entry(name);
+  if (!entry) {
+    throw std::invalid_argument{"CollectionManager: no collection named '" + name + "'"};
+  }
+  return entry;
+}
+
+void CollectionManager::stop() {
+  {
+    std::lock_guard lock(queue_mutex_);
+    stopping_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+}  // namespace mcam::store

@@ -1,0 +1,208 @@
+// Multi-tenant collection store: many named collections behind one shared
+// worker pool with per-collection admission control and telemetry.
+//
+// Where serve::QueryService fronts exactly one NnIndex, a
+// CollectionManager owns N store::Collections - each with its own engine
+// spec (any EngineFactory backend), metadata, generation counter, and
+// ServiceStats - and drains all their queries through ONE bounded queue
+// and worker pool, so a burst against one tenant cannot starve the host
+// of threads. Admission control is two-level: the global queue bound
+// rejects when the host is saturated, and a per-collection in-flight cap
+// rejects a single noisy tenant before it owns the whole queue. Both
+// rejections surface as RequestStatus::kRejected (the QueryService
+// backpressure contract), never silent drops.
+//
+// Concurrency model: each collection carries a shared_mutex - queries
+// run under the shared side, mutations (add/erase/expire/drop) under the
+// exclusive side - so tenants never block each other, and a drop races
+// cleanly with in-flight queries (they resolve kShutdown once the
+// collection is gone). Mutations are synchronous on the caller's thread:
+// writers are rare and want the error, the worker pool is for queries.
+//
+// Persistence: `save(dir)` writes one v4 snapshot per collection (engine
+// + metadata in one checksummed blob, serve/snapshot.hpp) plus a MANIFEST
+// naming them; `load(dir)` restores the whole fleet. Stats are
+// process-local and deliberately not persisted.
+#pragma once
+
+#include "serve/service.hpp"
+#include "store/collection.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcam::store {
+
+/// Manager knobs.
+struct ManagerConfig {
+  /// Worker threads shared by every collection; 0 =
+  /// search::default_worker_count().
+  std::size_t workers = 0;
+  /// Global bounded queue; submits past this depth are rejected.
+  std::size_t queue_capacity = 1024;
+  /// Per-collection in-flight cap: one tenant may occupy at most this many
+  /// queue slots at a time.
+  std::size_t collection_queue_cap = 256;
+  /// Routing knobs applied to every collection created or loaded.
+  CollectionOptions collection_options;
+};
+
+/// What a submitted store query resolves to.
+struct StoreResponse {
+  serve::RequestStatus status = serve::RequestStatus::kOk;
+  CollectionQueryResult result;  ///< Valid when status == kOk.
+  std::string error;             ///< Populated when status == kFailed.
+};
+
+/// Multi-collection store front end. See the header comment.
+class CollectionManager {
+ public:
+  explicit CollectionManager(ManagerConfig config = {});
+  /// Stops accepting, drains accepted requests, joins the workers.
+  ~CollectionManager();
+
+  CollectionManager(const CollectionManager&) = delete;
+  CollectionManager& operator=(const CollectionManager&) = delete;
+
+  /// Creates an empty collection from an engine spec string. Throws
+  /// std::invalid_argument when the name is empty, already taken, or the
+  /// spec does not parse.
+  void create_collection(const std::string& name, const std::string& spec,
+                         const search::EngineConfig& base = {});
+
+  /// Drops a collection: in-flight queries resolve kShutdown, the name
+  /// becomes free again. Returns false when no such collection exists.
+  bool drop_collection(const std::string& name);
+
+  /// Sorted names of the live collections.
+  [[nodiscard]] std::vector<std::string> collection_names() const;
+  [[nodiscard]] bool contains(const std::string& name) const;
+  [[nodiscard]] std::size_t collection_count() const;
+
+  // --- Synchronous mutations (exclusive per-collection lock) -------------
+
+  /// Calibrates the collection's engine without storing rows.
+  void calibrate(const std::string& name, std::span<const std::vector<float>> rows);
+
+  /// Untagged batch add; returns the first new row id.
+  std::size_t add(const std::string& name, std::span<const std::vector<float>> rows,
+                  std::span<const int> labels);
+
+  /// Tagged batch add with optional per-row logical expiry ticks.
+  std::size_t add(const std::string& name, std::span<const std::vector<float>> rows,
+                  std::span<const int> labels,
+                  std::span<const std::vector<std::string>> tags,
+                  std::span<const std::uint64_t> expires_at = {});
+
+  /// NnIndex erase contract, routed through the collection.
+  bool erase(const std::string& name, std::size_t id);
+
+  /// Expires every row of `name` whose TTL is due at logical tick `now`.
+  std::size_t expire(const std::string& name, std::uint64_t now);
+
+  /// Expires due rows in every collection; returns the total expired.
+  std::size_t expire_all(std::uint64_t now);
+
+  /// Live rows / mutation generation of one collection.
+  [[nodiscard]] std::size_t size(const std::string& name) const;
+  [[nodiscard]] std::uint64_t generation(const std::string& name) const;
+
+  // --- Queries (shared worker pool) --------------------------------------
+
+  /// Submits one (optionally filtered) top-k query. Never blocks: the
+  /// future is already resolved for rejections and post-stop submits.
+  /// Throws std::invalid_argument for an unknown collection.
+  [[nodiscard]] std::future<StoreResponse> submit(const std::string& name,
+                                                  std::vector<float> query, std::size_t k,
+                                                  Predicate predicate = {});
+
+  /// Synchronous convenience: `submit(...).get()`.
+  [[nodiscard]] StoreResponse query_one(const std::string& name, std::vector<float> query,
+                                        std::size_t k, Predicate predicate = {});
+
+  /// Per-collection telemetry: the QueryService counters that apply
+  /// (accepted/rejected/completed/failed, queue depths, latency
+  /// percentiles, throughput) plus the filtered-search fields
+  /// (filtered/band/post counts, mean predicate selectivity). Cache
+  /// fields stay zero - the store layer runs no result cache. Throws
+  /// std::invalid_argument for an unknown collection.
+  [[nodiscard]] serve::ServiceStats stats(const std::string& name) const;
+
+  // --- Persistence --------------------------------------------------------
+
+  /// Writes one v4 snapshot per collection plus a MANIFEST into `dir`
+  /// (created if needed). Returns the number of collections saved.
+  std::size_t save(const std::string& dir) const;
+
+  /// Restores every collection a MANIFEST names. Throws
+  /// serve::io::SnapshotError on a malformed manifest or snapshot and
+  /// std::invalid_argument when a manifest name collides with a live
+  /// collection.
+  std::size_t load(const std::string& dir);
+
+  /// Idempotent: stop accepting, drain accepted requests, join workers.
+  void stop();
+
+ private:
+  /// One tenant: the collection plus its lock, admission counter, and
+  /// stats. Shared-ptr'd so queued work and drops race safely.
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Collection> collection;  ///< Null once dropped.
+    mutable std::shared_mutex mutex;         ///< shared = query, exclusive = mutate.
+    std::atomic<std::size_t> queued{0};      ///< In-flight (queued) requests.
+    mutable std::mutex stats_mutex;
+    serve::ServiceStats counters;            ///< Derived fields unused here.
+    std::vector<double> latency_ms;          ///< Latency ring (window below).
+    std::size_t latency_next = 0;
+    std::size_t latency_count = 0;
+    double selectivity_sum = 0.0;            ///< Sum over filtered queries.
+    std::chrono::steady_clock::time_point started;
+  };
+
+  struct Task {
+    std::shared_ptr<Entry> entry;
+    std::vector<float> query;
+    std::size_t k = 1;
+    Predicate predicate;
+    std::promise<StoreResponse> promise;
+    std::chrono::steady_clock::time_point submitted;
+  };
+
+  static constexpr std::size_t kLatencyWindow = 4096;
+
+  void worker_loop();
+  void execute(Task& task) const;
+  [[nodiscard]] std::shared_ptr<Entry> find_entry(const std::string& name) const;
+  /// find_entry or throw std::invalid_argument naming the collection.
+  [[nodiscard]] std::shared_ptr<Entry> require_entry(const std::string& name) const;
+  static void record_completion(Entry& entry, bool ok, const StoreResponse& response,
+                                std::chrono::steady_clock::time_point submitted);
+
+  ManagerConfig config_;
+  std::size_t resolved_workers_ = 0;
+
+  mutable std::shared_mutex registry_mutex_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<Task> queue_;
+  bool stopping_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace mcam::store

@@ -1,0 +1,124 @@
+// Per-collection row metadata: interned tags, TTLs, and soft-deletes.
+//
+// Every row a collection stores gets one RowMetadata record, parallel to
+// the engine's insertion-order id space. Tag strings are interned once
+// per collection into dense ids, so a row's tags are a handful of u32s
+// and predicate evaluation is integer comparisons; the interner also
+// defines the *band slot* of each tag - the cell of the coarse TCAM tag
+// band (search/refine.hpp) that advertises the tag's presence. The band
+// is a Bloom-style presence map: slots are assigned by mixing the tag id
+// (splitmix64), distinct tags may collide on a slot, and the store layer
+// always re-verifies nominated rows against the exact tag ids - the band
+// only ever over-approximates, so in-array filtering can never drop a
+// truly matching row.
+//
+// TTLs are *logical* expiry ticks: the store never reads a wall clock
+// (determinism, testability); callers pass `now` to expired_ids and
+// decide the tick domain (seconds, versions, batch numbers). Expiry and
+// erasure are soft-deletes here - the engine's tombstone is authoritative
+// for search; the metadata mirror (`erased`) keeps predicate scans and
+// band bitmaps consistent without querying the engine.
+#pragma once
+
+#include "serve/io.hpp"
+#include "store/predicate.hpp"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mcam::store {
+
+/// Stable tag-band slot of an interned tag id in a `tag_bits`-wide band.
+/// Splitmix64-mixed so dense ids spread uniformly over the band; the
+/// mapping is part of the snapshot contract (stored bitmaps were
+/// programmed with it), so it must never change for a given (id,
+/// tag_bits). `tag_bits` must be > 0.
+[[nodiscard]] std::size_t band_slot(std::uint32_t tag_id, std::size_t tag_bits);
+
+/// One row's metadata record.
+struct RowMetadata {
+  std::vector<std::uint32_t> tags;  ///< Sorted, deduplicated interned tag ids.
+  std::uint64_t expires_at = 0;     ///< Logical expiry tick; 0 = never expires.
+  bool erased = false;              ///< Soft-delete mirror of the engine tombstone.
+};
+
+/// The metadata side of one collection: tag interner + row records.
+/// Externally synchronized, like the engine it mirrors (the manager's
+/// per-collection lock covers both).
+class MetadataStore {
+ public:
+  /// Interns `name` (idempotent) and returns its dense id.
+  std::uint32_t intern_tag(const std::string& name);
+
+  /// Appends one record (tags interned, deduplicated) and returns its row
+  /// id - by construction the engine id of the row added alongside it.
+  std::size_t append(std::span<const std::string> tags, std::uint64_t expires_at = 0);
+
+  /// Drops the trailing records down to `rows() == count` - the rollback
+  /// hook for an engine add that failed after metadata was staged.
+  /// Interned tag names are retained (ids must stay stable). Throws
+  /// std::invalid_argument when `count > rows()`.
+  void truncate(std::size_t count);
+
+  /// Soft-deletes row `id`. Returns false when already erased; throws
+  /// std::out_of_range for a never-appended id (the erase contract of
+  /// search/index.hpp, mirrored).
+  bool mark_erased(std::size_t id);
+
+  /// Total records, tombstoned included (= the engine's physical rows).
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+  /// Records not yet erased.
+  [[nodiscard]] std::size_t live() const noexcept { return live_; }
+  /// Record of row `id`; throws std::out_of_range.
+  [[nodiscard]] const RowMetadata& row(std::size_t id) const;
+
+  /// Distinct interned tags.
+  [[nodiscard]] std::size_t tag_count() const noexcept { return tag_names_.size(); }
+  /// Dense id of `name`, if ever interned.
+  [[nodiscard]] std::optional<std::uint32_t> find_tag(const std::string& name) const;
+  /// Name of tag `id`; throws std::out_of_range.
+  [[nodiscard]] const std::string& tag_name(std::uint32_t id) const;
+
+  /// True when row `id` is live and carries every tag of `predicate`
+  /// (false - never a throw - for unknown predicate tags: nothing can
+  /// match a tag no row ever carried). An empty predicate matches every
+  /// live row.
+  [[nodiscard]] bool matches(std::size_t id, const Predicate& predicate) const;
+
+  /// Ascending ids of every live row matching `predicate` - the exact
+  /// candidate list of the post-filter path, and the ground truth the
+  /// band path is verified against.
+  [[nodiscard]] std::vector<std::size_t> matching_ids(const Predicate& predicate) const;
+
+  /// Ascending ids of live rows whose TTL is due (`0 < expires_at <= now`).
+  [[nodiscard]] std::vector<std::size_t> expired_ids(std::uint64_t now) const;
+
+  /// Row `id`'s tag-band presence bitmap (`tag_bits` bytes, 1 = slot set):
+  /// the bits add_tagged programs into the coarse TCAM.
+  [[nodiscard]] std::vector<std::uint8_t> band_bits(std::size_t id,
+                                                    std::size_t tag_bits) const;
+
+  /// Required-slot bitmap of `predicate` for a filtered coarse sweep, or
+  /// std::nullopt when a predicate tag was never interned (no row can
+  /// match, so there is nothing to sweep for).
+  [[nodiscard]] std::optional<std::vector<std::uint8_t>> band_query(
+      const Predicate& predicate, std::size_t tag_bits) const;
+
+  /// Serialization (the store-block payload of a v4 snapshot): complete
+  /// state - interner order, every record, tombstones - restores
+  /// bit-identically.
+  void save(serve::io::Writer& out) const;
+  void load(serve::io::Reader& in);
+
+ private:
+  std::vector<std::string> tag_names_;           ///< id -> name, intern order.
+  std::map<std::string, std::uint32_t> tag_ids_; ///< name -> id.
+  std::vector<RowMetadata> rows_;
+  std::size_t live_ = 0;
+};
+
+}  // namespace mcam::store

@@ -1,0 +1,28 @@
+#include "store/predicate.hpp"
+
+#include <utility>
+
+namespace mcam::store {
+
+Predicate Predicate::tag(std::string name) {
+  Predicate predicate;
+  predicate.all_of.push_back(std::move(name));
+  return predicate;
+}
+
+Predicate& Predicate::and_tag(std::string name) {
+  all_of.push_back(std::move(name));
+  return *this;
+}
+
+std::string Predicate::to_string() const {
+  if (all_of.empty()) return "true";
+  std::string text;
+  for (const std::string& name : all_of) {
+    if (!text.empty()) text += " AND ";
+    text += "tag('" + name + "')";
+  }
+  return text;
+}
+
+}  // namespace mcam::store

@@ -1,0 +1,37 @@
+// Metadata predicates of the collection store (store/collection.hpp).
+//
+// A predicate is a conjunction of tag requirements: a row matches when it
+// carries *every* named tag. Tags are opaque strings interned per
+// collection (store/metadata.hpp) - whether they spell bare labels
+// ("premium") or key=value pairs ("user=alice") is a caller convention
+// the store never parses. Equality predicates are therefore tag-equality
+// predicates, which is exactly the shape the coarse TCAM tag band can
+// match in-array: each required tag pins one band cell to an exact bit
+// while every other cell stays don't-care.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mcam::store {
+
+/// Conjunctive tag predicate. An empty predicate matches every live row
+/// (an unfiltered query).
+struct Predicate {
+  std::vector<std::string> all_of;  ///< Tags a matching row must all carry.
+
+  /// One-tag predicate: `Predicate::tag("user=alice")`.
+  [[nodiscard]] static Predicate tag(std::string name);
+
+  /// Appends another required tag (builder style):
+  /// `Predicate::tag("user=alice").and_tag("premium")`.
+  Predicate& and_tag(std::string name);
+
+  /// True when no tag is required (matches everything).
+  [[nodiscard]] bool empty() const noexcept { return all_of.empty(); }
+
+  /// "tag('a') AND tag('b')" - for error messages and logs.
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace mcam::store

@@ -627,5 +627,223 @@ TEST(KConvention, ZeroKEqualsOneKForEveryRegisteredBackend) {
   }
 }
 
+TEST(TagBand, ValidationAndErrorPaths) {
+  const Data data = make_data(24, 6, 2, 311);
+  EngineConfig config;
+  config.num_features = 6;
+  config.fine_spec = "euclidean";
+  config.coarse_bits = 24;
+
+  // A pipeline built without a tag band rejects the band APIs outright.
+  auto bandless = make_index("refine", config);
+  auto& bandless_two = dynamic_cast<TwoStageNnIndex&>(*bandless);
+  const std::vector<std::vector<std::uint8_t>> one_band{{1, 0, 0, 0}};
+  EXPECT_THROW(bandless_two.add_tagged(
+                   std::span<const std::vector<float>>(data.rows.data(), 1),
+                   std::span<const int>(data.labels.data(), 1), one_band),
+               std::invalid_argument);
+  bandless->add(data.rows, data.labels);
+  EXPECT_THROW(
+      (void)bandless_two.query_filtered(data.queries[0], 3, one_band[0], {}),
+      std::invalid_argument);
+
+  // With a band: filtered queries before add have no coarse stage to sweep.
+  config.tag_bits = 4;
+  auto banded = make_index("refine", config);
+  auto& banded_two = dynamic_cast<TwoStageNnIndex&>(*banded);
+  EXPECT_EQ(banded_two.tag_bits(), 4u);
+  const std::vector<std::uint8_t> band{1, 0, 0, 0};
+  EXPECT_THROW((void)banded_two.query_filtered(data.queries[0], 3, band, {}),
+               std::logic_error);
+  // Wrong bitmap width on add: rejected before anything is mutated.
+  const std::vector<std::vector<std::uint8_t>> wrong(data.rows.size(),
+                                                     std::vector<std::uint8_t>{1, 0});
+  EXPECT_THROW(banded_two.add_tagged(data.rows, data.labels, wrong),
+               std::invalid_argument);
+  EXPECT_EQ(banded->size(), 0u);
+  const std::vector<std::vector<std::uint8_t>> bands(data.rows.size(), band);
+  banded_two.add_tagged(data.rows, data.labels, bands);
+  EXPECT_THROW((void)banded_two.query_filtered(data.queries[0], 3,
+                                               std::vector<std::uint8_t>{1, 0}, {}),
+               std::invalid_argument);
+
+  // Exhaustive fallback skips the coarse stage entirely - there is no
+  // TCAM sweep to push the band into, so the call is a contract error.
+  config.refine_exhaustive = true;
+  auto exhaustive = make_index("refine", config);
+  auto& exhaustive_two = dynamic_cast<TwoStageNnIndex&>(*exhaustive);
+  exhaustive_two.add_tagged(data.rows, data.labels, bands);
+  EXPECT_THROW((void)exhaustive_two.query_filtered(data.queries[0], 3, band, {}),
+               std::logic_error);
+}
+
+TEST(TagBand, FilteredQueryMatchesSubsetPostFilterExactly) {
+  // Acceptance: with a candidate budget covering every eligible row, the
+  // band-pushed coarse sweep returns bit-identically what the fine stage
+  // says about the predicate-satisfying subset - per fine backend.
+  const Data data = make_data(36, 6, 5, 331);
+  for (const std::string& fine :
+       {std::string{"euclidean"}, std::string{"mcam3"},
+        std::string{"sharded-mcam3:bank_rows=16,shard_workers=1"}}) {
+    EngineConfig config;
+    config.num_features = 6;
+    config.fine_spec = fine;
+    config.coarse_bits = 32;
+    config.tag_bits = 8;
+    config.candidate_factor = 64;
+    auto index = make_index("refine", config);
+    auto& two = dynamic_cast<TwoStageNnIndex&>(*index);
+    EXPECT_NE(two.name().find("8t"), std::string::npos);
+
+    // Rows carry one band bit each: slot r % 3. Slot 7 stays empty.
+    std::vector<std::vector<std::uint8_t>> bands;
+    for (std::size_t r = 0; r < data.rows.size(); ++r) {
+      std::vector<std::uint8_t> b(8, 0);
+      b[r % 3] = 1;
+      bands.push_back(std::move(b));
+    }
+    two.add_tagged(data.rows, data.labels, bands);
+
+    for (std::size_t group = 0; group < 3; ++group) {
+      std::vector<std::size_t> members;
+      for (std::size_t r = 0; r < data.rows.size(); ++r) {
+        if (r % 3 == group) members.push_back(r);
+      }
+      std::vector<std::uint8_t> required(8, 0);
+      required[group] = 1;
+      const auto verify = [&](std::size_t id) { return id % 3 == group; };
+      for (const auto& q : data.queries) {
+        for (std::size_t k : {std::size_t{1}, std::size_t{5}}) {
+          const auto filtered = two.query_filtered(q, k, required, verify);
+          ASSERT_TRUE(filtered.has_value()) << fine;
+          expect_identical(*filtered, index->query_subset(q, members, k),
+                           fine + " band vs subset");
+          // Exactly one band bit per row: no hash collisions, so the
+          // in-array exclusion count is the full complement.
+          EXPECT_EQ(filtered->telemetry.filtered_out,
+                    data.rows.size() - members.size())
+              << fine;
+          EXPECT_EQ(filtered->telemetry.fine_candidates, members.size()) << fine;
+        }
+      }
+    }
+
+    // A slot no row carries: nothing is eligible, the caller falls back.
+    std::vector<std::uint8_t> empty_slot(8, 0);
+    empty_slot[7] = 1;
+    EXPECT_FALSE(two.query_filtered(data.queries[0], 3, empty_slot, {}).has_value());
+    // Verify rejecting every nominee behaves the same as no eligible row.
+    std::vector<std::uint8_t> group0(8, 0);
+    group0[0] = 1;
+    EXPECT_FALSE(two.query_filtered(data.queries[0], 3, group0,
+                                    [](std::size_t) { return false; })
+                     .has_value());
+  }
+}
+
+TEST(TagBand, UntaggedAndErasedRowsAreNeverEligible) {
+  const Data data = make_data(30, 6, 4, 347);
+  EngineConfig config;
+  config.num_features = 6;
+  config.fine_spec = "euclidean";
+  config.coarse_bits = 32;
+  config.tag_bits = 6;
+  config.candidate_factor = 64;
+  auto index = make_index("refine", config);
+  auto& two = dynamic_cast<TwoStageNnIndex&>(*index);
+
+  // First 20 rows tagged on slot 0; last 10 added untagged (all-zero band).
+  std::vector<std::vector<std::uint8_t>> bands(20, std::vector<std::uint8_t>(6, 0));
+  for (auto& b : bands) b[0] = 1;
+  two.add_tagged(std::span<const std::vector<float>>(data.rows.data(), 20),
+                 std::span<const int>(data.labels.data(), 20), bands);
+  index->add(std::span<const std::vector<float>>(data.rows.data() + 20, 10),
+             std::span<const int>(data.labels.data() + 20, 10));
+  ASSERT_EQ(index->size(), 30u);
+
+  std::vector<std::uint8_t> required(6, 0);
+  required[0] = 1;
+  for (const auto& q : data.queries) {
+    const auto filtered = two.query_filtered(q, 30, required, {});
+    ASSERT_TRUE(filtered.has_value());
+    EXPECT_EQ(filtered->neighbors.size(), 20u);
+    for (const Neighbor& n : filtered->neighbors) EXPECT_LT(n.index, 20u);
+    EXPECT_EQ(filtered->telemetry.filtered_out, 10u);
+  }
+
+  ASSERT_TRUE(index->erase(7));
+  const auto after = two.query_filtered(data.queries[0], 30, required, {});
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->neighbors.size(), 19u);
+  for (const Neighbor& n : after->neighbors) EXPECT_NE(n.index, 7u);
+}
+
+TEST(TagBand, SnapshotRoundTripRestoresBandFiltering) {
+  // The banded payload ("two-stage-v3") restores the widened TCAM rows
+  // bit-identically: filtered and unfiltered answers survive save/load.
+  const Data data = make_data(32, 6, 4, 359);
+  const std::string spec =
+      "refine:coarse_bits=32,tag_bits=8,candidate_factor=64,sig=trained,"
+      "fine=euclidean";
+  EngineConfig config;
+  config.num_features = 6;
+  auto original = make_index(spec, config);
+  auto& original_two = dynamic_cast<TwoStageNnIndex&>(*original);
+  std::vector<std::vector<std::uint8_t>> bands;
+  for (std::size_t r = 0; r < data.rows.size(); ++r) {
+    std::vector<std::uint8_t> b(8, 0);
+    b[r % 2] = 1;
+    bands.push_back(std::move(b));
+  }
+  original_two.add_tagged(data.rows, data.labels, bands);
+  ASSERT_TRUE(original->erase(4));
+
+  const std::vector<std::uint8_t> blob = serve::save(*original, spec, config);
+  const serve::SnapshotInfo info = serve::inspect(blob);
+  EXPECT_EQ(info.version, serve::kSnapshotVersion);
+  EXPECT_EQ(info.config.tag_bits, 8u);
+
+  auto restored = serve::load(blob);
+  auto& restored_two = dynamic_cast<TwoStageNnIndex&>(*restored);
+  EXPECT_EQ(restored_two.tag_bits(), 8u);
+  std::vector<std::uint8_t> required(8, 0);
+  required[1] = 1;
+  const auto verify = [](std::size_t id) { return id % 2 == 1; };
+  for (const auto& q : data.queries) {
+    expect_identical(restored->query_one(q, 5), original->query_one(q, 5),
+                     "banded restore unfiltered");
+    const auto a = original_two.query_filtered(q, 5, required, verify);
+    const auto b = restored_two.query_filtered(q, 5, required, verify);
+    ASSERT_TRUE(a.has_value());
+    ASSERT_TRUE(b.has_value());
+    expect_identical(*a, *b, "banded restore filtered");
+  }
+
+  // Config/payload band mismatches fail loudly in both directions.
+  EngineConfig bandless_config = config;
+  bandless_config.tag_bits = 0;
+  {
+    auto target = make_index("refine:coarse_bits=32,candidate_factor=64,"
+                             "sig=trained,fine=euclidean",
+                             bandless_config);
+    serve::io::Writer payload;
+    original_two.save_state(payload);
+    const std::vector<std::uint8_t>& bytes = payload.buffer();
+    serve::io::Reader in{bytes};
+    EXPECT_THROW(target->load_state(in), serve::io::SnapshotError);
+  }
+  {
+    auto bandless = make_index("refine:coarse_bits=32,candidate_factor=64,"
+                               "sig=trained,fine=euclidean",
+                               bandless_config);
+    bandless->add(data.rows, data.labels);
+    serve::io::Writer payload;
+    bandless->save_state(payload);
+    const std::vector<std::uint8_t>& bytes = payload.buffer();
+    serve::io::Reader in{bytes};
+    EXPECT_THROW(original_two.load_state(in), serve::io::SnapshotError);
+  }
+}
+
 }  // namespace
 }  // namespace mcam::search

@@ -463,6 +463,56 @@ TEST(CoarseMarginStats, ServiceObservesTheMarginDistribution) {
   EXPECT_EQ(flat_stats.coarse_margin_p95, 0.0);
 }
 
+TEST(CoarseMarginStats, RingWraparoundKeepsOnlyTheLastWindow) {
+  // The margin ring shares latency_window: with a 4-deep window, 10
+  // executed queries must leave the *last 4* margins in the percentile
+  // sample while the cumulative counter keeps all 10.
+  const Data data = make_data(60, 6, 10, 947);
+  EngineConfig config;
+  config.num_features = 6;
+  config.fine_spec = "euclidean";
+  config.coarse_bits = 24;
+  config.candidate_factor = 2;
+  auto index = search::make_index("refine", config);
+  index->add(data.rows, data.labels);
+
+  // Ground truth: the margins the engine reports directly (deterministic
+  // under kIdealSum, and queries mutate nothing).
+  std::vector<double> margins;
+  for (const auto& q : data.queries) {
+    margins.push_back(index->query_one(q, 3).telemetry.coarse_margin);
+  }
+  std::vector<double> window(margins.end() - 4, margins.end());
+  std::sort(window.begin(), window.end());
+  double expected_mean = 0.0;
+  for (double m : window) expected_mean += m;
+  expected_mean /= static_cast<double>(window.size());
+
+  QueryServiceConfig service_config;
+  service_config.workers = 1;
+  service_config.latency_window = 4;
+  QueryService service{*index, service_config};
+  for (const auto& q : data.queries) {
+    ASSERT_EQ(service.query_one(q, 3).status, RequestStatus::kOk);
+  }
+
+  ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.coarse_margin_queries, data.queries.size());  // Cumulative.
+  EXPECT_DOUBLE_EQ(stats.coarse_margin_mean, expected_mean);    // Window only.
+  EXPECT_DOUBLE_EQ(stats.coarse_margin_p50, nearest_rank_percentile(window, 50.0));
+  EXPECT_DOUBLE_EQ(stats.coarse_margin_p95, nearest_rank_percentile(window, 95.0));
+
+  // stats() after stop() still serves the final counters (no deadlock, no
+  // reset): the telemetry outlives the worker pool.
+  service.stop();
+  const ServiceStats after = service.stats();
+  EXPECT_EQ(after.coarse_margin_queries, stats.coarse_margin_queries);
+  EXPECT_DOUBLE_EQ(after.coarse_margin_mean, stats.coarse_margin_mean);
+  EXPECT_DOUBLE_EQ(after.coarse_margin_p50, stats.coarse_margin_p50);
+  EXPECT_DOUBLE_EQ(after.coarse_margin_p95, stats.coarse_margin_p95);
+  EXPECT_EQ(after.completed, data.queries.size());
+}
+
 TEST(LatencyWindow, NearestRankPercentileBoundaries) {
   // The estimator behind ServiceStats percentiles, pinned at the window
   // boundaries the sliding window actually produces.

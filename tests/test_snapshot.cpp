@@ -18,6 +18,7 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <cstdio>
 #include <string>
 #include <vector>
@@ -403,6 +404,79 @@ TEST(SnapshotCompat, CapturedV2ShardedBlobStillLoads) {
     expect_identical(restored->query_one(q, 5), twin->query_one(q, 5),
                      "v2 sharded blob");
   }
+}
+
+TEST(SnapshotCompat, HandAssembledV3BlobLoadsBitIdentically) {
+  // v4 appended tag_bits / filter_policy to the embedded config and an
+  // optional store block; a v3 blob has neither. Assemble genuine v3
+  // bytes around a current engine payload (band-less engine payloads are
+  // unchanged since v3) and prove the compat path restores them exactly.
+  const Data data = make_data(40, 6, 4, 401);
+  const std::string spec =
+      "refine:coarse_bits=24,candidate_factor=4,sig=trained,probes=2,"
+      "fine=euclidean";
+  EngineConfig base;
+  base.num_features = 6;
+  const search::EngineSpec parsed = search::parse_engine_spec(spec, base);
+  auto original = search::make_index(spec, base);
+  original->add(data.rows, data.labels);
+  ASSERT_TRUE(original->erase(11));
+
+  io::Writer payload;
+  payload.str(parsed.name);
+  // The v3 config layout: v4's prefix, ending at `probes` - no tag_bits,
+  // no filter_policy, and no store-present byte before the engine bytes.
+  const EngineConfig& c = parsed.config;
+  payload.u64(c.num_features);
+  payload.u32(c.mcam_bits);
+  payload.u64(c.lsh_bits);
+  payload.f64(c.vth_sigma);
+  payload.u8(static_cast<std::uint8_t>(c.sensing));
+  payload.f64(c.sense_clock_period);
+  payload.f64(c.clip_percentile);
+  payload.u64(c.seed);
+  payload.u64(c.bank_rows);
+  payload.u64(c.shard_workers);
+  payload.u64(c.coarse_bits);
+  payload.u64(c.candidate_factor);
+  payload.u8(c.refine_exhaustive ? 1 : 0);
+  payload.str(c.fine_spec);
+  payload.str(c.sig_model);
+  payload.u64(c.probes);
+  original->save_state(payload);
+
+  io::Writer blob;
+  const std::array<std::uint8_t, 8> magic = {'M', 'C', 'A', 'M', 'S', 'N', 'A', 'P'};
+  blob.raw(magic);
+  blob.u32(3);
+  blob.u32(io::crc32(payload.buffer()));
+  blob.u64(payload.size());
+  blob.raw(payload.buffer());
+
+  const SnapshotInfo info = inspect(blob.buffer());
+  EXPECT_EQ(info.version, 3u);
+  EXPECT_EQ(info.engine, "refine");
+  EXPECT_EQ(info.config.sig_model, "trained");
+  EXPECT_EQ(info.config.probes, 2u);
+  EXPECT_EQ(info.config.fine_spec, "euclidean");
+  EXPECT_EQ(info.config.tag_bits, 0u);        // v3 default: no band.
+  EXPECT_TRUE(info.config.filter_policy.empty());
+  EXPECT_FALSE(info.has_store);
+
+  auto restored = load(blob.buffer());
+  ASSERT_NE(restored, nullptr);
+  EXPECT_EQ(restored->size(), original->size());
+  for (const auto& q : data.queries) {
+    for (std::size_t k : {std::size_t{1}, std::size_t{5}, original->size()}) {
+      expect_identical(restored->query_one(q, k), original->query_one(q, k),
+                       "v3 blob k=" + std::to_string(k));
+    }
+  }
+  // Re-saving writes the current version with the appended fields.
+  const std::vector<std::uint8_t> resaved = save(*restored, spec, base);
+  EXPECT_EQ(inspect(resaved).version, kSnapshotVersion);
+  expect_identical(load(resaved)->query_one(data.queries[0], 5),
+                   original->query_one(data.queries[0], 5), "v3 -> v4 re-save");
 }
 
 TEST(SnapshotIo, PrimitivesRoundTripAndBoundsCheck) {

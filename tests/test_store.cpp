@@ -1,0 +1,579 @@
+// The collection store (src/store/): metadata interning/TTL/soft-delete
+// semantics, TCAM-pushed tag-band filtering bit-identical to brute-force
+// post-filtering on every factory backend, selectivity-based routing,
+// collection snapshot round-trips (v4 store block), and the
+// CollectionManager fleet - manifest save/load identity under interleaved
+// add/erase/TTL-expiry, shared-pool admission control, and per-collection
+// filtered-query stats.
+#include "store/manager.hpp"
+
+#include "serve/snapshot.hpp"
+#include "store/collection.hpp"
+#include "store/metadata.hpp"
+#include "store/predicate.hpp"
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <future>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace mcam::store {
+namespace {
+
+struct Data {
+  std::vector<std::vector<float>> rows;
+  std::vector<int> labels;
+  std::vector<std::vector<float>> queries;
+};
+
+Data make_data(std::size_t n, std::size_t dim, std::size_t num_queries,
+               std::uint64_t seed) {
+  Data data;
+  Rng rng{seed};
+  const auto sample = [&](int cls) {
+    std::vector<float> v(dim);
+    for (std::size_t i = 0; i < dim; ++i) {
+      v[i] = static_cast<float>(rng.normal(cls * 1.5 + (i % 3) * 0.3, 0.8));
+    }
+    return v;
+  };
+  for (std::size_t r = 0; r < n; ++r) {
+    const int cls = static_cast<int>(r % 4);
+    data.rows.push_back(sample(cls));
+    data.labels.push_back(cls);
+  }
+  for (std::size_t q = 0; q < num_queries; ++q) {
+    data.queries.push_back(sample(static_cast<int>(q % 4)));
+  }
+  return data;
+}
+
+void expect_identical(const search::QueryResult& got, const search::QueryResult& want,
+                      const std::string& context) {
+  EXPECT_EQ(got.label, want.label) << context;
+  ASSERT_EQ(got.neighbors.size(), want.neighbors.size()) << context;
+  for (std::size_t n = 0; n < got.neighbors.size(); ++n) {
+    EXPECT_EQ(got.neighbors[n].index, want.neighbors[n].index) << context << " rank " << n;
+    EXPECT_EQ(got.neighbors[n].distance, want.neighbors[n].distance)
+        << context << " rank " << n;
+  }
+}
+
+/// Per-row tags: every row carries "all" and its class tag; rows 0-3 also
+/// carry "rare" (a ~8% predicate over 48 rows).
+std::vector<std::vector<std::string>> make_tags(std::size_t n) {
+  std::vector<std::vector<std::string>> tags(n);
+  for (std::size_t r = 0; r < n; ++r) {
+    tags[r] = {"all", "class=" + std::to_string(r % 4)};
+    if (r < 4) tags[r].push_back("rare");
+  }
+  return tags;
+}
+
+std::string unique_dir(const std::string& stem) {
+  const std::filesystem::path dir =
+      std::filesystem::path(::testing::TempDir()) / ("mcam_" + stem);
+  std::filesystem::remove_all(dir);
+  return dir.string();
+}
+
+// ---------------------------------------------------------------------------
+// MetadataStore unit semantics
+// ---------------------------------------------------------------------------
+
+TEST(MetadataStore, InterningPredicatesAndErase) {
+  MetadataStore meta;
+  const std::vector<std::string> ab = {"a", "b", "a"};  // Duplicate collapses.
+  const std::vector<std::string> b = {"b"};
+  EXPECT_EQ(meta.append(ab), 0u);
+  EXPECT_EQ(meta.append(b), 1u);
+  EXPECT_EQ(meta.append({}), 2u);
+  EXPECT_EQ(meta.tag_count(), 2u);
+  EXPECT_EQ(meta.row(0).tags.size(), 2u);
+
+  EXPECT_TRUE(meta.matches(0, Predicate::tag("a").and_tag("b")));
+  EXPECT_FALSE(meta.matches(1, Predicate::tag("a")));
+  EXPECT_FALSE(meta.matches(2, Predicate::tag("a")));
+  EXPECT_TRUE(meta.matches(2, Predicate{}));  // Empty matches every live row.
+  EXPECT_FALSE(meta.matches(0, Predicate::tag("never-interned")));  // False, no throw.
+  EXPECT_EQ(meta.matching_ids(Predicate::tag("b")),
+            (std::vector<std::size_t>{0, 1}));
+
+  // Erase contract mirror: false when repeated, out_of_range when unknown.
+  EXPECT_TRUE(meta.mark_erased(1));
+  EXPECT_FALSE(meta.mark_erased(1));
+  EXPECT_THROW((void)meta.mark_erased(3), std::out_of_range);
+  EXPECT_EQ(meta.live(), 2u);
+  EXPECT_FALSE(meta.matches(1, Predicate::tag("b")));  // Erased rows never match.
+
+  // Rollback hook: truncate drops trailing records but keeps the interner.
+  meta.truncate(2);
+  EXPECT_EQ(meta.rows(), 2u);
+  EXPECT_EQ(meta.tag_count(), 2u);
+  EXPECT_THROW(meta.truncate(5), std::invalid_argument);
+}
+
+TEST(MetadataStore, TtlAndBandQueries) {
+  MetadataStore meta;
+  const std::vector<std::string> t = {"t"};
+  (void)meta.append(t, 0);    // Never expires.
+  (void)meta.append(t, 5);
+  (void)meta.append(t, 10);
+  EXPECT_TRUE(meta.expired_ids(4).empty());
+  EXPECT_EQ(meta.expired_ids(5), (std::vector<std::size_t>{1}));
+  EXPECT_EQ(meta.expired_ids(99), (std::vector<std::size_t>{1, 2}));
+
+  // Band mapping: a row's bitmap covers its tags' slots; a predicate over
+  // a never-interned tag has no band query at all.
+  const std::size_t width = 16;
+  const auto bits = meta.band_bits(0, width);
+  EXPECT_EQ(bits.size(), width);
+  EXPECT_EQ(bits[band_slot(0, width)], 1);
+  const auto query = meta.band_query(Predicate::tag("t"), width);
+  ASSERT_TRUE(query.has_value());
+  EXPECT_EQ(*query, bits);
+  EXPECT_FALSE(meta.band_query(Predicate::tag("missing"), width).has_value());
+  EXPECT_THROW((void)band_slot(0, 0), std::invalid_argument);
+}
+
+TEST(MetadataStore, SaveLoadRoundTripIsExact) {
+  MetadataStore meta;
+  const std::vector<std::string> xy = {"x", "y"};
+  const std::vector<std::string> y = {"y"};
+  (void)meta.append(xy, 7);
+  (void)meta.append(y, 0);
+  (void)meta.append({}, 3);
+  (void)meta.mark_erased(1);
+
+  serve::io::Writer out;
+  meta.save(out);
+  serve::io::Reader in(out.buffer());
+  MetadataStore restored;
+  restored.load(in);
+  in.expect_end();
+
+  EXPECT_EQ(restored.rows(), meta.rows());
+  EXPECT_EQ(restored.live(), meta.live());
+  EXPECT_EQ(restored.tag_count(), meta.tag_count());
+  for (std::size_t id = 0; id < meta.rows(); ++id) {
+    EXPECT_EQ(restored.row(id).tags, meta.row(id).tags) << id;
+    EXPECT_EQ(restored.row(id).expires_at, meta.row(id).expires_at) << id;
+    EXPECT_EQ(restored.row(id).erased, meta.row(id).erased) << id;
+  }
+  EXPECT_EQ(restored.find_tag("y"), meta.find_tag("y"));
+}
+
+// ---------------------------------------------------------------------------
+// Collection: TCAM-pushed filtering vs brute-force post-filtering
+// ---------------------------------------------------------------------------
+
+// The fine backends the band identity is pinned on - software metrics,
+// the paper's MCAM, the Hamming TCAM, and a sharded tiling.
+const std::vector<std::string> kFineBackends = {
+    "euclidean",
+    "cosine",
+    "manhattan",
+    "mcam3",
+    "tcam-lsh",
+    "sharded-mcam3:bank_rows=32,shard_workers=1",
+};
+
+TEST(CollectionFiltering, BandPathBitIdenticalToPostFilterOnEveryBackend) {
+  const Data data = make_data(48, 8, 6, 611);
+  const auto tags = make_tags(data.rows.size());
+  search::EngineConfig base;
+  base.num_features = 8;
+  for (const std::string& fine : kFineBackends) {
+    SCOPED_TRACE(fine);
+    // candidate_factor = 64 >= row count: the coarse nomination covers
+    // every eligible row, which is the documented bit-exactness regime.
+    Collection collection{
+        "c", "refine:coarse_bits=32,tag_bits=24,candidate_factor=64,filter=band,fine=" + fine,
+        base};
+    collection.add(data.rows, data.labels, tags);
+    ASSERT_TRUE(collection.band_capable());
+
+    for (const std::string& tag : {std::string("rare"), std::string("class=1")}) {
+      const Predicate predicate = Predicate::tag(tag);
+      const std::vector<std::size_t> matching =
+          collection.metadata().matching_ids(predicate);
+      ASSERT_FALSE(matching.empty());
+      for (const auto& q : data.queries) {
+        for (std::size_t k : {std::size_t{1}, std::size_t{5}}) {
+          const CollectionQueryResult got = collection.query(q, k, predicate);
+          EXPECT_EQ(got.path, FilterPath::kBand);
+          const search::QueryResult want =
+              collection.engine().query_subset(q, matching, k);
+          expect_identical(got.result, want, tag + " k=" + std::to_string(k));
+          // The band excluded every non-matching row in-array: at
+          // tag_bits = 24 the six tags of make_tags land on distinct band
+          // slots (the splitmix64 mapping is a frozen snapshot contract),
+          // so there are no Bloom collisions and eligible == matching.
+          EXPECT_EQ(got.result.telemetry.filtered_out,
+                    data.rows.size() - matching.size())
+              << tag;
+          EXPECT_EQ(got.result.telemetry.fine_candidates, matching.size()) << tag;
+        }
+      }
+    }
+  }
+}
+
+TEST(CollectionFiltering, AutoPolicyRoutesBySelectivity) {
+  const Data data = make_data(48, 8, 3, 613);
+  const auto tags = make_tags(data.rows.size());
+  search::EngineConfig base;
+  base.num_features = 8;
+  Collection collection{
+      "c", "refine:coarse_bits=32,tag_bits=24,candidate_factor=64,fine=euclidean", base};
+  ASSERT_EQ(collection.filter_policy(), FilterPolicy::kAuto);
+  collection.add(data.rows, data.labels, tags);
+
+  // "rare" matches 4/48 (~8%) -> pushed into the band; "all" matches
+  // every row (100% > the 25% default limit) -> post-filter.
+  const CollectionQueryResult rare = collection.query(data.queries[0], 3,
+                                                      Predicate::tag("rare"));
+  EXPECT_EQ(rare.path, FilterPath::kBand);
+  EXPECT_NEAR(rare.selectivity, 4.0 / 48.0, 1e-12);
+
+  const CollectionQueryResult all = collection.query(data.queries[0], 3,
+                                                     Predicate::tag("all"));
+  EXPECT_EQ(all.path, FilterPath::kPostFilter);
+  EXPECT_DOUBLE_EQ(all.selectivity, 1.0);
+  EXPECT_EQ(all.result.telemetry.filtered_out, 0u);  // Nothing was excluded.
+
+  // Both paths agree with the brute-force subset answer.
+  const auto matching = collection.metadata().matching_ids(Predicate::tag("rare"));
+  expect_identical(rare.result,
+                   collection.engine().query_subset(data.queries[0], matching, 3),
+                   "auto band");
+
+  // An unfiltered query takes neither filter path.
+  const CollectionQueryResult plain = collection.query(data.queries[0], 3);
+  EXPECT_EQ(plain.path, FilterPath::kNone);
+  EXPECT_EQ(plain.result.telemetry.filtered_out, 0u);
+  expect_identical(plain.result, collection.engine().query_one(data.queries[0], 3),
+                   "unfiltered");
+}
+
+TEST(CollectionFiltering, PostPolicyAndBandlessEnginesAlwaysPostFilter) {
+  const Data data = make_data(32, 6, 2, 617);
+  const auto tags = make_tags(data.rows.size());
+  search::EngineConfig base;
+  base.num_features = 6;
+
+  // filter=post forces the subset path even on a band-capable engine.
+  Collection forced{
+      "p", "refine:coarse_bits=24,tag_bits=16,candidate_factor=64,filter=post,fine=euclidean",
+      base};
+  forced.add(data.rows, data.labels, tags);
+  const CollectionQueryResult via_post = forced.query(data.queries[0], 4,
+                                                      Predicate::tag("rare"));
+  EXPECT_EQ(via_post.path, FilterPath::kPostFilter);
+  EXPECT_EQ(via_post.result.telemetry.filtered_out, data.rows.size() - 4);
+
+  // A band-less engine (plain software scan) serves filters via the
+  // subset path with identical answers.
+  Collection flat{"f", "euclidean", base};
+  flat.add(data.rows, data.labels, tags);
+  EXPECT_FALSE(flat.band_capable());
+  const CollectionQueryResult via_flat = flat.query(data.queries[0], 4,
+                                                    Predicate::tag("rare"));
+  EXPECT_EQ(via_flat.path, FilterPath::kPostFilter);
+  const auto matching = flat.metadata().matching_ids(Predicate::tag("rare"));
+  expect_identical(via_flat.result,
+                   flat.engine().query_subset(data.queries[0], matching, 4), "flat");
+
+  EXPECT_THROW(Collection("x", "euclidean:filter=nonsense", base),
+               std::invalid_argument);
+}
+
+TEST(CollectionFiltering, NoMatchingRowThrows) {
+  const Data data = make_data(16, 6, 1, 619);
+  const auto tags = make_tags(data.rows.size());
+  search::EngineConfig base;
+  base.num_features = 6;
+  Collection collection{
+      "c", "refine:coarse_bits=24,tag_bits=16,candidate_factor=64,fine=euclidean", base};
+  collection.add(data.rows, data.labels, tags);
+
+  // Never-interned tag and fully-erased tag both mean "no live match".
+  EXPECT_THROW((void)collection.query(data.queries[0], 3, Predicate::tag("nope")),
+               std::invalid_argument);
+  for (std::size_t id = 0; id < 4; ++id) EXPECT_TRUE(collection.erase(id));
+  EXPECT_THROW((void)collection.query(data.queries[0], 3, Predicate::tag("rare")),
+               std::invalid_argument);
+}
+
+TEST(Collection, TtlExpiryEraseAndGeneration) {
+  const Data data = make_data(20, 6, 2, 623);
+  const auto tags = make_tags(data.rows.size());
+  std::vector<std::uint64_t> expires(data.rows.size(), 0);
+  for (std::size_t r = 0; r < 5; ++r) expires[r] = 10 + r;  // Ticks 10..14.
+  search::EngineConfig base;
+  base.num_features = 6;
+  Collection collection{
+      "c", "refine:coarse_bits=24,tag_bits=16,candidate_factor=64,fine=euclidean", base};
+  EXPECT_EQ(collection.generation(), 0u);
+  collection.add(data.rows, data.labels, tags, expires);
+  EXPECT_EQ(collection.generation(), 1u);
+
+  EXPECT_EQ(collection.expire(9), 0u);   // Nothing due yet.
+  EXPECT_EQ(collection.expire(12), 3u);  // Rows 0,1,2.
+  EXPECT_EQ(collection.size(), 17u);
+  EXPECT_EQ(collection.expire(12), 0u);  // Idempotent at the same tick.
+  const std::uint64_t generation = collection.generation();
+  EXPECT_EQ(collection.expire(99), 2u);  // Rows 3,4.
+  EXPECT_GT(collection.generation(), generation);
+
+  // Expired rows are tombstoned everywhere: erase contract + queries.
+  EXPECT_FALSE(collection.erase(0));
+  EXPECT_THROW((void)collection.erase(999), std::out_of_range);
+  const CollectionQueryResult result =
+      collection.query(data.queries[0], 20, Predicate::tag("all"));
+  for (const auto& neighbor : result.result.neighbors) {
+    EXPECT_GE(neighbor.index, 5u);  // 0..4 expired.
+  }
+}
+
+TEST(Collection, SnapshotRoundTripRestoresFilteredBehavior) {
+  const Data data = make_data(40, 8, 4, 629);
+  const auto tags = make_tags(data.rows.size());
+  std::vector<std::uint64_t> expires(data.rows.size(), 0);
+  expires[7] = 3;
+  search::EngineConfig base;
+  base.num_features = 8;
+  Collection original{
+      "prod",
+      "refine:coarse_bits=32,tag_bits=24,candidate_factor=64,sig=trained,fine=mcam3",
+      base};
+  original.add(data.rows, data.labels, tags, expires);
+  (void)original.erase(11);
+  (void)original.expire(5);
+
+  const std::vector<std::uint8_t> blob = original.snapshot();
+  const serve::SnapshotInfo info = serve::inspect(blob);
+  EXPECT_EQ(info.version, serve::kSnapshotVersion);
+  EXPECT_TRUE(info.has_store);
+  EXPECT_EQ(info.collection, "prod");
+  EXPECT_EQ(info.metadata_rows, data.rows.size());
+  EXPECT_EQ(info.metadata_tags, original.metadata().tag_count());
+  EXPECT_EQ(info.config.tag_bits, 24u);
+
+  const auto restored = Collection::restore(blob);
+  EXPECT_EQ(restored->collection_name(), "prod");
+  EXPECT_EQ(restored->generation(), original.generation());
+  EXPECT_EQ(restored->size(), original.size());
+  EXPECT_EQ(restored->metadata().tag_count(), original.metadata().tag_count());
+  ASSERT_TRUE(restored->band_capable());
+
+  for (const auto& q : data.queries) {
+    expect_identical(restored->query(q, 5).result, original.query(q, 5).result,
+                     "unfiltered");
+    const CollectionQueryResult a = original.query(q, 5, Predicate::tag("rare"));
+    const CollectionQueryResult b = restored->query(q, 5, Predicate::tag("rare"));
+    EXPECT_EQ(a.path, b.path);
+    expect_identical(b.result, a.result, "filtered");
+  }
+
+  // A plain engine snapshot is not a collection.
+  auto flat = search::make_index("euclidean", base);
+  flat->add(data.rows, data.labels);
+  const std::vector<std::uint8_t> engine_blob = serve::save(*flat, "euclidean", base);
+  EXPECT_THROW((void)Collection::restore(engine_blob), serve::io::SnapshotError);
+}
+
+// ---------------------------------------------------------------------------
+// CollectionManager: fleet persistence, admission control, stats
+// ---------------------------------------------------------------------------
+
+TEST(CollectionManager, FleetManifestRoundTripUnderInterleavedMutations) {
+  const Data data = make_data(48, 8, 4, 641);
+  const auto tags = make_tags(data.rows.size());
+  std::vector<std::uint64_t> expires(data.rows.size(), 0);
+  for (std::size_t r = 8; r < 12; ++r) expires[r] = 4;
+  search::EngineConfig base;
+  base.num_features = 8;
+
+  ManagerConfig config;
+  config.workers = 2;
+  CollectionManager manager{config};
+  manager.create_collection(
+      "alpha", "refine:coarse_bits=32,tag_bits=24,candidate_factor=64,fine=euclidean",
+      base);
+  manager.create_collection("beta", "sharded-mcam3:bank_rows=32,shard_workers=1", base);
+  manager.create_collection("gamma", "euclidean", base);
+  EXPECT_THROW(manager.create_collection("alpha", "euclidean", base),
+               std::invalid_argument);
+  EXPECT_EQ(manager.collection_names(),
+            (std::vector<std::string>{"alpha", "beta", "gamma"}));
+
+  // Interleaved history: tagged adds with TTLs, erases, a TTL sweep, and
+  // more adds after the sweep.
+  manager.add("alpha", data.rows, data.labels, tags, expires);
+  manager.add("beta", std::span(data.rows).subspan(0, 32),
+              std::span(data.labels).subspan(0, 32));
+  manager.add("gamma", std::span(data.rows).subspan(0, 16),
+              std::span(data.labels).subspan(0, 16));
+  EXPECT_TRUE(manager.erase("alpha", 2));
+  EXPECT_FALSE(manager.erase("alpha", 2));
+  EXPECT_TRUE(manager.erase("beta", 5));
+  EXPECT_EQ(manager.expire_all(4), 4u);  // alpha rows 8..11.
+  manager.add("gamma", std::span(data.rows).subspan(16, 8),
+              std::span(data.labels).subspan(16, 8));
+  EXPECT_THROW((void)manager.erase("alpha", 400), std::out_of_range);
+
+  const std::string dir = unique_dir("fleet");
+  EXPECT_EQ(manager.save(dir), 3u);
+
+  ManagerConfig reload_config;
+  reload_config.workers = 2;
+  CollectionManager reloaded{reload_config};
+  EXPECT_EQ(reloaded.load(dir), 3u);
+  EXPECT_EQ(reloaded.collection_names(), manager.collection_names());
+  for (const std::string& name : manager.collection_names()) {
+    EXPECT_EQ(reloaded.size(name), manager.size(name)) << name;
+    EXPECT_EQ(reloaded.generation(name), manager.generation(name)) << name;
+  }
+
+  // Identity: every query - filtered through the band, filtered through
+  // the post path, unfiltered on every backend - answers bit-identically.
+  for (const auto& q : data.queries) {
+    for (const std::string& name : manager.collection_names()) {
+      const StoreResponse a = manager.query_one(name, q, 5);
+      const StoreResponse b = reloaded.query_one(name, q, 5);
+      ASSERT_EQ(a.status, serve::RequestStatus::kOk) << name;
+      ASSERT_EQ(b.status, serve::RequestStatus::kOk) << name;
+      expect_identical(b.result.result, a.result.result, name);
+    }
+    for (const std::string& tag : {std::string("rare"), std::string("all")}) {
+      const StoreResponse a = manager.query_one("alpha", q, 5, Predicate::tag(tag));
+      const StoreResponse b = reloaded.query_one("alpha", q, 5, Predicate::tag(tag));
+      ASSERT_EQ(a.status, serve::RequestStatus::kOk);
+      ASSERT_EQ(b.status, serve::RequestStatus::kOk);
+      EXPECT_EQ(a.result.path, b.result.path) << tag;
+      expect_identical(b.result.result, a.result.result, "filtered " + tag);
+    }
+  }
+
+  // Mutations keep working after restore (the replayed engines accept
+  // further adds identically).
+  const std::size_t before = reloaded.size("gamma");
+  manager.add("gamma", std::span(data.rows).subspan(24, 4),
+              std::span(data.labels).subspan(24, 4));
+  reloaded.add("gamma", std::span(data.rows).subspan(24, 4),
+               std::span(data.labels).subspan(24, 4));
+  EXPECT_EQ(reloaded.size("gamma"), before + 4);
+  const StoreResponse a = manager.query_one("gamma", data.queries[0], 3);
+  const StoreResponse b = reloaded.query_one("gamma", data.queries[0], 3);
+  expect_identical(b.result.result, a.result.result, "post-restore add");
+
+  // Loading into a manager that already has one of the names refuses.
+  CollectionManager conflicted;
+  conflicted.create_collection("alpha", "euclidean", base);
+  EXPECT_THROW((void)conflicted.load(dir), std::invalid_argument);
+
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CollectionManager, AdmissionControlRejectsWithStatus) {
+  const Data data = make_data(512, 16, 4, 653);
+  search::EngineConfig base;
+  base.num_features = 16;
+  ManagerConfig config;
+  config.workers = 1;
+  config.collection_queue_cap = 1;  // One in-flight request per tenant.
+  CollectionManager manager{config};
+  manager.create_collection("tenant", "mcam3", base);
+  manager.add("tenant", data.rows, data.labels);
+
+  std::vector<std::future<StoreResponse>> futures;
+  for (int i = 0; i < 64; ++i) {
+    futures.push_back(manager.submit("tenant", data.queries[i % 4], 5));
+  }
+  std::size_t ok = 0;
+  std::size_t rejected = 0;
+  for (auto& f : futures) {
+    const StoreResponse response = f.get();
+    if (response.status == serve::RequestStatus::kOk) {
+      ++ok;
+      EXPECT_FALSE(response.result.result.neighbors.empty());
+    } else {
+      ASSERT_EQ(response.status, serve::RequestStatus::kRejected);
+      ++rejected;
+    }
+  }
+  // A 1-deep per-tenant cap against an instant submit loop must reject;
+  // every outcome is reported, nothing is dropped.
+  EXPECT_GT(rejected, 0u);
+  EXPECT_EQ(ok + rejected, 64u);
+  const serve::ServiceStats stats = manager.stats("tenant");
+  EXPECT_EQ(stats.accepted, ok);
+  EXPECT_EQ(stats.rejected, rejected);
+  EXPECT_EQ(stats.completed, ok);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_LE(stats.queue_depth_peak, 1u);
+
+  // Unknown names throw at submit; dropped collections free the name and
+  // late submits to them throw too.
+  EXPECT_THROW((void)manager.submit("nobody", data.queries[0], 1),
+               std::invalid_argument);
+  EXPECT_TRUE(manager.drop_collection("tenant"));
+  EXPECT_FALSE(manager.drop_collection("tenant"));
+  EXPECT_FALSE(manager.contains("tenant"));
+  EXPECT_THROW((void)manager.submit("tenant", data.queries[0], 1),
+               std::invalid_argument);
+
+  manager.stop();
+}
+
+TEST(CollectionManager, StatsAggregateFilteredQueries) {
+  const Data data = make_data(48, 8, 4, 659);
+  const auto tags = make_tags(data.rows.size());
+  search::EngineConfig base;
+  base.num_features = 8;
+  ManagerConfig config;
+  config.workers = 1;
+  CollectionManager manager{config};
+  manager.create_collection(
+      "docs", "refine:coarse_bits=32,tag_bits=24,candidate_factor=64,fine=euclidean",
+      base);
+  manager.add("docs", data.rows, data.labels, tags);
+
+  // 2 band-routed (rare, ~8%), 1 post-routed (all, 100%), 1 unfiltered.
+  ASSERT_EQ(manager.query_one("docs", data.queries[0], 3, Predicate::tag("rare")).status,
+            serve::RequestStatus::kOk);
+  ASSERT_EQ(manager.query_one("docs", data.queries[1], 3, Predicate::tag("rare")).status,
+            serve::RequestStatus::kOk);
+  ASSERT_EQ(manager.query_one("docs", data.queries[2], 3, Predicate::tag("all")).status,
+            serve::RequestStatus::kOk);
+  ASSERT_EQ(manager.query_one("docs", data.queries[3], 3).status,
+            serve::RequestStatus::kOk);
+
+  const serve::ServiceStats stats = manager.stats("docs");
+  EXPECT_EQ(stats.completed, 4u);
+  EXPECT_EQ(stats.filtered_queries, 3u);
+  EXPECT_EQ(stats.band_queries, 2u);
+  EXPECT_EQ(stats.post_filter_queries, 1u);
+  const double expected_mean = (4.0 / 48.0 + 4.0 / 48.0 + 1.0) / 3.0;
+  EXPECT_NEAR(stats.filter_selectivity_mean, expected_mean, 1e-12);
+  EXPECT_GE(stats.latency_p95_ms, stats.latency_p50_ms);
+  EXPECT_GT(stats.throughput_qps, 0.0);
+  EXPECT_THROW((void)manager.stats("nobody"), std::invalid_argument);
+
+  // A failed query (unknown predicate tag -> invalid_argument inside the
+  // worker) resolves kFailed with the message and counts as failed.
+  const StoreResponse failed =
+      manager.query_one("docs", data.queries[0], 3, Predicate::tag("nope"));
+  EXPECT_EQ(failed.status, serve::RequestStatus::kFailed);
+  EXPECT_FALSE(failed.error.empty());
+  EXPECT_EQ(manager.stats("docs").failed, 1u);
+}
+
+}  // namespace
+}  // namespace mcam::store

@@ -233,6 +233,89 @@ TEST(TcamArray, TombstonedRowsNeverNominatedAcrossAnyProbe) {
   for (std::size_t row : all) EXPECT_FALSE(dead.count(row));
 }
 
+TEST(TcamArray, TernaryQueryMatchesBinaryWhenAllBitsDefinite) {
+  // A ternary query with no don't-cares drives the same search lines the
+  // binary overload does, so the conductances must be bit-identical.
+  TcamArrayConfig config;
+  config.vth_sigma = 0.03;  // Programming noise must not break the identity.
+  config.seed = 11;
+  TcamArray tcam{config};
+  Rng rng{17};
+  for (int r = 0; r < 12; ++r) {
+    std::vector<std::uint8_t> word(16);
+    for (auto& b : word) b = rng.bernoulli(0.5) ? 1 : 0;
+    tcam.add_row_bits(word);
+  }
+  for (int q = 0; q < 6; ++q) {
+    std::vector<std::uint8_t> query(16);
+    std::vector<Trit> trits(16);
+    for (std::size_t i = 0; i < query.size(); ++i) {
+      query[i] = rng.bernoulli(0.5) ? 1 : 0;
+      trits[i] = query[i] != 0 ? Trit::kOne : Trit::kZero;
+    }
+    const auto binary = tcam.search_conductances(query);
+    const auto ternary = tcam.search_conductances(std::span<const Trit>{trits});
+    ASSERT_EQ(binary.size(), ternary.size());
+    for (std::size_t r = 0; r < binary.size(); ++r) {
+      EXPECT_EQ(binary[r], ternary[r]) << "row " << r;  // Bit-exact, not approx.
+    }
+  }
+}
+
+TEST(TcamArray, TernaryDontCareColumnsContributeZeroConductance) {
+  // Query-side kDontCare = both search lines low: the column's cells see
+  // no gate drive, so they add zero conductance to every matchline - the
+  // physics the tag band's masked ranking sweep relies on.
+  TcamArray tcam{TcamArrayConfig{}};
+  tcam.add_row_bits(bits({1, 0, 1, 0}));
+  tcam.add_row_bits(bits({0, 1, 0, 1}));
+
+  const std::vector<Trit> blind(4, Trit::kDontCare);
+  for (double g : tcam.search_conductances(std::span<const Trit>{blind})) {
+    EXPECT_DOUBLE_EQ(g, 0.0);
+  }
+
+  // Masking a mismatching column removes exactly its contribution: the
+  // remaining columns read identically to a binary query over them.
+  const std::vector<Trit> partial{Trit::kOne, Trit::kDontCare, Trit::kOne,
+                                  Trit::kDontCare};
+  const auto masked = tcam.search_conductances(std::span<const Trit>{partial});
+  // Matchline conductance is mismatch discharge (smaller = closer): row 0
+  // matches both driven columns, row 1 mismatches both.
+  EXPECT_LT(masked[0], masked[1]);
+}
+
+TEST(TcamArray, TernaryMatchMaskRespectsBothSidesOfDontCare) {
+  TcamArray tcam{TcamArrayConfig{}};
+  tcam.add_row(std::vector<Trit>{Trit::kOne, Trit::kDontCare, Trit::kZero});
+  tcam.add_row(std::vector<Trit>{Trit::kZero, Trit::kOne, Trit::kZero});
+  tcam.add_row(std::vector<Trit>{Trit::kOne, Trit::kOne, Trit::kOne});
+
+  // Query don't-cares match anything; stored don't-cares match any query.
+  const std::vector<Trit> q1{Trit::kOne, Trit::kDontCare, Trit::kDontCare};
+  EXPECT_EQ(tcam.ternary_match_mask(std::span<const Trit>{q1}),
+            (std::vector<std::uint8_t>{1, 0, 1}));
+  const std::vector<Trit> q2{Trit::kDontCare, Trit::kZero, Trit::kDontCare};
+  EXPECT_EQ(tcam.ternary_match_mask(std::span<const Trit>{q2}),
+            (std::vector<std::uint8_t>{1, 0, 0}));
+  const std::vector<Trit> all_dc(3, Trit::kDontCare);
+  EXPECT_EQ(tcam.ternary_match_mask(std::span<const Trit>{all_dc}),
+            (std::vector<std::uint8_t>{1, 1, 1}));
+
+  // Band-style use: exact bits in a suffix band, don't-care elsewhere,
+  // combined with a sig-only conductance sweep - the mask gates
+  // eligibility, the sweep still ranks by signature alone.
+  const std::vector<Trit> band_gate{Trit::kDontCare, Trit::kDontCare, Trit::kOne};
+  EXPECT_EQ(tcam.ternary_match_mask(std::span<const Trit>{band_gate}),
+            (std::vector<std::uint8_t>{0, 0, 1}));
+
+  const std::vector<Trit> wrong_width(4, Trit::kDontCare);
+  EXPECT_THROW((void)tcam.ternary_match_mask(std::span<const Trit>{wrong_width}),
+               std::invalid_argument);
+  EXPECT_THROW((void)tcam.search_conductances(std::span<const Trit>{wrong_width}),
+               std::invalid_argument);
+}
+
 TEST(TcamArray, ProgrammingNoiseKeepsSmallDistanceOrdering) {
   TcamArrayConfig config;
   config.vth_sigma = 0.04;  // Well inside the 240 mV half-window of 1-bit cells.
