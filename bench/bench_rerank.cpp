@@ -1,0 +1,249 @@
+// Rerank kernel micro-benchmark: the fine-stage scoring primitives timed
+// across the four paths - the legacy per-row Metric functor, the scalar
+// batch kernel, the dispatched SIMD kernel, and the int8-ordered +
+// FP32-rescored path - on the two workloads the fine stage actually runs:
+//
+//   * full scan   - `k_nearest` over every live row (the exhaustive
+//     refine fine stage / flat SoftwareNnEngine query), where the block
+//     kernels stream whole slabs with zero waste;
+//   * subset rerank - `k_nearest_among` over a coarse-stage candidate
+//     list (512 random ids with duplicates), where per-call dedup and
+//     selection overhead competes with the distance math.
+//
+// Asserts the tentpole invariants before printing any number:
+//   * dispatched SIMD top-k is *bit-identical* to the scalar kernel on
+//     both workloads (same ids, same distance bits - the backends share
+//     one accumulation order);
+//   * the int8 path keeps recall@10 == 1.0 against the exact FP32 answer
+//     on this workload, and its final scores are FP32-exact;
+//   * on hosts where a SIMD backend dispatched (AVX2/NEON - i.e.
+//     kernels::active_ops() is not the scalar reference), the best kernel
+//     path scores >= 4x faster than the legacy Metric-functor loop.
+// Exits non-zero on any violation, so CI runs it as a smoke step; under
+// MCAM_FORCE_SCALAR=1 the speedup gate is skipped (identity still runs).
+#include "bench_common.hpp"
+
+#include "distance/kernels/kernels.hpp"
+#include "distance/metrics.hpp"
+#include "search/knn.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string_view>
+#include <vector>
+
+namespace {
+
+using mcam::search::ExactNnIndex;
+using mcam::search::Neighbor;
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kRows = 4096;
+constexpr std::size_t kFeatures = 64;
+constexpr std::size_t kQueries = 32;
+constexpr std::size_t kCandidates = 512;  // Coarse-stage nomination size.
+constexpr std::size_t kTopK = 10;
+constexpr int kRepeats = 3;  // Best-of to damp scheduler noise.
+
+struct Workload {
+  std::vector<std::vector<float>> queries;
+  std::vector<std::vector<std::size_t>> candidates;  // Per query.
+};
+
+/// Best-of-`kRepeats` wall time for running `rank` over every query.
+template <typename RankFn>
+double best_seconds(const Workload& load, const RankFn& rank) {
+  double best = 1e300;
+  for (int r = 0; r < kRepeats; ++r) {
+    const auto t0 = Clock::now();
+    for (std::size_t q = 0; q < load.queries.size(); ++q) {
+      const std::vector<Neighbor> result = rank(load.queries[q], load.candidates[q]);
+      if (result.size() != kTopK) {
+        std::cerr << "FAIL: rerank returned " << result.size() << " neighbors, expected "
+                  << kTopK << "\n";
+        std::exit(1);
+      }
+    }
+    best = std::min(best, std::chrono::duration<double>(Clock::now() - t0).count());
+  }
+  return best;
+}
+
+/// Fraction of `reference` ids present in `got` (order-insensitive).
+double recall(const std::vector<Neighbor>& got, const std::vector<Neighbor>& reference) {
+  std::size_t hits = 0;
+  for (const Neighbor& ref : reference) {
+    for (const Neighbor& n : got) {
+      if (n.index == ref.index) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return reference.empty() ? 1.0 : static_cast<double>(hits) / static_cast<double>(reference.size());
+}
+
+bool bits_equal(double a, double b) {
+  return std::bit_cast<std::uint64_t>(a) == std::bit_cast<std::uint64_t>(b);
+}
+
+/// Identity gates for one (query, ranker) workload point: dispatched SIMD
+/// bit-identical to forced scalar, int8 recall@k == 1.0 with FP32-exact
+/// scores, functor agreement at full recall. Exits the process on failure.
+template <typename RankFn>
+void check_identity(const char* workload, std::size_t q, const RankFn& rank_functor,
+                    const RankFn& rank_fp32, const RankFn& rank_int8) {
+  namespace kernels = mcam::distance::kernels;
+  kernels::set_force_scalar(true);
+  const std::vector<Neighbor> scalar = rank_fp32(q);
+  const std::vector<Neighbor> scalar_int8 = rank_int8(q);
+  kernels::set_force_scalar(false);
+  const std::vector<Neighbor> dispatched = rank_fp32(q);
+  const std::vector<Neighbor> dispatched_int8 = rank_int8(q);
+  const std::vector<Neighbor> functor = rank_functor(q);
+
+  for (std::size_t n = 0; n < dispatched.size(); ++n) {
+    if (dispatched[n].index != scalar[n].index ||
+        !bits_equal(dispatched[n].distance, scalar[n].distance) ||
+        dispatched_int8[n].index != scalar_int8[n].index ||
+        !bits_equal(dispatched_int8[n].distance, scalar_int8[n].distance)) {
+      std::cerr << "FAIL: " << workload << ": dispatched kernel diverged from the scalar "
+                << "reference at query " << q << ", rank " << n << "\n";
+      std::exit(1);
+    }
+    // int8 final scores are exact FP32 rescores of its nominated ids.
+    if (dispatched_int8[n].index == dispatched[n].index &&
+        !bits_equal(dispatched_int8[n].distance, dispatched[n].distance)) {
+      std::cerr << "FAIL: " << workload << ": int8 path returned a non-FP32-exact score "
+                << "at query " << q << "\n";
+      std::exit(1);
+    }
+  }
+  if (recall(dispatched_int8, dispatched) < 1.0 || recall(dispatched, functor) < 1.0) {
+    std::cerr << "FAIL: " << workload << ": recall@" << kTopK << " dropped below 1.0 at query "
+              << q << "\n";
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcam;
+  namespace kernels = distance::kernels;
+
+  Rng rng{20260807};
+  std::vector<std::vector<float>> rows(kRows, std::vector<float>(kFeatures));
+  std::vector<int> labels(kRows);
+  for (std::size_t r = 0; r < kRows; ++r) {
+    for (auto& v : rows[r]) v = static_cast<float>(rng.normal(0.0, 2.0));
+    labels[r] = static_cast<int>(r % 32);
+  }
+
+  Workload load;
+  load.queries.assign(kQueries, std::vector<float>(kFeatures));
+  for (auto& q : load.queries) {
+    for (auto& v : q) v = static_cast<float>(rng.normal(0.0, 2.0));
+  }
+  load.candidates.assign(kQueries, {});
+  for (auto& ids : load.candidates) {
+    ids.reserve(kCandidates);
+    for (std::size_t c = 0; c < kCandidates; ++c) ids.push_back(rng.index(kRows));
+  }
+
+  // One index per scoring path, all over the same rows.
+  ExactNnIndex functor_index{distance::metric_by_name("euclidean")};
+  ExactNnIndex kernel_index{distance::MetricKind::kEuclidean};
+  ExactNnIndex int8_index{distance::MetricKind::kEuclidean, ExactNnIndex::RerankMode::kInt8};
+  for (std::size_t r = 0; r < kRows; ++r) {
+    (void)functor_index.add(rows[r], labels[r]);
+    (void)kernel_index.add(rows[r], labels[r]);
+    (void)int8_index.add(rows[r], labels[r]);
+  }
+
+  const auto scan_with = [&load](const ExactNnIndex& index) {
+    return [&index, &load](std::size_t q) { return index.k_nearest(load.queries[q], kTopK); };
+  };
+  const auto subset_with = [&load](const ExactNnIndex& index) {
+    return [&index, &load](std::size_t q) {
+      return index.k_nearest_among(load.queries[q], load.candidates[q], kTopK);
+    };
+  };
+
+  // --- Identity gates (before any timing) -----------------------------------
+  const bool simd_dispatched = std::string_view{kernels::active_ops().name} != "scalar";
+  for (std::size_t q = 0; q < kQueries; ++q) {
+    check_identity("full scan", q, scan_with(functor_index), scan_with(kernel_index),
+                   scan_with(int8_index));
+    check_identity("subset rerank", q, subset_with(functor_index), subset_with(kernel_index),
+                   subset_with(int8_index));
+  }
+  std::cout << "identity: SIMD == scalar (bit-exact), int8 recall@" << kTopK
+            << " == 1.0, functor agreement OK (both workloads)\n\n";
+
+  // --- Timing ---------------------------------------------------------------
+  struct Path {
+    std::string name;
+    std::string kernel;
+    const ExactNnIndex* index;
+    bool forced_scalar;
+  };
+  const std::vector<Path> paths = {
+      {"metric functor", "functor", &functor_index, false},
+      {"fp32 kernel (forced scalar)", "scalar", &kernel_index, true},
+      {"int8 rerank (forced scalar)", "scalar+int8", &int8_index, true},
+      {"fp32 kernel (dispatched)", kernels::active_ops().name, &kernel_index, false},
+      {"int8 rerank (dispatched)", int8_index.kernel_name(), &int8_index, false},
+  };
+
+  const double scan_work = static_cast<double>(kQueries * kRows);
+  const double subset_work = static_cast<double>(kQueries * kCandidates);
+  std::vector<double> scan_s;
+  std::vector<double> subset_s;
+  for (const Path& path : paths) {
+    kernels::set_force_scalar(path.forced_scalar);
+    const auto rank_scan = [&](const std::vector<float>& q, const std::vector<std::size_t>&) {
+      return path.index->k_nearest(q, kTopK);
+    };
+    const auto rank_subset = [&](const std::vector<float>& q,
+                                 const std::vector<std::size_t>& ids) {
+      return path.index->k_nearest_among(q, ids, kTopK);
+    };
+    scan_s.push_back(best_seconds(load, rank_scan));
+    subset_s.push_back(best_seconds(load, rank_subset));
+  }
+  kernels::set_force_scalar(false);
+
+  TextTable table{"Fine-stage rerank throughput (" + std::to_string(kRows) + " rows x " +
+                  std::to_string(kFeatures) + " features, k=" + std::to_string(kTopK) +
+                  ", euclidean, best of " + std::to_string(kRepeats) + "; subset = " +
+                  std::to_string(kCandidates) + " candidates/query)"};
+  table.set_header({"path", "kernel", "full-scan rows/s", "speedup", "subset cand/s", "speedup"});
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    table.add_row({paths[p].name, paths[p].kernel,
+                   format_si(scan_work / scan_s[p], "rows/s"),
+                   format_double(scan_s[0] / scan_s[p], 2) + "x",
+                   format_si(subset_work / subset_s[p], "cand/s"),
+                   format_double(subset_s[0] / subset_s[p], 2) + "x"});
+  }
+  bench::emit(table, "bench_rerank");
+
+  double best_speedup = 0.0;
+  for (std::size_t p = 3; p < paths.size(); ++p) {  // Dispatched paths only.
+    best_speedup = std::max(best_speedup, scan_s[0] / scan_s[p]);
+    best_speedup = std::max(best_speedup, subset_s[0] / subset_s[p]);
+  }
+  if (simd_dispatched && best_speedup < 4.0) {
+    std::cerr << "FAIL: best kernel path is only " << format_double(best_speedup, 2)
+              << "x the functor loop (>= 4x required when SIMD dispatched)\n";
+    return 1;
+  }
+  if (!simd_dispatched) {
+    std::cout << "note: scalar-only host (or MCAM_FORCE_SCALAR=1) - speedup gate skipped\n";
+  }
+  return 0;
+}

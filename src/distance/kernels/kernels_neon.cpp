@@ -1,0 +1,86 @@
+// NEON backend of the rerank kernel layer (aarch64, where Advanced SIMD
+// is baseline - no special compile flags needed). Same bit-exactness
+// contract as the AVX2 backend: per lane, features accumulate in index
+// order with fused multiply-add (vfmaq = std::fma) and clear-sign-bit
+// abs, so accumulators match the scalar reference bit for bit.
+#include "distance/kernels/kernels.hpp"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace mcam::distance::kernels {
+
+namespace {
+
+void neon_block_accum(MetricKind kind, const float* slab, const float* query,
+                      std::size_t dim, float* acc) {
+  float32x4_t a0 = vdupq_n_f32(0.0f);
+  float32x4_t a1 = vdupq_n_f32(0.0f);
+  switch (kind) {
+    case MetricKind::kEuclidean:
+    case MetricKind::kSquaredEuclidean:
+      for (std::size_t d = 0; d < dim; ++d) {
+        const float32x4_t q = vdupq_n_f32(query[d]);
+        const float32x4_t d0 = vsubq_f32(vld1q_f32(slab + d * kBlockRows), q);
+        const float32x4_t d1 = vsubq_f32(vld1q_f32(slab + d * kBlockRows + 4), q);
+        a0 = vfmaq_f32(a0, d0, d0);
+        a1 = vfmaq_f32(a1, d1, d1);
+      }
+      break;
+    case MetricKind::kCosine:
+      for (std::size_t d = 0; d < dim; ++d) {
+        const float32x4_t q = vdupq_n_f32(query[d]);
+        a0 = vfmaq_f32(a0, vld1q_f32(slab + d * kBlockRows), q);
+        a1 = vfmaq_f32(a1, vld1q_f32(slab + d * kBlockRows + 4), q);
+      }
+      break;
+    case MetricKind::kManhattan:
+      for (std::size_t d = 0; d < dim; ++d) {
+        const float32x4_t q = vdupq_n_f32(query[d]);
+        a0 = vaddq_f32(a0, vabsq_f32(vsubq_f32(vld1q_f32(slab + d * kBlockRows), q)));
+        a1 = vaddq_f32(a1, vabsq_f32(vsubq_f32(vld1q_f32(slab + d * kBlockRows + 4), q)));
+      }
+      break;
+    case MetricKind::kLinf:
+      for (std::size_t d = 0; d < dim; ++d) {
+        const float32x4_t q = vdupq_n_f32(query[d]);
+        a0 = vmaxq_f32(a0, vabsq_f32(vsubq_f32(vld1q_f32(slab + d * kBlockRows), q)));
+        a1 = vmaxq_f32(a1, vabsq_f32(vsubq_f32(vld1q_f32(slab + d * kBlockRows + 4), q)));
+      }
+      break;
+  }
+  vst1q_f32(acc, a0);
+  vst1q_f32(acc + 4, a1);
+}
+
+std::int32_t neon_dot_i8(const std::int8_t* a, const std::int8_t* b, std::size_t n) {
+  int32x4_t acc = vdupq_n_s32(0);
+  for (std::size_t i = 0; i < n; i += 16) {
+    const int8x16_t va = vld1q_s8(a + i);
+    const int8x16_t vb = vld1q_s8(b + i);
+    const int16x8_t p_lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+    const int16x8_t p_hi = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+    acc = vpadalq_s16(acc, p_lo);
+    acc = vpadalq_s16(acc, p_hi);
+  }
+  return vaddvq_s32(acc);
+}
+
+constexpr KernelOps kNeonOps{"neon", "neon+int8", neon_block_accum, neon_dot_i8};
+
+}  // namespace
+
+const KernelOps* neon_ops() noexcept { return &kNeonOps; }
+
+}  // namespace mcam::distance::kernels
+
+#else  // target is not aarch64: provider reports "absent".
+
+namespace mcam::distance::kernels {
+
+const KernelOps* neon_ops() noexcept { return nullptr; }
+
+}  // namespace mcam::distance::kernels
+
+#endif

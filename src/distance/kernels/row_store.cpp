@@ -1,0 +1,126 @@
+#include "distance/kernels/row_store.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <type_traits>
+
+namespace mcam::distance::kernels {
+
+namespace {
+
+constexpr std::align_val_t kSlabAlign{32};
+
+template <typename T>
+T* aligned_array(std::size_t count) {
+  static_assert(std::is_trivial_v<T>);
+  void* p = ::operator new[](count * sizeof(T), kSlabAlign);
+  // Zero-filled so unfilled tail lanes / code padding are inert.
+  std::memset(p, 0, count * sizeof(T));
+  return static_cast<T*>(p);
+}
+
+}  // namespace
+
+void RowStore::AlignedDeleter::operator()(void* p) const noexcept {
+  ::operator delete[](p, kSlabAlign);
+}
+
+void RowStore::reserve_blocks(std::size_t blocks) {
+  if (blocks <= capacity_blocks_) return;
+  const std::size_t grown = std::max<std::size_t>(blocks, capacity_blocks_ * 2 + 1);
+  AlignedBuffer<float> data{aligned_array<float>(grown * kBlockRows * dim_)};
+  if (data_) {
+    std::memcpy(data.get(), data_.get(),
+                capacity_blocks_ * kBlockRows * dim_ * sizeof(float));
+  }
+  data_ = std::move(data);
+  if (int8_enabled_) {
+    AlignedBuffer<std::int8_t> codes{
+        aligned_array<std::int8_t>(grown * kBlockRows * padded_dim_)};
+    if (codes_) {
+      std::memcpy(codes.get(), codes_.get(), capacity_blocks_ * kBlockRows * padded_dim_);
+    }
+    codes_ = std::move(codes);
+  }
+  capacity_blocks_ = grown;
+}
+
+std::size_t RowStore::add(std::span<const float> row) {
+  if (rows_ == 0 && dim_ == 0) {
+    dim_ = row.size();
+    padded_dim_ = (dim_ + kCodeAlign - 1) / kCodeAlign * kCodeAlign;
+  } else if (row.size() != dim_) {
+    throw std::invalid_argument{"RowStore::add: dimension mismatch"};
+  }
+  const std::size_t i = rows_;
+  const std::size_t b = i / kBlockRows;
+  const std::size_t lane = i % kBlockRows;
+  reserve_blocks(b + 1);
+  if (lane == 0 && int8_enabled_) {
+    scales_.push_back(0.0f);
+    max_abs_.push_back(0.0f);
+  }
+  float* slab = data_.get() + b * kBlockRows * dim_;
+  float acc = 0.0f;
+  float max_abs = 0.0f;
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const float v = row[d];
+    slab[d * kBlockRows + lane] = v;
+    acc = std::fma(v, v, acc);
+    const float a = std::fabs(v);
+    if (a > max_abs) max_abs = a;
+  }
+  sq_norms_.push_back(static_cast<double>(acc));
+  norms_.push_back(std::sqrt(static_cast<double>(acc)));
+  ++rows_;
+  if (int8_enabled_) {
+    if (max_abs > max_abs_[b]) {
+      // This row widens the block's range: the per-block scale (the MCAM
+      // quantizer's level mapping, applied blockwise) changes, so the
+      // block's earlier rows requantize - at most kBlockRows - 1 of them.
+      max_abs_[b] = max_abs;
+      scales_[b] = max_abs / 127.0f;
+      requantize_block(b);
+    } else {
+      quantize_row(i, scales_[b]);
+    }
+  }
+  return i;
+}
+
+void RowStore::quantize_row(std::size_t i, float scale) {
+  std::int8_t* codes = codes_.get() + i * padded_dim_;
+  if (scale <= 0.0f) {
+    std::memset(codes, 0, padded_dim_);
+    return;
+  }
+  for (std::size_t d = 0; d < dim_; ++d) {
+    const long code = std::lrintf(value(i, d) / scale);
+    codes[d] = static_cast<std::int8_t>(code < -127 ? -127 : (code > 127 ? 127 : code));
+  }
+}
+
+void RowStore::requantize_block(std::size_t b) {
+  const std::size_t first = b * kBlockRows;
+  const std::size_t last = std::min(first + kBlockRows, rows_);
+  for (std::size_t i = first; i < last; ++i) quantize_row(i, scales_[b]);
+}
+
+void RowStore::copy_row(std::size_t i, std::span<float> out) const {
+  if (i >= rows_) throw std::out_of_range{"RowStore::copy_row: bad row"};
+  if (out.size() != dim_) throw std::invalid_argument{"RowStore::copy_row: bad size"};
+  const float* slab = block(i / kBlockRows);
+  const std::size_t lane = i % kBlockRows;
+  for (std::size_t d = 0; d < dim_; ++d) out[d] = slab[d * kBlockRows + lane];
+}
+
+std::vector<float> RowStore::row_copy(std::size_t i) const {
+  std::vector<float> out(dim_);
+  copy_row(i, out);
+  return out;
+}
+
+}  // namespace mcam::distance::kernels

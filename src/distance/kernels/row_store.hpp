@@ -1,0 +1,118 @@
+// Cache-blocked, 32-byte-aligned row storage for the rerank kernels.
+//
+// `std::vector<std::vector<float>>` costs a pointer chase and a fresh
+// cache line per row on the rerank hot path. RowStore keeps vectors in
+// contiguous aligned slabs of `kernels::kBlockRows` rows, SoA within a
+// block - `slab[d * kBlockRows + lane]` - which is exactly the layout the
+// vertical batch kernels (kernels.hpp) consume: one SIMD vector load per
+// feature covers all rows of the block, and every lane accumulates in the
+// same feature order as the scalar reference (bit-exact results).
+// Unfilled lanes of the tail block are zero so kernels can always process
+// whole blocks; callers mask invalid lanes afterwards.
+//
+// The store also owns the derived per-row state the kernels need:
+//  - FP32 norms (cosine denominators, int8 L2 reconstruction), computed
+//    at add time in kernel accumulation order;
+//  - optional symmetric int8 codes: per-block max-abs scale (the MCAM
+//    quantizer's per-range level mapping, applied per block), row-major
+//    codes padded to kCodeAlign so the int8 dot kernels have no tail.
+//    A later row that widens its block's max-abs requantizes just that
+//    block (at most kBlockRows rows).
+//
+// Stored floats are never transformed, so reading rows back
+// (`copy_row` / `row_copy`) reproduces the added bytes exactly - snapshot
+// payloads written from a RowStore-backed index are bit-identical to the
+// old vector-of-vectors format.
+#pragma once
+
+#include "distance/kernels/kernels.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace mcam::distance::kernels {
+
+class RowStore {
+ public:
+  /// `int8_codes`: also maintain the symmetric int8 side-car. The first
+  /// `add` fixes the dimensionality.
+  explicit RowStore(bool int8_codes = false) : int8_enabled_(int8_codes) {}
+
+  RowStore(const RowStore&) = delete;
+  RowStore& operator=(const RowStore&) = delete;
+  RowStore(RowStore&&) = default;
+  RowStore& operator=(RowStore&&) = default;
+
+  /// Appends one row; returns its index. Throws std::invalid_argument on
+  /// a dimension mismatch with the first row.
+  std::size_t add(std::span<const float> row);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t dim() const noexcept { return dim_; }
+  [[nodiscard]] std::size_t num_blocks() const noexcept {
+    return (rows_ + kBlockRows - 1) / kBlockRows;
+  }
+
+  /// SoA slab of block `b` (kBlockRows * dim floats, 32-byte aligned).
+  [[nodiscard]] const float* block(std::size_t b) const noexcept {
+    return data_.get() + b * kBlockRows * dim_;
+  }
+
+  /// Element `d` of row `i` (strided slab lookup; diagnostics/requantize).
+  [[nodiscard]] float value(std::size_t i, std::size_t d) const noexcept {
+    return block(i / kBlockRows)[d * kBlockRows + i % kBlockRows];
+  }
+
+  /// Copies row `i` into `out` (exactly the floats that were added).
+  void copy_row(std::size_t i, std::span<float> out) const;
+  [[nodiscard]] std::vector<float> row_copy(std::size_t i) const;
+
+  /// FP32 norms of row `i`, accumulated in kernel order at add time.
+  [[nodiscard]] double sq_norm(std::size_t i) const noexcept { return sq_norms_[i]; }
+  [[nodiscard]] double norm(std::size_t i) const noexcept { return norms_[i]; }
+
+  // --- symmetric int8 side-car --------------------------------------------
+
+  [[nodiscard]] bool int8_enabled() const noexcept { return int8_enabled_; }
+
+  /// Row-major int8 codes of row `i` (`padded_dim` bytes, zero padding).
+  [[nodiscard]] const std::int8_t* row_codes(std::size_t i) const noexcept {
+    return codes_.get() + i * padded_dim_;
+  }
+
+  /// Max-abs scale of block `b`: value ~= code * scale (0 for an all-zero
+  /// block, whose codes are all zero - the reconstruction stays exact).
+  [[nodiscard]] float block_scale(std::size_t b) const noexcept { return scales_[b]; }
+
+  /// int8 row stride = dim rounded up to kCodeAlign.
+  [[nodiscard]] std::size_t padded_dim() const noexcept { return padded_dim_; }
+
+ private:
+  struct AlignedDeleter {
+    void operator()(void* p) const noexcept;
+  };
+  template <typename T>
+  using AlignedBuffer = std::unique_ptr<T[], AlignedDeleter>;
+
+  void reserve_blocks(std::size_t blocks);
+  void quantize_row(std::size_t i, float scale);
+  void requantize_block(std::size_t b);
+
+  std::size_t dim_ = 0;
+  std::size_t rows_ = 0;
+  std::size_t capacity_blocks_ = 0;
+  AlignedBuffer<float> data_;
+  std::vector<double> sq_norms_;
+  std::vector<double> norms_;
+
+  bool int8_enabled_ = false;
+  std::size_t padded_dim_ = 0;
+  AlignedBuffer<std::int8_t> codes_;
+  std::vector<float> scales_;     ///< Per-block quantization scale.
+  std::vector<float> max_abs_;    ///< Per-block max |value| (scale * 127).
+};
+
+}  // namespace mcam::distance::kernels

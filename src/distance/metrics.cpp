@@ -39,11 +39,34 @@ double manhattan(std::span<const float> a, std::span<const float> b) noexcept {
   return sum;
 }
 
+std::optional<MetricKind> metric_kind_by_name(const std::string& name) {
+  if (name == "cosine") return MetricKind::kCosine;
+  if (name == "euclidean" || name == "l2") return MetricKind::kEuclidean;
+  if (name == "sq-euclidean") return MetricKind::kSquaredEuclidean;
+  if (name == "manhattan" || name == "l1") return MetricKind::kManhattan;
+  if (name == "linf") return MetricKind::kLinf;
+  return std::nullopt;
+}
+
 Metric metric_by_name(const std::string& name) {
-  if (name == "cosine") return [](auto a, auto b) { return cosine(a, b); };
-  if (name == "euclidean") return [](auto a, auto b) { return euclidean(a, b); };
-  if (name == "linf") return [](auto a, auto b) { return linf(a, b); };
-  if (name == "manhattan") return [](auto a, auto b) { return manhattan(a, b); };
+  const std::optional<MetricKind> kind = metric_kind_by_name(name);
+  if (!kind) {
+    throw std::invalid_argument{
+        "metric_by_name: unknown metric '" + name +
+        "' (known: cosine, euclidean, l1, l2, linf, manhattan, sq-euclidean)"};
+  }
+  switch (*kind) {
+    case MetricKind::kCosine:
+      return [](auto a, auto b) { return cosine(a, b); };
+    case MetricKind::kEuclidean:
+      return [](auto a, auto b) { return euclidean(a, b); };
+    case MetricKind::kSquaredEuclidean:
+      return [](auto a, auto b) { return squared_euclidean(a, b); };
+    case MetricKind::kManhattan:
+      return [](auto a, auto b) { return manhattan(a, b); };
+    case MetricKind::kLinf:
+      return [](auto a, auto b) { return linf(a, b); };
+  }
   throw std::invalid_argument{"metric_by_name: unknown metric " + name};
 }
 

@@ -4,13 +4,30 @@
 // L-inf is the metric of the prior TCAM work [4], Hamming of [3]. All are
 // provided both as free functions and as a type-erased `Metric` functor so
 // the NN-search engines can be parameterized uniformly.
+//
+// The functor API is the convenience surface for non-hot callers (tests,
+// custom metrics); the serving-side rerank hot path runs on the batch
+// kernels of distance/kernels/ instead, keyed by `MetricKind` so the
+// kernel dispatch never pays a type-erased call per element.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <span>
 #include <string>
 
 namespace mcam::distance {
+
+/// The built-in metrics, as a closed enum for the kernel layer
+/// (distance/kernels/): each kind has a blocked batch kernel in every
+/// instruction-set backend, bit-identical to the scalar reference.
+enum class MetricKind {
+  kEuclidean,         ///< sqrt of the summed squared differences.
+  kSquaredEuclidean,  ///< Same ordering as kEuclidean, no sqrt.
+  kCosine,            ///< 1 - <a, b> / (|a| |b|); 1 when either is zero.
+  kManhattan,         ///< Summed absolute differences (L1).
+  kLinf,              ///< Largest absolute difference (Chebyshev).
+};
 
 /// Cosine distance: 1 - <a, b> / (|a| |b|); 1 when either vector is zero.
 [[nodiscard]] double cosine(std::span<const float> a, std::span<const float> b) noexcept;
@@ -31,8 +48,14 @@ namespace mcam::distance {
 /// Type-erased metric over float vectors; smaller = nearer.
 using Metric = std::function<double(std::span<const float>, std::span<const float>)>;
 
-/// Named metric lookup ("cosine", "euclidean", "linf", "manhattan").
-/// Throws std::invalid_argument for unknown names.
+/// Canonical metric names and their aliases: "cosine", "euclidean" (alias
+/// "l2"), "sq-euclidean", "manhattan" (alias "l1"), "linf". Returns
+/// std::nullopt for unknown names.
+[[nodiscard]] std::optional<MetricKind> metric_kind_by_name(const std::string& name);
+
+/// Named metric lookup over the same names/aliases as
+/// `metric_kind_by_name`. Throws std::invalid_argument listing the known
+/// names (the parse_engine_spec error style) for unknown names.
 [[nodiscard]] Metric metric_by_name(const std::string& name);
 
 }  // namespace mcam::distance

@@ -1,5 +1,6 @@
 #include "search/engine.hpp"
 
+#include "distance/kernels/kernels.hpp"
 #include "energy/model.hpp"
 #include "search/trit_serde.hpp"
 #include "serve/io.hpp"
@@ -35,17 +36,38 @@ std::vector<std::size_t> rank_rows(const std::vector<double>& conductances,
 
 // --- SoftwareNnEngine ------------------------------------------------------
 
-SoftwareNnEngine::SoftwareNnEngine(std::string metric_name)
+SoftwareNnEngine::SoftwareNnEngine(std::string metric_name, std::string rerank)
     : metric_name_(std::move(metric_name)) {
-  // Validate the name eagerly so configuration errors surface at build time
-  // of the experiment, not at first add.
-  (void)distance::metric_by_name(metric_name_);
+  // Validate the configuration eagerly so errors surface at build time of
+  // the experiment, not at first add.
+  const std::optional<distance::MetricKind> kind =
+      distance::metric_kind_by_name(metric_name_);
+  if (!kind) (void)distance::metric_by_name(metric_name_);  // Throws, listing names.
+  kind_ = *kind;
+  if (rerank == "int8") {
+    mode_ = ExactNnIndex::RerankMode::kInt8;
+  } else if (!rerank.empty() && rerank != "fp32") {
+    throw std::invalid_argument{"SoftwareNnEngine: unknown rerank mode '" + rerank +
+                                "' (known: fp32, int8)"};
+  }
+}
+
+ExactNnIndex SoftwareNnEngine::make_index() const { return ExactNnIndex{kind_, mode_}; }
+
+const char* SoftwareNnEngine::kernel_name() const {
+  return index_ ? index_->kernel_name() : make_index().kernel_name();
+}
+
+std::string SoftwareNnEngine::name() const {
+  const bool int8 = mode_ == ExactNnIndex::RerankMode::kInt8 &&
+                    distance::kernels::int8_supported(kind_);
+  return metric_name_ + (int8 ? " (int8 rerank)" : " (FP32)");
 }
 
 void SoftwareNnEngine::add(std::span<const std::vector<float>> rows,
                            std::span<const int> labels) {
   validate_batch(rows, labels, "SoftwareNnEngine::add");
-  if (!index_) index_.emplace(distance::metric_by_name(metric_name_));
+  if (!index_) index_.emplace(make_index());
   index_->add_all(rows, labels);
 }
 
@@ -69,6 +91,7 @@ QueryResult SoftwareNnEngine::query_one(std::span<const float> query, std::size_
   result.neighbors = index_->k_nearest(query, k);
   result.label = majority_label(result.neighbors);
   result.telemetry.candidates = index_->size();
+  result.telemetry.kernel = index_->kernel_name();
   return result;
 }
 
@@ -92,6 +115,7 @@ QueryResult SoftwareNnEngine::query_subset(std::span<const float> query,
   result.label = majority_label(result.neighbors);
   result.telemetry.candidates = live_candidates;
   result.telemetry.sense_events = result.neighbors.size();
+  result.telemetry.kernel = index_->kernel_name();
   return result;
 }
 
@@ -282,7 +306,7 @@ void SoftwareNnEngine::load_state(serve::io::Reader& in) {
   serve::io::require_payload(labels.size() == total && valid.size() == total,
                   "software row/label/valid counts disagree");
   if (total == 0) return;
-  index_.emplace(distance::metric_by_name(metric_name_));
+  index_.emplace(make_index());
   index_->add_all(rows, labels);
   for (std::size_t i = 0; i < valid.size(); ++i) {
     if (!valid[i]) index_->erase(i);

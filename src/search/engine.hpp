@@ -35,8 +35,14 @@ namespace mcam::search {
 /// FP32 software baseline over an arbitrary metric.
 class SoftwareNnEngine final : public NnIndex {
  public:
-  /// `metric_name`: "cosine", "euclidean", "linf" or "manhattan".
-  explicit SoftwareNnEngine(std::string metric_name);
+  /// `metric_name`: any name `distance::metric_by_name` accepts ("cosine",
+  /// "euclidean"/"l2", "sq-euclidean", "manhattan"/"l1", "linf").
+  /// `rerank`: "" or "fp32" for the exact FP32 kernel path (default), or
+  /// "int8" to opt into the symmetric int8 rerank ordering with exact FP32
+  /// rescoring of the final top-k (euclidean/sq-euclidean/cosine only;
+  /// other metrics silently stay FP32). Throws std::invalid_argument for
+  /// an unknown metric or rerank mode.
+  explicit SoftwareNnEngine(std::string metric_name, std::string rerank = "");
 
   void add(std::span<const std::vector<float>> rows, std::span<const int> labels) override;
   void clear() override;
@@ -50,12 +56,20 @@ class SoftwareNnEngine final : public NnIndex {
   [[nodiscard]] QueryResult query_subset(std::span<const float> query,
                                          std::span<const std::size_t> ids,
                                          std::size_t k) const override;
-  [[nodiscard]] std::string name() const override { return metric_name_ + " (FP32)"; }
+  [[nodiscard]] std::string name() const override;
   void save_state(serve::io::Writer& out) const override;
   void load_state(serve::io::Reader& in) override;
 
+  /// Telemetry tag of the kernel the next query would rank with
+  /// ("scalar" | "avx2" | "neon" | "...+int8"; see QueryTelemetry::kernel).
+  [[nodiscard]] const char* kernel_name() const;
+
  private:
+  [[nodiscard]] ExactNnIndex make_index() const;
+
   std::string metric_name_;
+  distance::MetricKind kind_;
+  ExactNnIndex::RerankMode mode_ = ExactNnIndex::RerankMode::kFp32;
   std::optional<ExactNnIndex> index_;
 };
 

@@ -37,8 +37,8 @@ EngineFactory::Builder mcam_builder(unsigned bits) {
 }
 
 EngineFactory::Builder software_builder(std::string metric) {
-  return [metric = std::move(metric)](const EngineConfig&) -> std::unique_ptr<NnIndex> {
-    return std::make_unique<SoftwareNnEngine>(metric);
+  return [metric = std::move(metric)](const EngineConfig& config) -> std::unique_ptr<NnIndex> {
+    return std::make_unique<SoftwareNnEngine>(metric, config.rerank);
   };
 }
 
@@ -100,7 +100,7 @@ EngineFactory::Builder sharded_builder(std::string base) {
   throw std::invalid_argument{
       "parse_engine_spec: " + detail + " in spec '" + spec +
       "' (known keys: bank_rows, bits, candidate_factor, clip_percentile, coarse_bits, "
-      "exhaustive, filter, fine, lsh_bits, num_features, probes, seed, "
+      "exhaustive, filter, fine, lsh_bits, num_features, probes, rerank, seed, "
       "sense_clock_period, sensing, shard_workers, sig, tag_bits, vth_sigma)"};
 }
 
@@ -175,6 +175,11 @@ void apply_spec_override(EngineConfig& config, const std::string& key,
                        spec);
     }
     config.filter_policy = value;
+  } else if (key == "rerank") {
+    if (value != "fp32" && value != "int8") {
+      throw_spec_error("bad value '" + value + "' for key 'rerank' (fp32|int8)", spec);
+    }
+    config.rerank = value;
   } else if (key == "sensing") {
     if (value == "ideal") {
       config.sensing = cam::SensingMode::kIdealSum;

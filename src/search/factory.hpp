@@ -88,6 +88,11 @@ struct EngineConfig {
                                    ///< query_subset post-filter, "auto"/empty picks
                                    ///< by predicate selectivity. Ignored by the
                                    ///< engines themselves.
+  std::string rerank;              ///< Software-engine rerank precision: "fp32" or
+                                   ///< empty for the exact FP32 kernels, "int8" for
+                                   ///< the symmetric int8 ordering with exact FP32
+                                   ///< rescoring of the final top-k
+                                   ///< (search/knn.hpp). Ignored by CAM engines.
 };
 
 /// A parsed "name:key=value,..." engine spec.
@@ -103,10 +108,11 @@ struct EngineSpec {
 /// exhaustive (0|1, refine_exhaustive), sig (sig_model; validated against
 /// the signature-model registry when the refine engine is built), probes,
 /// tag_bits (metadata tag band width), filter (= "band" | "post" |
-/// "auto", filter_policy), and fine (fine_spec; consumes the rest of the
-/// spec, so it must come last). Unknown keys, malformed or empty values,
-/// and duplicate keys throw std::invalid_argument naming the offending
-/// spec string and listing the known keys.
+/// "auto", filter_policy), rerank (= "fp32" | "int8", software engines'
+/// rerank precision), and fine (fine_spec; consumes the rest of the spec,
+/// so it must come last). Unknown keys, malformed or empty values, and
+/// duplicate keys throw std::invalid_argument naming the offending spec
+/// string and listing the known keys.
 [[nodiscard]] EngineSpec parse_engine_spec(const std::string& spec,
                                            const EngineConfig& base = EngineConfig{});
 

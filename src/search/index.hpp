@@ -65,6 +65,12 @@ struct QueryTelemetry {
                                  ///< band (query_filtered) or up front by the
                                  ///< post-filter candidate list (store::Collection).
                                  ///< 0 for unfiltered queries.
+  const char* kernel = "";  ///< Distance-kernel backend that ranked this query:
+                            ///< "scalar" | "avx2" | "neon" (with "+int8" when the
+                            ///< int8 rerank ordering ran), "functor" for the
+                            ///< custom-metric loop, "" for engines that do not
+                            ///< rank through distance/kernels/ (CAM arrays).
+                            ///< Always a static string, safe to copy/hold.
 };
 
 /// Result of one top-k query.

@@ -3,12 +3,21 @@
 // This is the software reference implementation: the GPU baselines of the
 // paper are exact linear-scan NN searches with cosine/Euclidean distance,
 // and every CAM engine is validated against this index in the tests.
+//
+// Storage is a cache-blocked RowStore (distance/kernels/row_store.hpp).
+// An index built from a `distance::MetricKind` ranks through the SIMD
+// batch kernels (distance/kernels/kernels.hpp) - AVX2/NEON with a
+// bit-exact scalar fallback - and can opt into the symmetric int8 rerank
+// path; an index built from a type-erased `distance::Metric` functor
+// keeps the scalar functor loop (the extension point for custom metrics).
 #pragma once
 
+#include "distance/kernels/row_store.hpp"
 #include "distance/metrics.hpp"
 
 #include <cstddef>
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -24,8 +33,22 @@ struct Neighbor {
 /// Linear-scan exact NN index with majority-vote classification.
 class ExactNnIndex {
  public:
-  /// `metric`: smaller = nearer.
+  /// How candidate distances are computed on the ranking paths.
+  enum class RerankMode {
+    kFp32,  ///< FP32 batch kernels (bit-exact across scalar/SIMD).
+    kInt8,  ///< Symmetric int8 ordering + exact FP32 rescore of the final
+            ///< top-k (euclidean / sq-euclidean / cosine; other metrics
+            ///< fall back to kFp32). Opt-in approximate: the returned
+            ///< scores are exact FP32, but membership beyond the rescored
+            ///< pool follows the int8 ordering.
+  };
+
+  /// Custom-metric path: `metric` (smaller = nearer) is called per row in
+  /// a scalar loop. Throws std::invalid_argument on a null metric.
   explicit ExactNnIndex(distance::Metric metric);
+
+  /// Kernel path: distances come from the dispatched batch kernels.
+  explicit ExactNnIndex(distance::MetricKind kind, RerankMode mode = RerankMode::kFp32);
 
   /// Adds one vector with its label; returns its index.
   std::size_t add(std::vector<float> vector, int label);
@@ -43,7 +66,7 @@ class ExactNnIndex {
   [[nodiscard]] bool row_valid(std::size_t i) const;
 
   /// Number of physical rows ever added (tombstones included).
-  [[nodiscard]] std::size_t total_rows() const noexcept { return vectors_.size(); }
+  [[nodiscard]] std::size_t total_rows() const noexcept { return store_.rows(); }
 
   /// Nearest stored vector to `query` (throws std::logic_error when empty).
   [[nodiscard]] Neighbor nearest(std::span<const float> query) const;
@@ -59,8 +82,10 @@ class ExactNnIndex {
   /// The `k` nearest among the candidate rows in `ids` only (the rerank
   /// primitive behind NnIndex::query_subset): same ordering, tie-break,
   /// and k-convention as `k_nearest`, but only the named rows have their
-  /// distances evaluated. Duplicate, tombstoned, and out-of-range ids are
-  /// ignored; an empty surviving candidate set yields an empty vector.
+  /// distances evaluated - candidate blocks are gathered block-wise
+  /// through the batch kernels, not per id. Duplicate, tombstoned, and
+  /// out-of-range ids are ignored (each unique live id is scored exactly
+  /// once); an empty surviving candidate set yields an empty vector.
   /// When `live_candidates` is non-null it receives the number of unique
   /// live ids that competed (the query_subset telemetry, reported from
   /// the same single scan).
@@ -76,16 +101,43 @@ class ExactNnIndex {
   /// Number of live (non-tombstoned) vectors.
   [[nodiscard]] std::size_t size() const noexcept { return valid_rows_; }
 
-  /// Stored vector `i` (for tests and diagnostics).
-  [[nodiscard]] const std::vector<float>& vector_at(std::size_t i) const {
-    return vectors_.at(i);
-  }
+  /// Stored vector `i` (for snapshots, tests and diagnostics; copied out
+  /// of the blocked store - the floats are bit-identical to what was
+  /// added).
+  [[nodiscard]] std::vector<float> vector_at(std::size_t i) const;
   /// Stored label `i`.
   [[nodiscard]] int label_at(std::size_t i) const { return labels_.at(i); }
 
+  /// Telemetry tag of the ranking path this index resolves to right now:
+  /// "functor" for the custom-metric loop, otherwise the active kernel's
+  /// name ("scalar" | "avx2" | "neon", with "+int8" when the int8
+  /// ordering is in effect).
+  [[nodiscard]] const char* kernel_name() const noexcept;
+
  private:
-  distance::Metric metric_;
-  std::vector<std::vector<float>> vectors_;
+  [[nodiscard]] bool kernel_path() const noexcept { return kind_.has_value(); }
+  [[nodiscard]] bool int8_path() const noexcept {
+    return mode_ == RerankMode::kInt8 && kind_ &&
+           distance::kernels::int8_supported(*kind_);
+  }
+  void check_query_dim(std::span<const float> query) const;
+  /// Exact FP32 kernel distances for ascending, unique, live `ids`.
+  [[nodiscard]] std::vector<Neighbor> score_ids_fp32(
+      std::span<const float> query, std::span<const std::size_t> ids) const;
+  /// Functor-loop distances for ascending, unique, live `ids`.
+  [[nodiscard]] std::vector<Neighbor> score_ids_functor(
+      std::span<const float> query, std::span<const std::size_t> ids) const;
+  /// int8 ordering over `ids` + FP32 rescore of the top-(k + slack).
+  [[nodiscard]] std::vector<Neighbor> rank_int8(std::span<const float> query,
+                                                std::span<const std::size_t> ids,
+                                                std::size_t k) const;
+  /// Ascending list of every live row id.
+  [[nodiscard]] std::vector<std::size_t> live_ids() const;
+
+  std::optional<distance::MetricKind> kind_;
+  RerankMode mode_ = RerankMode::kFp32;
+  distance::Metric metric_;  ///< Set only on the functor path.
+  distance::kernels::RowStore store_;
   std::vector<int> labels_;
   std::vector<std::uint8_t> valid_;
   std::size_t valid_rows_ = 0;

@@ -241,6 +241,9 @@ QueryResult ShardedNnIndex::query_one(std::span<const float> query, std::size_t 
   // Aggregate telemetry: fanning across B banks senses and compares in
   // every bank, so counters sum (sense_events can exceed k by design).
   result.telemetry.banks_searched = per_bank.size();
+  // Every bank runs the same engine type, hence the same distance kernel;
+  // the first bank's tag stands for all of them.
+  if (!per_bank.empty()) result.telemetry.kernel = per_bank.front().telemetry.kernel;
   for (const QueryResult& bank_result : per_bank) {
     result.telemetry.candidates += bank_result.telemetry.candidates;
     result.telemetry.sense_events += bank_result.telemetry.sense_events;

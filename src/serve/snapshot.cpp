@@ -30,6 +30,7 @@ void write_config(io::Writer& out, const search::EngineConfig& config) {
   out.u64(config.probes);
   out.u64(config.tag_bits);
   out.str(config.filter_policy);
+  out.str(config.rerank);
 }
 
 search::EngineConfig read_config(io::Reader& in, std::uint32_t version) {
@@ -70,6 +71,13 @@ search::EngineConfig read_config(io::Reader& in, std::uint32_t version) {
     // Pre-v4 blobs predate filtered search: no tag band, auto policy.
     config.tag_bits = 0;
     config.filter_policy.clear();
+  }
+  if (version >= 5) {
+    config.rerank = in.str();
+  } else {
+    // Pre-v5 blobs predate the rerank kernel layer; they were written by
+    // FP32-only software engines, which the empty default rebuilds.
+    config.rerank.clear();
   }
   return config;
 }

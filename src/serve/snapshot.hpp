@@ -50,11 +50,12 @@ namespace mcam::serve {
 /// fields (tag_bits, filter_policy) and an optional *store block* between
 /// the config and the engine payload - the per-collection name + metadata
 /// image the store layer (store/collection.hpp) persists alongside the
-/// engine. `load` still reads v2/v3 blobs: the missing config fields
-/// default to the pre-v4 behavior (no tag band, auto filter policy, no
-/// store block), and the two-stage engine restores the legacy coarse
-/// payload bit-identically.
-inline constexpr std::uint32_t kSnapshotVersion = 4;
+/// engine. v5 appended the software-engine rerank mode (rerank) to the
+/// config. `load` still reads v2..v4 blobs: the missing config fields
+/// default to the pre-upgrade behavior (no tag band, auto filter policy,
+/// no store block, FP32 rerank), and the two-stage engine restores the
+/// legacy coarse payload bit-identically.
+inline constexpr std::uint32_t kSnapshotVersion = 5;
 
 /// Oldest snapshot format version `load`/`inspect` still accept.
 inline constexpr std::uint32_t kMinSnapshotVersion = 2;
