@@ -117,6 +117,18 @@ int main() {
               "p99 %.3f ms)\n",
               ok, served_s.count(), static_cast<double>(ok) / served_s.count(),
               stats.workers, stats.latency_p50_ms, stats.latency_p99_ms);
+  // Energy column, sourced from the service-side telemetry aggregation
+  // (ServiceStats::energy_j_total mirrors the mcam_query_energy_j
+  // histogram sum in the metrics registry).
+  const double joules_per_query =
+      stats.completed > 0 ? stats.energy_j_total / static_cast<double>(stats.completed)
+                          : 0.0;
+  std::printf("energy:  %.3e J total, %.3e J/query, %zu coarse probes", stats.energy_j_total,
+              joules_per_query, stats.probes_total);
+  for (const auto& [kernel, count] : stats.kernel_queries) {
+    std::printf(", %s x%zu", kernel.c_str(), count);
+  }
+  std::printf("\n");
   std::printf("OK: restore bit-identical, %zu/%zu requests served identically\n", ok,
               kRequests);
   return 0;

@@ -1,0 +1,159 @@
+#include "obs/exporters.hpp"
+
+#include <cstdio>
+
+namespace mcam::obs {
+
+namespace detail {
+
+std::string format_number(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+std::string escape_prometheus(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string escape_json(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::escape_json;
+using detail::escape_prometheus;
+using detail::format_number;
+
+/// `{k1="v1",k2="v2"}` or "" when unlabeled; `extra` appends one more
+/// pair (the histogram `le` label) even when `labels` is empty.
+std::string prometheus_labels(const Labels& labels, const std::string& extra = {}) {
+  if (labels.empty() && extra.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += key + "=\"" + escape_prometheus(value) + "\"";
+  }
+  if (!extra.empty()) {
+    if (!first) out += ",";
+    out += extra;
+  }
+  return out + "}";
+}
+
+std::string json_labels(const Labels& labels) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [key, value] : labels) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + escape_json(key) + "\":\"" + escape_json(value) + "\"";
+  }
+  return out + "}";
+}
+
+}  // namespace
+
+std::string to_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_typed;  // One # TYPE header per metric name.
+  const auto type_header = [&](const std::string& name, const char* kind) {
+    if (name == last_typed) return;
+    out += "# TYPE " + name + " " + kind + "\n";
+    last_typed = name;
+  };
+  for (const CounterSample& sample : snapshot.counters) {
+    type_header(sample.name, "counter");
+    out += sample.name + prometheus_labels(sample.labels) + " " +
+           std::to_string(sample.value) + "\n";
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    type_header(sample.name, "gauge");
+    out += sample.name + prometheus_labels(sample.labels) + " " +
+           format_number(sample.value) + "\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    type_header(sample.name, "histogram");
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < sample.counts.size(); ++b) {
+      cumulative += sample.counts[b];
+      const std::string le =
+          b < sample.bounds.size() ? format_number(sample.bounds[b]) : std::string{"+Inf"};
+      out += sample.name + "_bucket" +
+             prometheus_labels(sample.labels, "le=\"" + le + "\"") + " " +
+             std::to_string(cumulative) + "\n";
+    }
+    out += sample.name + "_sum" + prometheus_labels(sample.labels) + " " +
+           format_number(sample.sum) + "\n";
+    out += sample.name + "_count" + prometheus_labels(sample.labels) + " " +
+           std::to_string(sample.count) + "\n";
+  }
+  return out;
+}
+
+std::string to_jsonl(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const CounterSample& sample : snapshot.counters) {
+    out += "{\"type\":\"counter\",\"name\":\"" + escape_json(sample.name) +
+           "\",\"labels\":" + json_labels(sample.labels) +
+           ",\"value\":" + std::to_string(sample.value) + "}\n";
+  }
+  for (const GaugeSample& sample : snapshot.gauges) {
+    out += "{\"type\":\"gauge\",\"name\":\"" + escape_json(sample.name) +
+           "\",\"labels\":" + json_labels(sample.labels) +
+           ",\"value\":" + format_number(sample.value) + "}\n";
+  }
+  for (const HistogramSample& sample : snapshot.histograms) {
+    out += "{\"type\":\"histogram\",\"name\":\"" + escape_json(sample.name) +
+           "\",\"labels\":" + json_labels(sample.labels) + ",\"buckets\":[";
+    for (std::size_t b = 0; b < sample.counts.size(); ++b) {
+      if (b > 0) out += ",";
+      const std::string le = b < sample.bounds.size()
+                                 ? format_number(sample.bounds[b])
+                                 : std::string{"\"+Inf\""};
+      out += "{\"le\":" + le + ",\"count\":" + std::to_string(sample.counts[b]) + "}";
+    }
+    out += "],\"sum\":" + format_number(sample.sum) +
+           ",\"count\":" + std::to_string(sample.count) + "}\n";
+  }
+  return out;
+}
+
+}  // namespace mcam::obs

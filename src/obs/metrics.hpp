@@ -1,0 +1,238 @@
+// Process-wide metrics registry: named counters, gauges, and fixed-bucket
+// histograms behind cheap resolve-once handles.
+//
+// The serving stack (QueryService, CollectionManager, the benches) needs
+// continuous counters - queries by outcome, latency and energy
+// distributions, per-kernel-backend query counts - without every layer
+// growing its own ad-hoc stats struct. The registry is the one place those
+// live:
+//
+//  - Instruments are *resolved once* (`registry().counter("name")` walks a
+//    lock-sharded map) and the returned handle increments a plain atomic
+//    thereafter - the hot path never takes a lock and never hashes a
+//    string. Handles are trivially copyable and stay valid for the
+//    process lifetime (instruments are never deleted).
+//  - `snapshot()` returns a point-in-time copy of every instrument,
+//    deterministically sorted, which the exporters (obs/exporters.hpp)
+//    render as Prometheus text or JSON-lines and tests assert against.
+//  - Instruments may carry labels (sorted key=value pairs); the same
+//    (name, labels) always resolves to the same cell, so two services
+//    incrementing "mcam_serve_requests_total" share one counter.
+//
+// Building with -DMCAM_OBS_DISABLED compiles the instruments down to
+// empty no-op structs (and the registry to a stub): zero code on the hot
+// path, while callers compile unchanged. The snapshot/sample *data*
+// structs stay defined either way, so the exporters and their tests do
+// not depend on the flag.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mcam::obs {
+
+/// Sorted key=value metric labels (sorted by the registry on resolve).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+// --- Snapshot data (always defined, independent of MCAM_OBS_DISABLED) ----
+
+struct CounterSample {
+  std::string name;
+  Labels labels;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  Labels labels;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  Labels labels;
+  /// Inclusive upper bounds of the finite buckets (Prometheus `le`); the
+  /// implicit +Inf bucket is counts.back().
+  std::vector<double> bounds;
+  /// Per-bucket (NON-cumulative) counts, size bounds.size() + 1.
+  std::vector<std::uint64_t> counts;
+  double sum = 0.0;           ///< Sum of every observed value.
+  std::uint64_t count = 0;    ///< Total observations.
+};
+
+/// Point-in-time copy of the whole registry, sorted by (name, labels).
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+};
+
+/// Default latency buckets [ms] shared by the serve/store layers.
+[[nodiscard]] std::vector<double> default_latency_buckets_ms();
+/// Default per-query energy buckets [J] (log-spaced around the paper's
+/// nJ..uJ per-search regime).
+[[nodiscard]] std::vector<double> default_energy_buckets_j();
+
+#ifndef MCAM_OBS_DISABLED
+
+namespace detail {
+struct CounterCell {
+  std::atomic<std::uint64_t> value{0};
+};
+struct GaugeCell {
+  std::atomic<double> value{0.0};
+};
+struct HistogramCell {
+  explicit HistogramCell(std::vector<double> upper_bounds);
+  void observe(double x) noexcept;
+  const std::vector<double> bounds;            ///< Ascending, deduped.
+  std::vector<std::atomic<std::uint64_t>> counts;  ///< bounds.size() + 1.
+  std::atomic<double> sum{0.0};
+  std::atomic<std::uint64_t> count{0};
+};
+}  // namespace detail
+
+/// Monotone counter handle. Default-constructed handles are inert no-ops
+/// (so members can be declared before the registry resolves them).
+class Counter {
+ public:
+  Counter() = default;
+  void inc(std::uint64_t delta = 1) const noexcept {
+    if (cell_ != nullptr) cell_->value.fetch_add(delta, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Counter(detail::CounterCell* cell) noexcept : cell_(cell) {}
+  detail::CounterCell* cell_ = nullptr;
+};
+
+/// Last-write-wins gauge handle.
+class Gauge {
+ public:
+  Gauge() = default;
+  void set(double value) const noexcept {
+    if (cell_ != nullptr) cell_->value.store(value, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return cell_ != nullptr ? cell_->value.load(std::memory_order_relaxed) : 0.0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Gauge(detail::GaugeCell* cell) noexcept : cell_(cell) {}
+  detail::GaugeCell* cell_ = nullptr;
+};
+
+/// Fixed-bucket histogram handle. `observe` is wait-free (atomic bucket
+/// increment + atomic sum accumulate); out-of-range samples land in the
+/// implicit +Inf bucket, never clamped into the last finite one.
+class Histogram {
+ public:
+  Histogram() = default;
+  void observe(double x) const noexcept {
+    if (cell_ != nullptr) cell_->observe(x);
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept {
+    return cell_ != nullptr ? cell_->count.load(std::memory_order_relaxed) : 0;
+  }
+  [[nodiscard]] double sum() const noexcept {
+    return cell_ != nullptr ? cell_->sum.load(std::memory_order_relaxed) : 0.0;
+  }
+
+ private:
+  friend class Registry;
+  explicit Histogram(detail::HistogramCell* cell) noexcept : cell_(cell) {}
+  detail::HistogramCell* cell_ = nullptr;
+};
+
+/// Lock-sharded instrument registry. Resolution (the `counter` /
+/// `gauge` / `histogram` calls) locks only the shard owning the name;
+/// the returned handles never lock. Instruments live until process exit.
+class Registry {
+ public:
+  Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+  ~Registry();
+
+  /// Resolves (creating on first use) the counter named `name` with
+  /// `labels`. Throws std::invalid_argument on an empty name or when the
+  /// (name, labels) pair is already registered as a different kind.
+  [[nodiscard]] Counter counter(const std::string& name, Labels labels = {});
+  [[nodiscard]] Gauge gauge(const std::string& name, Labels labels = {});
+  /// `bounds` are the inclusive finite bucket upper bounds (sorted and
+  /// deduped on registration; must be non-empty). Re-resolving an
+  /// existing histogram with different bounds throws.
+  [[nodiscard]] Histogram histogram(const std::string& name, std::vector<double> bounds,
+                                    Labels labels = {});
+
+  /// Deterministic point-in-time copy of every instrument.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument's value (instruments and handles stay
+  /// valid) - for tests and benches that need a clean slate.
+  void reset();
+
+  /// The process-wide registry the serving stack records into.
+  [[nodiscard]] static Registry& global();
+
+ private:
+  struct Shard;
+  [[nodiscard]] Shard& shard_for(const std::string& name) const;
+
+  static constexpr std::size_t kShards = 8;
+  Shard* shards_;  ///< Owned array of kShards.
+};
+
+#else  // MCAM_OBS_DISABLED: inert instruments, stub registry.
+
+class Counter {
+ public:
+  void inc(std::uint64_t = 1) const noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+};
+class Gauge {
+ public:
+  void set(double) const noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+};
+class Histogram {
+ public:
+  void observe(double) const noexcept {}
+  [[nodiscard]] std::uint64_t count() const noexcept { return 0; }
+  [[nodiscard]] double sum() const noexcept { return 0.0; }
+};
+
+class Registry {
+ public:
+  [[nodiscard]] Counter counter(const std::string&, Labels = {}) { return {}; }
+  [[nodiscard]] Gauge gauge(const std::string&, Labels = {}) { return {}; }
+  [[nodiscard]] Histogram histogram(const std::string&, std::vector<double>,
+                                    Labels = {}) {
+    return {};
+  }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+  [[nodiscard]] static Registry& global() {
+    static Registry registry;
+    return registry;
+  }
+};
+
+#endif  // MCAM_OBS_DISABLED
+
+/// Shorthand for Registry::global().
+[[nodiscard]] inline Registry& registry() { return Registry::global(); }
+
+/// Shorthand for Registry::global().snapshot().
+[[nodiscard]] inline MetricsSnapshot snapshot() { return Registry::global().snapshot(); }
+
+}  // namespace mcam::obs

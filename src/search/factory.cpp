@@ -101,7 +101,8 @@ EngineFactory::Builder sharded_builder(std::string base) {
       "parse_engine_spec: " + detail + " in spec '" + spec +
       "' (known keys: bank_rows, bits, candidate_factor, clip_percentile, coarse_bits, "
       "exhaustive, filter, fine, lsh_bits, num_features, probes, rerank, seed, "
-      "sense_clock_period, sensing, shard_workers, sig, tag_bits, vth_sigma)"};
+      "sense_clock_period, sensing, shard_workers, sig, tag_bits, trace_sample, "
+      "vth_sigma)"};
 }
 
 /// Full-consumption numeric parses; anything trailing is malformed.
@@ -169,6 +170,8 @@ void apply_spec_override(EngineConfig& config, const std::string& key,
     config.sig_model = value;
   } else if (key == "tag_bits") {
     config.tag_bits = static_cast<std::size_t>(parse_unsigned(key, value, spec));
+  } else if (key == "trace_sample") {
+    config.trace_sample = static_cast<std::size_t>(parse_unsigned(key, value, spec));
   } else if (key == "filter") {
     if (value != "band" && value != "post" && value != "auto") {
       throw_spec_error("bad value '" + value + "' for key 'filter' (band|post|auto)",

@@ -93,6 +93,14 @@ struct EngineConfig {
                                    ///< the symmetric int8 ordering with exact FP32
                                    ///< rescoring of the final top-k
                                    ///< (search/knn.hpp). Ignored by CAM engines.
+  std::size_t trace_sample = 0;    ///< Per-query stage-trace sampling for the
+                                   ///< SERVING layers (serve::QueryService /
+                                   ///< store::CollectionManager read it off the
+                                   ///< spec; the engines themselves never sample):
+                                   ///< 1-in-N, 0 = off (or the MCAM_TRACE_SAMPLE
+                                   ///< environment default). Deliberately not
+                                   ///< persisted by snapshots - sampling is an
+                                   ///< operational knob, not engine state.
 };
 
 /// A parsed "name:key=value,..." engine spec.
@@ -109,10 +117,11 @@ struct EngineSpec {
 /// the signature-model registry when the refine engine is built), probes,
 /// tag_bits (metadata tag band width), filter (= "band" | "post" |
 /// "auto", filter_policy), rerank (= "fp32" | "int8", software engines'
-/// rerank precision), and fine (fine_spec; consumes the rest of the spec,
-/// so it must come last). Unknown keys, malformed or empty values, and
-/// duplicate keys throw std::invalid_argument naming the offending spec
-/// string and listing the known keys.
+/// rerank precision), trace_sample (1-in-N serving-layer stage-trace
+/// sampling, 0 = off), and fine (fine_spec; consumes the rest of the
+/// spec, so it must come last). Unknown keys, malformed or empty values,
+/// and duplicate keys throw std::invalid_argument naming the offending
+/// spec string and listing the known keys.
 [[nodiscard]] EngineSpec parse_engine_spec(const std::string& spec,
                                            const EngineConfig& base = EngineConfig{});
 

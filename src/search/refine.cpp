@@ -1,6 +1,7 @@
 #include "search/refine.hpp"
 
 #include "energy/model.hpp"
+#include "obs/trace.hpp"
 #include "search/trit_serde.hpp"
 #include "serve/io.hpp"
 #include "sig/multiprobe.hpp"
@@ -157,6 +158,8 @@ std::pair<std::vector<double>, std::size_t> TwoStageNnIndex::coarse_sweep(
   // so the ranking is by pure signature distance regardless of the rows'
   // stored bitmaps (band *eligibility* is a separate mask, not a ranking
   // term).
+  obs::Trace* trace = obs::current_trace();
+  obs::TraceSpan encode_span(trace, "encode");
   const std::vector<float> scaled = scaler_->transform(query);
   // One projection pass serves both roles: sig::signature_bits(margins)
   // is the query signature (the same rule encode_bits applied to the
@@ -167,7 +170,15 @@ std::pair<std::vector<double>, std::size_t> TwoStageNnIndex::coarse_sweep(
   for (std::size_t b = 0; b < query_bits.size(); ++b) {
     word[b] = query_bits[b] ? cam::Trit::kOne : cam::Trit::kZero;
   }
+  encode_span.note("bits", static_cast<double>(query_bits.size()));
+  encode_span.close();
+
+  obs::TraceSpan sweep_span(trace, "coarse-sweep");
   std::vector<double> best = tcam_->search_conductances(std::span<const cam::Trit>{word});
+  sweep_span.note("rows", static_cast<double>(best.size()));
+  sweep_span.close();
+
+  obs::TraceSpan probe_span(trace, "multi-probe");
   std::size_t probes_used = 1;
   if (config_.probes > 1) {
     const std::vector<std::vector<std::size_t>> flip_sets =
@@ -184,6 +195,8 @@ std::pair<std::vector<double>, std::size_t> TwoStageNnIndex::coarse_sweep(
       ++probes_used;
     }
   }
+  probe_span.note("probes", static_cast<double>(probes_used));
+  probe_span.close();
   return {std::move(best), probes_used};
 }
 
@@ -200,9 +213,11 @@ QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t
 
   // Stage 1: best-of-probes coarse match, then nominate the
   // candidate_factor * k most-matching rows.
+  obs::Trace* trace = obs::current_trace();
   const std::size_t live = tcam_->num_valid();
   const std::size_t want = std::min(std::max(kk * config_.candidate_factor, kk), live);
   const auto [best, probes_used] = coarse_sweep(query);
+  obs::TraceSpan nominate_span(trace, "nominate");
   // Rank one past the cut so the nomination margin - the conductance gap
   // between the last nominated row and the best excluded one, the
   // adaptive-candidate_factor signal - falls out of the same sweep.
@@ -217,9 +232,18 @@ QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t
   const std::vector<std::size_t> ids(ranked.begin(),
                                      ranked.begin() + static_cast<std::ptrdiff_t>(
                                                           std::min(want, ranked.size())));
+  nominate_span.note("nominated", static_cast<double>(ids.size()));
+  nominate_span.note("coarse_margin", coarse_margin);
+  nominate_span.close();
 
   // Stage 2: precise rerank of the candidates only.
+  obs::TraceSpan fine_span(trace, "fine-rerank");
   QueryResult result = fine_->query_subset(query, ids, kk);
+  fine_span.tag(result.telemetry.kernel);
+  fine_span.note("candidates", static_cast<double>(result.telemetry.candidates));
+  fine_span.close();
+
+  obs::TraceSpan merge_span(trace, "merge");
   result.telemetry.coarse_candidates = live * probes_used;
   result.telemetry.fine_candidates = result.telemetry.candidates;
   result.telemetry.candidates =
@@ -232,6 +256,11 @@ QueryResult TwoStageNnIndex::query_one(std::span<const float> query, std::size_t
   result.telemetry.banks_searched += 1;
   result.telemetry.coarse_margin = coarse_margin;
   result.telemetry.probes_used = probes_used;
+  merge_span.note("coarse_candidates", static_cast<double>(result.telemetry.coarse_candidates));
+  merge_span.note("fine_candidates", static_cast<double>(result.telemetry.fine_candidates));
+  merge_span.note("candidates", static_cast<double>(result.telemetry.candidates));
+  merge_span.note("energy_j", result.telemetry.energy_j);
+  merge_span.note("probes", static_cast<double>(probes_used));
   return result;
 }
 
@@ -270,6 +299,8 @@ std::optional<QueryResult> TwoStageNnIndex::query_filtered(
   // Band gate: exact kOne trits at the required slots, kDontCare across
   // the signature and the unconstrained band cells. A row missing any
   // required bit mismatches in-array and is never nominated.
+  obs::Trace* trace = obs::current_trace();
+  obs::TraceSpan band_span(trace, "band-filter");
   std::vector<cam::Trit> band_query(coarse_word_bits(), cam::Trit::kDontCare);
   for (std::size_t b = 0; b < config_.tag_bits; ++b) {
     if (required_band[b] != 0) {
@@ -286,12 +317,16 @@ std::optional<QueryResult> TwoStageNnIndex::query_filtered(
     eligible_count += eligible[r];
   }
   const std::size_t live = tcam_->num_valid();
+  band_span.note("eligible", static_cast<double>(eligible_count));
+  band_span.note("filtered_out", static_cast<double>(live - eligible_count));
+  band_span.close();
   if (eligible_count == 0) return std::nullopt;
 
   const std::size_t kk = std::min(std::max<std::size_t>(k, 1), fine_->size());
   const std::size_t want =
       std::min(std::max(kk * config_.candidate_factor, kk), eligible_count);
   const auto [best, probes_used] = coarse_sweep(query);
+  obs::TraceSpan nominate_span(trace, "nominate");
   const std::vector<std::size_t> ranked = cam::rank_by_sensing(
       best, eligible, coarse_config_.sensing, coarse_config_.matchline,
       tcam_->word_length(), coarse_config_.sense_clock_period,
@@ -308,9 +343,18 @@ std::optional<QueryResult> TwoStageNnIndex::query_filtered(
   for (std::size_t i = 0; i < std::min(want, ranked.size()); ++i) {
     if (!verify || verify(ranked[i])) verified.push_back(ranked[i]);
   }
+  nominate_span.note("nominated", static_cast<double>(verified.size()));
+  nominate_span.note("coarse_margin", coarse_margin);
+  nominate_span.close();
   if (verified.empty()) return std::nullopt;
 
+  obs::TraceSpan fine_span(trace, "fine-rerank");
   QueryResult result = fine_->query_subset(query, verified, kk);
+  fine_span.tag(result.telemetry.kernel);
+  fine_span.note("candidates", static_cast<double>(result.telemetry.candidates));
+  fine_span.close();
+
+  obs::TraceSpan merge_span(trace, "merge");
   result.telemetry.coarse_candidates = live * probes_used;
   result.telemetry.fine_candidates = result.telemetry.candidates;
   result.telemetry.candidates =
@@ -324,6 +368,11 @@ std::optional<QueryResult> TwoStageNnIndex::query_filtered(
   result.telemetry.coarse_margin = coarse_margin;
   result.telemetry.probes_used = probes_used;
   result.telemetry.filtered_out = live - eligible_count;
+  merge_span.note("coarse_candidates", static_cast<double>(result.telemetry.coarse_candidates));
+  merge_span.note("fine_candidates", static_cast<double>(result.telemetry.fine_candidates));
+  merge_span.note("candidates", static_cast<double>(result.telemetry.candidates));
+  merge_span.note("energy_j", result.telemetry.energy_j);
+  merge_span.note("probes", static_cast<double>(probes_used));
   return result;
 }
 

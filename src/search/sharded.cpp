@@ -1,6 +1,7 @@
 #include "search/sharded.hpp"
 
 #include "energy/model.hpp"
+#include "obs/trace.hpp"
 #include "search/batch.hpp"
 #include "serve/io.hpp"
 
@@ -179,11 +180,21 @@ QueryResult ShardedNnIndex::query_one(std::span<const float> query, std::size_t 
     if (banks_[b].live_count > 0) live_banks.push_back(b);
   }
 
+  // Capture the caller's trace BEFORE fanning out: the per-bank spans run
+  // on spawned worker threads, which do not inherit the submitting
+  // thread's thread-local trace context. Trace::add is thread-safe, so
+  // concurrent bank spans record against one trace without coordination.
+  obs::Trace* const trace = obs::current_trace();
   std::vector<QueryResult> per_bank(live_banks.size());
   const auto query_range = [&](std::size_t begin, std::size_t end) {
     for (std::size_t i = begin; i < end; ++i) {
       const Bank& bank = banks_[live_banks[i]];
+      obs::TraceSpan bank_span(trace, "bank-query");
       per_bank[i] = bank.engine->query_one(query, std::min(kk, bank.live_count));
+      bank_span.note("bank", static_cast<double>(live_banks[i]));
+      bank_span.note("candidates",
+                     static_cast<double>(per_bank[i].telemetry.candidates));
+      bank_span.note("energy_j", per_bank[i].telemetry.energy_j);
     }
   };
   const std::size_t workers = workers_for(live_banks.size());
@@ -217,6 +228,7 @@ QueryResult ShardedNnIndex::query_one(std::span<const float> query, std::size_t 
   // with bank index, so the tie-break realizes the WTA low-index
   // convention and the merged ranking is bit-identical to the monolithic
   // engine under kIdealSum.
+  obs::TraceSpan merge_span(trace, "bank-merge");
   QueryResult result;
   result.neighbors.reserve(kk);
   std::vector<std::size_t> cursor(per_bank.size(), 0);
@@ -249,6 +261,9 @@ QueryResult ShardedNnIndex::query_one(std::span<const float> query, std::size_t 
     result.telemetry.sense_events += bank_result.telemetry.sense_events;
     result.telemetry.energy_j += bank_result.telemetry.energy_j;
   }
+  merge_span.note("banks", static_cast<double>(per_bank.size()));
+  merge_span.note("candidates", static_cast<double>(result.telemetry.candidates));
+  merge_span.note("energy_j", result.telemetry.energy_j);
   return result;
 }
 

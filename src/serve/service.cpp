@@ -8,11 +8,8 @@
 
 namespace mcam::serve {
 
-double nearest_rank_percentile(std::span<const double> sorted, double p) noexcept {
-  if (sorted.empty()) return 0.0;
-  const double rank = p / 100.0 * static_cast<double>(sorted.size());
-  const auto idx = static_cast<std::size_t>(std::ceil(rank));
-  return sorted[std::min(idx > 0 ? idx - 1 : 0, sorted.size() - 1)];
+double nearest_rank_percentile(std::span<const double> sorted, double p) {
+  return mcam::nearest_rank_percentile(sorted, p);
 }
 
 bool QueryService::CacheKey::operator==(const CacheKey& other) const {
@@ -40,13 +37,29 @@ std::size_t QueryService::CacheKeyHash::operator()(const CacheKey& key) const no
 }
 
 QueryService::QueryService(search::NnIndex& index, QueryServiceConfig config)
-    : index_(index), config_(config), started_(std::chrono::steady_clock::now()) {
+    : index_(index),
+      config_(config),
+      latency_window_ms_(config.latency_window == 0 ? 1 : config.latency_window),
+      margin_window_(config.latency_window == 0 ? 1 : config.latency_window),
+      started_(std::chrono::steady_clock::now()),
+      trace_sampler_(obs::effective_trace_sample(config.trace_sample)) {
   if (config_.queue_capacity == 0) config_.queue_capacity = 1;
   if (config_.latency_window == 0) config_.latency_window = 1;
   config_.workers = config_.workers > 0 ? config_.workers : search::default_worker_count();
   counters_.workers = config_.workers;
-  latency_window_ms_.assign(config_.latency_window, 0.0);
-  margin_window_.assign(config_.latency_window, 0.0);
+  // Resolve the shared registry instruments once; the hot path only
+  // touches the returned handles (one relaxed atomic each).
+  obs::Registry& registry = obs::registry();
+  requests_ok_ = registry.counter("mcam_serve_requests_total", {{"outcome", "ok"}});
+  requests_failed_ = registry.counter("mcam_serve_requests_total", {{"outcome", "failed"}});
+  requests_rejected_ =
+      registry.counter("mcam_serve_requests_total", {{"outcome", "rejected"}});
+  cache_hits_counter_ = registry.counter("mcam_serve_cache_hits_total");
+  probes_counter_ = registry.counter("mcam_coarse_probes_total");
+  latency_hist_ =
+      registry.histogram("mcam_serve_latency_ms", obs::default_latency_buckets_ms());
+  energy_hist_ =
+      registry.histogram("mcam_query_energy_j", obs::default_energy_buckets_j());
   workers_.reserve(config_.workers);
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
@@ -88,6 +101,14 @@ std::future<QueryResponse> QueryService::submit(std::vector<float> query, std::s
   std::future<QueryResponse> future = promise.get_future();
   const auto submitted = std::chrono::steady_clock::now();
 
+  // Stage-trace sampling decision (1-in-N; off by default). The trace
+  // rides the request: cache-probe is recorded here on the caller thread,
+  // queue-wait and execution by the worker that picks the request up.
+  std::unique_ptr<obs::Trace> trace;
+  if (trace_sampler_.should_sample()) {
+    trace = std::make_unique<obs::Trace>("serve.query");
+  }
+
   const auto reject_stopped = [&] {
     QueryResponse response;
     response.status = RequestStatus::kShutdown;
@@ -104,8 +125,15 @@ std::future<QueryResponse> QueryService::submit(std::vector<float> query, std::s
     }
   }
 
-  if (config_.cache_capacity > 0 && try_cache(query, cache_k, promise, submitted)) {
-    return future;
+  if (config_.cache_capacity > 0) {
+    obs::TraceSpan probe_span(trace.get(), "cache-probe");
+    const bool hit = try_cache(query, cache_k, promise, submitted);
+    probe_span.note("hit", hit ? 1.0 : 0.0);
+    probe_span.close();
+    if (hit) {
+      record_trace(std::move(trace));
+      return future;
+    }
   }
 
   {
@@ -116,17 +144,21 @@ std::future<QueryResponse> QueryService::submit(std::vector<float> query, std::s
     }
     if (queue_.size() >= config_.queue_capacity) {
       // Backpressure: reject-with-status, never block and never drop.
+      // (A sampled trace for a rejected request is dropped - there is no
+      // execution to explain.)
       {
         std::lock_guard<std::mutex> stats(stats_mutex_);
         ++counters_.rejected;
       }
+      requests_rejected_.inc();
       QueryResponse response;
       response.status = RequestStatus::kRejected;
       response.error = "queue full (" + std::to_string(config_.queue_capacity) + ")";
       promise.set_value(std::move(response));
       return future;
     }
-    queue_.push_back(Request{std::move(query), k, std::move(promise), submitted});
+    queue_.push_back(
+        Request{std::move(query), k, std::move(promise), submitted, std::move(trace)});
     {
       std::lock_guard<std::mutex> stats(stats_mutex_);
       ++counters_.accepted;
@@ -185,21 +217,51 @@ void QueryService::worker_loop() {
       queue_.pop_front();
     }
 
+    if (request.trace) {
+      // Synthetic span for the time the request sat in the queue: it
+      // already elapsed, so it is recorded with explicit timestamps
+      // rather than an RAII scope. (Submit-side work - the cache probe -
+      // overlaps its head; the span measures submit-to-dequeue.)
+      obs::SpanRecord wait;
+      wait.name = "queue-wait";
+      // Clamped: `submitted` is stamped just before the trace's epoch.
+      wait.start_ms = std::max(0.0, std::chrono::duration<double, std::milli>(
+                                        request.submitted - request.trace->started())
+                                        .count());
+      wait.elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - request.submitted)
+                            .count();
+      request.trace->add(std::move(wait));
+    }
+
     QueryResponse response;
     std::uint64_t generation = 0;
     std::size_t cache_k = request.k;
-    try {
-      std::shared_lock<std::shared_mutex> lock(index_mutex_);
-      generation = cache_generation_.load(std::memory_order_acquire);
-      // The insert key clamps k to the size the query actually executed
-      // against - read under the same lock as the generation, so the key
-      // always matches the cached result's neighbor count.
-      if (index_.size() > 0) cache_k = std::min(cache_k, index_.size());
-      response.result = index_.query_one(request.query, request.k);
-      response.status = RequestStatus::kOk;
-    } catch (const std::exception& error) {
-      response.status = RequestStatus::kFailed;
-      response.error = error.what();
+    {
+      // Install the request's trace as this worker thread's current trace
+      // so the engine's stage spans (encode / coarse-sweep / fine-rerank /
+      // ...) attach to it without any engine-visible plumbing.
+      obs::ScopedTraceContext trace_context(request.trace.get());
+      obs::TraceSpan execute_span(request.trace.get(), "execute");
+      try {
+        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        generation = cache_generation_.load(std::memory_order_acquire);
+        // The insert key clamps k to the size the query actually executed
+        // against - read under the same lock as the generation, so the key
+        // always matches the cached result's neighbor count.
+        if (index_.size() > 0) cache_k = std::min(cache_k, index_.size());
+        response.result = index_.query_one(request.query, request.k);
+        response.status = RequestStatus::kOk;
+      } catch (const std::exception& error) {
+        response.status = RequestStatus::kFailed;
+        response.error = error.what();
+      }
+      if (response.status == RequestStatus::kOk) {
+        const search::QueryTelemetry& telemetry = response.result.telemetry;
+        execute_span.tag(telemetry.kernel);
+        execute_span.note("candidates", static_cast<double>(telemetry.candidates));
+        execute_span.note("energy_j", telemetry.energy_j);
+      }
     }
 
     if (response.status == RequestStatus::kOk && config_.cache_capacity > 0) {
@@ -207,6 +269,7 @@ void QueryService::worker_loop() {
     }
     record_completion(response.status == RequestStatus::kOk, request.submitted,
                       response.status == RequestStatus::kOk ? &response.result : nullptr);
+    record_trace(std::move(request.trace));
     request.promise.set_value(std::move(response));
   }
 }
@@ -237,10 +300,12 @@ bool QueryService::try_cache(const std::vector<float>& query, std::size_t k,
       ++counters_.accepted;
       ++counters_.completed;
       ++counters_.cache_hits;
-      record_latency_locked(submitted);
+      latency_hist_.observe(record_latency_locked(submitted));
     }
   }
   if (!hit) return false;
+  requests_ok_.inc();
+  cache_hits_counter_.inc();
   promise.set_value(std::move(response));
   return true;
 }
@@ -284,10 +349,36 @@ void QueryService::record_completion(bool ok,
   std::lock_guard<std::mutex> stats(stats_mutex_);
   if (ok) {
     ++counters_.completed;
+    requests_ok_.inc();
   } else {
     ++counters_.failed;
+    requests_failed_.inc();
   }
-  record_latency_locked(submitted);
+  latency_hist_.observe(record_latency_locked(submitted));
+  if (result != nullptr) {
+    // Service-side aggregation of the executed query's telemetry: which
+    // kernel backend ranked it, how many coarse probes it spent, and what
+    // the energy model charged - the per-backend/per-joule views the
+    // benches and the registry export.
+    const search::QueryTelemetry& telemetry = result->telemetry;
+    counters_.probes_total += telemetry.probes_used;
+    counters_.energy_j_total += telemetry.energy_j;
+    // CAM engines rank in-array and report no distance-kernel backend;
+    // "none" keeps the per-kernel breakdown total equal to `completed`
+    // without an empty-string label.
+    const char* kernel = *telemetry.kernel != '\0' ? telemetry.kernel : "none";
+    ++counters_.kernel_queries[kernel];
+    probes_counter_.inc(telemetry.probes_used);
+    energy_hist_.observe(telemetry.energy_j);
+    const auto [it, inserted] = kernel_counters_.try_emplace(kernel);
+    if (inserted) {
+      // First query ranked by this backend: resolve its labeled counter
+      // (kernel names are static strings, so pointer keying is exact).
+      it->second =
+          obs::registry().counter("mcam_queries_by_kernel_total", {{"kernel", kernel}});
+    }
+    it->second.inc();
+  }
   // Coarse nomination margins (two-stage indexes only): the per-query
   // confidence distribution an adaptive candidate_factor policy would
   // consume. Only executed sweeps with a genuine nomination cut are
@@ -303,19 +394,23 @@ void QueryService::record_completion(bool ok,
       result->telemetry.fine_candidates * result->telemetry.probes_used <
           result->telemetry.coarse_candidates) {
     ++counters_.coarse_margin_queries;
-    margin_window_[margin_next_] = result->telemetry.coarse_margin;
-    margin_next_ = (margin_next_ + 1) % margin_window_.size();
-    margin_count_ = std::min(margin_count_ + 1, margin_window_.size());
+    margin_window_.add(result->telemetry.coarse_margin);
   }
 }
 
-void QueryService::record_latency_locked(std::chrono::steady_clock::time_point submitted) {
+double QueryService::record_latency_locked(std::chrono::steady_clock::time_point submitted) {
   const double ms = std::chrono::duration<double, std::milli>(
                         std::chrono::steady_clock::now() - submitted)
                         .count();
-  latency_window_ms_[latency_next_] = ms;
-  latency_next_ = (latency_next_ + 1) % latency_window_ms_.size();
-  latency_count_ = std::min(latency_count_ + 1, latency_window_ms_.size());
+  latency_window_ms_.add(ms);
+  return ms;
+}
+
+void QueryService::record_trace(std::unique_ptr<obs::Trace> trace) {
+  if (!trace) return;
+  obs::TraceSink::global().record(trace->finish());
+  std::lock_guard<std::mutex> stats(stats_mutex_);
+  ++counters_.traces_recorded;
 }
 
 ServiceStats QueryService::stats() const {
@@ -323,24 +418,12 @@ ServiceStats QueryService::stats() const {
   {
     std::lock_guard<std::mutex> stats(stats_mutex_);
     out = counters_;
-    std::vector<double> sorted(latency_window_ms_.begin(),
-                               latency_window_ms_.begin() +
-                                   static_cast<std::ptrdiff_t>(latency_count_));
-    std::sort(sorted.begin(), sorted.end());
-    out.latency_p50_ms = nearest_rank_percentile(sorted, 50.0);
-    out.latency_p95_ms = nearest_rank_percentile(sorted, 95.0);
-    out.latency_p99_ms = nearest_rank_percentile(sorted, 99.0);
-    std::vector<double> margins(margin_window_.begin(),
-                                margin_window_.begin() +
-                                    static_cast<std::ptrdiff_t>(margin_count_));
-    std::sort(margins.begin(), margins.end());
-    out.coarse_margin_p50 = nearest_rank_percentile(margins, 50.0);
-    out.coarse_margin_p95 = nearest_rank_percentile(margins, 95.0);
-    if (!margins.empty()) {
-      double sum = 0.0;
-      for (double m : margins) sum += m;
-      out.coarse_margin_mean = sum / static_cast<double>(margins.size());
-    }
+    out.latency_p50_ms = latency_window_ms_.percentile(50.0);
+    out.latency_p95_ms = latency_window_ms_.percentile(95.0);
+    out.latency_p99_ms = latency_window_ms_.percentile(99.0);
+    out.coarse_margin_p50 = margin_window_.percentile(50.0);
+    out.coarse_margin_p95 = margin_window_.percentile(95.0);
+    out.coarse_margin_mean = margin_window_.mean();
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);

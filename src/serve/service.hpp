@@ -25,7 +25,10 @@
 // process-local and deliberately not persisted by snapshots.
 #pragma once
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "search/index.hpp"
+#include "util/statistics.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -34,6 +37,8 @@
 #include <deque>
 #include <future>
 #include <list>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <span>
@@ -45,12 +50,13 @@
 
 namespace mcam::serve {
 
-/// Nearest-rank percentile over an already-sorted sample (the estimator
-/// behind ServiceStats' latency percentiles): the smallest element whose
-/// rank is >= ceil(p/100 * n). Returns 0 for an empty sample; with one
-/// sample every percentile is that sample. Exposed so the window-boundary
-/// behavior (exact fill, tiny windows, wraparound) is testable directly.
-[[nodiscard]] double nearest_rank_percentile(std::span<const double> sorted, double p) noexcept;
+/// Nearest-rank percentile: the smallest element whose rank is
+/// >= ceil(p/100 * n). Returns 0 for an empty sample; with one sample
+/// every percentile is that sample. Forwards to the shared estimator in
+/// util/statistics (mcam::nearest_rank_percentile) - kept here so the
+/// serving layer's historical call sites and the window-boundary tests
+/// (exact fill, tiny windows, wraparound) keep their spelling.
+[[nodiscard]] double nearest_rank_percentile(std::span<const double> sorted, double p);
 
 /// Terminal state of a submitted request.
 enum class RequestStatus : std::uint8_t {
@@ -79,6 +85,11 @@ struct QueryServiceConfig {
   std::size_t cache_capacity = 0;
   /// Completed-request latencies kept for the percentile window.
   std::size_t latency_window = 4096;
+  /// Per-query trace sampling: 1 of every `trace_sample` submitted queries
+  /// records a full stage trace into obs::TraceSink::global(). 0 = off
+  /// (the default), unless the MCAM_TRACE_SAMPLE environment variable
+  /// supplies a nonzero fallback. 1 = trace every query.
+  std::size_t trace_sample = 0;
 };
 
 /// Cumulative service telemetry (all counters since construction).
@@ -122,6 +133,20 @@ struct ServiceStats {
                                          ///< filtered queries - the signal the
                                          ///< band-vs-post routing threshold is
                                          ///< tuned against.
+  std::map<std::string, std::size_t> kernel_queries;  ///< Executed queries by
+                                         ///< QueryTelemetry::kernel backend
+                                         ///< ("scalar", "avx2", "avx2+int8",
+                                         ///< ...; "" = engines that do not rank
+                                         ///< through distance/kernels/). Cache
+                                         ///< hits run no kernel and are not
+                                         ///< counted.
+  std::size_t probes_total = 0;      ///< Sum of QueryTelemetry::probes_used
+                                     ///< over executed queries.
+  double energy_j_total = 0.0;       ///< Sum of QueryTelemetry::energy_j over
+                                     ///< executed queries [J] - joules/query =
+                                     ///< energy_j_total / completed-cache_hits.
+  std::uint64_t traces_recorded = 0; ///< Stage traces this service sampled
+                                     ///< into obs::TraceSink::global().
 };
 
 /// Thread-safe serving front end over one NnIndex.
@@ -174,6 +199,10 @@ class QueryService {
                         ///< samples the cache generation.
     std::promise<QueryResponse> promise;
     std::chrono::steady_clock::time_point submitted;
+    /// Sampled stage trace riding the request (null = not sampled). The
+    /// worker installs it as its thread's current trace for execution and
+    /// records it into the global sink on completion.
+    std::unique_ptr<obs::Trace> trace;
   };
 
   struct CacheKey {
@@ -202,12 +231,16 @@ class QueryService {
   /// index lock held).
   void invalidate_cache();
   /// Completion bookkeeping (outcome counter + latency window + coarse
-  /// margin window) under one stats acquisition. `result` is the executed
-  /// query's result when ok (null for failures and cache hits).
+  /// margin window + telemetry aggregation + registry instruments) under
+  /// one stats acquisition. `result` is the executed query's result when
+  /// ok (null for failures and cache hits).
   void record_completion(bool ok, std::chrono::steady_clock::time_point submitted,
                          const search::QueryResult* result = nullptr);
-  /// Appends to the latency ring; requires stats_mutex_ held.
-  void record_latency_locked(std::chrono::steady_clock::time_point submitted);
+  /// Appends to the latency window and returns the latency [ms]; requires
+  /// stats_mutex_ held.
+  double record_latency_locked(std::chrono::steady_clock::time_point submitted);
+  /// Finishes `trace` (if any) into the global sink and counts it.
+  void record_trace(std::unique_ptr<obs::Trace> trace);
 
   search::NnIndex& index_;
   QueryServiceConfig config_;
@@ -225,14 +258,25 @@ class QueryService {
   std::atomic<std::uint64_t> cache_generation_{0};
 
   mutable std::mutex stats_mutex_;
-  ServiceStats counters_;                  ///< Percentiles/derived fields unused here.
-  std::vector<double> latency_window_ms_;  ///< Ring buffer of completion latencies.
-  std::size_t latency_next_ = 0;
-  std::size_t latency_count_ = 0;
-  std::vector<double> margin_window_;  ///< Ring of coarse nomination margins [S].
-  std::size_t margin_next_ = 0;
-  std::size_t margin_count_ = 0;
+  ServiceStats counters_;               ///< Percentiles/derived fields unused here.
+  PercentileWindow latency_window_ms_;  ///< Sliding window of completion latencies.
+  PercentileWindow margin_window_;      ///< Window of coarse nomination margins [S].
+  std::unordered_map<const char*, obs::Counter> kernel_counters_;  ///< Lazily resolved
+                                        ///< mcam_queries_by_kernel_total handles, keyed
+                                        ///< by the static kernel-name pointer.
   std::chrono::steady_clock::time_point started_;
+
+  // Registry instruments (resolved once at construction; incrementing a
+  // handle is a relaxed atomic op, no lock, no string hash).
+  obs::Counter requests_ok_;
+  obs::Counter requests_failed_;
+  obs::Counter requests_rejected_;
+  obs::Counter cache_hits_counter_;
+  obs::Counter probes_counter_;
+  obs::Histogram latency_hist_;
+  obs::Histogram energy_hist_;
+
+  obs::TraceSampler trace_sampler_;
 
   std::vector<std::thread> workers_;
 };

@@ -26,7 +26,9 @@ constexpr const char* kManifestName = "MANIFEST";
 
 }  // namespace
 
-CollectionManager::CollectionManager(ManagerConfig config) : config_(config) {
+CollectionManager::CollectionManager(ManagerConfig config)
+    : config_(config),
+      trace_sampler_(obs::effective_trace_sample(config.trace_sample)) {
   if (config_.queue_capacity == 0) {
     throw std::invalid_argument{"CollectionManager: queue_capacity must be > 0"};
   }
@@ -54,6 +56,7 @@ void CollectionManager::create_collection(const std::string& name,
       std::make_unique<Collection>(name, spec, base, config_.collection_options);
   entry->counters.workers = resolved_workers_;
   entry->started = std::chrono::steady_clock::now();
+  resolve_instruments(*entry);
 
   std::unique_lock lock(registry_mutex_);
   if (!entries_.emplace(name, std::move(entry)).second) {
@@ -76,7 +79,27 @@ bool CollectionManager::drop_collection(const std::string& name) {
   // engine state.
   std::unique_lock lock(entry->mutex);
   entry->collection.reset();
+  entry->rows_gauge.set(0.0);
   return true;
+}
+
+void CollectionManager::resolve_instruments(Entry& entry) {
+  obs::Registry& registry = obs::registry();
+  const obs::Labels base{{"collection", entry.name}};
+  entry.requests_ok = registry.counter(
+      "mcam_store_requests_total", {{"collection", entry.name}, {"outcome", "ok"}});
+  entry.requests_failed = registry.counter(
+      "mcam_store_requests_total", {{"collection", entry.name}, {"outcome", "failed"}});
+  entry.requests_rejected = registry.counter(
+      "mcam_store_requests_total", {{"collection", entry.name}, {"outcome", "rejected"}});
+  entry.latency_hist = registry.histogram("mcam_store_latency_ms",
+                                          obs::default_latency_buckets_ms(), base);
+  entry.rows_gauge = registry.gauge("mcam_store_rows", base);
+}
+
+void CollectionManager::update_rows_gauge(Entry& entry) {
+  entry.rows_gauge.set(
+      entry.collection ? static_cast<double>(entry.collection->size()) : 0.0);
 }
 
 std::vector<std::string> CollectionManager::collection_names() const {
@@ -116,19 +139,25 @@ std::size_t CollectionManager::add(const std::string& name,
                                    std::span<const std::uint64_t> expires_at) {
   const std::shared_ptr<Entry> entry = require_entry(name);
   std::unique_lock lock(entry->mutex);
-  return entry->collection->add(rows, labels, tags, expires_at);
+  const std::size_t first_id = entry->collection->add(rows, labels, tags, expires_at);
+  update_rows_gauge(*entry);
+  return first_id;
 }
 
 bool CollectionManager::erase(const std::string& name, std::size_t id) {
   const std::shared_ptr<Entry> entry = require_entry(name);
   std::unique_lock lock(entry->mutex);
-  return entry->collection->erase(id);
+  const bool erased = entry->collection->erase(id);
+  update_rows_gauge(*entry);
+  return erased;
 }
 
 std::size_t CollectionManager::expire(const std::string& name, std::uint64_t now) {
   const std::shared_ptr<Entry> entry = require_entry(name);
   std::unique_lock lock(entry->mutex);
-  return entry->collection->expire(now);
+  const std::size_t expired = entry->collection->expire(now);
+  update_rows_gauge(*entry);
+  return expired;
 }
 
 std::size_t CollectionManager::expire_all(std::uint64_t now) {
@@ -137,7 +166,10 @@ std::size_t CollectionManager::expire_all(std::uint64_t now) {
     const std::shared_ptr<Entry> entry = find_entry(name);
     if (!entry) continue;  // Dropped between listing and lookup.
     std::unique_lock lock(entry->mutex);
-    if (entry->collection) expired += entry->collection->expire(now);
+    if (entry->collection) {
+      expired += entry->collection->expire(now);
+      update_rows_gauge(*entry);
+    }
   }
   return expired;
 }
@@ -165,9 +197,16 @@ std::future<StoreResponse> CollectionManager::submit(const std::string& name,
   task.k = k;
   task.predicate = std::move(predicate);
   task.submitted = std::chrono::steady_clock::now();
+  if (trace_sampler_.should_sample()) {
+    task.trace = std::make_unique<obs::Trace>("store." + name);
+  }
   std::future<StoreResponse> future = task.promise.get_future();
 
   {
+    // Admission span: the two-level (global queue + per-tenant cap)
+    // decision. Closed before the task is queued so it never races the
+    // worker finishing the trace.
+    obs::TraceSpan admission_span(task.trace.get(), "admission");
     std::lock_guard lock(queue_mutex_);
     if (stopping_) {
       task.promise.set_value(immediate(serve::RequestStatus::kShutdown));
@@ -181,8 +220,9 @@ std::future<StoreResponse> CollectionManager::submit(const std::string& name,
         std::lock_guard stats(entry->stats_mutex);
         ++entry->counters.rejected;
       }
+      entry->requests_rejected.inc();
       task.promise.set_value(immediate(serve::RequestStatus::kRejected));
-      return future;
+      return future;  // The sampled trace (if any) is dropped with the task.
     }
     entry->queued.fetch_add(1, std::memory_order_relaxed);
     {
@@ -192,6 +232,8 @@ std::future<StoreResponse> CollectionManager::submit(const std::string& name,
           std::max(entry->counters.queue_depth_peak,
                    entry->queued.load(std::memory_order_relaxed));
     }
+    admission_span.note("queue_depth", static_cast<double>(queue_.size()));
+    admission_span.close();
     queue_.push_back(std::move(task));
   }
   queue_cv_.notify_one();
@@ -214,14 +256,36 @@ void CollectionManager::worker_loop() {
       task = std::move(queue_.front());
       queue_.pop_front();
     }
-    execute(task);
+    if (task.trace) {
+      // Synthetic queue-wait span (the wait already elapsed, so it is
+      // recorded with explicit timestamps rather than an RAII scope).
+      obs::SpanRecord wait;
+      wait.name = "queue-wait";
+      // Clamped: `submitted` is stamped just before the trace's epoch.
+      wait.start_ms = std::max(0.0, std::chrono::duration<double, std::milli>(
+                                        task.submitted - task.trace->started())
+                                        .count());
+      wait.elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - task.submitted)
+                            .count();
+      task.trace->add(std::move(wait));
+    }
+    StoreResponse response = execute(task);
+    // Decrement BEFORE fulfilling the promise: a caller that saw its
+    // future resolve must observe stats().queue_depth without this task.
     task.entry->queued.fetch_sub(1, std::memory_order_relaxed);
+    task.promise.set_value(std::move(response));
   }
 }
 
-void CollectionManager::execute(Task& task) const {
+StoreResponse CollectionManager::execute(Task& task) const {
   StoreResponse response;
   {
+    // The route span covers predicate routing (band vs post-filter) plus
+    // the engine's own stage spans, which attach to the same trace via
+    // the worker's thread-local context installed here.
+    obs::ScopedTraceContext trace_context(task.trace.get());
+    obs::TraceSpan route_span(task.trace.get(), "route");
     std::shared_lock lock(task.entry->mutex);
     if (!task.entry->collection) {
       response = immediate(serve::RequestStatus::kShutdown);
@@ -232,10 +296,24 @@ void CollectionManager::execute(Task& task) const {
         response = immediate(serve::RequestStatus::kFailed, error.what());
       }
     }
+    if (response.status == serve::RequestStatus::kOk) {
+      route_span.tag(response.result.path == FilterPath::kBand         ? "band"
+                     : response.result.path == FilterPath::kPostFilter ? "post-filter"
+                                                                       : "unfiltered");
+      if (response.result.path != FilterPath::kNone) {
+        route_span.note("selectivity", response.result.selectivity);
+      }
+      route_span.note("energy_j", response.result.result.telemetry.energy_j);
+    }
   }
   record_completion(*task.entry, response.status == serve::RequestStatus::kOk, response,
                     task.submitted);
-  task.promise.set_value(std::move(response));
+  if (task.trace) {
+    obs::TraceSink::global().record(task.trace->finish());
+    std::lock_guard stats(task.entry->stats_mutex);
+    ++task.entry->counters.traces_recorded;
+  }
+  return response;
 }
 
 void CollectionManager::record_completion(Entry& entry, bool ok,
@@ -248,16 +326,21 @@ void CollectionManager::record_completion(Entry& entry, bool ok,
   std::lock_guard lock(entry.stats_mutex);
   if (ok) {
     ++entry.counters.completed;
+    entry.requests_ok.inc();
   } else {
     ++entry.counters.failed;
+    entry.requests_failed.inc();
   }
-  if (entry.latency_ms.size() < kLatencyWindow) {
-    entry.latency_ms.push_back(latency_ms);
-  } else {
-    entry.latency_ms[entry.latency_next] = latency_ms;
+  entry.latency_ms.add(latency_ms);
+  entry.latency_hist.observe(latency_ms);
+  if (ok) {
+    const search::QueryTelemetry& telemetry = response.result.result.telemetry;
+    entry.counters.probes_total += telemetry.probes_used;
+    entry.counters.energy_j_total += telemetry.energy_j;
+    // "none" = ranked in-array (CAM engines report no kernel backend).
+    ++entry.counters.kernel_queries[*telemetry.kernel != '\0' ? telemetry.kernel
+                                                              : "none"];
   }
-  entry.latency_next = (entry.latency_next + 1) % kLatencyWindow;
-  entry.latency_count = std::min(entry.latency_count + 1, kLatencyWindow);
   if (ok && response.result.path != FilterPath::kNone) {
     ++entry.counters.filtered_queries;
     if (response.result.path == FilterPath::kBand) {
@@ -276,13 +359,9 @@ serve::ServiceStats CollectionManager::stats(const std::string& name) const {
   stats.workers = resolved_workers_;
   stats.queue_depth = entry->queued.load(std::memory_order_relaxed);
 
-  std::vector<double> sorted(entry->latency_ms.begin(),
-                             entry->latency_ms.begin() +
-                                 static_cast<std::ptrdiff_t>(entry->latency_count));
-  std::sort(sorted.begin(), sorted.end());
-  stats.latency_p50_ms = serve::nearest_rank_percentile(sorted, 50.0);
-  stats.latency_p95_ms = serve::nearest_rank_percentile(sorted, 95.0);
-  stats.latency_p99_ms = serve::nearest_rank_percentile(sorted, 99.0);
+  stats.latency_p50_ms = entry->latency_ms.percentile(50.0);
+  stats.latency_p95_ms = entry->latency_ms.percentile(95.0);
+  stats.latency_p99_ms = entry->latency_ms.percentile(99.0);
 
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - entry->started)
@@ -359,6 +438,8 @@ std::size_t CollectionManager::load(const std::string& dir) {
     entry->collection = std::move(collection);
     entry->counters.workers = resolved_workers_;
     entry->started = std::chrono::steady_clock::now();
+    resolve_instruments(*entry);
+    update_rows_gauge(*entry);
 
     std::unique_lock lock(registry_mutex_);
     if (!entries_.emplace(name, std::move(entry)).second) {

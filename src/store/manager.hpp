@@ -25,8 +25,11 @@
 // process-local and deliberately not persisted.
 #pragma once
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "serve/service.hpp"
 #include "store/collection.hpp"
+#include "util/statistics.hpp"
 
 #include <atomic>
 #include <chrono>
@@ -57,6 +60,11 @@ struct ManagerConfig {
   std::size_t collection_queue_cap = 256;
   /// Routing knobs applied to every collection created or loaded.
   CollectionOptions collection_options;
+  /// Per-query trace sampling across every collection (1-in-N; 0 = off,
+  /// falling back to the MCAM_TRACE_SAMPLE environment default). Sampled
+  /// traces carry admission / queue-wait / route spans plus the engine's
+  /// stage spans and land in obs::TraceSink::global().
+  std::size_t trace_sample = 0;
 };
 
 /// What a submitted store query resolves to.
@@ -156,8 +164,11 @@ class CollectionManager {
   void stop();
 
  private:
-  /// One tenant: the collection plus its lock, admission counter, and
-  /// stats. Shared-ptr'd so queued work and drops race safely.
+  static constexpr std::size_t kLatencyWindow = 4096;
+
+  /// One tenant: the collection plus its lock, admission counter, stats,
+  /// and its {collection=name}-labeled registry instruments. Shared-ptr'd
+  /// so queued work and drops race safely.
   struct Entry {
     std::string name;
     std::unique_ptr<Collection> collection;  ///< Null once dropped.
@@ -165,11 +176,17 @@ class CollectionManager {
     std::atomic<std::size_t> queued{0};      ///< In-flight (queued) requests.
     mutable std::mutex stats_mutex;
     serve::ServiceStats counters;            ///< Derived fields unused here.
-    std::vector<double> latency_ms;          ///< Latency ring (window below).
-    std::size_t latency_next = 0;
-    std::size_t latency_count = 0;
+    PercentileWindow latency_ms{kLatencyWindow};  ///< Sliding latency window.
     double selectivity_sum = 0.0;            ///< Sum over filtered queries.
     std::chrono::steady_clock::time_point started;
+    // Registry instruments, labeled {collection=name}; resolved once when
+    // the entry is created/loaded. Dropping and recreating a name reuses
+    // the same process-lifetime cells (registry instruments never die).
+    obs::Counter requests_ok;
+    obs::Counter requests_failed;
+    obs::Counter requests_rejected;
+    obs::Histogram latency_hist;
+    obs::Gauge rows_gauge;
   };
 
   struct Task {
@@ -179,20 +196,27 @@ class CollectionManager {
     Predicate predicate;
     std::promise<StoreResponse> promise;
     std::chrono::steady_clock::time_point submitted;
+    std::unique_ptr<obs::Trace> trace;  ///< Sampled stage trace (null = off).
   };
 
-  static constexpr std::size_t kLatencyWindow = 4096;
-
   void worker_loop();
-  void execute(Task& task) const;
+  /// Runs the task (trace context, routing, stats); the caller fulfills
+  /// the promise after decrementing the tenant's in-flight counter, so a
+  /// resolved future implies the stats no longer count this task.
+  [[nodiscard]] StoreResponse execute(Task& task) const;
   [[nodiscard]] std::shared_ptr<Entry> find_entry(const std::string& name) const;
   /// find_entry or throw std::invalid_argument naming the collection.
   [[nodiscard]] std::shared_ptr<Entry> require_entry(const std::string& name) const;
   static void record_completion(Entry& entry, bool ok, const StoreResponse& response,
                                 std::chrono::steady_clock::time_point submitted);
+  /// Resolves the entry's {collection=name}-labeled registry instruments.
+  static void resolve_instruments(Entry& entry);
+  /// Updates the entry's live-rows gauge; call with its lock held.
+  static void update_rows_gauge(Entry& entry);
 
   ManagerConfig config_;
   std::size_t resolved_workers_ = 0;
+  obs::TraceSampler trace_sampler_;
 
   mutable std::shared_mutex registry_mutex_;
   std::map<std::string, std::shared_ptr<Entry>> entries_;

@@ -72,6 +72,48 @@ double percentile(std::vector<double> xs, double p) {
   return xs[lo] * (1.0 - frac) + xs[hi] * frac;
 }
 
+double nearest_rank_percentile(std::span<const double> xs, double p) {
+  if (xs.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double exact = p / 100.0 * static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(exact));
+  rank = std::max<std::size_t>(rank, 1);
+  return sorted[std::min(rank - 1, sorted.size() - 1)];
+}
+
+PercentileWindow::PercentileWindow(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity, 0.0) {}
+
+void PercentileWindow::add(double x) noexcept {
+  ring_[next_] = x;
+  next_ = (next_ + 1) % ring_.size();
+  count_ = std::min(count_ + 1, ring_.size());
+  ++total_;
+}
+
+double PercentileWindow::percentile(double p) const {
+  return nearest_rank_percentile(std::span<const double>(ring_.data(), count_), p);
+}
+
+double PercentileWindow::mean() const noexcept {
+  if (count_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < count_; ++i) sum += ring_[i];
+  return sum / static_cast<double>(count_);
+}
+
+std::vector<double> PercentileWindow::samples() const {
+  return {ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(count_)};
+}
+
+void PercentileWindow::clear() noexcept {
+  next_ = 0;
+  count_ = 0;
+  total_ = 0;
+}
+
 double proportion_ci95(double p_hat, std::size_t n) noexcept {
   if (n == 0) return 0.0;
   const double se = std::sqrt(std::max(p_hat * (1.0 - p_hat), 0.0) / static_cast<double>(n));

@@ -51,6 +51,43 @@ class RunningStats {
 /// Linear-interpolated percentile, `p` in [0, 100]. Throws on empty input.
 [[nodiscard]] double percentile(std::vector<double> xs, double p);
 
+/// Nearest-rank percentile (no interpolation): the ceil(p/100 * n)-th
+/// smallest sample, so the result is always a value that actually
+/// occurred - the convention SLO latency reporting uses. Sorts a copy;
+/// returns 0 for an empty span. `p` is clamped to [0, 100].
+[[nodiscard]] double nearest_rank_percentile(std::span<const double> xs, double p);
+
+/// Fixed-capacity sliding window over a stream of samples with
+/// nearest-rank percentile queries - the latency/margin window shape the
+/// serving layers (serve::ServiceStats, store::CollectionManager) share.
+/// Once full, each add overwrites the oldest sample (ring buffer).
+/// Not thread-safe; callers hold their own stats lock.
+class PercentileWindow {
+ public:
+  explicit PercentileWindow(std::size_t capacity);
+
+  /// Appends one sample, evicting the oldest when full.
+  void add(double x) noexcept;
+  /// Samples currently retained (<= capacity).
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  /// Total samples ever added (retained or evicted).
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+  [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+  /// Nearest-rank percentile over the retained samples; 0 when empty.
+  [[nodiscard]] double percentile(double p) const;
+  /// Mean of the retained samples; 0 when empty.
+  [[nodiscard]] double mean() const noexcept;
+  /// Oldest-first is not guaranteed - just the retained samples.
+  [[nodiscard]] std::vector<double> samples() const;
+  void clear() noexcept;
+
+ private:
+  std::vector<double> ring_;
+  std::size_t next_ = 0;
+  std::size_t count_ = 0;
+  std::size_t total_ = 0;
+};
+
 /// Half-width of the normal-approximation 95% confidence interval on a
 /// proportion `p_hat` estimated from `n` trials.
 [[nodiscard]] double proportion_ci95(double p_hat, std::size_t n) noexcept;
