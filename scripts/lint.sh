@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Static-analysis gate: repo invariants + clang-tidy vs the committed
+# baseline. Exit 0 = clean.
+#
+# Usage:
+#   scripts/lint.sh                 # lint against build/compile_commands.json
+#   BUILD_DIR=out scripts/lint.sh   # other build tree
+#
+# Stages:
+#   1. scripts/check_invariants.py - always runs (pure python3); the rules
+#      and their annotation escapes are documented in the script header.
+#   2. clang-tidy over every src/ TU in compile_commands.json, using the
+#      repo .clang-tidy profile. Findings are normalized to
+#      `path:line: check-name` and diffed against scripts/lint_baseline.txt:
+#      new findings fail, fixed findings just print a reminder to shrink
+#      the baseline. Skipped with a notice when clang-tidy is not
+#      installed, unless MCAM_LINT_REQUIRE_TIDY=1 (the CI lint job sets
+#      it, so CI can never silently skip the stage).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${BUILD_DIR:-${repo_root}/build}"
+baseline="${repo_root}/scripts/lint_baseline.txt"
+status=0
+
+echo "== check_invariants =="
+if ! python3 "${repo_root}/scripts/check_invariants.py" --root "${repo_root}"; then
+  status=1
+fi
+
+echo "== clang-tidy =="
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  if [[ "${MCAM_LINT_REQUIRE_TIDY:-0}" == "1" ]]; then
+    echo "error: clang-tidy not installed but MCAM_LINT_REQUIRE_TIDY=1" >&2
+    exit 1
+  fi
+  echo "notice: clang-tidy not installed - stage skipped (CI runs it)"
+  exit "${status}"
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found." >&2
+  echo "       Configure first: cmake -B '${build_dir}' -S '${repo_root}'" >&2
+  exit 1
+fi
+
+# Library TUs only: tests/benches get their coverage via the warning set;
+# clang-tidy over gtest macro expansions is noise.
+mapfile -t sources < <(python3 - "$build_dir/compile_commands.json" <<'EOF'
+import json, sys
+for entry in json.load(open(sys.argv[1])):
+    path = entry["file"]
+    if "/src/" in path and path.endswith(".cpp"):
+        print(path)
+EOF
+)
+
+findings_file="$(mktemp)"
+trap 'rm -f "${findings_file}"' EXIT
+for source in "${sources[@]}"; do
+  clang-tidy -p "${build_dir}" --quiet "${source}" 2>/dev/null || true
+done |
+  grep -E '^[^ ]+:[0-9]+:[0-9]+: (warning|error):' |
+  sed -E "s|^${repo_root}/||; s|:([0-9]+):[0-9]+: (warning\|error): .* (\[[a-z0-9.,-]+\])$|:\1: \3|" |
+  sort -u > "${findings_file}"
+
+new_findings="$(comm -23 "${findings_file}" <(grep -v '^#' "${baseline}" | sort -u))"
+fixed_findings="$(comm -13 "${findings_file}" <(grep -v '^#' "${baseline}" | sort -u))"
+
+if [[ -n "${new_findings}" ]]; then
+  echo "new clang-tidy findings (not in scripts/lint_baseline.txt):"
+  echo "${new_findings}"
+  status=1
+else
+  echo "no new clang-tidy findings"
+fi
+if [[ -n "${fixed_findings}" ]]; then
+  echo "stale baseline entries (fixed - remove them from lint_baseline.txt):"
+  echo "${fixed_findings}"
+fi
+
+exit "${status}"

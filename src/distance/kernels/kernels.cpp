@@ -95,16 +95,17 @@ std::atomic<bool>& force_flag() noexcept {
 
 const KernelOps& scalar_ops() noexcept { return kScalarOps; }
 
+// The force flag uses the seq_cst defaults: it flips only in tests and
+// benches, so the cross-thread publication guarantee is worth more than
+// the (unmeasurable) cost of the stronger ordering on the query path.
 const KernelOps& active_ops() noexcept {
   static const KernelOps* best = probe_best();
-  return force_flag().load(std::memory_order_relaxed) ? kScalarOps : *best;
+  return force_flag().load() ? kScalarOps : *best;
 }
 
-void set_force_scalar(bool force) noexcept {
-  force_flag().store(force, std::memory_order_relaxed);
-}
+void set_force_scalar(bool force) noexcept { force_flag().store(force); }
 
-bool force_scalar() noexcept { return force_flag().load(std::memory_order_relaxed); }
+bool force_scalar() noexcept { return force_flag().load(); }
 
 double finalize(MetricKind kind, float acc, double query_norm, double row_norm) noexcept {
   switch (kind) {

@@ -84,9 +84,16 @@ std::string json_labels(const Labels& labels) {
   for (const auto& [key, value] : labels) {
     if (!first) out += ",";
     first = false;
-    out += "\"" + escape_json(key) + "\":\"" + escape_json(value) + "\"";
+    // Appends (not operator+ chains): gcc 12's -Wrestrict false-positives
+    // on `const char* + std::string&&` at -O2 (GCC PR105651).
+    out += "\"";
+    out += escape_json(key);
+    out += "\":\"";
+    out += escape_json(value);
+    out += "\"";
   }
-  return out + "}";
+  out += "}";
+  return out;
 }
 
 }  // namespace

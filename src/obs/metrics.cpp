@@ -61,14 +61,17 @@ Labels normalized(Labels labels) {
 }  // namespace
 
 struct Registry::Shard {
+  // lock-order: leaf. Guards this shard's instrument maps during
+  // resolve/snapshot/reset only; no other lock is ever acquired while a
+  // shard mutex is held, and snapshot() walks shards one at a time.
   mutable std::mutex mutex;
   std::map<InstrumentKey, std::unique_ptr<detail::CounterCell>> counters;
   std::map<InstrumentKey, std::unique_ptr<detail::GaugeCell>> gauges;
   std::map<InstrumentKey, std::unique_ptr<detail::HistogramCell>> histograms;
 };
 
-Registry::Registry() : shards_(new Shard[kShards]) {}
-Registry::~Registry() { delete[] shards_; }
+Registry::Registry() : shards_(std::make_unique<Shard[]>(kShards)) {}
+Registry::~Registry() = default;
 
 Registry::Shard& Registry::shard_for(const std::string& name) const {
   return shards_[std::hash<std::string>{}(name) % kShards];
@@ -190,7 +193,7 @@ void Registry::reset() {
 Registry& Registry::global() {
   // Leaked on purpose: handles resolved anywhere in the process must stay
   // valid through every static destructor.
-  static Registry* registry = new Registry();
+  static Registry* registry = new Registry();  // invariant-ok: naked-new (leaked singleton)
   return *registry;
 }
 

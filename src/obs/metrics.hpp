@@ -29,6 +29,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -79,6 +80,32 @@ struct MetricsSnapshot {
 
 #ifndef MCAM_OBS_DISABLED
 
+// --- Memory-ordering contract (src/obs/ is the one place relaxed
+// atomics are allowed; scripts/check_invariants.py enforces the border).
+//
+// Every instrument field is an individual std::atomic updated with
+// memory_order_relaxed. That buys the cheapest possible hot path
+// (inc()/observe() are single uncontended RMWs with no fences) and costs
+// exactly one guarantee: *cross-field consistency while updates are in
+// flight*. The contract, pinned by
+// tests/stress/ StressMetrics.HistogramSnapshotDuringIncrementsPinnedContract:
+//
+//  - Per field, torn-free and monotone: a snapshot never sees a half
+//    written value, and counters / histogram counts never move backward
+//    across successive snapshots (gauges may - set() is last-writer-wins).
+//  - Across fields, NO joint consistency mid-flight: a histogram snapshot
+//    may show a bucket increment whose `count` increment is not visible
+//    yet (observe() writes bucket, then count, then sum, all relaxed), so
+//    `sum(counts) == count` holds only at quiescence. Exporters and
+//    dashboards must treat the fields as independently-sampled streams.
+//  - Quiescent exactness: after every incrementing thread has finished
+//    (joined, or otherwise synchronized-with the reader), a snapshot is
+//    exact - relaxed RMWs never lose increments, and the thread join
+//    provides the happens-before edge that publishes them.
+//
+// TSan models these atomics natively: the relaxed ops are *not* data
+// races and need no annotations from src/util/tsan.hpp.
+
 namespace detail {
 struct CounterCell {
   std::atomic<std::uint64_t> value{0};
@@ -88,6 +115,8 @@ struct GaugeCell {
 };
 struct HistogramCell {
   explicit HistogramCell(std::vector<double> upper_bounds);
+  /// Relaxed writes in bucket -> count -> sum order; see the contract
+  /// block above for what a concurrent snapshot may observe.
   void observe(double x) noexcept;
   const std::vector<double> bounds;            ///< Ascending, deduped.
   std::vector<std::atomic<std::uint64_t>> counts;  ///< bounds.size() + 1.
@@ -189,7 +218,7 @@ class Registry {
   [[nodiscard]] Shard& shard_for(const std::string& name) const;
 
   static constexpr std::size_t kShards = 8;
-  Shard* shards_;  ///< Owned array of kShards.
+  std::unique_ptr<Shard[]> shards_;  ///< Array of kShards (Shard defined in the .cpp).
 };
 
 #else  // MCAM_OBS_DISABLED: inert instruments, stub registry.

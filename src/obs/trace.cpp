@@ -11,11 +11,18 @@ namespace {
 std::string span_json(const SpanRecord& span) {
   using detail::escape_json;
   using detail::format_number;
-  std::string out = "{\"name\":\"" + escape_json(span.name) +
-                    "\",\"start_ms\":" + format_number(span.start_ms) +
-                    ",\"elapsed_ms\":" + format_number(span.elapsed_ms);
+  // Appends (not operator+ chains): gcc 12's -Wrestrict false-positives
+  // on `const char* + std::string&&` at -O2 (GCC PR105651).
+  std::string out = "{\"name\":\"";
+  out += escape_json(span.name);
+  out += "\",\"start_ms\":";
+  out += format_number(span.start_ms);
+  out += ",\"elapsed_ms\":";
+  out += format_number(span.elapsed_ms);
   if (span.tag[0] != '\0') {
-    out += ",\"tag\":\"" + escape_json(span.tag) + "\"";
+    out += ",\"tag\":\"";
+    out += escape_json(span.tag);
+    out += "\"";
   }
   if (!span.notes.empty()) {
     out += ",\"notes\":{";
@@ -23,11 +30,15 @@ std::string span_json(const SpanRecord& span) {
     for (const auto& [key, value] : span.notes) {
       if (!first) out += ",";
       first = false;
-      out += "\"" + escape_json(key) + "\":" + format_number(value);
+      out += "\"";
+      out += escape_json(key);
+      out += "\":";
+      out += format_number(value);
     }
     out += "}";
   }
-  return out + "}";
+  out += "}";
+  return out;
 }
 
 }  // namespace
@@ -35,14 +46,19 @@ std::string span_json(const SpanRecord& span) {
 std::string to_json(const TraceRecord& record) {
   using detail::escape_json;
   using detail::format_number;
-  std::string out = "{\"trace\":\"" + escape_json(record.root) +
-                    "\",\"id\":" + std::to_string(record.id) +
-                    ",\"total_ms\":" + format_number(record.total_ms) + ",\"spans\":[";
+  std::string out = "{\"trace\":\"";
+  out += escape_json(record.root);
+  out += "\",\"id\":";
+  out += std::to_string(record.id);
+  out += ",\"total_ms\":";
+  out += format_number(record.total_ms);
+  out += ",\"spans\":[";
   for (std::size_t i = 0; i < record.spans.size(); ++i) {
     if (i > 0) out += ",";
     out += span_json(record.spans[i]);
   }
-  return out + "]}";
+  out += "]}";
+  return out;
 }
 
 std::size_t env_trace_sample() {
@@ -139,7 +155,7 @@ std::string TraceSink::to_jsonl() const {
 TraceSink& TraceSink::global() {
   // Leaked on purpose, like Registry::global(): worker threads may record
   // into it during static destruction.
-  static TraceSink* sink = new TraceSink();
+  static TraceSink* sink = new TraceSink();  // invariant-ok: naked-new (leaked singleton)
   return *sink;
 }
 

@@ -83,6 +83,8 @@ class Trace {
   [[nodiscard]] TraceRecord finish();
 
  private:
+  // lock-order: leaf. Serializes add()/finish() span appends from
+  // fan-out worker threads; held only for the vector push_back.
   std::mutex mutex_;
   TraceRecord record_;
   std::chrono::steady_clock::time_point started_;
@@ -138,6 +140,16 @@ class TraceSpan {
 };
 
 /// 1-in-N trace sampling decision, shared across threads.
+///
+/// Memory-ordering contract (relaxed atomics are allowed here - src/obs/
+/// - with the same rules as obs/metrics.hpp): `counter_` is a single
+/// relaxed fetch_add, so concurrent should_sample() calls draw globally
+/// unique tickets and the TOTAL number of true decisions over N calls is
+/// exactly ceil(N / every) regardless of interleaving (pinned by
+/// tests/stress/ StressTrace.SamplerSharedCounterIsExact) - but WHICH
+/// caller gets `true` is unspecified, and a set_every() racing
+/// should_sample() may apply to an unbounded number of in-flight calls
+/// on either side. TSan models both atomics natively; no annotations.
 class TraceSampler {
  public:
   /// `every` = N of 1-in-N; 0 disables sampling entirely.
@@ -180,6 +192,9 @@ class TraceSink {
   [[nodiscard]] static TraceSink& global();
 
  private:
+  // lock-order: leaf. Guards the ring, the id stamp, and the total in
+  // record()/recent()/recorded_total()/clear(); never held across
+  // serialization (to_jsonl copies out via recent() first).
   mutable std::mutex mutex_;
   std::deque<TraceRecord> ring_;
   std::size_t capacity_;

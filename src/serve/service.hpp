@@ -245,18 +245,29 @@ class QueryService {
   search::NnIndex& index_;
   QueryServiceConfig config_;
 
-  mutable std::shared_mutex index_mutex_;  ///< shared = query, exclusive = add/erase.
+  // Lock hierarchy (acquire strictly left to right; stress-tested by
+  // tests/stress/ and watched by TSan's deadlock detector in CI):
+  //   index_mutex_ -> cache_mutex_ -> stats_mutex_   (execute path)
+  //   queue_mutex_ -> stats_mutex_                   (submit/drain path)
+  // index_mutex_ and queue_mutex_ are never held together.
 
+  /// lock-order: first (before cache_mutex_/stats_mutex_).
+  /// shared = query, exclusive = add/erase.
+  mutable std::shared_mutex index_mutex_;
+
+  /// lock-order: first (before stats_mutex_; never with index_mutex_).
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Request> queue_;
   bool stopping_ = false;
 
+  /// lock-order: after index_mutex_, before stats_mutex_.
   mutable std::mutex cache_mutex_;
   LruList lru_;
   std::unordered_map<CacheKey, LruList::iterator, CacheKeyHash> cache_;
   std::atomic<std::uint64_t> cache_generation_{0};
 
+  /// lock-order: last (leaf; no lock acquired while held).
   mutable std::mutex stats_mutex_;
   ServiceStats counters_;               ///< Percentiles/derived fields unused here.
   PercentileWindow latency_window_ms_;  ///< Sliding window of completion latencies.

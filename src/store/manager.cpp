@@ -214,7 +214,7 @@ std::future<StoreResponse> CollectionManager::submit(const std::string& name,
     }
     const bool queue_full = queue_.size() >= config_.queue_capacity;
     const bool tenant_full =
-        entry->queued.load(std::memory_order_relaxed) >= config_.collection_queue_cap;
+        entry->queued.load() >= config_.collection_queue_cap;
     if (queue_full || tenant_full) {
       {
         std::lock_guard stats(entry->stats_mutex);
@@ -224,13 +224,13 @@ std::future<StoreResponse> CollectionManager::submit(const std::string& name,
       task.promise.set_value(immediate(serve::RequestStatus::kRejected));
       return future;  // The sampled trace (if any) is dropped with the task.
     }
-    entry->queued.fetch_add(1, std::memory_order_relaxed);
+    entry->queued.fetch_add(1);
     {
       std::lock_guard stats(entry->stats_mutex);
       ++entry->counters.accepted;
       entry->counters.queue_depth_peak =
           std::max(entry->counters.queue_depth_peak,
-                   entry->queued.load(std::memory_order_relaxed));
+                   entry->queued.load());
     }
     admission_span.note("queue_depth", static_cast<double>(queue_.size()));
     admission_span.close();
@@ -273,7 +273,7 @@ void CollectionManager::worker_loop() {
     StoreResponse response = execute(task);
     // Decrement BEFORE fulfilling the promise: a caller that saw its
     // future resolve must observe stats().queue_depth without this task.
-    task.entry->queued.fetch_sub(1, std::memory_order_relaxed);
+    task.entry->queued.fetch_sub(1);
     task.promise.set_value(std::move(response));
   }
 }
@@ -357,7 +357,7 @@ serve::ServiceStats CollectionManager::stats(const std::string& name) const {
   std::lock_guard lock(entry->stats_mutex);
   serve::ServiceStats stats = entry->counters;
   stats.workers = resolved_workers_;
-  stats.queue_depth = entry->queued.load(std::memory_order_relaxed);
+  stats.queue_depth = entry->queued.load();
 
   stats.latency_p50_ms = entry->latency_ms.percentile(50.0);
   stats.latency_p95_ms = entry->latency_ms.percentile(95.0);

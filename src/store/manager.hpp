@@ -172,8 +172,13 @@ class CollectionManager {
   struct Entry {
     std::string name;
     std::unique_ptr<Collection> collection;  ///< Null once dropped.
-    mutable std::shared_mutex mutex;         ///< shared = query, exclusive = mutate.
+    /// lock-order: standalone - never held together with any other lock
+    /// (callers resolve the entry via registry_mutex_ FIRST, release it,
+    /// THEN lock this). shared = query, exclusive = mutate.
+    mutable std::shared_mutex mutex;
     std::atomic<std::size_t> queued{0};      ///< In-flight (queued) requests.
+    /// lock-order: last (leaf; taken under queue_mutex_ on the submit
+    /// path, alone everywhere else; no lock acquired while held).
     mutable std::mutex stats_mutex;
     serve::ServiceStats counters;            ///< Derived fields unused here.
     PercentileWindow latency_ms{kLatencyWindow};  ///< Sliding latency window.
@@ -218,9 +223,22 @@ class CollectionManager {
   std::size_t resolved_workers_ = 0;
   obs::TraceSampler trace_sampler_;
 
+  // Lock hierarchy (stress-tested by tests/stress/ and watched by TSan's
+  // deadlock detector in CI). The only nesting in the manager is
+  //   queue_mutex_ -> Entry::stats_mutex   (admission on the submit path)
+  // - every other lock (registry_mutex_, Entry::mutex) is taken and
+  // released on its own: lookups copy the shared_ptr out of the registry
+  // before touching the entry, and workers drop queue_mutex_ before
+  // executing.
+
+  /// lock-order: standalone - guards only the name -> Entry map; never
+  /// held while acquiring any other lock (entries are shared_ptr-copied
+  /// out first).
   mutable std::shared_mutex registry_mutex_;
   std::map<std::string, std::shared_ptr<Entry>> entries_;
 
+  /// lock-order: first (before Entry::stats_mutex on the submit path;
+  /// never with registry_mutex_ or Entry::mutex).
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<Task> queue_;

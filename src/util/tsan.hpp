@@ -1,0 +1,63 @@
+// ThreadSanitizer integration: detection, happens-before annotations, and
+// the rare opt-out attribute.
+//
+// The repo's policy is that TSan findings are build failures
+// (-DMCAM_SANITIZE=thread in CI runs the whole suite plus the stress
+// tortures), and the suppression file (.tsan-suppressions) stays empty.
+// That only works if deliberately-racy code either goes through
+// std::atomic - which TSan models natively, including the relaxed
+// counters in src/obs/ - or tells TSan about synchronization it cannot
+// see. This header is where the telling happens:
+//
+//  - MCAM_TSAN_ENABLED: 1 when this TU is compiled under
+//    -fsanitize=thread (gcc defines __SANITIZE_THREAD__, clang exposes
+//    __has_feature(thread_sanitizer)), else 0.
+//  - MCAM_TSAN_ACQUIRE(addr) / MCAM_TSAN_RELEASE(addr): establish a
+//    happens-before edge on `addr` for synchronization TSan cannot infer
+//    (e.g. handshakes through external processes or futex-free
+//    publication schemes). These are the __tsan_acquire/__tsan_release
+//    runtime hooks; no-ops in uninstrumented builds. std::atomic code
+//    does NOT need them - use them only where a real fence exists that
+//    TSan cannot model, and say why at the call site.
+//  - MCAM_NO_SANITIZE_THREAD: function attribute excluding one function
+//    from instrumentation. Last resort; prefer fixing or annotating.
+//
+// Anything suppressed here or in .tsan-suppressions must carry a
+// justification comment; scripts/check_invariants.py and the lint CI job
+// keep the green-by-construction property honest.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+#define MCAM_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MCAM_TSAN_ENABLED 1
+#endif
+#endif
+
+#ifndef MCAM_TSAN_ENABLED
+#define MCAM_TSAN_ENABLED 0
+#endif
+
+#if MCAM_TSAN_ENABLED
+
+extern "C" {
+void __tsan_acquire(void* addr);
+void __tsan_release(void* addr);
+}
+
+/// Declares that reads after this point see writes made before the
+/// matching MCAM_TSAN_RELEASE on the same address.
+#define MCAM_TSAN_ACQUIRE(addr) __tsan_acquire(const_cast<void*>(static_cast<const void*>(addr)))
+/// Declares the release half of a happens-before edge on `addr`.
+#define MCAM_TSAN_RELEASE(addr) __tsan_release(const_cast<void*>(static_cast<const void*>(addr)))
+/// Excludes the annotated function from TSan instrumentation entirely.
+#define MCAM_NO_SANITIZE_THREAD __attribute__((no_sanitize("thread")))
+
+#else
+
+#define MCAM_TSAN_ACQUIRE(addr) static_cast<void>(addr)
+#define MCAM_TSAN_RELEASE(addr) static_cast<void>(addr)
+#define MCAM_NO_SANITIZE_THREAD
+
+#endif  // MCAM_TSAN_ENABLED

@@ -165,7 +165,9 @@ TEST(McamCell, TwoBitCellHasFourStates) {
     const McamCell cell{map, s};
     EXPECT_LT(cell.conductance_for_input(s), 10e-9);
     for (std::size_t input = 0; input < 4; ++input) {
-      if (input != s) EXPECT_GT(cell.conductance_for_input(input), 5e-9);
+      if (input != s) {
+        EXPECT_GT(cell.conductance_for_input(input), 5e-9);
+      }
     }
   }
 }

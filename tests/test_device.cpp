@@ -108,7 +108,9 @@ TEST(TransferCurve, EightStatesAreOrdered) {
     device.ensemble().force_up_fraction(0.875 - 0.125 * level);  // Vth 0.48..1.32.
     const TransferCurve curve = trace_transfer_curve(device, 0.1, 0.0, 1.2, 25);
     const double id_mid = curve.id[12];
-    if (previous >= 0.0) EXPECT_LT(id_mid, previous);
+    if (previous >= 0.0) {
+      EXPECT_LT(id_mid, previous);
+    }
     previous = id_mid;
   }
 }

@@ -52,7 +52,9 @@ TEST(TcamArray, ElectricalOrderingMatchesHamming) {
     const auto d = tcam.hamming_distances(query);
     for (std::size_t i = 0; i < g.size(); ++i) {
       for (std::size_t j = 0; j < g.size(); ++j) {
-        if (d[i] < d[j]) EXPECT_LT(g[i], g[j]);
+        if (d[i] < d[j]) {
+          EXPECT_LT(g[i], g[j]);
+        }
       }
     }
   }
@@ -164,7 +166,9 @@ TEST(TcamArray, MultiProbeSweepMatchesFlippedHammingDistances) {
     for (std::size_t i = 0; i < 12; ++i) {
       // Per-probe electrical ordering still tracks Hamming distance.
       for (std::size_t j = 0; j < 12; ++j) {
-        if (d[i] < d[j]) EXPECT_LT(g[i], g[j]);
+        if (d[i] < d[j]) {
+          EXPECT_LT(g[i], g[j]);
+        }
       }
       best_distance[i] = std::min(best_distance[i], d[i]);
       best_conductance[i] = std::min(best_conductance[i], g[i]);
