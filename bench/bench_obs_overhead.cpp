@@ -40,7 +40,7 @@ double min_of_reps(std::size_t reps, const std::function<double()>& run) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcam;
 
   constexpr std::size_t kRows = 2048;
@@ -156,6 +156,17 @@ int main() {
               query_ns > 0.0 ? 100.0 * (sampled_ns - query_ns) / query_ns : 0.0);
   std::printf("query (always-on):     %10.1f ns/query (%+.1f%%)\n", always_ns,
               query_ns > 0.0 ? 100.0 * (always_ns - query_ns) / query_ns : 0.0);
+
+  bench::BenchReport report{"obs_overhead", argc, argv};
+  report.note("spec", kSpec);
+  report.note("rows", std::to_string(kRows));
+  report.note("queries", std::to_string(kQueries));
+  report.metric("query_untraced", query_ns, "ns/query");
+  report.metric("noop_span", noop_span_ns, "ns");
+  report.metric("disabled_path_overhead", off_pct, "%");
+  report.metric("query_sampled_1_16", sampled_ns, "ns/query");
+  report.metric("query_always_on", always_ns, "ns/query");
+  report.write();
 
   if (off_pct > 2.0) {
     std::fprintf(stderr,

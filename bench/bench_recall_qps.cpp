@@ -44,7 +44,7 @@
 #include <string>
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcam;
   using Clock = std::chrono::steady_clock;
 
@@ -292,6 +292,17 @@ int main() {
     }
     bench::emit(energy, "recall_qps_energy");
   }
+
+  bench::BenchReport report{"recall_qps", argc, argv};
+  report.note("rows", std::to_string(kRows));
+  report.note("coarse_bits", std::to_string(kCoarseBits));
+  report.metric("exhaustive_qps", exhaustive_qps, "1/s");
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    report.metric("recall95_budget_" + models[m], budget[m], "fine candidates");
+  }
+  report.metric("multiprobe_recall_1", probe1_recall, "recall@10");
+  report.metric("multiprobe_recall_max", probe_last_recall, "recall@10");
+  report.write();
 
   if (!frontier_reached) {
     std::cerr << "FAIL: no swept (model, candidate_factor) reached recall@10 >= 0.95 "

@@ -132,7 +132,7 @@ void check_identity(const char* workload, std::size_t q, const RankFn& rank_func
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcam;
   namespace kernels = distance::kernels;
 
@@ -237,6 +237,18 @@ int main() {
     best_speedup = std::max(best_speedup, scan_s[0] / scan_s[p]);
     best_speedup = std::max(best_speedup, subset_s[0] / subset_s[p]);
   }
+
+  bench::BenchReport report{"rerank", argc, argv};
+  report.note("rows", std::to_string(kRows));
+  report.note("features", std::to_string(kFeatures));
+  report.note("kernel", kernels::active_ops().name);
+  for (std::size_t p = 0; p < paths.size(); ++p) {
+    report.metric("scan_" + paths[p].kernel, scan_work / scan_s[p], "rows/s");
+    report.metric("subset_" + paths[p].kernel, subset_work / subset_s[p], "cand/s");
+  }
+  report.metric("best_speedup_vs_functor", best_speedup, "x");
+  report.write();
+
   if (simd_dispatched && best_speedup < 4.0) {
     std::cerr << "FAIL: best kernel path is only " << format_double(best_speedup, 2)
               << "x the functor loop (>= 4x required when SIMD dispatched)\n";

@@ -17,7 +17,7 @@
 #include <future>
 #include <vector>
 
-int main() {
+int main(int argc, char** argv) {
   using namespace mcam;
   using Clock = std::chrono::steady_clock;
 
@@ -129,6 +129,21 @@ int main() {
     std::printf(", %s x%zu", kernel.c_str(), count);
   }
   std::printf("\n");
+
+  bench::BenchReport report{"serve_throughput", argc, argv};
+  report.note("spec", kSpec);
+  report.note("rows", std::to_string(kRows));
+  report.note("requests", std::to_string(kRequests));
+  report.metric("snapshot_bytes", static_cast<double>(blob.size()), "B");
+  report.metric("cold_build", cold_ms.count(), "ms");
+  report.metric("warm_restore", warm_ms.count(), "ms");
+  report.metric("direct_qps", static_cast<double>(kRequests) / direct_s.count(), "1/s");
+  report.metric("service_qps", static_cast<double>(ok) / served_s.count(), "1/s");
+  report.metric("latency_p50", stats.latency_p50_ms, "ms");
+  report.metric("latency_p99", stats.latency_p99_ms, "ms");
+  report.metric("energy_per_query", joules_per_query, "J");
+  report.write();
+
   std::printf("OK: restore bit-identical, %zu/%zu requests served identically\n", ok,
               kRequests);
   return 0;

@@ -1,12 +1,15 @@
-// Observability walkthrough: run a traced serving workload, then dump
-// what the obs layer saw - the metrics registry in Prometheus text and
-// JSON-lines form, and the per-query stage traces from the global sink.
+// Observability walkthrough: run a traced serving workload with the
+// recall canary on, then dump what the obs layer saw - the metrics
+// registry in Prometheus text and JSON-lines form, the per-query stage
+// traces from the global sink, and the online-health snapshot (canary
+// recall estimate + device scrub) as one JSON object.
 //
 // This is the wiring a real deployment would hang a scrape endpoint and a
 // log shipper on:
 //
 //   GET /metrics  ->  obs::to_prometheus(obs::snapshot())
 //   trace log     ->  obs::TraceSink::global().to_jsonl()
+//   GET /health   ->  obs::to_json(service.health_report())
 //
 // Build with -DMCAM_OBS_DISABLED=ON and the same program prints empty
 // sections: the serving code is unchanged, the instruments are stubs.
@@ -46,12 +49,17 @@ int main() {
 
   serve::QueryServiceConfig service_config;
   service_config.trace_sample = config.trace_sample;
+  // Recall canary: re-execute 1 in 4 completed queries through the exact
+  // fine path on a background worker and score the served answer.
+  service_config.canary.sample_every = 4;
   serve::QueryService service{*index, service_config};
   for (std::size_t i = 0; i < kRequests; ++i) {
     std::vector<float> query(kFeatures);
     for (auto& v : query) v = static_cast<float>(rng.normal());
     (void)service.query_one(std::move(query), kTopK);
   }
+  service.canary_drain();       // Settle the canary queue before reporting.
+  (void)service.scrub_health(); // One device scrub so the report has banks.
   const serve::ServiceStats stats = service.stats();
 
   std::printf("=== served %zu queries, traced %llu (1 in %zu) ===\n\n", stats.completed,
@@ -61,7 +69,9 @@ int main() {
   std::printf("--- metrics: Prometheus text exposition ---\n%s\n",
               obs::to_prometheus(obs::snapshot()).c_str());
   std::printf("--- metrics: JSON lines ---\n%s\n", obs::to_jsonl(obs::snapshot()).c_str());
-  std::printf("--- traces: JSON lines (global sink) ---\n%s",
+  std::printf("--- traces: JSON lines (global sink) ---\n%s\n",
               obs::TraceSink::global().to_jsonl().c_str());
+  std::printf("--- health: canary + device scrub (JSON) ---\n%s\n",
+              obs::to_json(service.health_report()).c_str());
   return 0;
 }

@@ -3,6 +3,7 @@
 #include "util/linalg.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <stdexcept>
 #include <string>
@@ -81,6 +82,10 @@ std::size_t McamArray::add_row(std::span<const std::uint16_t> levels) {
       cell.dvth_left = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
       cell.dvth_right = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
     }
+    if (config_.drift_sigma > 0.0) {
+      cell.dvth_left += static_cast<float>(rng_.normal(0.0, config_.drift_sigma));
+      cell.dvth_right += static_cast<float>(rng_.normal(0.0, config_.drift_sigma));
+    }
     if (config_.stuck_short_rate > 0.0 && rng_.bernoulli(config_.stuck_short_rate)) {
       cell.fault = CellFault::kStuckShort;
       ++faulty_cells_;
@@ -122,6 +127,65 @@ std::vector<std::uint16_t> McamArray::row_levels(std::size_t i) const {
   levels.reserve(rows_[i].size());
   for (const CellState& cell : rows_[i]) levels.push_back(cell.level);
   return levels;
+}
+
+std::vector<std::uint16_t> McamArray::row_readback(std::size_t i) const {
+  if (i >= rows_.size()) throw std::out_of_range{"McamArray::row_readback: bad row"};
+  const auto& map = config_.level_map;
+  std::vector<std::uint16_t> levels;
+  levels.reserve(rows_[i].size());
+  for (const CellState& cell : rows_[i]) {
+    const double right = map.right_fefet_vth(cell.level) + cell.dvth_right;
+    const double left = map.left_fefet_vth(cell.level) + cell.dvth_left;
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t s = 0; s < map.num_states(); ++s) {
+      const double dr = map.right_fefet_vth(s) - right;
+      const double dl = map.left_fefet_vth(s) - left;
+      const double d = dr * dr + dl * dl;
+      // Strict < keeps ties on the lowest state, so the zero-noise readback
+      // reproduces row_levels() exactly.
+      if (d < best_d) {
+        best_d = d;
+        best = s;
+      }
+    }
+    levels.push_back(static_cast<std::uint16_t>(best));
+  }
+  return levels;
+}
+
+RowHealth McamArray::row_health(std::size_t i) const {
+  const std::vector<std::uint16_t> readback = row_readback(i);  // bounds-checks i
+  const auto& row = rows_[i];
+  RowHealth health;
+  health.cells = row.size();
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (row[c].fault != CellFault::kNone) {
+      ++health.faulty;
+      continue;
+    }
+    if (readback[c] != row[c].level) ++health.mismatched;
+    const double shift = std::max(std::abs(static_cast<double>(row[c].dvth_left)),
+                                  std::abs(static_cast<double>(row[c].dvth_right)));
+    health.sum_abs_shift_v += shift;
+    health.max_abs_shift_v = std::max(health.max_abs_shift_v, shift);
+  }
+  return health;
+}
+
+std::size_t McamArray::apply_drift(double sigma, std::uint64_t seed) {
+  if (sigma <= 0.0) return 0;
+  Rng rng{seed};
+  std::size_t cells = 0;
+  for (auto& row : rows_) {
+    for (CellState& cell : row) {
+      cell.dvth_left += static_cast<float>(rng.normal(0.0, sigma));
+      cell.dvth_right += static_cast<float>(rng.normal(0.0, sigma));
+      ++cells;
+    }
+  }
+  return cells;
 }
 
 bool McamArray::row_valid(std::size_t i) const {

@@ -39,6 +39,14 @@ struct McamArrayConfig {
   SensingMode sensing = SensingMode::kIdealSum;     ///< Ranking fidelity.
   double sense_clock_period = 0.0;                  ///< Sense clock [s]; 0 = ideal.
   double vth_sigma = 0.0;                           ///< Per-FeFET programming noise [V].
+  double drift_sigma = 0.0;  ///< Injected retention drift [V]: an extra per-FeFET
+                             ///< Vth perturbation applied on top of vth_sigma when
+                             ///< a row is programmed, modeling cells that have
+                             ///< already relaxed away from their write target.
+                             ///< An operational/testing knob for the health
+                             ///< scrubber (obs/health), deliberately not persisted
+                             ///< by snapshots: restore replays the row writes,
+                             ///< i.e. reprograms the cells, which cures drift.
   double stuck_short_rate = 0.0;  ///< Fraction of cells stuck conducting (ML leaker).
   double stuck_open_rate = 0.0;   ///< Fraction of cells stuck open (never conduct).
   std::uint64_t seed = 1;                           ///< Seed for noise/fault sampling.
@@ -47,6 +55,24 @@ struct McamArrayConfig {
                              ///< the sense margin collapses (PAPER.md Sec. III),
                              ///< so production banks are built bounded and the
                              ///< shard layer tiles them.
+};
+
+/// Readback-vs-intended comparison of one CAM row - the per-row unit of
+/// the health scrubber (obs/health). Produced by McamArray::row_health /
+/// TcamArray::row_health.
+struct RowHealth {
+  std::size_t cells = 0;       ///< Cells compared (the row's word length).
+  std::size_t mismatched = 0;  ///< Non-faulty cells whose read-back state
+                               ///< differs from the programmed target (drift
+                               ///< pushed an effective Vth across a window
+                               ///< boundary).
+  std::size_t faulty = 0;      ///< Stuck-short / stuck-open cells. A stuck cell
+                               ///< is a manufacturing fault, not drift: it is
+                               ///< excluded from the mismatch comparison and
+                               ///< reported separately.
+  double sum_abs_shift_v = 0.0;  ///< Sum over non-faulty cells of the larger
+                                 ///< |Vth offset| of the cell's two FeFETs [V].
+  double max_abs_shift_v = 0.0;  ///< Largest such offset in the row [V].
 };
 
 /// Result of a nearest-neighbor search in the array.
@@ -147,6 +173,27 @@ class McamArray {
   /// array with the same config/seed replays the sampling and rebuilds
   /// them bit-identically. Throws std::out_of_range for a bad index.
   [[nodiscard]] std::vector<std::uint16_t> row_levels(std::size_t i) const;
+
+  /// Sensed (read back) state of every cell in row `i`: each cell's
+  /// effective FeFET Vth pair (programmed target + sampled noise/drift
+  /// offsets) is quantized to the nearest level of the map by squared
+  /// distance over the (right, left) Vth targets. With zero noise this
+  /// equals row_levels(); faulty cells read back like any other (their
+  /// fault is reported separately by row_health). Throws std::out_of_range
+  /// for a bad index.
+  [[nodiscard]] std::vector<std::uint16_t> row_readback(std::size_t i) const;
+
+  /// Readback-vs-intended comparison of row `i` (the health-scrub hook;
+  /// see RowHealth). Throws std::out_of_range for a bad index.
+  [[nodiscard]] RowHealth row_health(std::size_t i) const;
+
+  /// Injects retention drift in place: perturbs both FeFET Vth offsets of
+  /// every programmed cell by N(0, sigma) draws from a dedicated Rng
+  /// seeded with `seed`. The array's own programming Rng is untouched, so
+  /// later add_row noise/fault sampling replays exactly as if no drift
+  /// was injected. Returns the number of cells perturbed; sigma <= 0 is a
+  /// no-op.
+  std::size_t apply_drift(double sigma, std::uint64_t seed);
 
   /// Exact-match search: indices of rows whose every cell matches `query`
   /// (total conductance below rows*g_match_limit). Classic CAM behavior.

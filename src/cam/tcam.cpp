@@ -2,6 +2,9 @@
 
 #include "util/linalg.hpp"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <string>
 
@@ -29,6 +32,10 @@ std::size_t TcamArray::add_row(std::span<const Trit> word) {
     if (config_.vth_sigma > 0.0) {
       cell.dvth_left = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
       cell.dvth_right = static_cast<float>(rng_.normal(0.0, config_.vth_sigma));
+    }
+    if (config_.drift_sigma > 0.0) {
+      cell.dvth_left += static_cast<float>(rng_.normal(0.0, config_.drift_sigma));
+      cell.dvth_right += static_cast<float>(rng_.normal(0.0, config_.drift_sigma));
     }
     row.push_back(cell);
   }
@@ -66,6 +73,66 @@ std::vector<Trit> TcamArray::row_trits(std::size_t i) const {
   word.reserve(rows_[i].size());
   for (const CellState& cell : rows_[i]) word.push_back(cell.trit);
   return word;
+}
+
+std::vector<Trit> TcamArray::row_readback(std::size_t i) const {
+  if (i >= rows_.size()) throw std::out_of_range{"TcamArray::row_readback: bad row"};
+  // Nominal (right, left) Vth targets per candidate trit; kDontCare erases
+  // both FeFETs to the top of the range.
+  const double targets[3][2] = {
+      {map_.right_fefet_vth(0), map_.left_fefet_vth(0)},
+      {map_.right_fefet_vth(1), map_.left_fefet_vth(1)},
+      {map_.v_max(), map_.v_max()},
+  };
+  std::vector<Trit> word;
+  word.reserve(rows_[i].size());
+  for (const CellState& cell : rows_[i]) {
+    const std::size_t stored = static_cast<std::size_t>(cell.trit);
+    const double right = targets[stored][0] + cell.dvth_right;
+    const double left = targets[stored][1] + cell.dvth_left;
+    std::size_t best = 0;
+    double best_d = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < 3; ++t) {
+      const double dr = targets[t][0] - right;
+      const double dl = targets[t][1] - left;
+      const double d = dr * dr + dl * dl;
+      if (d < best_d) {
+        best_d = d;
+        best = t;
+      }
+    }
+    word.push_back(static_cast<Trit>(best));
+  }
+  return word;
+}
+
+RowHealth TcamArray::row_health(std::size_t i) const {
+  const std::vector<Trit> readback = row_readback(i);  // bounds-checks i
+  const auto& row = rows_[i];
+  RowHealth health;
+  health.cells = row.size();
+  for (std::size_t c = 0; c < row.size(); ++c) {
+    if (readback[c] != row[c].trit) ++health.mismatched;
+    const double shift = std::max(std::abs(static_cast<double>(row[c].dvth_left)),
+                                  std::abs(static_cast<double>(row[c].dvth_right)));
+    health.sum_abs_shift_v += shift;
+    health.max_abs_shift_v = std::max(health.max_abs_shift_v, shift);
+  }
+  return health;
+}
+
+std::size_t TcamArray::apply_drift(double sigma, std::uint64_t seed) {
+  if (sigma <= 0.0) return 0;
+  Rng rng{seed};
+  std::size_t cells = 0;
+  for (auto& row : rows_) {
+    for (CellState& cell : row) {
+      cell.dvth_left += static_cast<float>(rng.normal(0.0, sigma));
+      cell.dvth_right += static_cast<float>(rng.normal(0.0, sigma));
+      ++cells;
+    }
+  }
+  return cells;
 }
 
 bool TcamArray::row_valid(std::size_t i) const {

@@ -29,6 +29,10 @@ struct TcamArrayConfig {
   SensingMode sensing = SensingMode::kIdealSum;  ///< Ranking fidelity.
   double sense_clock_period = 0.0;               ///< Sense clock [s]; 0 = ideal.
   double vth_sigma = 0.0;                        ///< Per-FeFET programming noise [V].
+  double drift_sigma = 0.0;  ///< Injected retention drift [V] on top of vth_sigma
+                             ///< at programming time (see McamArrayConfig); a
+                             ///< health-scrub testing knob, not persisted by
+                             ///< snapshots.
   std::uint64_t seed = 1;                        ///< Seed for programming noise.
   std::size_t max_rows = 0;  ///< Physical row capacity; 0 = unbounded (legacy).
 };
@@ -107,6 +111,24 @@ class TcamArray {
   /// serialization (noise is rebuilt by replaying add_row; see
   /// McamArray::row_levels). Throws std::out_of_range for a bad index.
   [[nodiscard]] std::vector<Trit> row_trits(std::size_t i) const;
+
+  /// Sensed (read back) trit of every cell in row `i`: the cell's effective
+  /// FeFET Vth pair (target + noise/drift offsets) quantized to the nearest
+  /// of {kZero, kOne, kDontCare} by squared distance, where kDontCare's
+  /// nominal pair is (v_max, v_max) - both FeFETs erased high. Zero noise
+  /// reproduces row_trits(). Throws std::out_of_range for a bad index.
+  [[nodiscard]] std::vector<Trit> row_readback(std::size_t i) const;
+
+  /// Readback-vs-intended comparison of row `i` (the health-scrub hook).
+  /// TCAM cells have no fault model, so RowHealth::faulty is always 0.
+  /// Throws std::out_of_range for a bad index.
+  [[nodiscard]] RowHealth row_health(std::size_t i) const;
+
+  /// Injects retention drift in place (see McamArray::apply_drift): every
+  /// cell's two Vth offsets get N(0, sigma) draws from a dedicated Rng
+  /// seeded with `seed`; the programming Rng is untouched. Returns the
+  /// number of cells perturbed; sigma <= 0 is a no-op.
+  std::size_t apply_drift(double sigma, std::uint64_t seed);
 
   /// Number of programmed rows.
   [[nodiscard]] std::size_t num_rows() const noexcept { return rows_.size(); }

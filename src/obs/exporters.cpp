@@ -163,4 +163,43 @@ std::string to_jsonl(const MetricsSnapshot& snapshot) {
   return out;
 }
 
+std::string to_json(const health::HealthReport& report) {
+  const auto bool_lit = [](bool v) { return v ? "true" : "false"; };
+  std::string out = "{\"canary\":{";
+  const health::CanaryReport& canary = report.canary;
+  out += "\"sampled\":" + std::to_string(canary.sampled);
+  out += ",\"executed\":" + std::to_string(canary.executed);
+  out += ",\"stale\":" + std::to_string(canary.stale);
+  out += ",\"dropped\":" + std::to_string(canary.dropped);
+  out += ",\"window\":" + std::to_string(canary.window);
+  out += ",\"recall_estimate\":" + format_number(canary.recall_estimate);
+  out += ",\"mean_rank_displacement\":" + format_number(canary.mean_rank_displacement);
+  out += ",\"coarse_misses\":" + std::to_string(canary.coarse_misses);
+  out += ",\"alarms\":" + std::to_string(canary.alarms);
+  out += ",\"alarm_active\":";
+  out += bool_lit(canary.alarm_active);
+  out += "},\"banks\":[";
+  bool first = true;
+  for (const health::BankHealth& bank : report.banks) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"bank\":\"";
+    out += escape_json(bank.bank);
+    out += "\",\"rows\":" + std::to_string(bank.rows);
+    out += ",\"cells\":" + std::to_string(bank.cells);
+    out += ",\"mismatched_cells\":" + std::to_string(bank.mismatched_cells);
+    out += ",\"faulty_cells\":" + std::to_string(bank.faulty_cells);
+    out += ",\"drift_score\":" + format_number(bank.drift_score);
+    out += ",\"mean_abs_shift_v\":" + format_number(bank.mean_abs_shift_v);
+    out += ",\"max_abs_shift_v\":" + format_number(bank.max_abs_shift_v);
+    out += "}";
+  }
+  out += "],\"scrubs\":" + std::to_string(report.scrubs);
+  out += ",\"drift_alarms\":" + std::to_string(report.drift_alarms);
+  out += ",\"drift_alarm_active\":";
+  out += bool_lit(report.drift_alarm_active);
+  out += "}";
+  return out;
+}
+
 }  // namespace mcam::obs

@@ -5,6 +5,7 @@
 // compiled in (MCAM_OBS_DISABLED).
 #pragma once
 
+#include "obs/health/health.hpp"
 #include "obs/metrics.hpp"
 
 #include <string>
@@ -38,6 +39,17 @@ namespace mcam::obs {
 /// Every line ends with '\n'; an empty snapshot renders as the empty
 /// string.
 [[nodiscard]] std::string to_jsonl(const MetricsSnapshot& snapshot);
+
+/// One JSON object for a health snapshot (obs/health): canary statistics,
+/// per-bank scrub results, and alarm state, e.g.
+///
+///   {"canary":{"sampled":12,...,"recall_estimate":0.97,...},
+///    "banks":[{"bank":"coarse","rows":64,...,"drift_score":0.01,...}],
+///    "scrubs":3,"drift_alarms":0,"drift_alarm_active":false}
+///
+/// Like the snapshot renderers this is a pure function over the report
+/// struct, available under MCAM_OBS_DISABLED (where reports are empty).
+[[nodiscard]] std::string to_json(const health::HealthReport& report);
 
 namespace detail {
 /// Shortest round-trippable-ish decimal rendering used by both exporters

@@ -88,6 +88,7 @@ Counter Registry::counter(const std::string& name, Labels labels) {
   }
   auto& cell = shard.counters[std::move(key)];
   if (!cell) cell = std::make_unique<detail::CounterCell>();
+  cell->hidden = false;  // Re-resolving a tombstoned series revives it.
   return Counter{cell.get()};
 }
 
@@ -102,6 +103,7 @@ Gauge Registry::gauge(const std::string& name, Labels labels) {
   }
   auto& cell = shard.gauges[std::move(key)];
   if (!cell) cell = std::make_unique<detail::GaugeCell>();
+  cell->hidden = false;  // Re-resolving a tombstoned series revives it.
   return Gauge{cell.get()};
 }
 
@@ -130,6 +132,7 @@ Histogram Registry::histogram(const std::string& name, std::vector<double> bound
     throw std::invalid_argument{"obs::Registry: histogram '" + name +
                                 "' re-registered with different buckets"};
   }
+  cell->hidden = false;  // Re-resolving a tombstoned series revives it.
   return Histogram{cell.get()};
 }
 
@@ -139,14 +142,17 @@ MetricsSnapshot Registry::snapshot() const {
     const Shard& shard = shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
     for (const auto& [key, cell] : shard.counters) {
+      if (cell->hidden) continue;
       out.counters.push_back(
           CounterSample{key.name, key.labels, cell->value.load(std::memory_order_relaxed)});
     }
     for (const auto& [key, cell] : shard.gauges) {
+      if (cell->hidden) continue;
       out.gauges.push_back(
           GaugeSample{key.name, key.labels, cell->value.load(std::memory_order_relaxed)});
     }
     for (const auto& [key, cell] : shard.histograms) {
+      if (cell->hidden) continue;
       HistogramSample sample;
       sample.name = key.name;
       sample.labels = key.labels;
@@ -188,6 +194,42 @@ void Registry::reset() {
       cell->count.store(0, std::memory_order_relaxed);
     }
   }
+}
+
+std::size_t Registry::remove_labeled(const std::string& label_key,
+                                     const std::string& label_value) {
+  const auto matches = [&](const InstrumentKey& key) {
+    for (const auto& [k, v] : key.labels) {
+      if (k == label_key && v == label_value) return true;
+    }
+    return false;
+  };
+  std::size_t removed = 0;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    Shard& shard = shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    for (auto& [key, cell] : shard.counters) {
+      if (cell->hidden || !matches(key)) continue;
+      cell->value.store(0, std::memory_order_relaxed);
+      cell->hidden = true;
+      ++removed;
+    }
+    for (auto& [key, cell] : shard.gauges) {
+      if (cell->hidden || !matches(key)) continue;
+      cell->value.store(0.0, std::memory_order_relaxed);
+      cell->hidden = true;
+      ++removed;
+    }
+    for (auto& [key, cell] : shard.histograms) {
+      if (cell->hidden || !matches(key)) continue;
+      for (auto& bucket : cell->counts) bucket.store(0, std::memory_order_relaxed);
+      cell->sum.store(0.0, std::memory_order_relaxed);
+      cell->count.store(0, std::memory_order_relaxed);
+      cell->hidden = true;
+      ++removed;
+    }
+  }
+  return removed;
 }
 
 Registry& Registry::global() {

@@ -11,7 +11,9 @@
 //    lock-sharded map) and the returned handle increments a plain atomic
 //    thereafter - the hot path never takes a lock and never hashes a
 //    string. Handles are trivially copyable and stay valid for the
-//    process lifetime (instruments are never deleted).
+//    process lifetime (instrument cells are never freed; retiring a
+//    series via `remove_labeled` zeroes and *hides* it from snapshots -
+//    a tombstone - so outstanding handles keep working).
 //  - `snapshot()` returns a point-in-time copy of every instrument,
 //    deterministically sorted, which the exporters (obs/exporters.hpp)
 //    render as Prometheus text or JSON-lines and tests assert against.
@@ -107,11 +109,16 @@ struct MetricsSnapshot {
 // races and need no annotations from src/util/tsan.hpp.
 
 namespace detail {
+// `hidden` is the remove_labeled tombstone: set under the owning shard's
+// mutex and only ever read under it (snapshot/resolve), so it is a plain
+// bool - the lock-free handle ops never touch it.
 struct CounterCell {
   std::atomic<std::uint64_t> value{0};
+  bool hidden = false;
 };
 struct GaugeCell {
   std::atomic<double> value{0.0};
+  bool hidden = false;
 };
 struct HistogramCell {
   explicit HistogramCell(std::vector<double> upper_bounds);
@@ -122,6 +129,7 @@ struct HistogramCell {
   std::vector<std::atomic<std::uint64_t>> counts;  ///< bounds.size() + 1.
   std::atomic<double> sum{0.0};
   std::atomic<std::uint64_t> count{0};
+  bool hidden = false;
 };
 }  // namespace detail
 
@@ -210,6 +218,17 @@ class Registry {
   /// valid) - for tests and benches that need a clean slate.
   void reset();
 
+  /// Retires every instrument (any kind) carrying the label pair
+  /// `label_key=label_value`: each matching cell is zeroed and hidden
+  /// from snapshot() - a tombstone, never a free, so outstanding handles
+  /// stay valid (their writes just stop exporting). Re-resolving the same
+  /// (name, labels) revives the series from zero, which is what keeps a
+  /// drop/recreate cycle from double-reporting. Returns how many
+  /// instruments were retired. CollectionManager::drop_collection calls
+  /// this with ("collection", name) so a dropped collection's labeled
+  /// series disappear from exports.
+  std::size_t remove_labeled(const std::string& label_key, const std::string& label_value);
+
   /// The process-wide registry the serving stack records into.
   [[nodiscard]] static Registry& global();
 
@@ -250,6 +269,7 @@ class Registry {
   }
   [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
   void reset() {}
+  std::size_t remove_labeled(const std::string&, const std::string&) { return 0; }
   [[nodiscard]] static Registry& global() {
     static Registry registry;
     return registry;

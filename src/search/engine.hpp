@@ -101,6 +101,10 @@ class TcamLshEngine final : public NnIndex {
 
   /// The programmed TCAM (for inspection in tests).
   [[nodiscard]] const cam::TcamArray& tcam() const { return *tcam_; }
+  /// Mutable device access for maintenance paths (health scrubbing / drift
+  /// injection, obs/health). Callers own the engine's usual external
+  /// synchronization; only valid once size() > 0.
+  [[nodiscard]] cam::TcamArray& tcam() { return *tcam_; }
 
  private:
   std::size_t signature_bits_;
@@ -143,6 +147,10 @@ class McamNnEngine final : public NnIndex {
 
   /// The programmed MCAM (for inspection in tests).
   [[nodiscard]] const cam::McamArray& array() const { return *array_; }
+  /// Mutable device access for maintenance paths (health scrubbing / drift
+  /// injection, obs/health). Callers own the engine's usual external
+  /// synchronization; only valid once size() > 0.
+  [[nodiscard]] cam::McamArray& array() { return *array_; }
   /// Fitted quantizer (valid after the first add).
   [[nodiscard]] const encoding::UniformQuantizer& quantizer() const { return *quantizer_; }
 

@@ -21,6 +21,7 @@ cam::McamArrayConfig mcam_array_config(unsigned bits, const EngineConfig& config
   array.sensing = config.sensing;
   array.sense_clock_period = config.sense_clock_period;
   array.vth_sigma = config.vth_sigma;
+  array.drift_sigma = config.drift_sigma;
   array.seed = config.seed;
   // bank_rows doubles as the physical matchline bound of one array: a
   // monolithic engine built with it refuses to outgrow the bank, which is
@@ -100,8 +101,8 @@ EngineFactory::Builder sharded_builder(std::string base) {
   throw std::invalid_argument{
       "parse_engine_spec: " + detail + " in spec '" + spec +
       "' (known keys: bank_rows, bits, candidate_factor, clip_percentile, coarse_bits, "
-      "exhaustive, filter, fine, lsh_bits, num_features, probes, rerank, seed, "
-      "sense_clock_period, sensing, shard_workers, sig, tag_bits, trace_sample, "
+      "drift_sigma, exhaustive, filter, fine, lsh_bits, num_features, probes, rerank, "
+      "seed, sense_clock_period, sensing, shard_workers, sig, tag_bits, trace_sample, "
       "vth_sigma)"};
 }
 
@@ -152,6 +153,8 @@ void apply_spec_override(EngineConfig& config, const std::string& key,
     config.seed = parse_unsigned(key, value, spec);
   } else if (key == "vth_sigma") {
     config.vth_sigma = parse_double(key, value, spec);
+  } else if (key == "drift_sigma") {
+    config.drift_sigma = parse_double(key, value, spec);
   } else if (key == "clip_percentile") {
     config.clip_percentile = parse_double(key, value, spec);
   } else if (key == "sense_clock_period") {
@@ -258,6 +261,7 @@ EngineFactory::EngineFactory() {
     array.sensing = config.sensing;
     array.sense_clock_period = config.sense_clock_period;
     array.vth_sigma = config.vth_sigma;
+    array.drift_sigma = config.drift_sigma;
     array.seed = config.seed;
     array.max_rows = config.bank_rows;
     return std::make_unique<TcamLshEngine>(bits, config.seed, array);
@@ -305,6 +309,7 @@ EngineFactory::EngineFactory() {
             config.sig_model.empty() ? "random" : config.sig_model, model_config);
     cam::TcamArrayConfig coarse_array;
     coarse_array.vth_sigma = config.vth_sigma;
+    coarse_array.drift_sigma = config.drift_sigma;
     coarse_array.seed = config.seed;
     TwoStageConfig two_stage;
     two_stage.candidate_factor =

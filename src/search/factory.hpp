@@ -56,6 +56,16 @@ struct EngineConfig {
   unsigned mcam_bits = 3;          ///< MCAM cell precision for the "mcam" key.
   std::size_t lsh_bits = 0;        ///< TCAM signature length; 0 = num_features.
   double vth_sigma = 0.0;          ///< Per-FeFET programming noise [V].
+  double drift_sigma = 0.0;        ///< Injected retention drift [V]: extra per-
+                                   ///< FeFET Vth noise applied on top of
+                                   ///< vth_sigma when rows are programmed, so
+                                   ///< the health scrubber's drift detection
+                                   ///< (obs/health) is testable end to end.
+                                   ///< Like trace_sample this is an operational
+                                   ///< knob, deliberately not persisted by
+                                   ///< snapshots: restore replays the row
+                                   ///< writes, which reprograms the cells and
+                                   ///< cures the drift.
   cam::SensingMode sensing = cam::SensingMode::kIdealSum;  ///< Ranking fidelity.
   double sense_clock_period = 0.0; ///< Sense clock [s] for kMatchlineTiming.
   double clip_percentile = 0.0;    ///< Quantizer outlier clipping.
@@ -111,7 +121,9 @@ struct EngineSpec {
 
 /// Parses an engine spec string into the registry key and an EngineConfig.
 /// Known keys: bits (mcam_bits), bank_rows, shard_workers, lsh_bits,
-/// num_features, vth_sigma, clip_percentile, sense_clock_period, seed,
+/// num_features, vth_sigma, drift_sigma (injected post-programming
+/// retention drift for health-scrub testing), clip_percentile,
+/// sense_clock_period, seed,
 /// sensing (= "ideal" | "timing"), coarse_bits, candidate_factor,
 /// exhaustive (0|1, refine_exhaustive), sig (sig_model; validated against
 /// the signature-model registry when the refine engine is built), probes,

@@ -42,6 +42,11 @@ const cam::TcamArray& TwoStageNnIndex::coarse_tcam() const {
   return *tcam_;
 }
 
+cam::TcamArray& TwoStageNnIndex::coarse_tcam() {
+  if (!tcam_) throw std::logic_error{"TwoStageNnIndex::coarse_tcam before calibration"};
+  return *tcam_;
+}
+
 void TwoStageNnIndex::ensure_coarse(std::span<const std::vector<float>> rows) {
   if (tcam_) return;  // Fit-once; later calls are no-ops.
   if (rows.empty()) throw std::invalid_argument{"TwoStageNnIndex::calibrate: no rows"};

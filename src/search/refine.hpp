@@ -177,8 +177,13 @@ class TwoStageNnIndex final : public NnIndex {
   }
   /// The coarse signature TCAM; throws std::logic_error before calibration.
   [[nodiscard]] const cam::TcamArray& coarse_tcam() const;
+  /// Mutable variant for device-maintenance paths (health scrubbing / drift
+  /// injection, obs/health); same pre-calibration throw.
+  [[nodiscard]] cam::TcamArray& coarse_tcam();
   /// The fine (rerank) stage.
   [[nodiscard]] const NnIndex& fine() const noexcept { return *fine_; }
+  /// Mutable fine stage for device-maintenance paths (obs/health).
+  [[nodiscard]] NnIndex& fine() noexcept { return *fine_; }
   /// Pipeline configuration in use.
   [[nodiscard]] const TwoStageConfig& config() const noexcept { return config_; }
   /// Coarse cells reserved for the metadata tag band (0 = none).

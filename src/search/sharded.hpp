@@ -121,6 +121,11 @@ class ShardedNnIndex final : public NnIndex {
   [[nodiscard]] std::size_t bank_of(std::size_t id) const;
   /// Bank `b`'s engine (for tests and diagnostics).
   [[nodiscard]] const NnIndex& bank(std::size_t b) const { return *banks_.at(b).engine; }
+  /// Mutable bank access for device-maintenance paths (health scrubbing /
+  /// drift injection, obs/health) under the caller's usual external
+  /// synchronization. Must not be used to mutate the engine's logical
+  /// contents - the shard layer's row/id bookkeeping would go stale.
+  [[nodiscard]] NnIndex& bank(std::size_t b) { return *banks_.at(b).engine; }
   /// Cumulative mutation telemetry.
   [[nodiscard]] const ShardStats& stats() const noexcept { return stats_; }
   /// Shard configuration in use.

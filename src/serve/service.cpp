@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <numeric>
+#include <optional>
 
 namespace mcam::serve {
 
@@ -64,6 +66,39 @@ QueryService::QueryService(search::NnIndex& index, QueryServiceConfig config)
   for (std::size_t w = 0; w < config_.workers; ++w) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+
+  // Online health monitoring (obs/health). The canary's ground truth runs
+  // on the canary's own worker under a *shared* index lock: it re-executes
+  // the sampled query through query_subset over every id ever added
+  // (tombstoned/never-added ids are ignored by contract, so the bound
+  // only needs to over-approximate) and bails out as stale when the cache
+  // generation moved past the serving-time stamp.
+  id_bound_ = index.size();
+  canary_ = std::make_unique<obs::health::RecallCanary>(
+      config_.canary,
+      [this](std::span<const float> query, std::size_t k, std::uint64_t generation)
+          -> std::optional<std::vector<std::size_t>> {
+        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        if (cache_generation_.load(std::memory_order_acquire) != generation) {
+          return std::nullopt;
+        }
+        std::vector<std::size_t> ids(id_bound_);
+        std::iota(ids.begin(), ids.end(), std::size_t{0});
+        const search::QueryResult exact = index_.query_subset(query, ids, k);
+        std::vector<std::size_t> out;
+        out.reserve(exact.neighbors.size());
+        for (const search::Neighbor& neighbor : exact.neighbors) {
+          out.push_back(neighbor.index);
+        }
+        return out;
+      });
+  monitor_ = std::make_unique<obs::health::HealthMonitor>(
+      config_.health,
+      [this] {
+        std::shared_lock<std::shared_mutex> lock(index_mutex_);
+        return obs::health::scrub_index(index_);
+      },
+      canary_.get());
 }
 
 QueryService::~QueryService() { stop(); }
@@ -77,6 +112,10 @@ void QueryService::stop() {
   for (std::thread& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
+  // After the pool: no new canary samples can arrive, so the canary can
+  // drain its queue and join; the periodic scrubber just wakes and exits.
+  if (monitor_) monitor_->stop();
+  if (canary_) canary_->stop();
 }
 
 std::future<QueryResponse> QueryService::submit(std::vector<float> query, std::size_t k) {
@@ -179,6 +218,9 @@ void QueryService::add(std::span<const std::vector<float>> rows,
   // Invalidate even when the index throws: a sharded add can program some
   // banks before a later bank fails, so any mutation *attempt* must bump
   // the generation or stale cache entries would outlive a partial change.
+  // id_bound_ likewise bumps unconditionally - a partial add may have
+  // assigned some of the ids, and over-approximating is harmless.
+  id_bound_ += rows.size();
   try {
     index_.add(rows, labels);
   } catch (...) {
@@ -262,6 +304,19 @@ void QueryService::worker_loop() {
         execute_span.note("candidates", static_cast<double>(telemetry.candidates));
         execute_span.note("energy_j", telemetry.energy_j);
       }
+    }
+
+    // Recall-canary sampling: one constant-false branch when off. A win
+    // copies the query + served ids and hands them to the canary worker
+    // (bounded queue, drop-on-full - never blocks this path). Must run
+    // before cache_insert, which consumes request.query.
+    if (response.status == RequestStatus::kOk && canary_->should_sample()) {
+      std::vector<std::size_t> served;
+      served.reserve(response.result.neighbors.size());
+      for (const search::Neighbor& neighbor : response.result.neighbors) {
+        served.push_back(neighbor.index);
+      }
+      canary_->enqueue(request.query, request.k, std::move(served), generation);
     }
 
     if (response.status == RequestStatus::kOk && config_.cache_capacity > 0) {
@@ -411,6 +466,30 @@ void QueryService::record_trace(std::unique_ptr<obs::Trace> trace) {
   obs::TraceSink::global().record(trace->finish());
   std::lock_guard<std::mutex> stats(stats_mutex_);
   ++counters_.traces_recorded;
+}
+
+obs::health::CanaryReport QueryService::canary_report() const {
+  return canary_->report();
+}
+
+void QueryService::canary_drain() { canary_->drain(); }
+
+obs::health::HealthReport QueryService::health_report() const {
+  return monitor_->report();
+}
+
+std::vector<obs::health::BankHealth> QueryService::scrub_health() {
+  return monitor_->scrub_now();
+}
+
+std::size_t QueryService::inject_drift(double sigma, std::uint64_t seed) {
+  std::unique_lock<std::shared_mutex> lock(index_mutex_);
+  const std::size_t cells = obs::health::inject_drift(index_, sigma, seed);
+  // Drift changes match outcomes, so cached results are stale - and the
+  // generation bump also marks in-flight canaries stale, keeping the
+  // recall estimate from mixing pre- and post-drift ground truth.
+  invalidate_cache();
+  return cells;
 }
 
 ServiceStats QueryService::stats() const {

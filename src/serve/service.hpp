@@ -25,6 +25,7 @@
 // process-local and deliberately not persisted by snapshots.
 #pragma once
 
+#include "obs/health/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "search/index.hpp"
@@ -90,6 +91,16 @@ struct QueryServiceConfig {
   /// (the default), unless the MCAM_TRACE_SAMPLE environment variable
   /// supplies a nonzero fallback. 1 = trace every query.
   std::size_t trace_sample = 0;
+  /// Recall-canary sampling (obs/health): 1 in `canary.sample_every`
+  /// completed (executed, non-cache-hit) queries is re-run through the
+  /// exact fine path on a background worker and scored against the served
+  /// answer. Off by default (sample_every = 0): no worker thread, and the
+  /// served results stay bit-identical.
+  obs::health::CanaryOptions canary{};
+  /// Device-health scrubbing cadence/thresholds. scrub_period 0 (the
+  /// default) runs no background worker; scrub_health() still sweeps on
+  /// demand.
+  obs::health::MonitorOptions health{};
 };
 
 /// Cumulative service telemetry (all counters since construction).
@@ -187,6 +198,32 @@ class QueryService {
   /// Telemetry snapshot (percentiles computed over the current window).
   [[nodiscard]] ServiceStats stats() const;
 
+  // --- Online health monitoring (obs/health) -----------------------------
+  //
+  // The canary's exact re-execution scans ids [0, rows-added-through-this-
+  // service + index.size()-at-construction): query_subset ignores ids that
+  // were never added or are tombstoned, so the bound only needs to be an
+  // over-approximation. It is exact as long as every mutation routes
+  // through this service (already the class contract above); an index that
+  // saw erases *before* construction may have live ids past size(), which
+  // the canary would then miss - construct the service first if canaries
+  // are on.
+
+  /// Canary statistics (empty/default when sampling is off).
+  [[nodiscard]] obs::health::CanaryReport canary_report() const;
+  /// Blocks until every queued canary has been re-executed (tests/benches).
+  void canary_drain();
+  /// Combined canary + last-scrub health snapshot (exporters::to_json).
+  [[nodiscard]] obs::health::HealthReport health_report() const;
+  /// One synchronous device scrub over every CAM bank of the index (also
+  /// what the periodic worker runs when config.health.scrub_period > 0).
+  std::vector<obs::health::BankHealth> scrub_health();
+  /// Test/maintenance hook: injects retention drift into the index's CAM
+  /// cells (health::inject_drift) under the exclusive lock and invalidates
+  /// the result cache (drift changes match outcomes). Returns the number
+  /// of cells perturbed.
+  std::size_t inject_drift(double sigma, std::uint64_t seed);
+
   /// Idempotent: stop accepting, drain accepted requests, join workers.
   void stop();
 
@@ -254,6 +291,10 @@ class QueryService {
   /// lock-order: first (before cache_mutex_/stats_mutex_).
   /// shared = query, exclusive = add/erase.
   mutable std::shared_mutex index_mutex_;
+  /// Guarded by index_mutex_: upper bound (exclusive) on the ids ever
+  /// added, feeding the canary's exact query_subset scan (see the health
+  /// accessors above for the over-approximation argument).
+  std::size_t id_bound_ = 0;
 
   /// lock-order: first (before stats_mutex_; never with index_mutex_).
   mutable std::mutex queue_mutex_;
@@ -290,6 +331,14 @@ class QueryService {
   obs::TraceSampler trace_sampler_;
 
   std::vector<std::thread> workers_;
+
+  // Health monitors, declared after workers_ so they are destroyed
+  // (stopped/joined) before anything they reference; monitor_ borrows
+  // canary_, so it is declared after it (destroyed first). Their worker
+  // callbacks only ever take index_mutex_ (shared), never the queue or
+  // stats locks.
+  std::unique_ptr<obs::health::RecallCanary> canary_;
+  std::unique_ptr<obs::health::HealthMonitor> monitor_;
 };
 
 }  // namespace mcam::serve

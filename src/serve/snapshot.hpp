@@ -26,9 +26,13 @@
 // with SnapshotError up front.
 //
 // Deliberately NOT persisted: telemetry counters (ServiceStats,
-// ShardStats, QueryTelemetry - they restart at zero) and raw RNG state
+// ShardStats, QueryTelemetry - they restart at zero), raw RNG state
 // (restore replays the physical row writes, which reconstructs the
-// generators exactly).
+// generators exactly), and all online-health state (obs/health): canary /
+// scrub statistics restart at zero, the EngineConfig::drift_sigma test
+// knob reads back 0 from `inspect`, and injected retention drift itself
+// is *cured* by restore - load_state reprograms every cell, exactly as a
+// device refresh would.
 #pragma once
 
 #include "search/factory.hpp"

@@ -89,6 +89,16 @@ class Collection {
   /// Mutation counter: bumped by every add / erase / expire.
   [[nodiscard]] std::uint64_t generation() const noexcept { return generation_; }
   [[nodiscard]] const search::NnIndex& engine() const noexcept { return *engine_; }
+  /// Mutable engine access for device-maintenance paths (health scrubbing /
+  /// drift injection, obs/health) under the caller's exclusive lock; must
+  /// not be used to mutate the engine's logical contents (ids / rows), or
+  /// the metadata mirror and generation counter go stale.
+  [[nodiscard]] search::NnIndex& engine() noexcept { return *engine_; }
+  /// Bumps the generation without a logical mutation. Device-maintenance
+  /// paths (drift injection, obs/health) call this so generation-keyed
+  /// consumers - the recall canary's staleness check, result caches -
+  /// discard anything computed across the device change.
+  void note_device_mutation() noexcept { ++generation_; }
   [[nodiscard]] const MetadataStore& metadata() const noexcept { return meta_; }
   [[nodiscard]] std::size_t size() const { return engine_->size(); }
   /// True when filtered queries can be pushed into the coarse tag band.

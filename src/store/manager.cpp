@@ -6,6 +6,8 @@
 #include <algorithm>
 #include <cstring>
 #include <filesystem>
+#include <numeric>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -57,6 +59,7 @@ void CollectionManager::create_collection(const std::string& name,
   entry->counters.workers = resolved_workers_;
   entry->started = std::chrono::steady_clock::now();
   resolve_instruments(*entry);
+  attach_health(*entry);
 
   std::unique_lock lock(registry_mutex_);
   if (!entries_.emplace(name, std::move(entry)).second) {
@@ -77,9 +80,22 @@ bool CollectionManager::drop_collection(const std::string& name) {
   // Queued tasks still hold the entry; null the collection under the
   // exclusive lock so they resolve kShutdown instead of touching freed
   // engine state.
-  std::unique_lock lock(entry->mutex);
-  entry->collection.reset();
-  entry->rows_gauge.set(0.0);
+  {
+    std::unique_lock lock(entry->mutex);
+    entry->collection.reset();
+    entry->rows_gauge.set(0.0);
+  }
+  // Stop the health workers only AFTER releasing the entry lock: their
+  // callbacks take the shared side, so joining them under the exclusive
+  // side would deadlock. (Nulling the collection first means any canary /
+  // scrub still in flight observes the tombstone and bails.)
+  if (entry->monitor) entry->monitor->stop();
+  if (entry->canary) entry->canary->stop();
+  // Retire every {collection=name}-labeled series (requests, latency,
+  // rows, health) so a dropped tenant vanishes from exports - and a later
+  // create with the same name restarts its series from zero instead of
+  // double-reporting.
+  obs::registry().remove_labeled("collection", name);
   return true;
 }
 
@@ -95,6 +111,45 @@ void CollectionManager::resolve_instruments(Entry& entry) {
   entry.latency_hist = registry.histogram("mcam_store_latency_ms",
                                           obs::default_latency_buckets_ms(), base);
   entry.rows_gauge = registry.gauge("mcam_store_rows", base);
+}
+
+void CollectionManager::attach_health(Entry& entry) const {
+  Entry* raw = &entry;  // Members of the entry; stopped before it dies.
+  const obs::Labels labels{{"collection", entry.name}};
+  // Ground truth for one sampled query: the exact post-filter path -
+  // query_subset over every id the collection ever assigned (tombstoned
+  // ids are ignored by contract, so metadata().rows() is a safe, exact
+  // bound). Bails out as stale once the generation moved past the
+  // serving-time stamp, and as dropped-collection once the tombstone is
+  // set.
+  entry.canary = std::make_unique<obs::health::RecallCanary>(
+      config_.canary,
+      [raw](std::span<const float> query, std::size_t k, std::uint64_t generation)
+          -> std::optional<std::vector<std::size_t>> {
+        std::shared_lock lock(raw->mutex);
+        if (!raw->collection || raw->collection->generation() != generation) {
+          return std::nullopt;
+        }
+        std::vector<std::size_t> ids(raw->collection->metadata().rows());
+        std::iota(ids.begin(), ids.end(), std::size_t{0});
+        const search::QueryResult exact =
+            raw->collection->engine().query_subset(query, ids, k);
+        std::vector<std::size_t> out;
+        out.reserve(exact.neighbors.size());
+        for (const search::Neighbor& neighbor : exact.neighbors) {
+          out.push_back(neighbor.index);
+        }
+        return out;
+      },
+      labels);
+  entry.monitor = std::make_unique<obs::health::HealthMonitor>(
+      config_.health,
+      [raw] {
+        std::shared_lock lock(raw->mutex);
+        if (!raw->collection) return std::vector<obs::health::BankHealth>{};
+        return obs::health::scrub_index(raw->collection->engine());
+      },
+      entry.canary.get(), labels);
 }
 
 void CollectionManager::update_rows_gauge(Entry& entry) {
@@ -280,6 +335,7 @@ void CollectionManager::worker_loop() {
 
 StoreResponse CollectionManager::execute(Task& task) const {
   StoreResponse response;
+  std::uint64_t generation = 0;
   {
     // The route span covers predicate routing (band vs post-filter) plus
     // the engine's own stage spans, which attach to the same trace via
@@ -290,6 +346,9 @@ StoreResponse CollectionManager::execute(Task& task) const {
     if (!task.entry->collection) {
       response = immediate(serve::RequestStatus::kShutdown);
     } else {
+      // Canary staleness stamp: read under the same shared lock the query
+      // executes under, so the stamp and the served answer are coherent.
+      generation = task.entry->collection->generation();
       try {
         response.result = task.entry->collection->query(task.query, task.k, task.predicate);
       } catch (const std::exception& error) {
@@ -305,6 +364,20 @@ StoreResponse CollectionManager::execute(Task& task) const {
       }
       route_span.note("energy_j", response.result.result.telemetry.energy_j);
     }
+  }
+  // Recall-canary sampling: unfiltered completed queries only (filtered
+  // answers are already exact on the post path and predicate-dependent on
+  // the band path, so they would not measure coarse-stage quality). One
+  // constant-false branch when sampling is off.
+  if (response.status == serve::RequestStatus::kOk &&
+      response.result.path == FilterPath::kNone && task.entry->canary &&
+      task.entry->canary->should_sample()) {
+    std::vector<std::size_t> served;
+    served.reserve(response.result.result.neighbors.size());
+    for (const search::Neighbor& neighbor : response.result.result.neighbors) {
+      served.push_back(neighbor.index);
+    }
+    task.entry->canary->enqueue(task.query, task.k, std::move(served), generation);
   }
   record_completion(*task.entry, response.status == serve::RequestStatus::kOk, response,
                     task.submitted);
@@ -350,6 +423,36 @@ void CollectionManager::record_completion(Entry& entry, bool ok,
     }
     entry.selectivity_sum += response.result.selectivity;
   }
+}
+
+obs::health::CanaryReport CollectionManager::canary_report(const std::string& name) const {
+  return require_entry(name)->canary->report();
+}
+
+void CollectionManager::canary_drain(const std::string& name) {
+  require_entry(name)->canary->drain();
+}
+
+obs::health::HealthReport CollectionManager::health_report(const std::string& name) const {
+  return require_entry(name)->monitor->report();
+}
+
+std::vector<obs::health::BankHealth> CollectionManager::scrub_collection(
+    const std::string& name) {
+  return require_entry(name)->monitor->scrub_now();
+}
+
+std::size_t CollectionManager::inject_drift(const std::string& name, double sigma,
+                                            std::uint64_t seed) {
+  const std::shared_ptr<Entry> entry = require_entry(name);
+  std::unique_lock lock(entry->mutex);
+  if (!entry->collection) return 0;  // Dropped between lookup and lock.
+  const std::size_t cells =
+      obs::health::inject_drift(entry->collection->engine(), sigma, seed);
+  // Drift changes match outcomes: stale-stamp every in-flight canary so
+  // the recall estimate never mixes pre- and post-drift ground truth.
+  entry->collection->note_device_mutation();
+  return cells;
 }
 
 serve::ServiceStats CollectionManager::stats(const std::string& name) const {
@@ -440,6 +543,7 @@ std::size_t CollectionManager::load(const std::string& dir) {
     entry->started = std::chrono::steady_clock::now();
     resolve_instruments(*entry);
     update_rows_gauge(*entry);
+    attach_health(*entry);
 
     std::unique_lock lock(registry_mutex_);
     if (!entries_.emplace(name, std::move(entry)).second) {

@@ -25,6 +25,7 @@
 // process-local and deliberately not persisted.
 #pragma once
 
+#include "obs/health/health.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "serve/service.hpp"
@@ -65,6 +66,15 @@ struct ManagerConfig {
   /// traces carry admission / queue-wait / route spans plus the engine's
   /// stage spans and land in obs::TraceSink::global().
   std::size_t trace_sample = 0;
+  /// Per-collection recall-canary sampling (obs/health), applied to every
+  /// collection created or loaded: 1 in `canary.sample_every` completed
+  /// unfiltered queries is re-run through the exact post-filter path and
+  /// scored against the served answer. Off by default.
+  obs::health::CanaryOptions canary{};
+  /// Per-collection device-health scrubbing; scrub_period 0 (the default)
+  /// runs no background workers, scrub_collection() still sweeps on
+  /// demand.
+  obs::health::MonitorOptions health{};
 };
 
 /// What a submitted store query resolves to.
@@ -148,6 +158,24 @@ class CollectionManager {
   /// std::invalid_argument for an unknown collection.
   [[nodiscard]] serve::ServiceStats stats(const std::string& name) const;
 
+  // --- Online health monitoring (obs/health) -----------------------------
+
+  /// Canary statistics for one collection (default/empty when sampling is
+  /// off). Throws std::invalid_argument for an unknown collection.
+  [[nodiscard]] obs::health::CanaryReport canary_report(const std::string& name) const;
+  /// Blocks until the collection's queued canaries are re-executed.
+  void canary_drain(const std::string& name);
+  /// Combined canary + last-scrub health snapshot (exporters::to_json).
+  [[nodiscard]] obs::health::HealthReport health_report(const std::string& name) const;
+  /// One synchronous device scrub over the collection's CAM banks (also
+  /// what the periodic worker runs when config.health.scrub_period > 0).
+  std::vector<obs::health::BankHealth> scrub_collection(const std::string& name);
+  /// Test/maintenance hook: injects retention drift into the collection's
+  /// CAM cells under its exclusive lock and bumps its generation (so
+  /// in-flight canaries go stale rather than mixing pre/post-drift ground
+  /// truth). Returns the number of cells perturbed.
+  std::size_t inject_drift(const std::string& name, double sigma, std::uint64_t seed);
+
   // --- Persistence --------------------------------------------------------
 
   /// Writes one v4 snapshot per collection plus a MANIFEST into `dir`
@@ -192,6 +220,13 @@ class CollectionManager {
     obs::Counter requests_rejected;
     obs::Histogram latency_hist;
     obs::Gauge rows_gauge;
+    // Health monitors (obs/health), declared last so they are destroyed
+    // (their workers stopped/joined) before the state their callbacks
+    // read; monitor borrows canary, so it is declared after it (destroyed
+    // first). Their callbacks only ever take this entry's mutex (shared),
+    // which drop_collection releases before stopping them.
+    std::unique_ptr<obs::health::RecallCanary> canary;
+    std::unique_ptr<obs::health::HealthMonitor> monitor;
   };
 
   struct Task {
@@ -216,6 +251,11 @@ class CollectionManager {
                                 std::chrono::steady_clock::time_point submitted);
   /// Resolves the entry's {collection=name}-labeled registry instruments.
   static void resolve_instruments(Entry& entry);
+  /// Attaches the entry's recall canary + health monitor (config_.canary /
+  /// config_.health), both labeled {collection=name}. The callbacks
+  /// capture the raw Entry pointer: the monitors are members of the entry
+  /// and are stopped before it dies, so the pointer cannot dangle.
+  void attach_health(Entry& entry) const;
   /// Updates the entry's live-rows gauge; call with its lock held.
   static void update_rows_gauge(Entry& entry);
 

@@ -53,6 +53,10 @@ Blobs make_blobs(std::size_t per_class, std::size_t classes, std::size_t dim,
   return blobs;
 }
 
+// Trace-inspection helpers are only referenced by the obs-enabled suite
+// below; guard them so the -DMCAM_OBS_DISABLED build stays
+// -Wunused-function-clean.
+#ifndef MCAM_OBS_DISABLED
 const obs::SpanRecord* find_span(const obs::TraceRecord& record, const char* name) {
   for (const obs::SpanRecord& span : record.spans) {
     if (std::strcmp(span.name, name) == 0) return &span;
@@ -67,6 +71,7 @@ double note_value(const obs::SpanRecord& span, const char* key) {
   ADD_FAILURE() << "span '" << span.name << "' has no note '" << key << "'";
   return -1.0;
 }
+#endif  // MCAM_OBS_DISABLED
 
 // --- Shared percentile estimator ------------------------------------------
 
@@ -168,6 +173,53 @@ TEST(Exporters, JsonLinesGolden) {
 TEST(Exporters, EmptySnapshotRendersEmpty) {
   EXPECT_EQ(obs::to_prometheus(MetricsSnapshot{}), "");
   EXPECT_EQ(obs::to_jsonl(MetricsSnapshot{}), "");
+}
+
+// The health exporter renders externally-built data in both obs builds:
+// under -DMCAM_OBS_DISABLED the canary/monitor classes are stubs, but the
+// report structs and this JSON surface must keep working unchanged.
+TEST(Exporters, HealthReportJsonGolden) {
+  obs::health::HealthReport report;
+  report.canary.sampled = 10;
+  report.canary.executed = 7;
+  report.canary.stale = 2;
+  report.canary.dropped = 1;
+  report.canary.window = 7;
+  report.canary.recall_estimate = 0.875;
+  report.canary.mean_rank_displacement = 0.5;
+  report.canary.coarse_misses = 3;
+  report.canary.alarms = 1;
+  report.canary.alarm_active = true;
+  obs::health::BankHealth bank;
+  bank.bank = "bank0/\"q\"";  // Exercises JSON escaping in the bank path.
+  bank.rows = 4;
+  bank.cells = 32;
+  bank.mismatched_cells = 2;
+  bank.faulty_cells = 1;
+  bank.drift_score = 0.0625;
+  bank.mean_abs_shift_v = 0.125;
+  bank.max_abs_shift_v = 0.25;
+  report.banks.push_back(bank);
+  report.scrubs = 5;
+  report.drift_alarms = 2;
+  report.drift_alarm_active = false;
+
+  const std::string expected =
+      "{\"canary\":{\"sampled\":10,\"executed\":7,\"stale\":2,\"dropped\":1,"
+      "\"window\":7,\"recall_estimate\":0.875,\"mean_rank_displacement\":0.5,"
+      "\"coarse_misses\":3,\"alarms\":1,\"alarm_active\":true},"
+      "\"banks\":[{\"bank\":\"bank0/\\\"q\\\"\",\"rows\":4,\"cells\":32,"
+      "\"mismatched_cells\":2,\"faulty_cells\":1,\"drift_score\":0.0625,"
+      "\"mean_abs_shift_v\":0.125,\"max_abs_shift_v\":0.25}],"
+      "\"scrubs\":5,\"drift_alarms\":2,\"drift_alarm_active\":false}";
+  EXPECT_EQ(obs::to_json(report), expected);
+
+  const std::string empty =
+      "{\"canary\":{\"sampled\":0,\"executed\":0,\"stale\":0,\"dropped\":0,"
+      "\"window\":0,\"recall_estimate\":1,\"mean_rank_displacement\":0,"
+      "\"coarse_misses\":0,\"alarms\":0,\"alarm_active\":false},"
+      "\"banks\":[],\"scrubs\":0,\"drift_alarms\":0,\"drift_alarm_active\":false}";
+  EXPECT_EQ(obs::to_json(obs::health::HealthReport{}), empty);
 }
 
 // --- Engine spec plumbing --------------------------------------------------
@@ -307,6 +359,39 @@ TEST(Registry, ResetZeroesButHandlesStayLive) {
   counter.inc();
   EXPECT_EQ(counter.value(), 1u);
   EXPECT_EQ(registry.snapshot().counters.size(), 1u) << "instruments survive reset";
+}
+
+TEST(Registry, RemoveLabeledZeroesHidesAndRevives) {
+  obs::Registry registry;
+  const obs::Counter ok = registry.counter("requests", {{"collection", "c1"}});
+  const obs::Gauge rows = registry.gauge("rows", {{"collection", "c1"}});
+  const obs::Counter other = registry.counter("requests", {{"collection", "c2"}});
+  ok.inc(5);
+  rows.set(12.0);
+  other.inc(2);
+
+  EXPECT_EQ(registry.remove_labeled("collection", "c1"), 2u);
+  EXPECT_EQ(registry.remove_labeled("collection", "missing"), 0u);
+  obs::MetricsSnapshot snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u) << "hidden series leave the snapshot";
+  EXPECT_EQ(snapshot.counters[0].labels, (obs::Labels{{"collection", "c2"}}));
+  EXPECT_TRUE(snapshot.gauges.empty());
+
+  // Old handles stay safe (the cell is never freed) but the value is gone.
+  ok.inc();
+  EXPECT_EQ(ok.value(), 1u);
+
+  // Re-resolving the same (name, labels) revives the cell from zero: a
+  // dropped-and-recreated collection never double-reports.
+  const obs::Counter recreated = registry.counter("requests", {{"collection", "c1"}});
+  recreated.inc(3);
+  snapshot = registry.snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 2u);
+  for (const obs::CounterSample& sample : snapshot.counters) {
+    if (sample.labels == obs::Labels{{"collection", "c1"}}) {
+      EXPECT_EQ(sample.value, 4u) << "1 (post-hide inc on the old handle) + 3";
+    }
+  }
 }
 
 // --- Trace mechanics -------------------------------------------------------
@@ -539,6 +624,54 @@ TEST(StoreObservability, PerCollectionInstrumentsAndRowsGauge) {
   EXPECT_NE(find_span(last, "queue-wait"), nullptr);
 
   EXPECT_TRUE(manager.drop_collection("obs_test_c1"));
+}
+
+// The satellite regression: dropping a collection must retire its whole
+// {collection=}-labeled series family, and a recreate must restart from
+// zero - a drop/recreate cycle never double-reports rows or requests.
+TEST(StoreObservability, DroppedCollectionSeriesVanishAndRecreateRestartsAtZero) {
+  const Blobs blobs = make_blobs(6, 2, 6, 0.5, 59);
+  const obs::Labels want{{"collection", "obs_drop_c1"}};
+  const auto rows_gauge = [&]() -> double {
+    for (const obs::GaugeSample& sample : obs::snapshot().gauges) {
+      if (sample.name == "mcam_store_rows" && sample.labels == want) return sample.value;
+    }
+    return -1.0;  // No visible series.
+  };
+
+  store::CollectionManager manager{store::ManagerConfig{}};
+  manager.create_collection("obs_drop_c1", "euclidean");
+  (void)manager.add("obs_drop_c1", blobs.train, blobs.train_labels);
+  (void)manager.query_one("obs_drop_c1", blobs.queries.front(), 2);
+  EXPECT_DOUBLE_EQ(rows_gauge(), static_cast<double>(blobs.train.size()));
+
+  EXPECT_TRUE(manager.drop_collection("obs_drop_c1"));
+  EXPECT_DOUBLE_EQ(rows_gauge(), -1.0) << "dropped series must leave the snapshot";
+  for (const obs::CounterSample& sample : obs::snapshot().counters) {
+    EXPECT_NE(sample.labels, want) << sample.name << " survived the drop";
+  }
+  for (const obs::HistogramSample& sample : obs::snapshot().histograms) {
+    EXPECT_NE(sample.labels, want) << sample.name << " survived the drop";
+  }
+
+  // Recreate with fewer rows: the gauge reflects only the new life.
+  manager.create_collection("obs_drop_c1", "euclidean");
+  (void)manager.add("obs_drop_c1",
+                    std::vector<std::vector<float>>{blobs.train.begin(),
+                                                    blobs.train.begin() + 3},
+                    std::vector<int>{blobs.train_labels.begin(),
+                                     blobs.train_labels.begin() + 3});
+  EXPECT_DOUBLE_EQ(rows_gauge(), 3.0) << "a recreate must not double-report";
+  std::uint64_t ok_requests = 99;
+  for (const obs::CounterSample& sample : obs::snapshot().counters) {
+    if (sample.name == "mcam_store_requests_total" &&
+        sample.labels == obs::Labels{{"collection", "obs_drop_c1"}, {"outcome", "ok"}}) {
+      ok_requests = sample.value;
+    }
+  }
+  EXPECT_TRUE(ok_requests == 99 || ok_requests == 0)
+      << "request counters restart at zero (got " << ok_requests << ")";
+  EXPECT_TRUE(manager.drop_collection("obs_drop_c1"));
 }
 
 #endif  // MCAM_OBS_DISABLED
